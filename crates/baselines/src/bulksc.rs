@@ -1,0 +1,393 @@
+//! BulkSC (Ceze et al., ISCA 2007) with a centralized arbiter in the chip
+//! centre, as characterized in §2.1 / Table 3 of the ScalableBulk paper.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use sb_chunks::{ChunkTag, CommitRequest};
+use sb_mem::{CoreId, DirId, LineAddr};
+use sb_net::{MsgSize, TrafficClass};
+use sb_proto::{
+    BulkInvAck, CommitProtocol, Endpoint, MachineView, Outbox, ProtoEvent, ProtocolKind,
+};
+use sb_sigs::Signature;
+
+/// BulkSC tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BulkScConfig {
+    /// The tile hosting the arbiter (the torus centre in Table 3).
+    pub arbiter: DirId,
+    /// Cycles the arbiter spends deciding one commit request. This is the
+    /// serialization that makes BulkSC collapse at 64 cores (Figure 13:
+    /// mean commit latency 98 cycles at 32 procs, 2954 at 64).
+    pub service_time: u64,
+}
+
+impl BulkScConfig {
+    /// Arbiter at `arbiter` with a 26-cycle decision slot (sized so that
+    /// 32 cores leave headroom and 64 cores saturate, as in the paper).
+    pub fn paper_default(arbiter: DirId) -> Self {
+        BulkScConfig {
+            arbiter,
+            service_time: 26,
+        }
+    }
+}
+
+/// BulkSC wire messages.
+#[derive(Clone, Debug)]
+pub enum BscMsg {
+    /// Core → arbiter: permission-to-commit request with both signatures.
+    Request {
+        /// The sealed chunk.
+        req: CommitRequest,
+    },
+    /// Arbiter-internal timer: one decision slot elapsed.
+    ServiceSlot,
+}
+
+struct Committing {
+    wsig: Signature,
+    rsig: Signature,
+    pending_acks: u32,
+}
+
+/// The BulkSC protocol model: a single arbiter that admits disjoint
+/// commits concurrently but decides serially.
+pub struct BulkSc {
+    cfg: BulkScConfig,
+    ncores: u16,
+    ndirs: u16,
+    /// FIFO of requests waiting for a decision.
+    queue: VecDeque<ChunkTag>,
+    requests: HashMap<ChunkTag, CommitRequest>,
+    committing: HashMap<ChunkTag, Committing>,
+    dead: HashSet<ChunkTag>,
+    slot_scheduled: bool,
+    decisions: u64,
+}
+
+impl BulkSc {
+    /// Creates the protocol for `ncores` cores and `ndirs` directories.
+    pub fn new(cfg: BulkScConfig, ncores: u16, ndirs: u16) -> Self {
+        assert!((1..=64).contains(&ncores), "1..=64 cores");
+        BulkSc {
+            cfg,
+            ncores,
+            ndirs,
+            queue: VecDeque::new(),
+            requests: HashMap::new(),
+            committing: HashMap::new(),
+            dead: HashSet::new(),
+            slot_scheduled: false,
+            decisions: 0,
+        }
+    }
+
+    /// Total arbiter decisions taken (diagnostics).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    fn schedule_slot(&mut self, out: &mut Outbox<BscMsg>) {
+        if !self.slot_scheduled && !self.queue.is_empty() {
+            self.slot_scheduled = true;
+            out.after(
+                self.cfg.service_time,
+                Endpoint::Dir(self.cfg.arbiter),
+                BscMsg::ServiceSlot,
+            );
+        }
+    }
+
+    /// One decision slot: grant the first queued request whose signatures
+    /// are disjoint from every currently-committing chunk
+    /// (`Ri ∩ Wj ∨ Wi ∩ Wj` null — §2.1).
+    fn service(&mut self, out: &mut Outbox<BscMsg>) {
+        self.slot_scheduled = false;
+        self.decisions += 1;
+        // Drop dead entries first.
+        while let Some(front) = self.queue.front() {
+            if self.dead.contains(front) || !self.requests.contains_key(front) {
+                let t = self.queue.pop_front().expect("front");
+                self.requests.remove(&t);
+                out.event(ProtoEvent::ChunkUnqueued { tag: t });
+            } else {
+                break;
+            }
+        }
+        let grant_pos = self.queue.iter().position(|t| {
+            let Some(req) = self.requests.get(t) else {
+                return false;
+            };
+            self.committing.values().all(|c| {
+                !req.wsig.intersects(&c.wsig)
+                    && !req.wsig.intersects(&c.rsig)
+                    && !req.rsig.intersects(&c.wsig)
+            })
+        });
+        if let Some(pos) = grant_pos {
+            let tag = self.queue.remove(pos).expect("position valid");
+            let req = self.requests.remove(&tag).expect("request stored");
+            out.event(ProtoEvent::ChunkUnqueued { tag });
+            out.event(ProtoEvent::GroupFormed {
+                tag,
+                dirs: req.g_vec.len(),
+            });
+            out.commit_success(tag.core(), tag, self.cfg.arbiter);
+            // Directory-state updates for the written lines' homes.
+            for d in req.write_dirs.iter() {
+                out.apply_commit(d, req.wsig.clone(), tag.core());
+            }
+            // Broadcast the W signature to every other processor for bulk
+            // invalidation and disambiguation (the BulkSC scheme).
+            let mut acks = 0;
+            for c in 0..self.ncores {
+                if CoreId(c) != tag.core() {
+                    out.bulk_inv_sized(
+                        self.cfg.arbiter,
+                        CoreId(c),
+                        tag,
+                        req.wsig.clone(),
+                        MsgSize::Signature,
+                    );
+                    acks += 1;
+                }
+            }
+            if acks == 0 {
+                out.event(ProtoEvent::CommitCompleted { tag });
+            } else {
+                self.committing.insert(
+                    tag,
+                    Committing {
+                        wsig: req.wsig,
+                        rsig: req.rsig,
+                        pending_acks: acks,
+                    },
+                );
+            }
+        }
+        self.schedule_slot(out);
+    }
+}
+
+impl CommitProtocol for BulkSc {
+    type Msg = BscMsg;
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::BulkSc
+    }
+
+    fn start_commit(
+        &mut self,
+        _view: &dyn MachineView,
+        out: &mut Outbox<BscMsg>,
+        req: CommitRequest,
+    ) {
+        let tag = req.tag;
+        if req.g_vec.is_empty() {
+            let local = DirId(tag.core().0 % self.ndirs);
+            out.event(ProtoEvent::GroupFormed { tag, dirs: 0 });
+            out.commit_success(tag.core(), tag, local);
+            out.event(ProtoEvent::CommitCompleted { tag });
+            return;
+        }
+        out.event(ProtoEvent::GroupFormationStarted { tag });
+        out.send(
+            Endpoint::Core(tag.core()),
+            Endpoint::Dir(self.cfg.arbiter),
+            MsgSize::SignaturePair,
+            TrafficClass::LargeCMessage,
+            BscMsg::Request { req },
+        );
+    }
+
+    fn deliver(
+        &mut self,
+        _view: &dyn MachineView,
+        out: &mut Outbox<BscMsg>,
+        dst: Endpoint,
+        msg: BscMsg,
+    ) {
+        debug_assert_eq!(dst, Endpoint::Dir(self.cfg.arbiter));
+        match msg {
+            BscMsg::Request { req } => {
+                let tag = req.tag;
+                if self.dead.contains(&tag) {
+                    return;
+                }
+                self.requests.insert(tag, req);
+                self.queue.push_back(tag);
+                out.event(ProtoEvent::ChunkQueued { tag });
+                self.schedule_slot(out);
+            }
+            BscMsg::ServiceSlot => self.service(out),
+        }
+    }
+
+    fn bulk_inv_acked(
+        &mut self,
+        _view: &dyn MachineView,
+        out: &mut Outbox<BscMsg>,
+        ack: BulkInvAck,
+    ) {
+        if let Some(aborted) = ack.aborted {
+            // The squashed chunk may be waiting at the arbiter; it will
+            // never be granted.
+            self.dead.insert(aborted.tag);
+            if self.requests.remove(&aborted.tag).is_some() {
+                if let Some(pos) = self.queue.iter().position(|t| *t == aborted.tag) {
+                    self.queue.remove(pos);
+                    out.event(ProtoEvent::ChunkUnqueued { tag: aborted.tag });
+                }
+            }
+        }
+        let done = {
+            let Some(c) = self.committing.get_mut(&ack.tag) else {
+                return;
+            };
+            c.pending_acks -= 1;
+            c.pending_acks == 0
+        };
+        if done {
+            self.committing.remove(&ack.tag);
+            out.event(ProtoEvent::CommitCompleted { tag: ack.tag });
+            // A blocked queue head may now be grantable.
+            self.schedule_slot(out);
+        }
+    }
+
+    fn read_blocked(&self, _dir: DirId, _line: LineAddr) -> bool {
+        false // BulkSC has no directory-side nacking; the arbiter decides
+    }
+
+    fn in_flight(&self) -> usize {
+        self.requests.len() + self.committing.len()
+    }
+}
+
+impl std::fmt::Debug for BulkSc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BulkSc")
+            .field("queued", &self.queue.len())
+            .field("committing", &self.committing.len())
+            .field("decisions", &self.decisions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_chunks::ActiveChunk;
+    use sb_engine::Cycle;
+    use sb_proto::{Fabric, FabricConfig, Outcome};
+    use sb_sigs::SignatureConfig;
+
+    fn request(core: u16, seq: u64, reads: &[(u64, u16)], writes: &[(u64, u16)]) -> CommitRequest {
+        let mut c = ActiveChunk::new(
+            ChunkTag::new(CoreId(core), seq),
+            SignatureConfig::paper_default(),
+        );
+        for &(l, d) in reads {
+            c.record_read(LineAddr(l), DirId(d));
+        }
+        for &(l, d) in writes {
+            c.record_write(LineAddr(l), DirId(d));
+        }
+        c.to_commit_request()
+    }
+
+    fn proto() -> BulkSc {
+        BulkSc::new(BulkScConfig::paper_default(DirId(4)), 8, 8)
+    }
+
+    #[test]
+    fn single_chunk_commits_through_arbiter() {
+        let mut f: Fabric<BscMsg> = Fabric::new(FabricConfig::small());
+        let mut p = proto();
+        let req = request(0, 0, &[(10, 1)], &[(20, 5)]);
+        let tag = req.tag;
+        f.schedule_commit(Cycle(0), req);
+        let r = f.run(&mut p, 100_000);
+        assert_eq!(r.committed(), vec![tag]);
+        assert_eq!(p.in_flight(), 0);
+        assert!(p.decisions() >= 1);
+    }
+
+    #[test]
+    fn disjoint_chunks_commit_concurrently_but_decisions_serialize() {
+        let mut f: Fabric<BscMsg> = Fabric::new(FabricConfig::small());
+        let mut p = proto();
+        let a = request(0, 0, &[], &[(100, 4)]);
+        let b = request(1, 0, &[], &[(200, 4)]);
+        let (ta, tb) = (a.tag, b.tag);
+        f.schedule_commit(Cycle(0), a);
+        f.schedule_commit(Cycle(0), b);
+        let r = f.run(&mut p, 100_000);
+        let mut committed = r.committed();
+        committed.sort();
+        assert_eq!(committed, vec![ta, tb]);
+        // The second decision waits a full service slot after the first.
+        let latencies: Vec<u64> = [ta, tb]
+            .iter()
+            .map(|t| match r.outcome_of(*t).unwrap() {
+                Outcome::Committed { latency, .. } => latency,
+                o => panic!("{o:?}"),
+            })
+            .collect();
+        assert!(
+            latencies.iter().max().unwrap() - latencies.iter().min().unwrap()
+                >= p.cfg.service_time,
+            "arbiter serialization visible: {latencies:?}"
+        );
+    }
+
+    #[test]
+    fn conflicting_chunk_is_held_then_squashed_by_broadcast() {
+        let mut f: Fabric<BscMsg> = Fabric::new(FabricConfig::small());
+        let mut p = proto();
+        // Both write line 100: the arbiter holds the second (W ∩ W), and
+        // the first's W broadcast squashes it at its core — the lazy
+        // write-write conflict resolution of BulkSC.
+        let a = request(0, 0, &[], &[(100, 4)]);
+        let b = request(1, 0, &[], &[(100, 4)]);
+        let (ta, tb) = (a.tag, b.tag);
+        f.schedule_commit(Cycle(0), a);
+        f.schedule_commit(Cycle(0), b);
+        let r = f.run(&mut p, 100_000);
+        assert!(r.outcome_of(ta).unwrap().is_committed());
+        assert!(matches!(r.outcome_of(tb), Some(Outcome::Squashed { .. })));
+        assert_eq!(p.in_flight(), 0, "dead request purged from the arbiter");
+    }
+
+    #[test]
+    fn broadcast_invalidation_squashes_conflicting_sharer() {
+        let mut f: Fabric<BscMsg> = Fabric::new(FabricConfig::small());
+        let mut p = proto();
+        // Core 1's pending chunk reads line 100; core 0 commits a write to
+        // it. The broadcast W reaches core 1 and squashes its commit.
+        let a = request(0, 0, &[], &[(100, 4)]);
+        let b = request(1, 0, &[(100, 4)], &[(300, 6)]);
+        let (ta, tb) = (a.tag, b.tag);
+        f.schedule_commit(Cycle(0), a);
+        f.schedule_commit(Cycle(0), b); // pending when a's broadcast lands
+        let r = f.run(&mut p, 100_000);
+        assert!(r.outcome_of(ta).unwrap().is_committed());
+        match r.outcome_of(tb) {
+            Some(Outcome::Squashed { .. }) => {}
+            other => panic!("expected squash, got {other:?}"),
+        }
+        assert_eq!(p.in_flight(), 0, "dead request purged from arbiter");
+    }
+
+    #[test]
+    fn empty_footprint_commits_trivially() {
+        let mut f: Fabric<BscMsg> = Fabric::new(FabricConfig::small());
+        let mut p = proto();
+        let req = request(3, 0, &[], &[]);
+        let tag = req.tag;
+        f.schedule_commit(Cycle(0), req);
+        let r = f.run(&mut p, 1_000);
+        assert_eq!(r.committed(), vec![tag]);
+    }
+}

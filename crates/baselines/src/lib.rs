@@ -1,0 +1,46 @@
+//! Baseline chunk-commit protocols (Table 3 of the paper).
+//!
+//! The paper compares ScalableBulk against three previously-proposed
+//! commit schemes, reimplemented here at the same message granularity on
+//! the same [`sb_proto::CommitProtocol`] seam:
+//!
+//! * [`Tcc`] — **Scalable TCC** (Chafi et al., HPCA 2007): a committing
+//!   processor obtains a transaction ID from a centralized vendor, sends a
+//!   `probe` to each directory in its read/write sets, a `skip` broadcast
+//!   to every other directory, and one `mark` per written line. Each
+//!   directory serves chunks strictly in TID order, one at a time — so two
+//!   chunks touching the same directory serialize even when their
+//!   addresses are disjoint.
+//! * [`SeqTs`] — **SEQ-TS**, SRC's optimized variant (parallel occupation
+//!   with stealing), which the paper calls "prone to protocol races" —
+//!   implemented here as a paper extension with the races resolved by a
+//!   global stealing priority and publication-phase recovery.
+//! * [`Seq`] — **SEQ-PRO** from SRC (Pugsley et al., PACT 2008): the
+//!   committing processor occupies its directories one by one in ascending
+//!   ID order, blocking (FIFO) on an occupied module; on full occupation
+//!   it invalidates sharers and releases. Same key shortcoming: one chunk
+//!   per directory at a time.
+//! * [`BulkSc`] — **BulkSC** (Ceze et al., ISCA 2007) with the arbiter in
+//!   the centre of the chip: processors send (R, W) signature pairs to a
+//!   central arbiter that admits any set of pairwise-disjoint commits but
+//!   serializes the *decisions*, making it the scaling bottleneck at 64
+//!   cores.
+//!
+//! Modelling simplifications (documented per DESIGN.md §3): a chunk
+//! squashed mid-commit leaves the directory updates it already performed
+//! in place (conservative sharer state), and TCC invalidations are
+//! modelled as one line-sized message per directory rather than one per
+//! line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulksc;
+mod seq;
+mod seqts;
+mod tcc;
+
+pub use bulksc::{BulkSc, BulkScConfig, BscMsg};
+pub use seq::{Seq, SeqMsg};
+pub use seqts::{SeqTs, SeqTsMsg};
+pub use tcc::{Tcc, TccConfig, TccMsg};

@@ -1,0 +1,485 @@
+//! SEQ-PRO from SRC (Pugsley et al., PACT 2008), as characterized in §2.1
+//! of the ScalableBulk paper: occupy directories sequentially in ascending
+//! ID order, blocking on occupied modules.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use sb_chunks::{ChunkTag, CommitRequest};
+use sb_mem::{DirId, DirSet, LineAddr};
+use sb_net::{MsgSize, TrafficClass};
+use sb_proto::{
+    BulkInvAck, CommitProtocol, Endpoint, MachineView, Outbox, ProtoEvent, ProtocolKind,
+};
+use sb_sigs::Signature;
+
+/// SEQ wire messages.
+#[derive(Clone, Debug)]
+pub enum SeqMsg {
+    /// Core → directory: occupy this module for the chunk (carries the W
+    /// signature so the module can later invalidate and nack reads).
+    Occupy {
+        /// The committing chunk.
+        tag: ChunkTag,
+        /// Its W signature.
+        wsig: Signature,
+    },
+    /// Directory → core: the module is yours.
+    OccupyGranted {
+        /// The committing chunk.
+        tag: ChunkTag,
+        /// The granting module.
+        dir: DirId,
+    },
+    /// Core → occupied write-set directory: publish the writes (expand W,
+    /// invalidate sharers).
+    StartInval {
+        /// The committing chunk.
+        tag: ChunkTag,
+    },
+    /// Directory → core: invalidations at this module are acknowledged.
+    DirCommitDone {
+        /// The committing chunk.
+        tag: ChunkTag,
+        /// The reporting module.
+        dir: DirId,
+    },
+    /// Core → directory: release the module.
+    Release {
+        /// The committing chunk.
+        tag: ChunkTag,
+    },
+}
+
+#[derive(Debug, Default)]
+struct SeqDir {
+    /// Current occupant and its W signature.
+    occupant: Option<(ChunkTag, Signature)>,
+    /// FIFO of blocked occupy requests.
+    queue: VecDeque<(ChunkTag, Signature)>,
+    /// Outstanding invalidation acks for the occupant's publication.
+    pending_acks: u32,
+}
+
+#[derive(Debug)]
+struct SeqChunk {
+    req: CommitRequest,
+    /// Modules occupied so far.
+    occupied: DirSet,
+    /// Write-set modules that finished invalidating.
+    inval_done: DirSet,
+    queued: bool,
+}
+
+/// The SEQ-PRO protocol model.
+#[derive(Debug)]
+pub struct Seq {
+    ndirs: u16,
+    dirs: Vec<SeqDir>,
+    chunks: HashMap<ChunkTag, SeqChunk>,
+    dead: HashSet<ChunkTag>,
+}
+
+impl Seq {
+    /// Creates the protocol for `ndirs` directory modules.
+    pub fn new(ndirs: u16) -> Self {
+        assert!((1..=64).contains(&ndirs), "1..=64 directory modules");
+        Seq {
+            ndirs,
+            dirs: (0..ndirs).map(|_| SeqDir::default()).collect(),
+            chunks: HashMap::new(),
+            dead: HashSet::new(),
+        }
+    }
+
+    fn send_occupy(&self, out: &mut Outbox<SeqMsg>, tag: ChunkTag, wsig: Signature, d: DirId) {
+        out.send(
+            Endpoint::Core(tag.core()),
+            Endpoint::Dir(d),
+            MsgSize::Small,
+            TrafficClass::SmallCMessage,
+            SeqMsg::Occupy { tag, wsig },
+        );
+    }
+
+    /// Grants the module to the next live queued chunk, if any.
+    fn grant_next(&mut self, out: &mut Outbox<SeqMsg>, d: DirId) {
+        loop {
+            let Some((tag, wsig)) = self.dirs[d.idx()].queue.pop_front() else {
+                return;
+            };
+            if self.dead.contains(&tag) || !self.chunks.contains_key(&tag) {
+                out.event(ProtoEvent::ChunkUnqueued { tag });
+                continue; // died while waiting
+            }
+            out.event(ProtoEvent::ChunkUnqueued { tag });
+            if let Some(c) = self.chunks.get_mut(&tag) {
+                c.queued = false;
+            }
+            self.dirs[d.idx()].occupant = Some((tag, wsig));
+            out.send(
+                Endpoint::Dir(d),
+                Endpoint::Core(tag.core()),
+                MsgSize::Small,
+                TrafficClass::SmallCMessage,
+                SeqMsg::OccupyGranted { tag, dir: d },
+            );
+            return;
+        }
+    }
+
+    /// Releases every module the chunk occupied and purges its queued
+    /// occupies; used on abort.
+    fn abort_chunk(&mut self, out: &mut Outbox<SeqMsg>, tag: ChunkTag) {
+        self.dead.insert(tag);
+        let Some(c) = self.chunks.remove(&tag) else {
+            return;
+        };
+        for d in c.occupied.iter() {
+            if self.dirs[d.idx()]
+                .occupant
+                .as_ref()
+                .is_some_and(|(t, _)| *t == tag)
+            {
+                self.dirs[d.idx()].occupant = None;
+                self.dirs[d.idx()].pending_acks = 0;
+                self.grant_next(out, d);
+            }
+        }
+        // Queued entries are skipped lazily in grant_next.
+    }
+}
+
+impl CommitProtocol for Seq {
+    type Msg = SeqMsg;
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Seq
+    }
+
+    fn start_commit(
+        &mut self,
+        _view: &dyn MachineView,
+        out: &mut Outbox<SeqMsg>,
+        req: CommitRequest,
+    ) {
+        let tag = req.tag;
+        if req.g_vec.is_empty() {
+            let local = DirId(tag.core().0 % self.ndirs);
+            out.event(ProtoEvent::GroupFormed { tag, dirs: 0 });
+            out.commit_success(tag.core(), tag, local);
+            out.event(ProtoEvent::CommitCompleted { tag });
+            return;
+        }
+        out.event(ProtoEvent::GroupFormationStarted { tag });
+        let first = req.g_vec.lowest().expect("non-empty");
+        let wsig = req.wsig.clone();
+        self.chunks.insert(
+            tag,
+            SeqChunk {
+                req,
+                occupied: DirSet::empty(),
+                inval_done: DirSet::empty(),
+                queued: false,
+            },
+        );
+        self.send_occupy(out, tag, wsig, first);
+    }
+
+    fn deliver(
+        &mut self,
+        view: &dyn MachineView,
+        out: &mut Outbox<SeqMsg>,
+        dst: Endpoint,
+        msg: SeqMsg,
+    ) {
+        match (dst, msg) {
+            (Endpoint::Dir(d), SeqMsg::Occupy { tag, wsig }) => {
+                if self.dead.contains(&tag) {
+                    return;
+                }
+                if self.dirs[d.idx()].occupant.is_none() {
+                    self.dirs[d.idx()].occupant = Some((tag, wsig));
+                    out.send(
+                        Endpoint::Dir(d),
+                        Endpoint::Core(tag.core()),
+                        MsgSize::Small,
+                        TrafficClass::SmallCMessage,
+                        SeqMsg::OccupyGranted { tag, dir: d },
+                    );
+                } else {
+                    // Blocked: queue FIFO (the SEQ serialization).
+                    self.dirs[d.idx()].queue.push_back((tag, wsig));
+                    if let Some(c) = self.chunks.get_mut(&tag) {
+                        if !c.queued {
+                            c.queued = true;
+                            out.event(ProtoEvent::ChunkQueued { tag });
+                        }
+                    }
+                }
+            }
+            (Endpoint::Core(_), SeqMsg::OccupyGranted { tag, dir }) => {
+                let Some(c) = self.chunks.get_mut(&tag) else {
+                    // Died while the grant was in flight; hand it back.
+                    out.send(
+                        Endpoint::Core(tag.core()),
+                        Endpoint::Dir(dir),
+                        MsgSize::Small,
+                        TrafficClass::SmallCMessage,
+                        SeqMsg::Release { tag },
+                    );
+                    return;
+                };
+                c.occupied.insert(dir);
+                match c.req.g_vec.next_after(dir) {
+                    Some(next) => {
+                        let wsig = c.req.wsig.clone();
+                        self.send_occupy(out, tag, wsig, next);
+                    }
+                    None => {
+                        // Fully occupied: the "group" is formed.
+                        out.event(ProtoEvent::GroupFormed {
+                            tag,
+                            dirs: c.req.g_vec.len(),
+                        });
+                        let write_dirs = c.req.write_dirs;
+                        if write_dirs.is_empty() {
+                            // Read-only chunk: nothing to publish.
+                            let from = c.req.g_vec.lowest().expect("non-empty");
+                            let g_vec = c.req.g_vec;
+                            self.chunks.remove(&tag);
+                            out.commit_success(tag.core(), tag, from);
+                            out.event(ProtoEvent::CommitCompleted { tag });
+                            for d in g_vec.iter() {
+                                out.send(
+                                    Endpoint::Core(tag.core()),
+                                    Endpoint::Dir(d),
+                                    MsgSize::Small,
+                                    TrafficClass::SmallCMessage,
+                                    SeqMsg::Release { tag },
+                                );
+                            }
+                            return;
+                        }
+                        for d in write_dirs.iter() {
+                            out.send(
+                                Endpoint::Core(tag.core()),
+                                Endpoint::Dir(d),
+                                MsgSize::Small,
+                                TrafficClass::SmallCMessage,
+                                SeqMsg::StartInval { tag },
+                            );
+                        }
+                    }
+                }
+            }
+            (Endpoint::Dir(d), SeqMsg::StartInval { tag }) => {
+                let Some((occ_tag, wsig)) = self.dirs[d.idx()].occupant.clone() else {
+                    return;
+                };
+                if occ_tag != tag {
+                    return; // stale (chunk aborted and module re-granted)
+                }
+                let sharers = view.sharers_matching(d, &wsig, tag.core());
+                out.apply_commit(d, wsig.clone(), tag.core());
+                if sharers.is_empty() {
+                    out.send(
+                        Endpoint::Dir(d),
+                        Endpoint::Core(tag.core()),
+                        MsgSize::Small,
+                        TrafficClass::SmallCMessage,
+                        SeqMsg::DirCommitDone { tag, dir: d },
+                    );
+                } else {
+                    self.dirs[d.idx()].pending_acks = sharers.len();
+                    for core in sharers.iter() {
+                        out.bulk_inv_sized(d, core, tag, wsig.clone(), MsgSize::Line);
+                    }
+                }
+            }
+            (Endpoint::Core(_), SeqMsg::DirCommitDone { tag, dir }) => {
+                let Some(c) = self.chunks.get_mut(&tag) else {
+                    return;
+                };
+                c.inval_done.insert(dir);
+                if c.inval_done == c.req.write_dirs {
+                    let from = c.req.g_vec.lowest().expect("non-empty");
+                    let g_vec = c.req.g_vec;
+                    self.chunks.remove(&tag);
+                    out.commit_success(tag.core(), tag, from);
+                    out.event(ProtoEvent::CommitCompleted { tag });
+                    for d in g_vec.iter() {
+                        out.send(
+                            Endpoint::Core(tag.core()),
+                            Endpoint::Dir(d),
+                            MsgSize::Small,
+                            TrafficClass::SmallCMessage,
+                            SeqMsg::Release { tag },
+                        );
+                    }
+                }
+            }
+            (Endpoint::Dir(d), SeqMsg::Release { tag }) => {
+                if self.dirs[d.idx()]
+                    .occupant
+                    .as_ref()
+                    .is_some_and(|(t, _)| *t == tag)
+                {
+                    self.dirs[d.idx()].occupant = None;
+                    self.dirs[d.idx()].pending_acks = 0;
+                    self.grant_next(out, d);
+                }
+            }
+            (dst, msg) => debug_assert!(false, "misrouted {msg:?} at {dst:?}"),
+        }
+    }
+
+    fn bulk_inv_acked(
+        &mut self,
+        _view: &dyn MachineView,
+        out: &mut Outbox<SeqMsg>,
+        ack: BulkInvAck,
+    ) {
+        if let Some(aborted) = ack.aborted {
+            self.abort_chunk(out, aborted.tag);
+        }
+        let d = ack.dir;
+        let dir = &mut self.dirs[d.idx()];
+        if dir
+            .occupant
+            .as_ref().is_none_or(|(t, _)| *t != ack.tag)
+        {
+            return; // occupant aborted while acks were in flight
+        }
+        if dir.pending_acks == 0 {
+            return;
+        }
+        dir.pending_acks -= 1;
+        if dir.pending_acks == 0 {
+            out.send(
+                Endpoint::Dir(d),
+                Endpoint::Core(ack.tag.core()),
+                MsgSize::Small,
+                TrafficClass::SmallCMessage,
+                SeqMsg::DirCommitDone { tag: ack.tag, dir: d },
+            );
+        }
+    }
+
+    fn read_blocked(&self, dir: DirId, line: LineAddr) -> bool {
+        self.dirs[dir.idx()]
+            .occupant
+            .as_ref()
+            .is_some_and(|(_, wsig)| wsig.test(line.as_u64()))
+    }
+
+    fn in_flight(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_chunks::ActiveChunk;
+    use sb_engine::Cycle;
+    use sb_mem::{CoreId, LineAddr};
+    use sb_proto::{Fabric, FabricConfig};
+    use sb_sigs::SignatureConfig;
+
+    fn request(core: u16, seq: u64, reads: &[(u64, u16)], writes: &[(u64, u16)]) -> CommitRequest {
+        let mut c = ActiveChunk::new(
+            ChunkTag::new(CoreId(core), seq),
+            SignatureConfig::paper_default(),
+        );
+        for &(l, d) in reads {
+            c.record_read(LineAddr(l), DirId(d));
+        }
+        for &(l, d) in writes {
+            c.record_write(LineAddr(l), DirId(d));
+        }
+        c.to_commit_request()
+    }
+
+    #[test]
+    fn single_chunk_commits() {
+        let mut f: Fabric<SeqMsg> = Fabric::new(FabricConfig::small());
+        let mut p = Seq::new(8);
+        let req = request(0, 0, &[(10, 1)], &[(20, 5)]);
+        let tag = req.tag;
+        f.schedule_commit(Cycle(0), req);
+        let r = f.run(&mut p, 100_000);
+        assert_eq!(r.committed(), vec![tag]);
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    fn occupation_is_ascending_and_serializing() {
+        let mut f: Fabric<SeqMsg> = Fabric::new(FabricConfig::small());
+        let mut p = Seq::new(8);
+        // Two disjoint chunks sharing directory 4: SEQ serializes them.
+        let a = request(0, 0, &[], &[(100, 4)]);
+        let b = request(1, 0, &[], &[(101, 4)]);
+        let (ta, tb) = (a.tag, b.tag);
+        f.schedule_commit(Cycle(0), a);
+        f.schedule_commit(Cycle(0), b);
+        let r = f.run(&mut p, 100_000);
+        let mut committed = r.committed();
+        committed.sort();
+        assert_eq!(committed, vec![ta, tb]);
+        assert_eq!(
+            r.count_events(|e| matches!(e, ProtoEvent::ChunkQueued { .. })),
+            1,
+            "the second chunk queued behind the first"
+        );
+        assert_eq!(
+            r.count_events(|e| matches!(e, ProtoEvent::ChunkUnqueued { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn read_only_chunk_commits_without_invalidations() {
+        let mut f: Fabric<SeqMsg> = Fabric::new(FabricConfig::small());
+        let mut p = Seq::new(8);
+        let req = request(2, 0, &[(10, 1), (20, 3)], &[]);
+        let tag = req.tag;
+        f.schedule_commit(Cycle(0), req);
+        let r = f.run(&mut p, 100_000);
+        assert_eq!(r.committed(), vec![tag]);
+    }
+
+    #[test]
+    fn sharer_squash_releases_occupied_modules() {
+        let mut f: Fabric<SeqMsg> = Fabric::new(FabricConfig::small());
+        let mut p = Seq::new(8);
+        f.seed_sharer(DirId(2), LineAddr(500), CoreId(1));
+        let a = request(0, 0, &[], &[(500, 2)]);
+        let b = request(1, 0, &[(500, 2)], &[(700, 4)]);
+        let ta = a.tag;
+        let tb = b.tag;
+        f.schedule_commit(Cycle(0), a);
+        f.schedule_commit(Cycle(5), b);
+        let r = f.run(&mut p, 100_000);
+        assert!(!r.hit_step_limit);
+        assert!(r.outcome_of(ta).unwrap().is_committed());
+        assert!(r.outcome_of(tb).is_some());
+        assert_eq!(p.in_flight(), 0, "aborted occupations released");
+        // Modules are free afterwards: a third chunk sails through.
+        let c = request(2, 0, &[], &[(501, 2), (701, 4)]);
+        let tc = c.tag;
+        f.schedule_commit(f.now() + 10, c);
+        let r = f.run(&mut p, 100_000);
+        assert!(r.committed().contains(&tc));
+    }
+
+    #[test]
+    fn empty_footprint_commits_trivially() {
+        let mut f: Fabric<SeqMsg> = Fabric::new(FabricConfig::small());
+        let mut p = Seq::new(8);
+        let req = request(3, 0, &[], &[]);
+        let tag = req.tag;
+        f.schedule_commit(Cycle(0), req);
+        let r = f.run(&mut p, 1_000);
+        assert_eq!(r.committed(), vec![tag]);
+    }
+}

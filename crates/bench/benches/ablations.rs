@@ -1,0 +1,74 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! Optimistic Commit Initiation on/off, signature size, starvation
+//! reservation threshold, and priority rotation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::{bench_config, BENCH_INSNS};
+use sb_proto::ProtocolKind;
+use sb_sim::{run_simulation, SimConfig};
+use sb_workloads::AppProfile;
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+
+    // OCI on/off (§3.3): conservative initiation must cost latency.
+    for oci in [true, false] {
+        let mut cfg = bench_config(AppProfile::barnes(), 64, ProtocolKind::ScalableBulk);
+        cfg.oci = oci;
+        let r = run_simulation(&cfg);
+        println!(
+            "[ablation oci={oci}] wall={} latency={:.0} commit%={:.1}",
+            r.wall_cycles,
+            r.latency.mean(),
+            r.breakdown.fraction_commit() * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("oci", oci), &cfg, |b, cfg| {
+            b.iter(|| run_simulation(cfg))
+        });
+    }
+
+    // Signature size sweep: alias squashes vs Table 2's 2 Kbit.
+    for bits in [512u32, 2048, 4096] {
+        let mut cfg = bench_config(AppProfile::barnes(), 64, ProtocolKind::ScalableBulk);
+        cfg.sig = sb_sigs::SignatureConfig::new(bits, 4);
+        let r = run_simulation(&cfg);
+        println!(
+            "[ablation sig={bits}b] squash={:.2}% (alias {}) wall={}",
+            r.squash_rate() * 100.0,
+            r.squashes_alias,
+            r.wall_cycles
+        );
+    }
+
+    // Starvation reservation threshold (§3.2.2 MAX).
+    for max in [4u32, 16, 10_000] {
+        let mut cfg: SimConfig = bench_config(AppProfile::radix(), 64, ProtocolKind::ScalableBulk);
+        cfg.insns_per_thread = BENCH_INSNS;
+        cfg.sb.max_squashes_before_reservation = max;
+        let r = run_simulation(&cfg);
+        println!(
+            "[ablation MAX={max}] wall={} retries={} latency={:.0}",
+            r.wall_cycles,
+            r.commit_retries,
+            r.latency.mean()
+        );
+    }
+
+    // Priority rotation (§3.2.2 fairness).
+    for rotation in [None, Some(10_000u64)] {
+        let mut cfg = bench_config(AppProfile::radix(), 64, ProtocolKind::ScalableBulk);
+        cfg.sb.rotation_interval = rotation;
+        let r = run_simulation(&cfg);
+        println!(
+            "[ablation rotation={rotation:?}] wall={} retries={}",
+            r.wall_cycles, r.commit_retries
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 13 (commit-latency distribution) at bench scale: prints the
+//! per-protocol latency summary at 32 and 64 cores (the paper's 64-core
+//! means are SB 91 / TCC 411 / SEQ 153 / BulkSC 2954 cycles) and times
+//! the runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::{bench_apps, bench_config, bench_run};
+use sb_proto::ProtocolKind;
+use sb_sim::run_simulation;
+
+fn fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_commit_latency");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for cores in [32u16, 64] {
+        for proto in ProtocolKind::ALL {
+            let mut agg = sb_stats::LatencyDist::new();
+            for app in bench_apps() {
+                agg.merge(&bench_run(app, cores, proto).latency);
+            }
+            println!(
+                "[fig13] cores={cores:2} {:12} mean={:>7.0} p50={:>6} p90={:>7} max={:>7}",
+                proto.label(),
+                agg.mean(),
+                agg.quantile(0.5),
+                agg.quantile(0.9),
+                agg.max(),
+            );
+        }
+    }
+    for proto in [ProtocolKind::ScalableBulk, ProtocolKind::BulkSc] {
+        let cfg = bench_config(sb_workloads::AppProfile::fft(), 64, proto);
+        group.bench_with_input(BenchmarkId::new("fft64", proto.label()), &cfg, |b, cfg| {
+            b.iter(|| run_simulation(cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figures 14–17 (bottleneck ratio and chunk queue length) at bench
+//! scale: prints both serialization metrics per application and protocol
+//! and times the most contended configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::{bench_apps, bench_config, bench_run};
+use sb_proto::ProtocolKind;
+use sb_sim::run_simulation;
+use sb_workloads::AppProfile;
+
+fn fig14_fig17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_fig17_serialization");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let protos = [ProtocolKind::ScalableBulk, ProtocolKind::Tcc, ProtocolKind::Seq];
+    for app in bench_apps() {
+        for proto in protos {
+            let r = bench_run(app, 64, proto);
+            println!(
+                "[fig14-17] {:14} {:12} bottleneck_ratio={:>6.2} queue_len={:>6.2}",
+                app.name,
+                proto.label(),
+                r.gauges.bottleneck_ratio(),
+                r.gauges.mean_queue_length(),
+            );
+        }
+    }
+    for proto in protos {
+        let cfg = bench_config(AppProfile::radix(), 64, proto);
+        group.bench_with_input(BenchmarkId::new("radix64", proto.label()), &cfg, |b, cfg| {
+            b.iter(|| run_simulation(cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig14_fig17);
+criterion_main!(benches);

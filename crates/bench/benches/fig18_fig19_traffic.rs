@@ -1,0 +1,44 @@
+//! Figures 18–19 (message characterization) at bench scale: prints the
+//! per-class message mix normalized to TCC and times the traffic-heavy
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::{bench_apps, bench_config, bench_run};
+use sb_net::TrafficClass;
+use sb_proto::ProtocolKind;
+use sb_sim::run_simulation;
+use sb_stats::TrafficReport;
+use sb_workloads::AppProfile;
+
+fn fig18_fig19(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_fig19_traffic");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for app in bench_apps() {
+        let tcc = bench_run(app, 64, ProtocolKind::Tcc);
+        for proto in ProtocolKind::ALL {
+            let r = bench_run(app, 64, proto);
+            let rep = TrafficReport::normalized(&r.traffic, &tcc.traffic);
+            println!(
+                "[fig18/19] {:14} {} total={:>6.1}% MemRd={:>5.1} ShRd={:>5.1} DirtyRd={:>5.1} LargeC={:>5.1} SmallC={:>5.1}",
+                app.name,
+                proto.letter(),
+                rep.total_percent(),
+                rep.percent(TrafficClass::MemRd),
+                rep.percent(TrafficClass::RemoteShRd),
+                rep.percent(TrafficClass::RemoteDirtyRd),
+                rep.percent(TrafficClass::LargeCMessage),
+                rep.percent(TrafficClass::SmallCMessage),
+            );
+        }
+    }
+    let cfg = bench_config(AppProfile::canneal(), 64, ProtocolKind::Tcc);
+    group.bench_with_input(BenchmarkId::new("canneal64", "TCC"), &cfg, |b, cfg| {
+        b.iter(|| run_simulation(cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig18_fig19);
+criterion_main!(benches);

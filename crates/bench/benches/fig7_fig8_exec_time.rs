@@ -1,0 +1,41 @@
+//! Figures 7–8 (execution time / speedup) at bench scale: times one
+//! simulated run per (app × protocol) at 64 cores and prints the
+//! breakdown rows the paper charts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::{bench_apps, bench_config, bench_run};
+use sb_proto::ProtocolKind;
+use sb_sim::run_simulation;
+
+fn fig7_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_fig8_exec_time");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for app in bench_apps() {
+        for proto in ProtocolKind::ALL {
+            // Print the figure row once, outside the timed loop.
+            let r = bench_run(app, 64, proto);
+            println!(
+                "[fig7/8] {:14} {:12} wall={:>8} useful={:>5.1}% cache={:>5.1}% commit={:>5.1}% squash={:>5.2}%",
+                app.name,
+                proto.label(),
+                r.wall_cycles,
+                r.breakdown.fraction_useful() * 100.0,
+                r.breakdown.fraction_cache_miss() * 100.0,
+                r.breakdown.fraction_commit() * 100.0,
+                r.breakdown.fraction_squash() * 100.0,
+            );
+            let cfg = bench_config(app, 64, proto);
+            group.bench_with_input(
+                BenchmarkId::new(app.name, proto.label()),
+                &cfg,
+                |b, cfg| b.iter(|| run_simulation(cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7_fig8);
+criterion_main!(benches);

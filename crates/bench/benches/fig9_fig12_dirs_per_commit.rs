@@ -1,0 +1,39 @@
+//! Figures 9–12 (directories per chunk commit) at bench scale: prints
+//! the write-group / read-group averages and the 0..=14/more distribution
+//! per application, and times the ScalableBulk run that produces them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::{bench_config, bench_run};
+use sb_proto::ProtocolKind;
+use sb_sim::run_simulation;
+use sb_workloads::AppProfile;
+
+fn fig9_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fig12_dirs_per_commit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    // All 18 applications: the metric is the point of these figures.
+    for app in AppProfile::all() {
+        let r = bench_run(app, 64, ProtocolKind::ScalableBulk);
+        let dist: Vec<String> = (0..=15).map(|k| format!("{:.0}", r.dirs.percent(k))).collect();
+        println!(
+            "[fig9-12] {:14} write_group={:>5.2} read_group={:>5.2} dist%={}",
+            app.name,
+            r.dirs.mean_write_group(),
+            r.dirs.mean_read_group(),
+            dist.join("/"),
+        );
+    }
+    // Time two representative runs.
+    for app in [AppProfile::radix(), AppProfile::fft()] {
+        let cfg = bench_config(app, 64, ProtocolKind::ScalableBulk);
+        group.bench_with_input(BenchmarkId::new("scalablebulk", app.name), &cfg, |b, cfg| {
+            b.iter(|| run_simulation(cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9_fig12);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Microbenchmarks of the substrates: signature operations, cache
+//! accesses, torus routing and workload generation — the inner loops the
+//! simulator's throughput depends on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_engine::Cycle;
+use sb_mem::{CacheConfig, LineAddr, SetAssocCache};
+use sb_net::{MsgSize, Network, NetworkConfig, NodeId, TrafficClass};
+use sb_sigs::{Signature, SignatureConfig};
+use sb_workloads::{AppProfile, WorkloadGen};
+use std::hint::black_box;
+
+fn signatures(c: &mut Criterion) {
+    let cfg = SignatureConfig::paper_default();
+    c.bench_function("signature_insert_64_lines", |b| {
+        b.iter(|| {
+            let mut s = Signature::new(cfg);
+            for i in 0..64u64 {
+                s.insert(black_box(i * 37));
+            }
+            s
+        })
+    });
+    let a = Signature::from_lines(cfg, (0..64).map(|i| i * 37));
+    let d = Signature::from_lines(cfg, (0..64).map(|i| 1_000_000 + i * 41));
+    c.bench_function("signature_intersects", |b| {
+        b.iter(|| black_box(&a).intersects(black_box(&d)))
+    });
+    c.bench_function("signature_test_membership", |b| {
+        b.iter(|| black_box(&a).test(black_box(999)))
+    });
+}
+
+fn caches(c: &mut Criterion) {
+    c.bench_function("l2_access_hit", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::paper_l2());
+        for i in 0..4096u64 {
+            cache.fill(LineAddr(i), false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            cache.access(LineAddr(i), false)
+        })
+    });
+}
+
+fn torus(c: &mut Criterion) {
+    c.bench_function("torus_send_64", |b| {
+        let mut net = Network::new(NetworkConfig::paper_default(64));
+        let mut i = 0u16;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            net.send(
+                Cycle(i as u64),
+                NodeId(i),
+                NodeId(63 - i),
+                MsgSize::Small,
+                TrafficClass::SmallCMessage,
+            )
+        })
+    });
+}
+
+fn workload(c: &mut Criterion) {
+    c.bench_function("workload_next_chunk_barnes", |b| {
+        let mut g = WorkloadGen::new(AppProfile::barnes(), 64, 1);
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 1) % 64;
+            g.next_chunk(t)
+        })
+    });
+}
+
+criterion_group!(benches, signatures, caches, torus, workload);
+criterion_main!(benches);

@@ -1,0 +1,271 @@
+//! Runtime chunk state accumulated by an executing core.
+
+use std::collections::BTreeSet;
+
+use sb_mem::{DirId, DirSet, LineAddr};
+use sb_sigs::{Signature, SignatureConfig};
+
+use crate::tag::ChunkTag;
+
+/// The state a core builds up while executing one chunk: exact read/write
+/// sets (the cache's speculative state), the R and W signatures, and the
+/// set of home directory modules touched (`g_vec`), split by whether the
+/// directory saw a write or only reads — the paper's Figures 9–10 chart
+/// exactly this split ("Write Group" vs "Read Group").
+///
+/// # Examples
+///
+/// ```
+/// use sb_chunks::{ActiveChunk, ChunkTag};
+/// use sb_mem::{CoreId, DirId, LineAddr};
+/// use sb_sigs::SignatureConfig;
+///
+/// let mut c = ActiveChunk::new(ChunkTag::new(CoreId(0), 0), SignatureConfig::paper_default());
+/// c.record_read(LineAddr(1), DirId(2));
+/// c.record_write(LineAddr(9), DirId(5));
+/// let req = c.to_commit_request();
+/// assert_eq!(req.g_vec.len(), 2);
+/// assert_eq!(req.write_dirs.len(), 1);
+/// assert!(req.wsig.test(9));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ActiveChunk {
+    tag: ChunkTag,
+    rsig: Signature,
+    wsig: Signature,
+    rset: BTreeSet<LineAddr>,
+    wset: BTreeSet<LineAddr>,
+    read_dirs: DirSet,
+    write_dirs: DirSet,
+    write_lines_per_dir: std::collections::BTreeMap<DirId, u32>,
+    instructions_done: u64,
+}
+
+impl ActiveChunk {
+    /// Creates an empty chunk with the given tag.
+    pub fn new(tag: ChunkTag, sig_cfg: SignatureConfig) -> Self {
+        ActiveChunk {
+            tag,
+            rsig: Signature::new(sig_cfg),
+            wsig: Signature::new(sig_cfg),
+            rset: BTreeSet::new(),
+            wset: BTreeSet::new(),
+            read_dirs: DirSet::empty(),
+            write_dirs: DirSet::empty(),
+            write_lines_per_dir: std::collections::BTreeMap::new(),
+            instructions_done: 0,
+        }
+    }
+
+    /// The chunk's tag.
+    pub fn tag(&self) -> ChunkTag {
+        self.tag
+    }
+
+    /// Records a load of `line` whose home is `home`.
+    pub fn record_read(&mut self, line: LineAddr, home: DirId) {
+        self.rsig.insert(line.as_u64());
+        self.rset.insert(line);
+        self.read_dirs.insert(home);
+    }
+
+    /// Records a store to `line` whose home is `home`.
+    pub fn record_write(&mut self, line: LineAddr, home: DirId) {
+        self.wsig.insert(line.as_u64());
+        if self.wset.insert(line) {
+            *self.write_lines_per_dir.entry(home).or_insert(0) += 1;
+        }
+        self.write_dirs.insert(home);
+    }
+
+    /// Advances the retired-instruction count.
+    pub fn retire_instructions(&mut self, n: u64) {
+        self.instructions_done += n;
+    }
+
+    /// Dynamic instructions retired so far.
+    pub fn instructions_done(&self) -> u64 {
+        self.instructions_done
+    }
+
+    /// The read signature.
+    pub fn rsig(&self) -> &Signature {
+        &self.rsig
+    }
+
+    /// The write signature.
+    pub fn wsig(&self) -> &Signature {
+        &self.wsig
+    }
+
+    /// Exact read set (for tests and exact-conflict diagnostics).
+    pub fn read_set(&self) -> &BTreeSet<LineAddr> {
+        &self.rset
+    }
+
+    /// Exact write set.
+    pub fn write_set(&self) -> &BTreeSet<LineAddr> {
+        &self.wset
+    }
+
+    /// Directories that recorded at least one write.
+    pub fn write_dirs(&self) -> DirSet {
+        self.write_dirs
+    }
+
+    /// Directories that recorded only reads.
+    pub fn read_only_dirs(&self) -> DirSet {
+        DirSet(self.read_dirs.0 & !self.write_dirs.0)
+    }
+
+    /// All directories in the chunk's read- and write-sets (`g_vec`).
+    pub fn g_vec(&self) -> DirSet {
+        self.read_dirs.union(self.write_dirs)
+    }
+
+    /// Whether an incoming committed write signature collides with this
+    /// chunk (bulk disambiguation): true iff `other_w ∩ (R ∪ W)` is
+    /// non-null under the conservative signature test.
+    pub fn conflicts_with_writer(&self, other_w: &Signature) -> bool {
+        other_w.intersects(&self.rsig) || other_w.intersects(&self.wsig)
+    }
+
+    /// Seals the chunk into the commit-request payload sent to the
+    /// directories.
+    pub fn to_commit_request(&self) -> CommitRequest {
+        CommitRequest {
+            tag: self.tag,
+            rsig: self.rsig.clone(),
+            wsig: self.wsig.clone(),
+            g_vec: self.g_vec(),
+            write_dirs: self.write_dirs,
+            read_lines: self.rset.len() as u32,
+            write_lines: self.wset.len() as u32,
+            write_lines_per_dir: self
+                .write_lines_per_dir
+                .iter()
+                .map(|(d, n)| (*d, *n))
+                .collect(),
+        }
+    }
+
+    /// Home directory of `line` *as recorded in this chunk* — only for
+    /// tests; the authoritative mapping lives in the page mapper.
+    pub fn touched_dirs_count(&self) -> u32 {
+        self.g_vec().len()
+    }
+}
+
+/// The payload of a `commit request` message (Table 1): chunk tag, both
+/// signatures, and the directory vector. Counts of exact lines ride along
+/// for statistics only.
+#[derive(Clone, Debug)]
+pub struct CommitRequest {
+    /// Chunk tag (`C_Tag`).
+    pub tag: ChunkTag,
+    /// Read signature (`R_Sig`).
+    pub rsig: Signature,
+    /// Write signature (`W_Sig`).
+    pub wsig: Signature,
+    /// Directory modules in the chunk's read- and write-sets (`g_vec`).
+    pub g_vec: DirSet,
+    /// The subset of `g_vec` that recorded at least one write.
+    pub write_dirs: DirSet,
+    /// Exact distinct lines read (statistics only).
+    pub read_lines: u32,
+    /// Exact distinct lines written (statistics only).
+    pub write_lines: u32,
+    /// Distinct written lines per home directory, ascending by directory —
+    /// Scalable TCC sends one `mark` message per written line to the
+    /// line's home directory, so its model needs these counts.
+    pub write_lines_per_dir: Vec<(DirId, u32)>,
+}
+
+impl CommitRequest {
+    /// Directories that recorded only reads.
+    pub fn read_only_dirs(&self) -> DirSet {
+        DirSet(self.g_vec.0 & !self.write_dirs.0)
+    }
+
+    /// The group leader under the baseline policy: the lowest-numbered
+    /// participating module (§3.2).
+    pub fn leader(&self) -> Option<DirId> {
+        self.g_vec.lowest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_mem::CoreId;
+
+    fn chunk() -> ActiveChunk {
+        ActiveChunk::new(
+            ChunkTag::new(CoreId(1), 0),
+            SignatureConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn records_sets_and_dirs() {
+        let mut c = chunk();
+        c.record_read(LineAddr(10), DirId(0));
+        c.record_read(LineAddr(11), DirId(3));
+        c.record_write(LineAddr(20), DirId(3));
+        assert_eq!(c.read_set().len(), 2);
+        assert_eq!(c.write_set().len(), 1);
+        assert_eq!(c.g_vec().len(), 2);
+        assert_eq!(c.write_dirs().iter().collect::<Vec<_>>(), vec![DirId(3)]);
+        assert_eq!(c.read_only_dirs().iter().collect::<Vec<_>>(), vec![DirId(0)]);
+        assert!(c.rsig().test(10));
+        assert!(c.wsig().test(20));
+        assert!(!c.wsig().test(10));
+    }
+
+    #[test]
+    fn dir_that_sees_read_and_write_is_write_group() {
+        let mut c = chunk();
+        c.record_read(LineAddr(1), DirId(2));
+        c.record_write(LineAddr(2), DirId(2));
+        assert!(c.write_dirs().contains(DirId(2)));
+        assert!(c.read_only_dirs().is_empty());
+        assert_eq!(c.touched_dirs_count(), 1);
+    }
+
+    #[test]
+    fn conflict_detection_via_signatures() {
+        let mut c = chunk();
+        c.record_read(LineAddr(100), DirId(0));
+        let w_hit = Signature::from_lines(SignatureConfig::paper_default(), [100u64]);
+        let w_miss = Signature::from_lines(SignatureConfig::paper_default(), [555_555u64]);
+        assert!(c.conflicts_with_writer(&w_hit));
+        assert!(!c.conflicts_with_writer(&w_miss));
+        // Write-write conflicts too.
+        c.record_write(LineAddr(200), DirId(0));
+        let ww = Signature::from_lines(SignatureConfig::paper_default(), [200u64]);
+        assert!(c.conflicts_with_writer(&ww));
+    }
+
+    #[test]
+    fn commit_request_snapshot() {
+        let mut c = chunk();
+        c.record_read(LineAddr(1), DirId(1));
+        c.record_write(LineAddr(2), DirId(4));
+        c.record_write(LineAddr(3), DirId(6));
+        c.retire_instructions(2000);
+        let req = c.to_commit_request();
+        assert_eq!(req.tag, c.tag());
+        assert_eq!(req.read_lines, 1);
+        assert_eq!(req.write_lines, 2);
+        assert_eq!(req.leader(), Some(DirId(1)));
+        assert_eq!(req.read_only_dirs().iter().collect::<Vec<_>>(), vec![DirId(1)]);
+        assert_eq!(c.instructions_done(), 2000);
+    }
+
+    #[test]
+    fn empty_chunk_has_no_leader() {
+        let req = chunk().to_commit_request();
+        assert_eq!(req.leader(), None);
+        assert!(req.g_vec.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! The chunk (atomic block) model.
+//!
+//! In a continuous atomic-block architecture a processor repeatedly executes
+//! *chunks* — groups of ~2000 consecutive dynamic instructions — each of
+//! which must appear to execute atomically. While a chunk runs, the hardware
+//! accumulates its read and write sets into address signatures and collects
+//! the home directory modules of the lines it touches (the `g_vec` of
+//! Table 1). At the end of the chunk, the processor asks the commit protocol
+//! to make the chunk's writes visible atomically.
+//!
+//! This crate provides:
+//!
+//! * [`ChunkTag`] — the `C_Tag` of the paper: originating processor ID
+//!   concatenated with a processor-local sequence number,
+//! * [`MemAccess`]/[`ChunkSpec`] — a generated chunk as produced by the
+//!   workload models (instruction count plus an ordered access list),
+//! * [`ActiveChunk`] — the runtime state a core accumulates while executing
+//!   a chunk (sets, signatures, directory vector), sealed into a
+//!   [`CommitRequest`] at commit time, and
+//! * [`ChunkWindow`] — the per-core window of in-flight chunks (Table 2:
+//!   max two active chunks per core) with in-order commit and
+//!   squash-younger semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod active;
+mod tag;
+mod window;
+
+pub use access::{ChunkSpec, MemAccess};
+pub use active::{ActiveChunk, CommitRequest};
+pub use tag::ChunkTag;
+pub use window::{ChunkPhase, ChunkWindow, WindowSlot};

@@ -1,0 +1,94 @@
+//! Chunk tags.
+
+use std::fmt;
+
+use sb_mem::CoreId;
+
+/// The unique tag of a chunk (`C_Tag` in Table 1): the originating
+/// processor ID concatenated with a processor-local sequence number.
+///
+/// Tags order chunks from the same processor (`seq` is monotonic), which the
+/// window uses for in-order commit and squash-younger semantics.
+///
+/// # Examples
+///
+/// ```
+/// use sb_chunks::ChunkTag;
+/// use sb_mem::CoreId;
+///
+/// let t = ChunkTag::new(CoreId(3), 17);
+/// assert_eq!(t.core(), CoreId(3));
+/// assert_eq!(t.seq(), 17);
+/// assert!(t < ChunkTag::new(CoreId(3), 18));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkTag {
+    core: CoreId,
+    seq: u64,
+}
+
+impl ChunkTag {
+    /// Creates a tag.
+    pub fn new(core: CoreId, seq: u64) -> Self {
+        ChunkTag { core, seq }
+    }
+
+    /// The originating processor.
+    pub fn core(self) -> CoreId {
+        self.core
+    }
+
+    /// The processor-local sequence number.
+    pub fn seq(self) -> u64 {
+        self.seq
+    }
+
+    /// The tag of the same processor's next chunk.
+    pub fn next(self) -> ChunkTag {
+        ChunkTag {
+            core: self.core,
+            seq: self.seq + 1,
+        }
+    }
+
+    /// Whether `self` is an older chunk than `other` from the same core.
+    pub fn is_older_than(self, other: ChunkTag) -> bool {
+        self.core == other.core && self.seq < other.seq
+    }
+}
+
+impl fmt::Display for ChunkTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.core, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_within_core() {
+        let a = ChunkTag::new(CoreId(1), 5);
+        assert!(a.is_older_than(a.next()));
+        assert!(!a.next().is_older_than(a));
+        assert!(!a.is_older_than(a));
+    }
+
+    #[test]
+    fn different_cores_never_ordered() {
+        let a = ChunkTag::new(CoreId(1), 5);
+        let b = ChunkTag::new(CoreId(2), 9);
+        assert!(!a.is_older_than(b));
+        assert!(!b.is_older_than(a));
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let t = ChunkTag::new(CoreId(7), 42);
+        assert_eq!(t.to_string(), "P7#42");
+        assert_eq!(t.core(), CoreId(7));
+        assert_eq!(t.seq(), 42);
+        assert_eq!(t.next().seq(), 43);
+    }
+}

@@ -1,0 +1,66 @@
+//! Protocol tuning knobs.
+
+/// Configuration of the ScalableBulk protocol.
+///
+/// # Examples
+///
+/// ```
+/// use sb_core::SbConfig;
+///
+/// let cfg = SbConfig::paper_default();
+/// assert_eq!(cfg.max_squashes_before_reservation, 16);
+/// assert!(cfg.rotation_interval.is_none()); // baseline lowest-ID policy
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SbConfig {
+    /// `MAX` of §3.2.2: after a directory module has seen the group of a
+    /// given chunk fail this many times, it reserves itself for that chunk
+    /// and answers all other commit requests as collision losses until the
+    /// starving chunk commits.
+    pub max_squashes_before_reservation: u32,
+    /// Fairness rotation interval in cycles (§3.2.2): every interval, the
+    /// highest-to-lowest priority assignment of directory IDs rotates by
+    /// one. `None` selects the paper's baseline policy (priority = lowest
+    /// module ID, leader = lowest-numbered member).
+    pub rotation_interval: Option<u64>,
+}
+
+impl SbConfig {
+    /// The paper's baseline: lowest-ID leader policy, reservation once a
+    /// chunk's group has failed 16 times (a rare safety net — triggering
+    /// it serializes the reserved modules, so the threshold sits well
+    /// above the collision counts healthy workloads produce).
+    pub fn paper_default() -> Self {
+        SbConfig {
+            max_squashes_before_reservation: 16,
+            rotation_interval: None,
+        }
+    }
+
+    /// Baseline plus priority rotation every `interval` cycles.
+    pub fn with_rotation(interval: u64) -> Self {
+        SbConfig {
+            rotation_interval: Some(interval),
+            ..Self::paper_default()
+        }
+    }
+}
+
+impl Default for SbConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        assert_eq!(SbConfig::default(), SbConfig::paper_default());
+        let r = SbConfig::with_rotation(10_000);
+        assert_eq!(r.rotation_interval, Some(10_000));
+        assert_eq!(r.max_squashes_before_reservation, 16);
+    }
+}

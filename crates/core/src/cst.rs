@@ -1,0 +1,232 @@
+//! The Chunk State Table (CST) of a directory module (Figure 6).
+
+use std::collections::HashMap;
+
+use sb_chunks::{ChunkTag, CommitRequest};
+use sb_mem::{CoreId, CoreSet, DirSet};
+
+/// The protocol state of one chunk at one directory module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkState {
+    /// Entry allocated (signature pair and/or `g` received) but the module
+    /// has not admitted the chunk yet.
+    Pending,
+    /// The module admitted the chunk and forwarded (or originated) its `g`
+    /// message — the `h` (hold) bit of Figure 6.
+    Held,
+    /// The group formed — the `c` (confirmed) bit. The module is updating
+    /// its directory state; for the leader, bulk-invalidation acks are
+    /// outstanding.
+    Confirmed,
+}
+
+/// One CST entry: per-chunk state at one directory module (Figure 6's
+/// fields: `C_Tag`, `Sigs`, `Chunk State`, `inval_vec`, `g_vec`, and the
+/// `l`/`h`/`c` status bits).
+#[derive(Clone, Debug)]
+pub struct CstEntry {
+    /// The chunk's tag.
+    pub tag: ChunkTag,
+    /// The attempt ordinal of the messages this entry was built from.
+    pub attempt: u32,
+    /// The signature pair and directory vector, once the `commit request`
+    /// has arrived (`Sigs` + `g_vec`).
+    pub req: Option<CommitRequest>,
+    /// Priority-rotation offset stamped by the committing processor.
+    pub prio_offset: u16,
+    /// The committing processor (known from either message).
+    pub committer: CoreId,
+    /// Sharers of the chunk's written lines *at this module*, computed by
+    /// local signature expansion when the signatures arrive.
+    pub local_sharers: CoreSet,
+    /// A `g` message that arrived before the signatures (its accumulated
+    /// `inval_vec`), parked until the signatures show up.
+    pub pending_g: Option<CoreSet>,
+    /// Accumulated `inval_vec` after this module contributed its sharers.
+    pub inval_acc: CoreSet,
+    /// `l` bit: this module leads the group.
+    pub leader: bool,
+    /// Protocol state (`h`/`c` bits).
+    pub state: ChunkState,
+    /// Leader only: bulk-invalidation acks still outstanding.
+    pub pending_acks: u32,
+    /// Leader only: commit recalls collected from acks, to piggy-back on
+    /// `commit done`.
+    pub recalls: Vec<crate::msg::RecallNote>,
+    /// Leader only: time the group formed (statistics).
+    pub formed_at: Option<sb_engine::Cycle>,
+}
+
+impl CstEntry {
+    /// Creates a pending entry for `tag`/`attempt`.
+    pub fn new(tag: ChunkTag, attempt: u32) -> Self {
+        CstEntry {
+            tag,
+            attempt,
+            req: None,
+            prio_offset: 0,
+            committer: tag.core(),
+            local_sharers: CoreSet::empty(),
+            pending_g: None,
+            inval_acc: CoreSet::empty(),
+            leader: false,
+            state: ChunkState::Pending,
+            pending_acks: 0,
+            recalls: Vec::new(),
+            formed_at: None,
+        }
+    }
+
+    /// Whether this entry's W signature must block overlapping traffic:
+    /// true once the module has admitted the chunk (§3.1: from signature
+    /// buffering through `commit done`). Pending entries do not block —
+    /// their group may still lose.
+    pub fn blocks(&self) -> bool {
+        matches!(self.state, ChunkState::Held | ChunkState::Confirmed)
+    }
+
+    /// The group's directory vector, if the signatures have arrived.
+    pub fn g_vec(&self) -> Option<DirSet> {
+        self.req.as_ref().map(|r| r.g_vec)
+    }
+}
+
+/// The Chunk State Table: "one entry per committing or pending chunk"
+/// (§4.2).
+///
+/// # Examples
+///
+/// ```
+/// use sb_core::{Cst, CstEntry};
+/// use sb_chunks::ChunkTag;
+/// use sb_mem::CoreId;
+///
+/// let mut cst = Cst::new();
+/// let tag = ChunkTag::new(CoreId(0), 0);
+/// cst.entry_or_insert(tag, 1);
+/// assert!(cst.get(tag).is_some());
+/// cst.remove(tag);
+/// assert!(cst.get(tag).is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Cst {
+    entries: HashMap<ChunkTag, CstEntry>,
+}
+
+impl Cst {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetches the entry for `tag`, allocating a pending one (for
+    /// `attempt`) if absent. If an entry from an *older* attempt is
+    /// present, it is replaced (stale state from a failed attempt).
+    pub fn entry_or_insert(&mut self, tag: ChunkTag, attempt: u32) -> &mut CstEntry {
+        let entry = self
+            .entries
+            .entry(tag)
+            .or_insert_with(|| CstEntry::new(tag, attempt));
+        if entry.attempt < attempt {
+            *entry = CstEntry::new(tag, attempt);
+        }
+        entry
+    }
+
+    /// Looks an entry up.
+    pub fn get(&self, tag: ChunkTag) -> Option<&CstEntry> {
+        self.entries.get(&tag)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, tag: ChunkTag) -> Option<&mut CstEntry> {
+        self.entries.get_mut(&tag)
+    }
+
+    /// Deallocates an entry.
+    pub fn remove(&mut self, tag: ChunkTag) -> Option<CstEntry> {
+        self.entries.remove(&tag)
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &CstEntry> {
+        self.entries.values()
+    }
+
+    /// Entries whose signatures currently block overlapping traffic.
+    pub fn blocking(&self) -> impl Iterator<Item = &CstEntry> {
+        self.entries.values().filter(|e| e.blocks())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_chunks::ActiveChunk;
+    use sb_mem::DirId;
+    use sb_sigs::SignatureConfig;
+
+    #[test]
+    fn alloc_lookup_dealloc() {
+        let mut cst = Cst::new();
+        let tag = ChunkTag::new(CoreId(1), 2);
+        {
+            let e = cst.entry_or_insert(tag, 1);
+            assert_eq!(e.state, ChunkState::Pending);
+            assert!(!e.blocks());
+            assert_eq!(e.committer, CoreId(1));
+        }
+        assert_eq!(cst.len(), 1);
+        assert!(cst.remove(tag).is_some());
+        assert!(cst.is_empty());
+    }
+
+    #[test]
+    fn newer_attempt_replaces_stale_entry() {
+        let mut cst = Cst::new();
+        let tag = ChunkTag::new(CoreId(0), 0);
+        {
+            let e = cst.entry_or_insert(tag, 1);
+            e.state = ChunkState::Held;
+        }
+        let e = cst.entry_or_insert(tag, 2);
+        assert_eq!(e.attempt, 2);
+        assert_eq!(e.state, ChunkState::Pending, "stale hold discarded");
+        // Same attempt does not reset.
+        let e = cst.entry_or_insert(tag, 2);
+        assert_eq!(e.attempt, 2);
+    }
+
+    #[test]
+    fn blocking_filter() {
+        let mut cst = Cst::new();
+        let a = ChunkTag::new(CoreId(0), 0);
+        let b = ChunkTag::new(CoreId(1), 0);
+        cst.entry_or_insert(a, 1).state = ChunkState::Held;
+        cst.entry_or_insert(b, 1);
+        let blocking: Vec<ChunkTag> = cst.blocking().map(|e| e.tag).collect();
+        assert_eq!(blocking, vec![a]);
+    }
+
+    #[test]
+    fn gvec_available_after_req() {
+        let mut cst = Cst::new();
+        let tag = ChunkTag::new(CoreId(0), 0);
+        let mut chunk = ActiveChunk::new(tag, SignatureConfig::paper_default());
+        chunk.record_write(sb_mem::LineAddr(1), DirId(3));
+        let e = cst.entry_or_insert(tag, 1);
+        assert_eq!(e.g_vec(), None);
+        e.req = Some(chunk.to_commit_request());
+        assert_eq!(e.g_vec().unwrap().iter().collect::<Vec<_>>(), vec![DirId(3)]);
+    }
+}

@@ -1,0 +1,59 @@
+//! **ScalableBulk**: the paper's directory-based chunk-commit protocol.
+//!
+//! ScalableBulk (Qian, Ahn, Torrellas, MICRO 2010) extends BulkSC to a
+//! distributed directory machine so that chunk commits are scalable:
+//!
+//! 1. no centralized structure,
+//! 2. a committing processor communicates only with the directory modules
+//!    in its chunk's read- and write-sets, and
+//! 3. any number of chunks that *share directory modules* but have
+//!    non-overlapping addresses (`Ri ∩ Wj ∨ Wi ∩ Wj` null for every pair)
+//!    commit concurrently.
+//!
+//! The protocol introduces three generic primitives, all implemented here:
+//!
+//! * **Preventing access to a set of directory entries** (§3.1):
+//!   a directory module holds the W signatures of its currently-committing
+//!   chunks; incoming loads are membership-checked and nacked on a match
+//!   (`ScalableBulk::read_blocked`), and incoming commit signature pairs
+//!   are intersected and nacked on overlap.
+//! * **Grouping directory modules** (§3.2): the participating directories
+//!   of a chunk synchronize through the Group Formation protocol — a `g`
+//!   (grab) message travels from the leader through the members in a fixed
+//!   priority order, accumulating the sharer `inval_vec`; incompatible
+//!   groups race, and the *Collision module* (the highest-priority common
+//!   module) irrevocably picks as winner the first group for which it has
+//!   seen both the signature pair and the `g` message. The loser's members
+//!   get `g failure`; the leader reports `commit failure`. Starvation is
+//!   prevented by per-directory reservation after `MAX` failures, and
+//!   long-term fairness by optional priority rotation (§3.2.2).
+//! * **Optimistic Commit Initiation** (§3.3): the host keeps consuming
+//!   bulk invalidations while a commit is in flight; if one squashes the
+//!   committing chunk, the ack carries a *commit recall* that the winning
+//!   leader forwards (piggy-backed on `commit done`) to the Collision
+//!   module, which stays on the lookout for the dead chunk's messages.
+//!
+//! The message vocabulary is exactly Table 1 of the paper
+//! ([`MessageType::TABLE_1`]), and the per-module message orderings follow
+//! Tables 4 and 5 (Appendix A).
+//!
+//! The protocol plugs into any host through
+//! [`sb_proto::CommitProtocol`]; see `sb_proto::Fabric` for the test host
+//! and `sb-sim` for the full-system simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod cst;
+mod directory;
+mod msg;
+mod order;
+mod protocol;
+
+pub use config::SbConfig;
+pub use cst::{ChunkState, Cst, CstEntry};
+pub use directory::DirModule;
+pub use msg::{MessageDirection, MessageType, RecallNote, SbMsg};
+pub use order::{collision_module, leader_of, next_in_order, priority_offset, rank};
+pub use protocol::ScalableBulk;

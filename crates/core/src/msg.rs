@@ -1,0 +1,322 @@
+//! ScalableBulk messages — the vocabulary of Table 1.
+//!
+//! Four of the paper's ten message types are host-mediated in this
+//! implementation (`commit success`, `commit failure`, `bulk inv`,
+//! `bulk inv ack` — they terminate at a processor, whose cache/squash
+//! behaviour the host owns), and six travel as [`SbMsg`] values between
+//! directory agents via [`sb_proto::Command::Send`]. The [`MessageType`]
+//! table records all ten with their Table-1 formats and directions, and a
+//! conformance test pins them.
+
+use sb_chunks::{ChunkTag, CommitRequest};
+use sb_mem::{CoreId, CoreSet, DirId, DirSet};
+
+/// Direction of a message type, as in Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageDirection {
+    /// Processor to directory module(s).
+    ProcToDir,
+    /// Directory module to directory module(s).
+    DirToDir,
+    /// Directory module to processor(s).
+    DirToProc,
+    /// Processor to directory, then directory to directory (the
+    /// piggy-backed `commit recall`).
+    ProcToDirThenDirToDir,
+}
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageType {
+    /// The paper's name for the message.
+    pub name: &'static str,
+    /// The fields the message carries (Table 1 "Format").
+    pub format: &'static str,
+    /// Who sends it to whom.
+    pub direction: MessageDirection,
+    /// Whether the message carries one or more 2 Kbit signatures (and is
+    /// therefore a `LargeCMessage` in Figures 18–19).
+    pub carries_signature: bool,
+}
+
+impl MessageType {
+    /// Table 1 of the paper: the ten ScalableBulk message types.
+    pub const TABLE_1: [MessageType; 10] = [
+        MessageType {
+            name: "commit request",
+            format: "C_Tag, W_Sig, R_Sig, g_vec",
+            direction: MessageDirection::ProcToDir,
+            carries_signature: true,
+        },
+        MessageType {
+            name: "g",
+            format: "C_Tag, inval_vec",
+            direction: MessageDirection::DirToDir,
+            carries_signature: false,
+        },
+        MessageType {
+            name: "g failure",
+            format: "C_Tag",
+            direction: MessageDirection::DirToDir,
+            carries_signature: false,
+        },
+        MessageType {
+            name: "g success",
+            format: "C_Tag",
+            direction: MessageDirection::DirToDir,
+            carries_signature: false,
+        },
+        MessageType {
+            name: "commit failure",
+            format: "C_Tag",
+            direction: MessageDirection::DirToProc,
+            carries_signature: false,
+        },
+        MessageType {
+            name: "commit success",
+            format: "C_Tag",
+            direction: MessageDirection::DirToProc,
+            carries_signature: false,
+        },
+        MessageType {
+            name: "bulk inv",
+            format: "C_Tag, W_Sig",
+            direction: MessageDirection::DirToProc,
+            carries_signature: true,
+        },
+        MessageType {
+            name: "bulk inv ack",
+            format: "C_Tag",
+            direction: MessageDirection::ProcToDir,
+            carries_signature: false,
+        },
+        MessageType {
+            name: "commit done",
+            format: "C_Tag",
+            direction: MessageDirection::DirToDir,
+            carries_signature: false,
+        },
+        MessageType {
+            name: "commit recall",
+            format: "C_Tag, Dir_ID",
+            direction: MessageDirection::ProcToDirThenDirToDir,
+            carries_signature: false,
+        },
+    ];
+
+    /// Looks a message type up by name.
+    pub fn by_name(name: &str) -> Option<&'static MessageType> {
+        Self::TABLE_1.iter().find(|m| m.name == name)
+    }
+}
+
+/// A commit-recall note piggy-backed on a `commit done` multicast: tells
+/// the Collision module (`dir_id`) that chunk `failed_tag` was squashed at
+/// its processor and its group must be failed if/when its messages arrive
+/// (§3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecallNote {
+    /// The squashed chunk.
+    pub failed_tag: ChunkTag,
+    /// The module that must stay on the lookout — the highest-priority
+    /// module common to the winning and the failed group.
+    pub dir_id: DirId,
+    /// The failed chunk's directory vector (used by the lookout module to
+    /// notify the group on failure).
+    pub failed_gvec: DirSet,
+}
+
+/// Wire messages exchanged between directory agents.
+///
+/// `commit success`/`commit failure`/`bulk inv`/`bulk inv ack` are
+/// represented by host commands ([`sb_proto::Command`]) because they
+/// terminate at processors.
+#[derive(Clone, Debug)]
+pub enum SbMsg {
+    /// `commit request` (Proc → Dir): the signature pair plus `g_vec`,
+    /// stamped with the attempt number (distinguishes retries of the same
+    /// chunk) and the priority-rotation offset in force when the processor
+    /// issued it.
+    CommitRequest {
+        /// The sealed chunk.
+        req: CommitRequest,
+        /// Retry ordinal of this tag (1-based).
+        attempt: u32,
+        /// Priority rotation offset (0 when rotation is disabled).
+        prio_offset: u16,
+    },
+    /// `g` (grab, Dir → Dir): carries the accumulated `inval_vec` and
+    /// enough routing context for modules that have not yet seen the
+    /// signature pair.
+    Grab {
+        /// The committing chunk.
+        tag: ChunkTag,
+        /// Retry ordinal.
+        attempt: u32,
+        /// The committing processor.
+        committer: CoreId,
+        /// The group's directory vector.
+        gvec: DirSet,
+        /// Priority rotation offset stamped by the processor.
+        prio_offset: u16,
+        /// Sharer processors accumulated so far.
+        inval: CoreSet,
+    },
+    /// `g success` (leader → members): the group formed.
+    GSuccess {
+        /// The committing chunk.
+        tag: ChunkTag,
+        /// Retry ordinal.
+        attempt: u32,
+    },
+    /// `g failure` (collision module → members): the group failed.
+    GFailure {
+        /// The failed chunk.
+        tag: ChunkTag,
+        /// Retry ordinal.
+        attempt: u32,
+    },
+    /// `commit done` (leader → members): release the group, deallocate the
+    /// signatures; may piggy-back commit recalls.
+    CommitDone {
+        /// The committed chunk.
+        tag: ChunkTag,
+        /// Retry ordinal.
+        attempt: u32,
+        /// Piggy-backed recalls for chunks squashed by this commit.
+        recalls: Vec<RecallNote>,
+    },
+    /// Standalone `commit recall` (the Dir → Dir leg of Table 1), used
+    /// when the lookout module is not a member of the winning group (only
+    /// reachable under signature aliasing) and thus not covered by the
+    /// `commit done` multicast.
+    Recall {
+        /// The recall note.
+        note: RecallNote,
+    },
+}
+
+impl SbMsg {
+    /// The chunk this message is about.
+    pub fn tag(&self) -> ChunkTag {
+        match self {
+            SbMsg::CommitRequest { req, .. } => req.tag,
+            SbMsg::Grab { tag, .. }
+            | SbMsg::GSuccess { tag, .. }
+            | SbMsg::GFailure { tag, .. }
+            | SbMsg::CommitDone { tag, .. } => *tag,
+            SbMsg::Recall { note } => note.failed_tag,
+        }
+    }
+
+    /// The attempt ordinal this message belongs to (recalls are
+    /// attempt-agnostic: the chunk is dead whatever the attempt).
+    pub fn attempt(&self) -> u32 {
+        match self {
+            SbMsg::CommitRequest { attempt, .. }
+            | SbMsg::Grab { attempt, .. }
+            | SbMsg::GSuccess { attempt, .. }
+            | SbMsg::GFailure { attempt, .. }
+            | SbMsg::CommitDone { attempt, .. } => *attempt,
+            SbMsg::Recall { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_chunks::ActiveChunk;
+    use sb_sigs::SignatureConfig;
+
+    /// Pins the implementation to Table 1 of the paper.
+    #[test]
+    fn message_table_matches_paper() {
+        let names: Vec<&str> = MessageType::TABLE_1.iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            [
+                "commit request",
+                "g",
+                "g failure",
+                "g success",
+                "commit failure",
+                "commit success",
+                "bulk inv",
+                "bulk inv ack",
+                "commit done",
+                "commit recall",
+            ],
+            "the ten message types of Table 1, in order"
+        );
+        // Exactly two message types carry signatures (the LargeCMessages
+        // of §6.5: commit request and bulk inv).
+        let large: Vec<&str> = MessageType::TABLE_1
+            .iter()
+            .filter(|m| m.carries_signature)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(large, ["commit request", "bulk inv"]);
+        // Directions per Table 1.
+        assert_eq!(
+            MessageType::by_name("commit request").unwrap().direction,
+            MessageDirection::ProcToDir
+        );
+        assert_eq!(
+            MessageType::by_name("g").unwrap().direction,
+            MessageDirection::DirToDir
+        );
+        assert_eq!(
+            MessageType::by_name("commit success").unwrap().direction,
+            MessageDirection::DirToProc
+        );
+        assert_eq!(
+            MessageType::by_name("commit recall").unwrap().direction,
+            MessageDirection::ProcToDirThenDirToDir
+        );
+        assert_eq!(MessageType::by_name("mark"), None, "mark is TCC, not ScalableBulk");
+    }
+
+    #[test]
+    fn formats_are_recorded() {
+        assert_eq!(
+            MessageType::by_name("commit request").unwrap().format,
+            "C_Tag, W_Sig, R_Sig, g_vec"
+        );
+        assert_eq!(MessageType::by_name("g").unwrap().format, "C_Tag, inval_vec");
+        assert_eq!(
+            MessageType::by_name("commit recall").unwrap().format,
+            "C_Tag, Dir_ID"
+        );
+    }
+
+    #[test]
+    fn sbmsg_accessors() {
+        let chunk = ActiveChunk::new(
+            ChunkTag::new(CoreId(1), 7),
+            SignatureConfig::paper_default(),
+        );
+        let m = SbMsg::CommitRequest {
+            req: chunk.to_commit_request(),
+            attempt: 2,
+            prio_offset: 0,
+        };
+        assert_eq!(m.tag(), ChunkTag::new(CoreId(1), 7));
+        assert_eq!(m.attempt(), 2);
+        let g = SbMsg::Grab {
+            tag: ChunkTag::new(CoreId(1), 7),
+            attempt: 3,
+            committer: CoreId(1),
+            gvec: DirSet::empty(),
+            prio_offset: 0,
+            inval: CoreSet::empty(),
+        };
+        assert_eq!(g.attempt(), 3);
+        let d = SbMsg::CommitDone {
+            tag: ChunkTag::new(CoreId(1), 7),
+            attempt: 1,
+            recalls: vec![],
+        };
+        assert_eq!(d.tag().seq(), 7);
+    }
+}

@@ -1,0 +1,139 @@
+//! Leader election, traversal order and collision-module computation.
+//!
+//! The Group Formation protocol is deadlock-free because the `g` message
+//! always traverses a group's modules in one global priority order (§3.2.1:
+//! "a fixed directory-module traversal order ... from lower to higher
+//! numbers"). With fairness rotation (§3.2.2) the order is the module IDs
+//! rotated by an offset that changes every interval; offset 0 is the
+//! baseline lowest-ID-first policy.
+
+use sb_engine::Cycle;
+use sb_mem::{DirId, DirSet};
+
+use crate::config::SbConfig;
+
+/// The rotation offset in force at time `now` for a machine with `dirs`
+/// modules, under `cfg`'s rotation policy.
+pub fn priority_offset(now: Cycle, cfg: &SbConfig, dirs: u16) -> u16 {
+    match cfg.rotation_interval {
+        None => 0,
+        Some(interval) => ((now.as_u64() / interval) % dirs as u64) as u16,
+    }
+}
+
+/// Priority rank of module `d` under `offset` (0 = highest priority): the
+/// baseline gives rank `d`, a rotation by `offset` gives rank
+/// `(d - offset) mod n`.
+pub fn rank(d: DirId, offset: u16, dirs: u16) -> u16 {
+    debug_assert!(d.0 < dirs, "module {d} out of range");
+    (d.0 + dirs - offset % dirs) % dirs
+}
+
+/// The group leader: the member with the highest priority (lowest rank).
+/// With `offset == 0` this is the paper's baseline "lowest-numbered module
+/// in the group".
+pub fn leader_of(gvec: DirSet, offset: u16, dirs: u16) -> Option<DirId> {
+    gvec.iter().min_by_key(|d| rank(*d, offset, dirs))
+}
+
+/// The member the `g` message visits after `d`: the next member in
+/// decreasing priority (increasing rank). `None` means `d` is the last
+/// member, so `g` returns to the leader.
+pub fn next_in_order(gvec: DirSet, d: DirId, offset: u16, dirs: u16) -> Option<DirId> {
+    let r = rank(d, offset, dirs);
+    gvec.iter()
+        .filter(|m| rank(*m, offset, dirs) > r)
+        .min_by_key(|m| rank(*m, offset, dirs))
+}
+
+/// The Collision module of two groups: the highest-priority module common
+/// to both (§3.2.1: "the lowest-numbered directory module that is common
+/// to both groups"). `None` if the groups share no module.
+pub fn collision_module(a: DirSet, b: DirSet, offset: u16, dirs: u16) -> Option<DirId> {
+    leader_of(a.intersect(b), offset, dirs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u16]) -> DirSet {
+        ids.iter().map(|&i| DirId(i)).collect()
+    }
+
+    #[test]
+    fn baseline_leader_is_lowest() {
+        assert_eq!(leader_of(set(&[1, 2, 5]), 0, 8), Some(DirId(1)));
+        assert_eq!(leader_of(DirSet::empty(), 0, 8), None);
+    }
+
+    #[test]
+    fn baseline_traversal_is_ascending() {
+        let g = set(&[1, 2, 5]);
+        assert_eq!(next_in_order(g, DirId(1), 0, 8), Some(DirId(2)));
+        assert_eq!(next_in_order(g, DirId(2), 0, 8), Some(DirId(5)));
+        assert_eq!(next_in_order(g, DirId(5), 0, 8), None);
+    }
+
+    #[test]
+    fn collision_module_is_lowest_common() {
+        // Figure 3(g): G0 = {0,2,3,4}, G1 = {1,2,3,7,8}: collision at 2.
+        let g0 = set(&[0, 2, 3, 4]);
+        let g1 = set(&[1, 2, 3, 7, 8]);
+        assert_eq!(collision_module(g0, g1, 0, 9), Some(DirId(2)));
+        // G1 and G2 = {6,7}: collision at 7.
+        let g2 = set(&[6, 7]);
+        assert_eq!(collision_module(g1, g2, 0, 9), Some(DirId(7)));
+        // Disjoint groups have no collision module.
+        assert_eq!(collision_module(g0, g2, 0, 9), None);
+    }
+
+    #[test]
+    fn rotation_changes_leader_and_order() {
+        let g = set(&[0, 3, 5]);
+        // Offset 4 over 8 modules: priority order 4,5,6,7,0,1,2,3.
+        assert_eq!(leader_of(g, 4, 8), Some(DirId(5)));
+        assert_eq!(next_in_order(g, DirId(5), 4, 8), Some(DirId(0)));
+        assert_eq!(next_in_order(g, DirId(0), 4, 8), Some(DirId(3)));
+        assert_eq!(next_in_order(g, DirId(3), 4, 8), None);
+    }
+
+    #[test]
+    fn rank_is_a_permutation() {
+        for offset in 0..8u16 {
+            let mut seen = [false; 8];
+            for d in 0..8u16 {
+                let r = rank(DirId(d), offset, 8) as usize;
+                assert!(!seen[r]);
+                seen[r] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn offset_from_config() {
+        let base = SbConfig::paper_default();
+        assert_eq!(priority_offset(Cycle(1_000_000), &base, 64), 0);
+        let rot = SbConfig::with_rotation(1000);
+        assert_eq!(priority_offset(Cycle(0), &rot, 8), 0);
+        assert_eq!(priority_offset(Cycle(1000), &rot, 8), 1);
+        assert_eq!(priority_offset(Cycle(8500), &rot, 8), 0);
+    }
+
+    #[test]
+    fn traversal_visits_every_member_exactly_once() {
+        for offset in [0u16, 3, 7] {
+            let g = set(&[0, 1, 4, 6, 7]);
+            let mut visited = Vec::new();
+            let mut cur = leader_of(g, offset, 8);
+            while let Some(d) = cur {
+                visited.push(d);
+                cur = next_in_order(g, d, offset, 8);
+            }
+            assert_eq!(visited.len(), 5, "offset {offset}");
+            let mut sorted = visited.clone();
+            sorted.sort();
+            assert_eq!(sorted, g.iter().collect::<Vec<_>>());
+        }
+    }
+}

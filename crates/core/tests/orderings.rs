@@ -1,0 +1,499 @@
+//! Appendix A conformance: drives a single [`DirModule`] through the
+//! message orderings of Tables 4 and 5, in every legal arrival order,
+//! and checks §3.1's read-nack window.
+
+use sb_chunks::{ActiveChunk, ChunkTag, CommitRequest};
+use sb_core::{DirModule, RecallNote, SbConfig, SbMsg};
+use sb_engine::Cycle;
+use sb_mem::{CoreId, CoreSet, DirId, LineAddr};
+use sb_proto::{Command, MachineView, Outbox, ProtoEvent};
+use sb_sigs::{Signature, SignatureConfig};
+
+struct TestView {
+    now: Cycle,
+    sharers: Vec<(DirId, LineAddr, CoreId)>,
+}
+
+impl TestView {
+    fn new() -> Self {
+        TestView {
+            now: Cycle(100),
+            sharers: Vec::new(),
+        }
+    }
+}
+
+impl MachineView for TestView {
+    fn now(&self) -> Cycle {
+        self.now
+    }
+    fn cores(&self) -> u16 {
+        8
+    }
+    fn dirs(&self) -> u16 {
+        8
+    }
+    fn sharers_matching(&self, dir: DirId, wsig: &Signature, committer: CoreId) -> CoreSet {
+        let mut s = CoreSet::empty();
+        for &(d, line, core) in &self.sharers {
+            if d == dir && wsig.test(line.as_u64()) && core != committer {
+                s.insert(core);
+            }
+        }
+        s
+    }
+}
+
+fn request(core: u16, seq: u64, writes: &[(u64, u16)]) -> CommitRequest {
+    let mut c = ActiveChunk::new(
+        ChunkTag::new(CoreId(core), seq),
+        SignatureConfig::paper_default(),
+    );
+    for &(line, dir) in writes {
+        c.record_write(LineAddr(line), DirId(dir));
+    }
+    c.to_commit_request()
+}
+
+/// Extracts (kind-name, destination) pairs from sent commands for easy
+/// assertions.
+fn sent_kinds(cmds: &[Command<SbMsg>]) -> Vec<String> {
+    cmds.iter()
+        .map(|c| match c {
+            Command::Send { dst, msg, .. } => {
+                let kind = match msg {
+                    SbMsg::CommitRequest { .. } => "commit_request",
+                    SbMsg::Grab { .. } => "g",
+                    SbMsg::GSuccess { .. } => "g_success",
+                    SbMsg::GFailure { .. } => "g_failure",
+                    SbMsg::CommitDone { .. } => "commit_done",
+                    SbMsg::Recall { .. } => "recall",
+                };
+                format!("{kind}->{:?}", dst.tile())
+            }
+            Command::CommitSuccess { .. } => "commit_success".into(),
+            Command::CommitFailure { .. } => "commit_failure".into(),
+            Command::BulkInv { to, .. } => format!("bulk_inv->{}", to.0),
+            Command::ApplyCommit { .. } => "apply_commit".into(),
+            Command::After { .. } => "after".into(),
+            Command::Event(e) => format!("event:{}", event_name(e)),
+        })
+        .collect()
+}
+
+fn event_name(e: &ProtoEvent) -> &'static str {
+    match e {
+        ProtoEvent::GroupFormationStarted { .. } => "started",
+        ProtoEvent::GroupFormed { .. } => "formed",
+        ProtoEvent::GroupFailed { .. } => "failed",
+        ProtoEvent::CommitCompleted { .. } => "completed",
+        ProtoEvent::ChunkQueued { .. } => "queued",
+        ProtoEvent::ChunkUnqueued { .. } => "unqueued",
+    }
+}
+
+/// Table 4, leader row, successful commit:
+/// `R:commit_request → S:g → R:g → (S:commit_success & S:g_success &
+/// S:bulk_inv) → R:bulk_inv_ack → S:commit_done`.
+#[test]
+fn leader_successful_commit_ordering() {
+    let mut view = TestView::new();
+    view.sharers.push((DirId(1), LineAddr(10), CoreId(5)));
+    let mut m = DirModule::new(DirId(1), 8, SbConfig::paper_default());
+    let req = request(0, 0, &[(10, 1), (20, 3)]);
+    let tag = req.tag;
+
+    // R: commit request (dir 1 is the leader: lowest of {1,3}).
+    let mut out = Outbox::new();
+    m.on_commit_request(&view, &mut out, req, 1, 0);
+    let kinds = sent_kinds(&out.drain());
+    assert_eq!(kinds, vec!["g->3"], "leader sends g to the next module");
+
+    // R: g (returns from module 3 with accumulated sharers).
+    let mut out = Outbox::new();
+    m.on_grab(
+        &view,
+        &mut out,
+        tag,
+        1,
+        CoreId(0),
+        [DirId(1), DirId(3)].into_iter().collect(),
+        0,
+        CoreSet::single(CoreId(5)),
+    );
+    let kinds = sent_kinds(&out.drain());
+    assert!(kinds.contains(&"event:formed".to_string()));
+    assert!(kinds.contains(&"g_success->3".to_string()));
+    assert!(kinds.contains(&"commit_success".to_string()));
+    assert!(kinds.contains(&"apply_commit".to_string()));
+    assert!(kinds.contains(&"bulk_inv->5".to_string()));
+    assert!(
+        !kinds.iter().any(|k| k.starts_with("commit_done")),
+        "commit done only after acks"
+    );
+
+    // While the group holds, reads to its written lines are nacked (§3.1).
+    assert!(m.read_blocked(LineAddr(10)));
+    assert!(!m.read_blocked(LineAddr(999)));
+
+    // R: bulk inv ack → S: commit done (multicast).
+    let mut out = Outbox::new();
+    m.on_bulk_inv_ack(&view, &mut out, tag, None);
+    let kinds = sent_kinds(&out.drain());
+    assert!(kinds.contains(&"commit_done->3".to_string()));
+    assert!(kinds.contains(&"event:completed".to_string()));
+    assert_eq!(m.cst().len(), 0, "entry deallocated");
+    assert!(!m.read_blocked(LineAddr(10)), "nack window closed");
+}
+
+/// Table 4, non-leader row: `(R:commit_request & R:g) → S:g →
+/// R:g_success → R:commit_done` — in both arrival orders.
+#[test]
+fn non_leader_both_arrival_orders() {
+    for req_first in [true, false] {
+        let view = TestView::new();
+        let mut m = DirModule::new(DirId(3), 8, SbConfig::paper_default());
+        let req = request(0, 0, &[(10, 1), (30, 3), (50, 5)]);
+        let tag = req.tag;
+        let gvec = req.g_vec;
+
+        let deliver_req = |m: &mut DirModule, out: &mut Outbox<SbMsg>| {
+            m.on_commit_request(&view, out, req.clone(), 1, 0);
+        };
+        let deliver_g = |m: &mut DirModule, out: &mut Outbox<SbMsg>| {
+            m.on_grab(&view, out, tag, 1, CoreId(0), gvec, 0, CoreSet::empty());
+        };
+
+        let mut out = Outbox::new();
+        if req_first {
+            deliver_req(&mut m, &mut out);
+            assert!(out.is_empty(), "nothing sent until g arrives");
+            deliver_g(&mut m, &mut out);
+        } else {
+            deliver_g(&mut m, &mut out);
+            assert!(out.is_empty(), "nothing sent until signatures arrive");
+            deliver_req(&mut m, &mut out);
+        }
+        let kinds = sent_kinds(&out.drain());
+        assert_eq!(kinds, vec!["g->5"], "forward g to next module (order {req_first})");
+
+        // R: g_success confirms and applies the W signature.
+        let mut out = Outbox::new();
+        m.on_g_success(&mut out, tag, 1);
+        assert_eq!(sent_kinds(&out.drain()), vec!["apply_commit"]);
+        assert!(m.read_blocked(LineAddr(30)));
+
+        // R: commit done deallocates.
+        let mut out = Outbox::new();
+        m.on_commit_done(&mut out, tag, 1, vec![]);
+        assert_eq!(m.cst().len(), 0);
+        assert!(!m.read_blocked(LineAddr(30)));
+    }
+}
+
+/// The last member in the traversal returns the g to the leader.
+#[test]
+fn last_member_returns_g_to_leader() {
+    let view = TestView::new();
+    let mut m = DirModule::new(DirId(5), 8, SbConfig::paper_default());
+    let req = request(0, 0, &[(10, 1), (50, 5)]);
+    let tag = req.tag;
+    let gvec = req.g_vec;
+    let mut out = Outbox::new();
+    m.on_commit_request(&view, &mut out, req, 1, 0);
+    m.on_grab(&view, &mut out, tag, 1, CoreId(0), gvec, 0, CoreSet::empty());
+    let kinds = sent_kinds(&out.drain());
+    assert_eq!(kinds, vec!["g->1"], "g returns to the leader");
+}
+
+/// Collision: the module holds group A; group B's signatures overlap.
+/// Whichever order B's (commit_request, g) arrive, the module multicasts
+/// g_failure for B once it has both (Table 5, Collision-module row).
+#[test]
+fn collision_module_fails_second_group_in_both_orders() {
+    for req_first in [true, false] {
+        let view = TestView::new();
+        let mut m = DirModule::new(DirId(2), 8, SbConfig::paper_default());
+        // Group A holds (singleton {2} would complete; use {2,4} so it
+        // stays held while B arrives).
+        let a = request(0, 0, &[(500, 2), (600, 4)]);
+        let mut out = Outbox::new();
+        m.on_commit_request(&view, &mut out, a, 1, 0);
+        assert_eq!(sent_kinds(&out.drain()), vec!["g->4"]);
+
+        // Group B overlaps (same line 500) and uses {2, 6}.
+        let b = request(1, 0, &[(500, 2), (660, 6)]);
+        let tb = b.tag;
+        let b_gvec = b.g_vec;
+        let mut out = Outbox::new();
+        if req_first {
+            m.on_commit_request(&view, &mut out, b, 1, 0);
+            // B's leader here is module 2 itself... module 2 IS the leader
+            // of B (lowest of {2,6}), so the conflict is detected at
+            // request time and the group fails immediately.
+        } else {
+            m.on_grab(&view, &mut out, tb, 1, CoreId(1), b_gvec, 0, CoreSet::empty());
+            assert!(out.is_empty());
+            m.on_commit_request(&view, &mut out, b, 1, 0);
+        }
+        let kinds = sent_kinds(&out.drain());
+        assert!(
+            kinds.contains(&"event:failed".to_string()),
+            "B must fail ({kinds:?})"
+        );
+        assert!(kinds.contains(&"g_failure->6".to_string()));
+        assert!(
+            kinds.contains(&"commit_failure".to_string()),
+            "module 2 leads B, so it reports the failure to the processor"
+        );
+        // A is still held and unaffected.
+        assert!(m.read_blocked(LineAddr(500)));
+        assert_eq!(m.cst().len(), 1);
+    }
+}
+
+/// A non-leader collision: the module holds A and receives B (for which it
+/// is NOT the leader) — g_failure is multicast but commit_failure is left
+/// to B's leader.
+#[test]
+fn non_leader_collision_defers_commit_failure_to_leader() {
+    let view = TestView::new();
+    let mut m = DirModule::new(DirId(2), 8, SbConfig::paper_default());
+    let a = request(0, 0, &[(500, 2), (600, 4)]);
+    let mut out = Outbox::new();
+    m.on_commit_request(&view, &mut out, a, 1, 0);
+    out.drain();
+    // B uses {1, 2}: leader is module 1, not 2.
+    let b = request(1, 0, &[(500, 2), (100, 1)]);
+    let tb = b.tag;
+    let b_gvec = b.g_vec;
+    let mut out = Outbox::new();
+    m.on_commit_request(&view, &mut out, b.clone(), 1, 0);
+    assert!(out.is_empty(), "non-leader waits for g before any decision");
+    m.on_grab(&view, &mut out, tb, 1, CoreId(1), b_gvec, 0, CoreSet::empty());
+    let kinds = sent_kinds(&out.drain());
+    assert!(kinds.contains(&"g_failure->1".to_string()));
+    assert!(!kinds.contains(&"commit_failure".to_string()));
+
+    // B's leader (module 1) converts the g_failure (Table 5, leader row).
+    let mut m1 = DirModule::new(DirId(1), 8, SbConfig::paper_default());
+    let mut out = Outbox::new();
+    m1.on_commit_request(&view, &mut out, b, 1, 0);
+    out.drain(); // leader sent its g
+    let mut out = Outbox::new();
+    m1.on_g_failure(&mut out, tb, 1);
+    let kinds = sent_kinds(&out.drain());
+    assert_eq!(kinds, vec!["commit_failure"]);
+    assert_eq!(m1.cst().len(), 0);
+}
+
+/// Table 4, failed commit where the Collision module is the leader:
+/// `R:commit_recall → R:commit_request → (S:g_failure & S:commit_failure)`.
+#[test]
+fn recall_before_request_at_leader() {
+    let view = TestView::new();
+    let mut m = DirModule::new(DirId(1), 8, SbConfig::paper_default());
+    let req = request(0, 0, &[(10, 1), (30, 3)]);
+    let tag = req.tag;
+    let note = RecallNote {
+        failed_tag: tag,
+        dir_id: DirId(1),
+        failed_gvec: req.g_vec,
+    };
+    let mut out = Outbox::new();
+    m.on_recall(&mut out, note);
+    assert!(out.is_empty(), "recall alone triggers nothing");
+    m.on_commit_request(&view, &mut out, req, 1, 0);
+    let kinds = sent_kinds(&out.drain());
+    assert!(kinds.contains(&"g_failure->3".to_string()));
+    assert!(kinds.contains(&"commit_failure".to_string()));
+    assert_eq!(m.cst().len(), 0);
+}
+
+/// Table 5, Collision-module rows with a recall: the module waits for
+/// whichever of (commit_request, g) is missing, then multicasts g_failure.
+#[test]
+fn recall_then_request_then_g_at_non_leader() {
+    let view = TestView::new();
+    let mut m = DirModule::new(DirId(3), 8, SbConfig::paper_default());
+    let req = request(0, 0, &[(10, 1), (30, 3)]);
+    let tag = req.tag;
+    let gvec = req.g_vec;
+    let note = RecallNote {
+        failed_tag: tag,
+        dir_id: DirId(3),
+        failed_gvec: gvec,
+    };
+    let mut out = Outbox::new();
+    m.on_recall(&mut out, note);
+    m.on_commit_request(&view, &mut out, req, 1, 0);
+    assert!(out.is_empty(), "non-leader still waits for the g");
+    m.on_grab(&view, &mut out, tag, 1, CoreId(0), gvec, 0, CoreSet::empty());
+    let kinds = sent_kinds(&out.drain());
+    assert!(kinds.contains(&"g_failure->1".to_string()));
+    assert_eq!(m.cst().len(), 0);
+}
+
+/// Table 5, third row: `(R:g & R:commit_recall) → R:commit_request →
+/// S:g_failure`.
+#[test]
+fn g_then_recall_then_request() {
+    let view = TestView::new();
+    let mut m = DirModule::new(DirId(3), 8, SbConfig::paper_default());
+    let req = request(0, 0, &[(10, 1), (30, 3)]);
+    let tag = req.tag;
+    let gvec = req.g_vec;
+    let mut out = Outbox::new();
+    m.on_grab(&view, &mut out, tag, 1, CoreId(0), gvec, 0, CoreSet::empty());
+    m.on_recall(
+        &mut out,
+        RecallNote {
+            failed_tag: tag,
+            dir_id: DirId(3),
+            failed_gvec: gvec,
+        },
+    );
+    assert!(out.is_empty());
+    m.on_commit_request(&view, &mut out, req, 1, 0);
+    let kinds = sent_kinds(&out.drain());
+    assert!(kinds.contains(&"g_failure->1".to_string()));
+}
+
+/// A recall for a group this module already failed is discarded (§3.4).
+#[test]
+fn recall_after_failure_is_discarded() {
+    let view = TestView::new();
+    let mut m = DirModule::new(DirId(2), 8, SbConfig::paper_default());
+    // Hold A, then fail B on collision.
+    let a = request(0, 0, &[(500, 2), (600, 4)]);
+    let mut out = Outbox::new();
+    m.on_commit_request(&view, &mut out, a, 1, 0);
+    let b = request(1, 0, &[(500, 2), (660, 6)]);
+    let tb = b.tag;
+    let b_gvec = b.g_vec;
+    m.on_commit_request(&view, &mut out, b, 1, 0);
+    out.drain();
+    // Recall for B arrives later (piggy-backed on A's commit done).
+    let mut out = Outbox::new();
+    m.on_commit_done(
+        &mut out,
+        ChunkTag::new(CoreId(9), 9), // unrelated commit done
+        1,
+        vec![RecallNote {
+            failed_tag: tb,
+            dir_id: DirId(2),
+            failed_gvec: b_gvec,
+        }],
+    );
+    assert!(
+        sent_kinds(&out.drain()).iter().all(|k| !k.contains("g_failure")),
+        "recall for an already-failed group is discarded"
+    );
+}
+
+/// Starvation reservation (§3.2.2): after MAX failures of one chunk, the
+/// module answers other requests as collision losses until the starving
+/// chunk commits.
+#[test]
+fn starvation_reservation_blocks_others_until_starving_chunk_commits() {
+    let view = TestView::new();
+    let cfg = SbConfig {
+        max_squashes_before_reservation: 4,
+        ..SbConfig::paper_default()
+    };
+    let mut m = DirModule::new(DirId(2), 8, cfg);
+    let starving = request(0, 0, &[(500, 2), (600, 4)]);
+    let ts = starving.tag;
+
+    // The module sees the starving chunk's group fail MAX times.
+    for attempt in 1..=4u32 {
+        let mut out = Outbox::new();
+        m.on_g_failure(&mut out, ts, attempt);
+        // (no entry — the failure happened elsewhere; still counted)
+        assert!(out.is_empty());
+    }
+    assert_eq!(m.reserved_for(), Some(ts));
+
+    // Another chunk's request is answered as a collision loss.
+    let other = request(1, 0, &[(777, 2)]);
+    let mut out = Outbox::new();
+    m.on_commit_request(&view, &mut out, other, 1, 0);
+    let kinds = sent_kinds(&out.drain());
+    assert!(kinds.contains(&"commit_failure".to_string()));
+    assert!(kinds.contains(&"event:failed".to_string()));
+
+    // The starving chunk's next attempt is served normally...
+    let mut out = Outbox::new();
+    m.on_commit_request(&view, &mut out, starving, 5, 0);
+    assert_eq!(sent_kinds(&out.drain()), vec!["g->4"]);
+    // ...and once it commits (the returning g confirms the group; with no
+    // sharers the leader goes straight to commit done), the reservation
+    // clears.
+    let mut out = Outbox::new();
+    m.on_grab(
+        &view,
+        &mut out,
+        ts,
+        5,
+        CoreId(0),
+        [DirId(2), DirId(4)].into_iter().collect(),
+        0,
+        CoreSet::empty(),
+    );
+    assert_eq!(m.reserved_for(), None);
+    let served = request(1, 1, &[(888, 2)]);
+    let mut out3 = Outbox::new();
+    m.on_commit_request(&view, &mut out3, served, 1, 0);
+    let kinds = sent_kinds(&out3.drain());
+    assert!(
+        !kinds.contains(&"commit_failure".to_string()),
+        "reservation released: {kinds:?}"
+    );
+}
+
+/// A reservation is released when the starving chunk is provably dead
+/// (a request from the same core with a higher sequence number).
+#[test]
+fn reservation_released_by_newer_chunk_from_same_core() {
+    let view = TestView::new();
+    let cfg = SbConfig {
+        max_squashes_before_reservation: 4,
+        ..SbConfig::paper_default()
+    };
+    let mut m = DirModule::new(DirId(2), 8, cfg);
+    let starving = request(0, 0, &[(500, 2), (600, 4)]);
+    let ts = starving.tag;
+    for attempt in 1..=4u32 {
+        let mut out = Outbox::new();
+        m.on_g_failure(&mut out, ts, attempt);
+    }
+    assert_eq!(m.reserved_for(), Some(ts));
+    // Core 0 moved on to chunk seq 1: the starving chunk is dead.
+    let newer = request(0, 1, &[(900, 2)]);
+    let mut out = Outbox::new();
+    m.on_commit_request(&view, &mut out, newer, 1, 0);
+    assert_eq!(m.reserved_for(), None);
+    let kinds = sent_kinds(&out.drain());
+    assert!(!kinds.contains(&"commit_failure".to_string()));
+}
+
+/// Stale messages from a failed attempt never resurrect state.
+#[test]
+fn stale_attempt_messages_are_dropped() {
+    let view = TestView::new();
+    let mut m = DirModule::new(DirId(2), 8, SbConfig::paper_default());
+    let req = request(0, 0, &[(500, 2), (600, 4)]);
+    let tag = req.tag;
+    let gvec = req.g_vec;
+    // Attempt 1 failed here.
+    let mut out = Outbox::new();
+    m.on_g_failure(&mut out, tag, 1);
+    // Stale attempt-1 messages are dropped silently.
+    m.on_commit_request(&view, &mut out, req.clone(), 1, 0);
+    m.on_grab(&view, &mut out, tag, 1, CoreId(0), gvec, 0, CoreSet::empty());
+    assert!(out.is_empty());
+    assert_eq!(m.cst().len(), 0);
+    // Attempt 2 proceeds normally.
+    m.on_commit_request(&view, &mut out, req, 2, 0);
+    assert_eq!(sent_kinds(&out.drain()), vec!["g->4"]);
+}

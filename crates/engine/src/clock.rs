@@ -1,0 +1,202 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, measured in processor clock cycles.
+///
+/// `Cycle` is a transparent `u64` newtype: cheap to copy, totally ordered,
+/// and supporting saturating-free arithmetic through the standard operators.
+/// A `Cycle` is used both as an absolute timestamp and as a duration; the
+/// surrounding code makes the interpretation clear.
+///
+/// # Examples
+///
+/// ```
+/// use sb_engine::Cycle;
+///
+/// let start = Cycle(100);
+/// let lat = Cycle(7);
+/// assert_eq!(start + lat, Cycle(107));
+/// assert_eq!((start + lat) - start, lat);
+/// assert!(Cycle(3) < Cycle(4));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable time; useful as an "infinity" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    ///
+    /// ```
+    /// # use sb_engine::Cycle;
+    /// assert_eq!(Cycle(42).as_u64(), 42);
+    /// ```
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns `self - other`, or zero if `other`
+    /// is later than `self`.
+    ///
+    /// ```
+    /// # use sb_engine::Cycle;
+    /// assert_eq!(Cycle(5).saturating_sub(Cycle(9)), Cycle(0));
+    /// assert_eq!(Cycle(9).saturating_sub(Cycle(5)), Cycle(4));
+    /// ```
+    #[inline]
+    pub const fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two times.
+    ///
+    /// ```
+    /// # use sb_engine::Cycle;
+    /// assert_eq!(Cycle(3).max_of(Cycle(8)), Cycle(8));
+    /// ```
+    #[inline]
+    pub fn max_of(self, other: Cycle) -> Cycle {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    #[inline]
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycle(100);
+        let b = Cycle(7);
+        assert_eq!(a + b, Cycle(107));
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a + 7u64, Cycle(107));
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut c = Cycle(10);
+        c += Cycle(5);
+        assert_eq!(c, Cycle(15));
+        c += 5u64;
+        assert_eq!(c, Cycle(20));
+        c -= Cycle(19);
+        assert_eq!(c, Cycle(1));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Cycle(1).saturating_sub(Cycle(100)), Cycle::ZERO);
+        assert_eq!(Cycle(100).saturating_sub(Cycle(1)), Cycle(99));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Cycle::ZERO < Cycle(1));
+        assert!(Cycle(1) < Cycle::MAX);
+        assert_eq!(Cycle(8).max_of(Cycle(3)), Cycle(8));
+        assert_eq!(Cycle(3).max_of(Cycle(8)), Cycle(8));
+    }
+
+    #[test]
+    fn conversions() {
+        let c: Cycle = 33u64.into();
+        assert_eq!(c, Cycle(33));
+        let v: u64 = c.into();
+        assert_eq!(v, 33);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Cycle(42).to_string(), "42cy");
+    }
+}

@@ -1,0 +1,321 @@
+//! Small statistical accumulators used throughout the simulator.
+//!
+//! Heavier, figure-specific collectors live in the `sb-stats` crate; the
+//! types here are the generic building blocks (running means, bounded
+//! histograms) that the substrate crates also need.
+
+use std::fmt;
+
+/// A running mean/min/max accumulator over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use sb_engine::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// acc.record(10);
+/// acc.record(20);
+/// assert_eq!(acc.count(), 2);
+/// assert_eq!(acc.mean(), 15.0);
+/// assert_eq!(acc.min(), Some(10));
+/// assert_eq!(acc.max(), Some(20));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Accumulator {
+    count: u64,
+    sum: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample seen, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample seen, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={:?} max={:?}",
+            self.count, self.mean(), self.min, self.max
+        )
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples with a catch-all overflow
+/// bucket, mirroring how the paper reports "14, more" style distributions.
+///
+/// Bucket `i` counts samples with `value / bucket_width == i`; samples at or
+/// beyond `buckets * bucket_width` land in the overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use sb_engine::stats::Histogram;
+///
+/// let mut h = Histogram::new(4, 10); // buckets [0,10) [10,20) [20,30) [30,40) + overflow
+/// h.record(5);
+/// h.record(35);
+/// h.record(1000);
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(3), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    width: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    acc: Accumulator,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `bucket_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `bucket_width == 0`.
+    pub fn new(buckets: usize, bucket_width: u64) -> Self {
+        assert!(buckets > 0 && bucket_width > 0, "histogram needs geometry");
+        Histogram {
+            width: bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            acc: Accumulator::new(),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.acc.record(v);
+        let idx = (v / self.width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bucket `i` (0 if out of range).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Count of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// Mean of all recorded samples (not bucketized).
+    pub fn mean(&self) -> f64 {
+        self.acc.mean()
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        self.acc.max()
+    }
+
+    /// Number of regular (non-overflow) buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bucket.
+    pub fn bucket_width(&self) -> u64 {
+        self.width
+    }
+
+    /// Fraction of samples in bucket `i` (0.0 when empty).
+    pub fn bucket_fraction(&self, i: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.bucket_count(i) as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of samples in the overflow bucket.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "bucket width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.acc.merge(&other.acc);
+    }
+
+    /// The value below which `q` (0..=1) of the samples fall, estimated at
+    /// bucket granularity (upper edge of the containing bucket).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut cum = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return (i as u64 + 1) * self.width;
+            }
+        }
+        self.acc.max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_tracks_everything() {
+        let mut a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        for v in [3, 1, 2] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 6);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(3));
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = Accumulator::new();
+        a.record(1);
+        let mut b = Accumulator::new();
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(9));
+        let mut empty = Accumulator::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(3, 5);
+        for v in [0, 4, 5, 14, 15, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max(), Some(100));
+        assert!((h.bucket_fraction(0) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((h.overflow_fraction() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_and_quantile() {
+        let mut a = Histogram::new(10, 10);
+        let mut b = Histogram::new(10, 10);
+        for v in 0..50 {
+            a.record(v);
+        }
+        for v in 50..100 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 100);
+        assert_eq!(a.quantile(0.5), 50);
+        assert_eq!(a.quantile(1.0), 100);
+        assert_eq!(Histogram::new(2, 2).quantile(0.9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn histogram_zero_buckets_panics() {
+        Histogram::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn histogram_merge_geometry_mismatch_panics() {
+        let mut a = Histogram::new(2, 2);
+        a.merge(&Histogram::new(2, 3));
+    }
+}

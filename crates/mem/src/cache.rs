@@ -1,0 +1,353 @@
+//! A set-associative cache model with LRU replacement.
+
+use std::collections::HashMap;
+
+use crate::addr::{LineAddr, LINE_BYTES};
+
+/// Geometry of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use sb_mem::CacheConfig;
+///
+/// let l1 = CacheConfig::paper_l1();
+/// assert_eq!(l1.sets(), 32 * 1024 / 32 / 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+}
+
+impl CacheConfig {
+    /// Paper L1: 32 KB, 4-way, 32 B lines (Table 2).
+    pub fn paper_l1() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 4,
+        }
+    }
+
+    /// Paper L2: 512 KB, 8-way, 32 B lines (Table 2).
+    pub fn paper_l2() -> Self {
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            assoc: 8,
+        }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets(self) -> u64 {
+        let lines = self.size_bytes / LINE_BYTES;
+        assert!(
+            lines.is_multiple_of(self.assoc as u64),
+            "capacity must divide into whole sets"
+        );
+        lines / self.assoc as u64
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn capacity_lines(self) -> u64 {
+        self.size_bytes / LINE_BYTES
+    }
+}
+
+/// One resident line's metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Way {
+    line: LineAddr,
+    dirty: bool,
+    /// Monotonic timestamp of last access (for LRU).
+    lru: u64,
+}
+
+/// A set-associative, LRU, write-allocate cache.
+///
+/// The model tracks tags and dirtiness only — there is no data array, since
+/// the protocol layer never needs values, only presence. A `HashMap` shadow
+/// index gives O(1) lookups; the per-set `Vec` keeps replacement exact.
+///
+/// # Examples
+///
+/// ```
+/// use sb_mem::{CacheConfig, SetAssocCache, LineAddr};
+///
+/// let mut c = SetAssocCache::new(CacheConfig { size_bytes: 1024, assoc: 2 });
+/// assert!(!c.access(LineAddr(1), false));
+/// c.fill(LineAddr(1), false);
+/// assert!(c.access(LineAddr(1), false));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    index: HashMap<LineAddr, usize>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let nsets = cfg.sets() as usize;
+        SetAssocCache {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.assoc as usize); nsets],
+            index: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.as_u64() % self.sets.len() as u64) as usize
+    }
+
+    /// Looks a line up, updating LRU and (for writes) the dirty bit.
+    /// Returns `true` on hit. Does **not** allocate on miss; call
+    /// [`SetAssocCache::fill`] when the fill response arrives.
+    pub fn access(&mut self, line: LineAddr, write: bool) -> bool {
+        self.tick += 1;
+        let set = self.set_of(line);
+        let tick = self.tick;
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            way.lru = tick;
+            way.dirty |= write;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Peeks without perturbing LRU or counters.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.index.contains_key(&line)
+    }
+
+    /// Installs a line, evicting the LRU way if the set is full.
+    /// Returns the evicted line and whether it was dirty, if any.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<(LineAddr, bool)> {
+        self.tick += 1;
+        let set = self.set_of(line);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            way.lru = self.tick;
+            way.dirty |= dirty;
+            return None;
+        }
+        let mut victim = None;
+        if self.sets[set].len() == self.cfg.assoc as usize {
+            let (vi, _) = self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .expect("full set has ways");
+            let v = self.sets[set].swap_remove(vi);
+            self.index.remove(&v.line);
+            self.evictions += 1;
+            victim = Some((v.line, v.dirty));
+        }
+        self.sets[set].push(Way {
+            line,
+            dirty,
+            lru: self.tick,
+        });
+        self.index.insert(line, set);
+        victim
+    }
+
+    /// Removes a line (coherence invalidation). Returns whether it was
+    /// present.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        if let Some(set) = self.index.remove(&line) {
+            if let Some(pos) = self.sets[set].iter().position(|w| w.line == line) {
+                self.sets[set].swap_remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks a resident line clean (e.g. after a write-back). No-op if the
+    /// line is absent.
+    pub fn clean(&mut self, line: LineAddr) {
+        if let Some(&set) = self.index.get(&line) {
+            if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+                way.dirty = false;
+            }
+        }
+    }
+
+    /// Whether a resident line is dirty (`None` if absent).
+    pub fn is_dirty(&self, line: LineAddr) -> Option<bool> {
+        let set = *self.index.get(&line)?;
+        self.sets[set].iter().find(|w| w.line == line).map(|w| w.dirty)
+    }
+
+    /// Iterates over all resident line addresses (the tag array), used when
+    /// expanding a W signature against this cache for bulk invalidation.
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// (hits, misses, evictions) since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 4 * LINE_BYTES,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(LineAddr(0), false));
+        assert_eq!(c.fill(LineAddr(0), false), None);
+        assert!(c.access(LineAddr(0), false));
+        let (h, m, _) = c.counters();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        c.fill(LineAddr(0), false);
+        c.fill(LineAddr(2), false);
+        c.access(LineAddr(0), false); // 0 is now MRU
+        let victim = c.fill(LineAddr(4), false);
+        assert_eq!(victim, Some((LineAddr(2), false)));
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(4)));
+        assert!(!c.contains(LineAddr(2)));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), false);
+        c.access(LineAddr(0), true); // dirty it
+        c.fill(LineAddr(2), false);
+        c.access(LineAddr(2), false);
+        c.access(LineAddr(2), false); // make 0 the LRU
+        let victim = c.fill(LineAddr(4), false);
+        assert_eq!(victim, Some((LineAddr(0), true)));
+    }
+
+    #[test]
+    fn refill_of_resident_line_updates_not_evicts() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), false);
+        assert_eq!(c.fill(LineAddr(0), true), None);
+        assert_eq!(c.is_dirty(LineAddr(0)), Some(true));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_clean() {
+        let mut c = tiny();
+        c.fill(LineAddr(3), true);
+        assert_eq!(c.is_dirty(LineAddr(3)), Some(true));
+        c.clean(LineAddr(3));
+        assert_eq!(c.is_dirty(LineAddr(3)), Some(false));
+        assert!(c.invalidate(LineAddr(3)));
+        assert!(!c.invalidate(LineAddr(3)));
+        assert_eq!(c.is_dirty(LineAddr(3)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn resident_lines_matches_contents() {
+        let mut c = tiny();
+        c.fill(LineAddr(1), false);
+        c.fill(LineAddr(3), false);
+        let mut lines: Vec<_> = c.resident_lines().collect();
+        lines.sort();
+        assert_eq!(lines, vec![LineAddr(1), LineAddr(3)]);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for i in 0..100 {
+            c.fill(LineAddr(i), false);
+        }
+        assert!(c.len() <= c.config().capacity_lines() as usize);
+        let (_, _, ev) = c.counters();
+        assert!(ev >= 96);
+    }
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::paper_l1().sets(), 256);
+        assert_eq!(CacheConfig::paper_l2().sets(), 2048);
+        assert_eq!(CacheConfig::paper_l2().capacity_lines(), 16384);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The shadow index and the per-set arrays always agree, and
+        /// occupancy never exceeds capacity.
+        #[test]
+        fn prop_cache_invariants(ops in proptest::collection::vec((any::<u8>(), 0u64..64), 1..500)) {
+            let mut c = SetAssocCache::new(CacheConfig { size_bytes: 8 * LINE_BYTES, assoc: 2 });
+            for (op, line) in ops {
+                let line = LineAddr(line);
+                match op % 3 {
+                    0 => { c.access(line, op % 2 == 0); },
+                    1 => { c.fill(line, false); },
+                    _ => { c.invalidate(line); },
+                }
+                prop_assert!(c.len() <= 8);
+                // Index and sets agree.
+                let from_sets: usize = c.sets.iter().map(|s| s.len()).sum();
+                prop_assert_eq!(from_sets, c.len());
+                for l in c.resident_lines().collect::<Vec<_>>() {
+                    prop_assert!(c.contains(l));
+                }
+            }
+        }
+    }
+}

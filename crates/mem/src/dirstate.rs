@@ -1,0 +1,267 @@
+//! Conventional directory sharer state.
+//!
+//! Each directory module keeps, for every line homed at it that some cache
+//! holds, the set of sharer cores and (for dirty lines) the owner. The chunk
+//! protocols consult this state when they expand a committing chunk's W
+//! signature into the set of processors to invalidate, and update it when a
+//! commit succeeds ("the directories in the group start updating their state
+//! based on the W signature", §3.2).
+
+use std::collections::HashMap;
+
+use sb_sigs::Signature;
+
+use crate::addr::LineAddr;
+use crate::ids::{CoreId, CoreSet};
+
+/// Per-line directory information.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineDirInfo {
+    /// Cores whose caches may hold the line.
+    pub sharers: CoreSet,
+    /// The core that owns the line dirty, if any.
+    pub owner: Option<CoreId>,
+    /// The line is resident somewhere in the machine's aggregate cache
+    /// capacity (steady-state modelling): reads are served cache-to-cache
+    /// even when the precise sharer set is empty. Resident-only lines are
+    /// never invalidation targets.
+    pub resident: bool,
+}
+
+/// Sharer/owner bookkeeping for the lines homed at one directory module.
+///
+/// # Examples
+///
+/// ```
+/// use sb_mem::{CoreId, DirectoryState, LineAddr};
+///
+/// let mut d = DirectoryState::new();
+/// d.record_read(LineAddr(8), CoreId(1));
+/// d.record_read(LineAddr(8), CoreId(2));
+/// assert_eq!(d.sharers_of(LineAddr(8)).len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DirectoryState {
+    lines: HashMap<LineAddr, LineDirInfo>,
+}
+
+impl DirectoryState {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `core` fetched `line` (it becomes a sharer).
+    pub fn record_read(&mut self, line: LineAddr, core: CoreId) {
+        self.lines.entry(line).or_default().sharers.insert(core);
+    }
+
+    /// Marks `line` as resident in the aggregate cache capacity without
+    /// naming a sharer (steady-state warm-up; affects read classification
+    /// only).
+    pub fn mark_resident(&mut self, line: LineAddr) {
+        self.lines.entry(line).or_default().resident = true;
+    }
+
+    /// Whether `line` is marked resident (or actually shared/owned).
+    pub fn is_resident(&self, line: LineAddr) -> bool {
+        self.lines
+            .get(&line)
+            .is_some_and(|i| i.resident || !i.sharers.is_empty() || i.owner.is_some())
+    }
+
+    /// The sharers of `line` (empty if untracked).
+    pub fn sharers_of(&self, line: LineAddr) -> CoreSet {
+        self.lines.get(&line).map_or(CoreSet::empty(), |i| i.sharers)
+    }
+
+    /// The dirty owner of `line`, if any.
+    pub fn owner_of(&self, line: LineAddr) -> Option<CoreId> {
+        self.lines.get(&line).and_then(|i| i.owner)
+    }
+
+    /// Full info for `line`, if tracked.
+    pub fn info(&self, line: LineAddr) -> Option<LineDirInfo> {
+        self.lines.get(&line).copied()
+    }
+
+    /// Expands `wsig` against the tracked lines and returns the union of
+    /// sharers of every matching line, excluding `committer`. This is the
+    /// directory-local `inval_vec` computation of §3.2.1 — performed by all
+    /// participating directories in parallel when the signature pair
+    /// arrives, before the `g` message shows up.
+    pub fn sharers_matching(&self, wsig: &Signature, committer: CoreId) -> CoreSet {
+        let mut set = CoreSet::empty();
+        for (line, info) in &self.lines {
+            if wsig.test(line.as_u64()) {
+                set = set.union(info.sharers);
+                if let Some(o) = info.owner {
+                    set.insert(o);
+                }
+            }
+        }
+        set.without(committer)
+    }
+
+    /// The tracked lines matching `wsig` (signature expansion against the
+    /// directory's tag array).
+    pub fn lines_matching(&self, wsig: &Signature) -> Vec<LineAddr> {
+        let mut v: Vec<LineAddr> = self
+            .lines
+            .keys()
+            .filter(|l| wsig.test(l.as_u64()))
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Applies a committed chunk's writes: every tracked line matching
+    /// `wsig` becomes dirty-owned by `committer` with no other sharers.
+    /// Returns the number of lines updated.
+    pub fn apply_commit(&mut self, wsig: &Signature, committer: CoreId) -> u32 {
+        let mut n = 0;
+        for (line, info) in self.lines.iter_mut() {
+            if wsig.test(line.as_u64()) {
+                info.sharers = CoreSet::single(committer);
+                info.owner = Some(committer);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Records that a committed write created a line not previously tracked
+    /// (e.g. first write to a page homed here).
+    pub fn record_commit_write(&mut self, line: LineAddr, committer: CoreId) {
+        let info = self.lines.entry(line).or_default();
+        info.sharers = CoreSet::single(committer);
+        info.owner = Some(committer);
+    }
+
+    /// Removes `core` from the sharers of `line` (cache eviction /
+    /// invalidation acknowledgement).
+    pub fn drop_sharer(&mut self, line: LineAddr, core: CoreId) {
+        if let Some(info) = self.lines.get_mut(&line) {
+            info.sharers.remove(core);
+            if info.owner == Some(core) {
+                info.owner = None;
+            }
+            if info.sharers.is_empty() && info.owner.is_none() && !info.resident {
+                self.lines.remove(&line);
+            }
+        }
+    }
+
+    /// Number of tracked lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Iterates over all tracked lines.
+    pub fn tracked_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.lines.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_sigs::SignatureConfig;
+
+    fn sig_of(lines: &[u64]) -> Signature {
+        Signature::from_lines(SignatureConfig::paper_default(), lines.iter().copied())
+    }
+
+    #[test]
+    fn read_tracking_accumulates_sharers() {
+        let mut d = DirectoryState::new();
+        d.record_read(LineAddr(1), CoreId(0));
+        d.record_read(LineAddr(1), CoreId(3));
+        let s = d.sharers_of(LineAddr(1));
+        assert!(s.contains(CoreId(0)) && s.contains(CoreId(3)));
+        assert_eq!(d.sharers_of(LineAddr(2)), CoreSet::empty());
+    }
+
+    #[test]
+    fn sharers_matching_excludes_committer() {
+        let mut d = DirectoryState::new();
+        d.record_read(LineAddr(10), CoreId(1));
+        d.record_read(LineAddr(10), CoreId(2));
+        d.record_read(LineAddr(11), CoreId(4));
+        let w = sig_of(&[10]);
+        let s = d.sharers_matching(&w, CoreId(2));
+        assert!(s.contains(CoreId(1)));
+        assert!(!s.contains(CoreId(2)), "committer must be excluded");
+        assert!(!s.contains(CoreId(4)), "line 11 does not match");
+    }
+
+    #[test]
+    fn sharers_matching_includes_dirty_owner() {
+        let mut d = DirectoryState::new();
+        d.record_commit_write(LineAddr(5), CoreId(7));
+        let s = d.sharers_matching(&sig_of(&[5]), CoreId(0));
+        assert!(s.contains(CoreId(7)));
+    }
+
+    #[test]
+    fn apply_commit_transfers_ownership() {
+        let mut d = DirectoryState::new();
+        d.record_read(LineAddr(20), CoreId(1));
+        d.record_read(LineAddr(20), CoreId(2));
+        let n = d.apply_commit(&sig_of(&[20]), CoreId(9));
+        assert_eq!(n, 1);
+        assert_eq!(d.owner_of(LineAddr(20)), Some(CoreId(9)));
+        assert_eq!(d.sharers_of(LineAddr(20)), CoreSet::single(CoreId(9)));
+    }
+
+    #[test]
+    fn lines_matching_expansion() {
+        let mut d = DirectoryState::new();
+        for l in [1u64, 2, 3, 50] {
+            d.record_read(LineAddr(l), CoreId(0));
+        }
+        let matches = d.lines_matching(&sig_of(&[2, 50]));
+        assert!(matches.contains(&LineAddr(2)));
+        assert!(matches.contains(&LineAddr(50)));
+        // Signature expansion is conservative: it may include aliases, but
+        // must include all true members.
+        assert!(matches.len() >= 2);
+    }
+
+    #[test]
+    fn drop_sharer_garbage_collects() {
+        let mut d = DirectoryState::new();
+        d.record_read(LineAddr(1), CoreId(0));
+        d.drop_sharer(LineAddr(1), CoreId(0));
+        assert!(d.is_empty());
+        // Dropping an untracked line is a no-op.
+        d.drop_sharer(LineAddr(2), CoreId(0));
+    }
+
+    #[test]
+    fn drop_owner_clears_ownership() {
+        let mut d = DirectoryState::new();
+        d.record_commit_write(LineAddr(8), CoreId(3));
+        d.record_read(LineAddr(8), CoreId(4));
+        d.drop_sharer(LineAddr(8), CoreId(3));
+        assert_eq!(d.owner_of(LineAddr(8)), None);
+        assert!(d.sharers_of(LineAddr(8)).contains(CoreId(4)));
+    }
+
+    #[test]
+    fn tracked_lines_iterates_all() {
+        let mut d = DirectoryState::new();
+        d.record_read(LineAddr(1), CoreId(0));
+        d.record_read(LineAddr(9), CoreId(0));
+        let mut v: Vec<_> = d.tracked_lines().collect();
+        v.sort();
+        assert_eq!(v, vec![LineAddr(1), LineAddr(9)]);
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! The per-tile two-level private cache hierarchy.
+
+use sb_sigs::Signature;
+
+use crate::addr::LineAddr;
+use crate::cache::{CacheConfig, SetAssocCache};
+
+/// Where an access hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Hit in the private L1 (2-cycle round trip in Table 2).
+    L1,
+    /// Missed L1, hit the private L2 (8-cycle round trip).
+    L2,
+    /// Missed both private levels; the request must go on the network.
+    Miss,
+}
+
+/// Configuration for a [`CacheHierarchy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheHierarchyConfig {
+    /// L1 geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 hit round trip, cycles.
+    pub l1_round_trip: u64,
+    /// L2 hit round trip, cycles.
+    pub l2_round_trip: u64,
+}
+
+impl CacheHierarchyConfig {
+    /// Table 2 of the paper: 32KB/4-way write-through L1 (2 cycles) and
+    /// 512KB/8-way write-back L2 (8 cycles), 32 B lines.
+    pub fn paper_default() -> Self {
+        CacheHierarchyConfig {
+            l1: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+            l1_round_trip: 2,
+            l2_round_trip: 8,
+        }
+    }
+}
+
+impl Default for CacheHierarchyConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A private write-through L1 backed by a private write-back L2, as in
+/// Table 2. The L1 is write-through, so dirtiness is tracked in the L2;
+/// inclusive fills install the line in both levels.
+///
+/// # Examples
+///
+/// ```
+/// use sb_mem::{Addr, CacheHierarchy, CacheHierarchyConfig, HitLevel};
+///
+/// let mut h = CacheHierarchy::new(CacheHierarchyConfig::paper_default());
+/// let line = Addr(0x40).line();
+/// assert_eq!(h.access(line), HitLevel::Miss);
+/// h.fill(line);
+/// assert_eq!(h.access(line), HitLevel::L1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheHierarchy {
+    cfg: CacheHierarchyConfig,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+}
+
+impl CacheHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(cfg: CacheHierarchyConfig) -> Self {
+        CacheHierarchy {
+            cfg,
+            l1: SetAssocCache::new(cfg.l1),
+            l2: SetAssocCache::new(cfg.l2),
+        }
+    }
+
+    /// Probes the hierarchy for a read-style lookup (writes in a lazy chunk
+    /// machine are locally buffered and do not change coherence state, so
+    /// presence is what matters). L2 hits refill L1.
+    pub fn access(&mut self, line: LineAddr) -> HitLevel {
+        if self.l1.access(line, false) {
+            return HitLevel::L1;
+        }
+        if self.l2.access(line, false) {
+            // Inclusive refill of the L1.
+            self.l1.fill(line, false);
+            return HitLevel::L2;
+        }
+        HitLevel::Miss
+    }
+
+    /// Marks a resident line as locally written (dirtiness lives in the
+    /// write-back L2; the write-through L1 just keeps presence).
+    pub fn mark_written(&mut self, line: LineAddr) {
+        if self.l2.contains(line) {
+            self.l2.access(line, true);
+        } else {
+            self.l2.fill(line, true);
+        }
+        if !self.l1.contains(line) {
+            self.l1.fill(line, false);
+        }
+    }
+
+    /// Installs a line fetched from the network/memory into both levels.
+    pub fn fill(&mut self, line: LineAddr) {
+        self.l2.fill(line, false);
+        self.l1.fill(line, false);
+    }
+
+    /// Invalidates one line from both levels; returns whether it was
+    /// present in either.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let in_l1 = self.l1.invalidate(line);
+        let in_l2 = self.l2.invalidate(line);
+        in_l1 || in_l2
+    }
+
+    /// Bulk invalidation: expands `wsig` against the resident tags of both
+    /// levels and invalidates every match. Returns the number of lines
+    /// invalidated. This is what a sharer processor does on receiving a
+    /// `bulk inv` message.
+    pub fn bulk_invalidate(&mut self, wsig: &Signature) -> u32 {
+        let candidates: Vec<LineAddr> = self
+            .l2
+            .resident_lines()
+            .chain(self.l1.resident_lines())
+            .collect();
+        let mut n = 0;
+        for line in candidates {
+            if wsig.test(line.as_u64()) && self.invalidate(line) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Whether the line is resident at any level.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.l1.contains(line) || self.l2.contains(line)
+    }
+
+    /// Round-trip latency in cycles for a hit at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with [`HitLevel::Miss`] — miss latency depends on
+    /// the network and home directory, which this crate does not know.
+    pub fn hit_latency(&self, level: HitLevel) -> u64 {
+        match level {
+            HitLevel::L1 => self.cfg.l1_round_trip,
+            HitLevel::L2 => self.cfg.l2_round_trip,
+            HitLevel::Miss => panic!("miss latency is decided by the network layer"),
+        }
+    }
+
+    /// The L1 model (read-only view).
+    pub fn l1(&self) -> &SetAssocCache {
+        &self.l1
+    }
+
+    /// The L2 model (read-only view).
+    pub fn l2(&self) -> &SetAssocCache {
+        &self.l2
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheHierarchyConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LINE_BYTES;
+    use sb_sigs::{Signature, SignatureConfig};
+
+    fn small() -> CacheHierarchy {
+        CacheHierarchy::new(CacheHierarchyConfig {
+            l1: CacheConfig {
+                size_bytes: 4 * LINE_BYTES,
+                assoc: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 16 * LINE_BYTES,
+                assoc: 4,
+            },
+            l1_round_trip: 2,
+            l2_round_trip: 8,
+        })
+    }
+
+    #[test]
+    fn miss_fill_l1_hit() {
+        let mut h = small();
+        assert_eq!(h.access(LineAddr(1)), HitLevel::Miss);
+        h.fill(LineAddr(1));
+        assert_eq!(h.access(LineAddr(1)), HitLevel::L1);
+        assert_eq!(h.hit_latency(HitLevel::L1), 2);
+        assert_eq!(h.hit_latency(HitLevel::L2), 8);
+    }
+
+    #[test]
+    fn l2_hit_refills_l1() {
+        let mut h = small();
+        h.fill(LineAddr(0));
+        // Push line 0 out of the tiny L1 (set-conflicting lines 2 and 4;
+        // L1 has 2 sets x 2 ways).
+        h.fill(LineAddr(2));
+        h.fill(LineAddr(4));
+        assert!(!h.l1().contains(LineAddr(0)));
+        assert!(h.l2().contains(LineAddr(0)));
+        assert_eq!(h.access(LineAddr(0)), HitLevel::L2);
+        // Now refilled into L1.
+        assert_eq!(h.access(LineAddr(0)), HitLevel::L1);
+    }
+
+    #[test]
+    fn mark_written_dirties_l2() {
+        let mut h = small();
+        h.fill(LineAddr(7));
+        h.mark_written(LineAddr(7));
+        assert_eq!(h.l2().is_dirty(LineAddr(7)), Some(true));
+        // Write to a non-resident line allocates it dirty in L2.
+        h.mark_written(LineAddr(9));
+        assert_eq!(h.l2().is_dirty(LineAddr(9)), Some(true));
+        assert!(h.l1().contains(LineAddr(9)));
+    }
+
+    #[test]
+    fn invalidate_clears_both_levels() {
+        let mut h = small();
+        h.fill(LineAddr(5));
+        assert!(h.invalidate(LineAddr(5)));
+        assert!(!h.contains(LineAddr(5)));
+        assert!(!h.invalidate(LineAddr(5)));
+    }
+
+    #[test]
+    fn bulk_invalidate_expands_signature() {
+        let mut h = small();
+        for i in 0..8 {
+            h.fill(LineAddr(i));
+        }
+        let wsig = Signature::from_lines(
+            SignatureConfig::paper_default(),
+            [3u64, 5, 100], // 100 not resident
+        );
+        let n = h.bulk_invalidate(&wsig);
+        assert!(n >= 2, "at least the two resident matches: {n}");
+        assert!(!h.contains(LineAddr(3)));
+        assert!(!h.contains(LineAddr(5)));
+        assert!(h.contains(LineAddr(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "network layer")]
+    fn miss_latency_panics() {
+        small().hit_latency(HitLevel::Miss);
+    }
+}

@@ -1,0 +1,323 @@
+//! Identifiers for the participants of the simulated machine.
+//!
+//! The machine is a tiled multicore (Figure 1 of the paper): tile `i` hosts
+//! core `i`, its private L1/L2, and directory module `i`. Cores and
+//! directory modules are distinct protocol actors, so they get distinct
+//! newtypes even though they share tile numbering.
+
+use std::fmt;
+
+/// A processor core (equivalently, the tile it lives on).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// Tile index as `usize` for table lookups.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A directory module (equivalently, the tile it lives on).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DirId(pub u16);
+
+impl DirId {
+    /// Tile index as `usize` for table lookups.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DirId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// A compact set of cores, stored as a 64-bit mask (the machine has at most
+/// 64 cores, matching the paper's largest configuration).
+///
+/// This is the `inval_vec` of Table 1: the sharer processors that must be
+/// invalidated when a group commits, built up incrementally as the `g`
+/// message traverses the group.
+///
+/// # Examples
+///
+/// ```
+/// use sb_mem::{CoreId, CoreSet};
+///
+/// let mut s = CoreSet::empty();
+/// s.insert(CoreId(3));
+/// s.insert(CoreId(5));
+/// assert!(s.contains(CoreId(3)));
+/// assert_eq!(s.len(), 2);
+/// let others = s.without(CoreId(3));
+/// assert_eq!(others.len(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CoreSet(pub u64);
+
+impl CoreSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        CoreSet(0)
+    }
+
+    /// A set with a single member.
+    pub const fn single(c: CoreId) -> Self {
+        CoreSet(1 << c.0)
+    }
+
+    /// Adds a core.
+    #[inline]
+    pub fn insert(&mut self, c: CoreId) {
+        self.0 |= 1 << c.0;
+    }
+
+    /// Removes a core.
+    #[inline]
+    pub fn remove(&mut self, c: CoreId) {
+        self.0 &= !(1 << c.0);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, c: CoreId) -> bool {
+        self.0 & (1 << c.0) != 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: CoreSet) -> CoreSet {
+        CoreSet(self.0 | other.0)
+    }
+
+    /// A copy of the set with `c` removed.
+    #[inline]
+    pub const fn without(self, c: CoreId) -> CoreSet {
+        CoreSet(self.0 & !(1 << c.0))
+    }
+
+    /// Iterates over members in increasing ID order.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        (0..64u16).filter(move |i| self.0 & (1 << i) != 0).map(CoreId)
+    }
+}
+
+impl FromIterator<CoreId> for CoreSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut s = CoreSet::empty();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+/// A compact set of directory modules, stored as a 64-bit mask.
+///
+/// This is the `g_vec` of Table 1: the directory modules in a chunk's read-
+/// and write-sets, collected by the processor as the chunk executes.
+///
+/// # Examples
+///
+/// ```
+/// use sb_mem::{DirId, DirSet};
+///
+/// let g: DirSet = [DirId(1), DirId(4), DirId(6)].into_iter().collect();
+/// assert_eq!(g.lowest(), Some(DirId(1)));
+/// assert_eq!(g.next_after(DirId(1)), Some(DirId(4)));
+/// assert_eq!(g.next_after(DirId(6)), None);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DirSet(pub u64);
+
+impl DirSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        DirSet(0)
+    }
+
+    /// A set with a single member.
+    pub const fn single(d: DirId) -> Self {
+        DirSet(1 << d.0)
+    }
+
+    /// Adds a directory.
+    #[inline]
+    pub fn insert(&mut self, d: DirId) {
+        self.0 |= 1 << d.0;
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, d: DirId) -> bool {
+        self.0 & (1 << d.0) != 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: DirSet) -> DirSet {
+        DirSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersect(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & other.0)
+    }
+
+    /// The lowest-numbered member — the baseline group-leader policy
+    /// (§3.2 of the paper).
+    #[inline]
+    pub fn lowest(self) -> Option<DirId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(DirId(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// The next member strictly after `d` in increasing ID order — the
+    /// fixed traversal order of the group-formation `g` message.
+    #[inline]
+    pub fn next_after(self, d: DirId) -> Option<DirId> {
+        let above = self.0 & !((2u128.pow(d.0 as u32 + 1) - 1) as u64);
+        if above == 0 {
+            None
+        } else {
+            Some(DirId(above.trailing_zeros() as u16))
+        }
+    }
+
+    /// Iterates over members in increasing ID order.
+    pub fn iter(self) -> impl Iterator<Item = DirId> {
+        (0..64u16).filter(move |i| self.0 & (1 << i) != 0).map(DirId)
+    }
+
+    /// Members in a rotated priority order: the member with the highest
+    /// priority under rotation `offset` comes first. Used by the fairness
+    /// scheme of §3.2.2, where priorities rotate modulo the module count.
+    pub fn iter_rotated(self, offset: u16, modules: u16) -> impl Iterator<Item = DirId> {
+        (0..modules)
+            .map(move |i| DirId((i + offset) % modules))
+            .filter(move |d| self.contains(*d))
+    }
+}
+
+impl FromIterator<DirId> for DirSet {
+    fn from_iter<I: IntoIterator<Item = DirId>>(iter: I) -> Self {
+        let mut s = DirSet::empty();
+        for d in iter {
+            s.insert(d);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coreset_basics() {
+        let mut s = CoreSet::empty();
+        assert!(s.is_empty());
+        s.insert(CoreId(0));
+        s.insert(CoreId(63));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(CoreId(0)) && s.contains(CoreId(63)));
+        s.remove(CoreId(0));
+        assert!(!s.contains(CoreId(0)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![CoreId(63)]);
+        assert_eq!(CoreSet::single(CoreId(5)).len(), 1);
+    }
+
+    #[test]
+    fn coreset_union_without() {
+        let a: CoreSet = [CoreId(1), CoreId(2)].into_iter().collect();
+        let b: CoreSet = [CoreId(2), CoreId(3)].into_iter().collect();
+        let u = a.union(b);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.without(CoreId(2)).len(), 2);
+    }
+
+    #[test]
+    fn dirset_lowest_and_traversal() {
+        let g: DirSet = [DirId(1), DirId(4), DirId(6)].into_iter().collect();
+        assert_eq!(g.lowest(), Some(DirId(1)));
+        assert_eq!(g.next_after(DirId(1)), Some(DirId(4)));
+        assert_eq!(g.next_after(DirId(4)), Some(DirId(6)));
+        assert_eq!(g.next_after(DirId(6)), None);
+        assert_eq!(g.next_after(DirId(0)), Some(DirId(1)));
+        assert_eq!(DirSet::empty().lowest(), None);
+    }
+
+    #[test]
+    fn dirset_edge_bit_63() {
+        let g = DirSet::single(DirId(63));
+        assert_eq!(g.lowest(), Some(DirId(63)));
+        assert_eq!(g.next_after(DirId(62)), Some(DirId(63)));
+        assert_eq!(g.next_after(DirId(63)), None);
+    }
+
+    #[test]
+    fn dirset_intersect_union() {
+        let a: DirSet = [DirId(0), DirId(2), DirId(3)].into_iter().collect();
+        let b: DirSet = [DirId(2), DirId(3), DirId(7)].into_iter().collect();
+        assert_eq!(a.intersect(b).iter().collect::<Vec<_>>(), vec![DirId(2), DirId(3)]);
+        assert_eq!(a.union(b).len(), 4);
+        // Collision module = lowest common module (§3.2.1).
+        assert_eq!(a.intersect(b).lowest(), Some(DirId(2)));
+    }
+
+    #[test]
+    fn dirset_rotation_order() {
+        let g: DirSet = [DirId(0), DirId(3), DirId(5)].into_iter().collect();
+        // With offset 4 over 8 modules, priority order is 4,5,6,7,0,1,2,3.
+        let order: Vec<DirId> = g.iter_rotated(4, 8).collect();
+        assert_eq!(order, vec![DirId(5), DirId(0), DirId(3)]);
+        // Offset 0 degenerates to natural order.
+        let natural: Vec<DirId> = g.iter_rotated(0, 8).collect();
+        assert_eq!(natural, vec![DirId(0), DirId(3), DirId(5)]);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(CoreId(7).to_string(), "P7");
+        assert_eq!(DirId(7).to_string(), "D7");
+    }
+}

@@ -1,0 +1,143 @@
+//! Miss Status Holding Registers.
+//!
+//! MSHRs bound how many distinct line misses a cache level can have in
+//! flight (Table 2: 8 entries at L1, 64 at L2). A second miss to a line
+//! already being fetched merges into the existing entry instead of
+//! generating new traffic.
+
+use std::collections::HashMap;
+
+use crate::addr::LineAddr;
+
+/// The result of asking the MSHR file to track a miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller should issue the fetch.
+    Allocated,
+    /// The line is already being fetched; this miss merged into it.
+    Merged,
+    /// All entries are busy; the access must stall and retry.
+    Full,
+}
+
+/// A fixed-capacity MSHR file.
+///
+/// # Examples
+///
+/// ```
+/// use sb_mem::{LineAddr, MshrFile, MshrOutcome};
+///
+/// let mut m = MshrFile::new(2);
+/// assert_eq!(m.allocate(LineAddr(1)), MshrOutcome::Allocated);
+/// assert_eq!(m.allocate(LineAddr(1)), MshrOutcome::Merged);
+/// assert_eq!(m.allocate(LineAddr(2)), MshrOutcome::Allocated);
+/// assert_eq!(m.allocate(LineAddr(3)), MshrOutcome::Full);
+/// assert_eq!(m.complete(LineAddr(1)), 2); // two merged requesters woken
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    pending: HashMap<LineAddr, u32>,
+    merges: u64,
+    stalls: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile {
+            capacity,
+            pending: HashMap::new(),
+            merges: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Tries to track a miss on `line`.
+    pub fn allocate(&mut self, line: LineAddr) -> MshrOutcome {
+        if let Some(count) = self.pending.get_mut(&line) {
+            *count += 1;
+            self.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.pending.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.pending.insert(line, 1);
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the fetch of `line`, freeing its entry. Returns the number
+    /// of requesters (1 + merged) that were waiting, or 0 if the line was
+    /// not pending.
+    pub fn complete(&mut self, line: LineAddr) -> u32 {
+        self.pending.remove(&line).unwrap_or(0)
+    }
+
+    /// Whether `line` has a fetch in flight.
+    pub fn is_pending(&self, line: LineAddr) -> bool {
+        self.pending.contains_key(&line)
+    }
+
+    /// Entries currently in use.
+    pub fn in_use(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether every entry is busy.
+    pub fn is_full(&self) -> bool {
+        self.pending.len() >= self.capacity
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// (merges, full-stalls) counters since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.merges, self.stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_complete_cycle() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(LineAddr(9)), MshrOutcome::Allocated);
+        assert!(m.is_pending(LineAddr(9)));
+        assert_eq!(m.allocate(LineAddr(9)), MshrOutcome::Merged);
+        assert_eq!(m.in_use(), 1);
+        assert_eq!(m.complete(LineAddr(9)), 2);
+        assert!(!m.is_pending(LineAddr(9)));
+        assert_eq!(m.complete(LineAddr(9)), 0);
+    }
+
+    #[test]
+    fn fills_to_capacity_then_stalls() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(LineAddr(1)), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(LineAddr(2)), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(LineAddr(3)), MshrOutcome::Full);
+        let (merges, stalls) = m.counters();
+        assert_eq!((merges, stalls), (0, 1));
+        m.complete(LineAddr(1));
+        assert_eq!(m.allocate(LineAddr(3)), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

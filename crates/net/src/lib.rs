@@ -1,0 +1,45 @@
+//! On-chip interconnect model: a 2D torus with traffic accounting.
+//!
+//! The paper's machine connects tiles with a 2D torus whose links have a
+//! 7-cycle latency (Table 2), modelled originally with the network simulator
+//! of Das et al. This crate provides the equivalent protocol-level model:
+//!
+//! * [`Torus`] — topology and minimal-hop routing distance with wraparound,
+//! * [`MsgSize`]/[`TrafficClass`] — message sizes in flits and the five
+//!   traffic classes the paper charts in Figures 18–19 (`MemRd`,
+//!   `RemoteShRd`, `RemoteDirtyRd`, `LargeCMessage`, `SmallCMessage`),
+//! * [`Network`] — latency computation (per-hop link latency plus
+//!   serialization of multi-flit messages plus optional per-node injection
+//!   contention) and a [`TrafficCounters`] tally.
+//!
+//! Full router microarchitecture (virtual channels, buffer occupancy) is a
+//! documented substitution — see DESIGN.md §1.
+//!
+//! # Examples
+//!
+//! ```
+//! use sb_net::{MsgSize, Network, NetworkConfig, NodeId, TrafficClass};
+//! use sb_engine::Cycle;
+//!
+//! let mut net = Network::new(NetworkConfig::paper_default(64));
+//! let arrive = net.send(
+//!     Cycle(0),
+//!     NodeId(0),
+//!     NodeId(63),
+//!     MsgSize::Small,
+//!     TrafficClass::SmallCMessage,
+//! );
+//! assert!(arrive > Cycle(0));
+//! assert_eq!(net.counters().count(TrafficClass::SmallCMessage), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod topology;
+mod traffic;
+
+pub use network::{Network, NetworkConfig};
+pub use topology::{NodeId, Torus};
+pub use traffic::{MsgSize, TrafficClass, TrafficCounters};

@@ -1,0 +1,219 @@
+//! Latency computation and per-node injection contention.
+
+use sb_engine::Cycle;
+
+use crate::topology::{NodeId, Torus};
+use crate::traffic::{MsgSize, TrafficClass, TrafficCounters};
+
+/// Network timing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// The torus shape.
+    pub torus: Torus,
+    /// Per-hop link latency in cycles (Table 2: 7 cycles).
+    pub link_latency: u64,
+    /// Fixed overhead per message (injection + ejection pipeline).
+    pub fixed_overhead: u64,
+    /// Whether to model per-node injection-port serialization (one flit per
+    /// cycle per sender). Captures the congestion that the paper's TCC
+    /// traffic storm causes without a full router model.
+    pub model_contention: bool,
+}
+
+impl NetworkConfig {
+    /// Table 2 parameters for a machine with `tiles` tiles.
+    pub fn paper_default(tiles: u16) -> Self {
+        NetworkConfig {
+            torus: Torus::for_tiles(tiles),
+            link_latency: 7,
+            fixed_overhead: 2,
+            model_contention: true,
+        }
+    }
+}
+
+/// The interconnect: computes message delivery times and tallies traffic.
+///
+/// The model is latency-first: a message from `src` to `dst` of `size`
+/// arrives at
+///
+/// ```text
+/// depart  = max(now, src injection port free)     (if contention on)
+/// arrive  = depart + fixed + hops * link_latency + (flits - 1)
+/// ```
+///
+/// and the injection port of `src` stays busy for `flits` cycles. Local
+/// (same-tile) messages still pay the fixed overhead.
+///
+/// # Examples
+///
+/// ```
+/// use sb_engine::Cycle;
+/// use sb_net::{MsgSize, Network, NetworkConfig, NodeId, TrafficClass};
+///
+/// let mut net = Network::new(NetworkConfig::paper_default(64));
+/// let t1 = net.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::Small, TrafficClass::SmallCMessage);
+/// assert_eq!(t1, Cycle(2 + 7)); // fixed 2 + 1 hop * 7
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    cfg: NetworkConfig,
+    inject_free: Vec<Cycle>,
+    counters: TrafficCounters,
+    hop_total: u64,
+    queue_delay_total: u64,
+}
+
+impl Network {
+    /// Creates an idle network.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        Network {
+            inject_free: vec![Cycle::ZERO; cfg.torus.tiles() as usize],
+            cfg,
+            counters: TrafficCounters::new(),
+            hop_total: 0,
+            queue_delay_total: 0,
+        }
+    }
+
+    /// Sends a message at time `now`; returns its arrival time at `dst`.
+    /// Also tallies the message under `class`.
+    pub fn send(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        size: MsgSize,
+        class: TrafficClass,
+    ) -> Cycle {
+        self.counters.record(class, size);
+        let hops = self.cfg.torus.hops(src, dst) as u64;
+        self.hop_total += hops;
+        let flits = size.flits() as u64;
+        let depart = if self.cfg.model_contention {
+            let free = &mut self.inject_free[src.idx()];
+            let depart = now.max_of(*free);
+            *free = depart + flits;
+            self.queue_delay_total += (depart - now).as_u64();
+            depart
+        } else {
+            now
+        };
+        depart + self.cfg.fixed_overhead + hops * self.cfg.link_latency + (flits - 1)
+    }
+
+    /// Latency of a hypothetical message without sending it (no contention,
+    /// no tally). Useful for computing round trips.
+    pub fn pure_latency(&self, src: NodeId, dst: NodeId, size: MsgSize) -> u64 {
+        let hops = self.cfg.torus.hops(src, dst) as u64;
+        self.cfg.fixed_overhead + hops * self.cfg.link_latency + (size.flits() as u64 - 1)
+    }
+
+    /// Traffic tallies so far.
+    pub fn counters(&self) -> &TrafficCounters {
+        &self.counters
+    }
+
+    /// Sum of hop counts over all sent messages.
+    pub fn total_hops(&self) -> u64 {
+        self.hop_total
+    }
+
+    /// Total cycles messages spent waiting for their injection port.
+    pub fn total_queue_delay(&self) -> u64 {
+        self.queue_delay_total
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> NetworkConfig {
+        self.cfg
+    }
+
+    /// The torus shape.
+    pub fn torus(&self) -> Torus {
+        self.cfg.torus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(NetworkConfig::paper_default(64))
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let mut n = net();
+        let near = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::Small, TrafficClass::MemRd);
+        let mut n2 = net();
+        let far = n2.send(Cycle(0), NodeId(0), NodeId(36), MsgSize::Small, TrafficClass::MemRd);
+        assert!(far > near, "farther destination takes longer");
+        assert_eq!(near, Cycle(9)); // 2 fixed + 7 * 1 hop
+    }
+
+    #[test]
+    fn serialization_adds_flit_cycles() {
+        let mut a = net();
+        let small = a.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::Small, TrafficClass::MemRd);
+        let mut b = net();
+        let sig = b.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(1),
+            MsgSize::SignaturePair,
+            TrafficClass::LargeCMessage,
+        );
+        assert_eq!(sig.as_u64() - small.as_u64(), 6); // 7 flits vs 1
+    }
+
+    #[test]
+    fn local_messages_pay_fixed_overhead_only() {
+        let mut n = net();
+        let t = n.send(Cycle(5), NodeId(3), NodeId(3), MsgSize::Small, TrafficClass::SmallCMessage);
+        assert_eq!(t, Cycle(7));
+    }
+
+    #[test]
+    fn contention_backpressures_one_sender() {
+        let mut n = net();
+        // Two large messages back to back from node 0: the second waits for
+        // the first's 33 flits to leave the injection port.
+        let t1 = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::SignaturePair, TrafficClass::LargeCMessage);
+        let t2 = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::SignaturePair, TrafficClass::LargeCMessage);
+        assert_eq!(t2.as_u64() - t1.as_u64(), 7);
+        assert_eq!(n.total_queue_delay(), 7);
+        // A different sender is unaffected.
+        let t3 = n.send(Cycle(0), NodeId(2), NodeId(1), MsgSize::Small, TrafficClass::SmallCMessage);
+        assert_eq!(t3, Cycle(9));
+    }
+
+    #[test]
+    fn contention_can_be_disabled() {
+        let mut cfg = NetworkConfig::paper_default(64);
+        cfg.model_contention = false;
+        let mut n = Network::new(cfg);
+        let t1 = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::SignaturePair, TrafficClass::LargeCMessage);
+        let t2 = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::SignaturePair, TrafficClass::LargeCMessage);
+        assert_eq!(t1, t2);
+        assert_eq!(n.total_queue_delay(), 0);
+    }
+
+    #[test]
+    fn counters_and_hops_accumulate() {
+        let mut n = net();
+        n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::Line, TrafficClass::RemoteShRd);
+        n.send(Cycle(0), NodeId(0), NodeId(2), MsgSize::Line, TrafficClass::RemoteDirtyRd);
+        assert_eq!(n.counters().total_messages(), 2);
+        assert_eq!(n.total_hops(), 3);
+    }
+
+    #[test]
+    fn pure_latency_matches_uncontended_send() {
+        let mut n = net();
+        let pure = n.pure_latency(NodeId(0), NodeId(9), MsgSize::Signature);
+        let sent = n.send(Cycle(0), NodeId(0), NodeId(9), MsgSize::Signature, TrafficClass::LargeCMessage);
+        assert_eq!(Cycle(pure), sent);
+    }
+}

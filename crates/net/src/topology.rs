@@ -1,0 +1,224 @@
+//! 2D-torus topology.
+
+use std::fmt;
+
+use sb_mem::{CoreId, DirId};
+
+/// A tile in the torus. Tile `i` hosts core `i` and directory module `i`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index for table lookups.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<CoreId> for NodeId {
+    fn from(c: CoreId) -> NodeId {
+        NodeId(c.0)
+    }
+}
+
+impl From<DirId> for NodeId {
+    fn from(d: DirId) -> NodeId {
+        NodeId(d.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A `cols × rows` 2D torus with minimal XY routing.
+///
+/// # Examples
+///
+/// ```
+/// use sb_net::{NodeId, Torus};
+///
+/// let t = Torus::for_tiles(64); // 8 × 8
+/// assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+/// // Wraparound: node 0 to node 7 on an 8-wide row is 1 hop, not 7.
+/// assert_eq!(t.hops(NodeId(0), NodeId(7)), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    cols: u16,
+    rows: u16,
+}
+
+impl Torus {
+    /// Creates a `cols × rows` torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: u16, rows: u16) -> Self {
+        assert!(cols > 0 && rows > 0, "torus dimensions must be positive");
+        Torus { cols, rows }
+    }
+
+    /// Chooses the most-square torus for `tiles` tiles: 64 → 8×8,
+    /// 32 → 8×4, 16 → 4×4, etc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is not a positive power of two (the paper's
+    /// machines are 32 and 64 tiles).
+    pub fn for_tiles(tiles: u16) -> Self {
+        assert!(
+            tiles > 0 && (tiles & (tiles - 1)) == 0,
+            "tile count must be a power of two, got {tiles}"
+        );
+        let log = tiles.trailing_zeros();
+        let cols = 1u16 << log.div_ceil(2);
+        let rows = tiles / cols;
+        Torus::new(cols, rows)
+    }
+
+    /// Columns.
+    pub fn cols(self) -> u16 {
+        self.cols
+    }
+
+    /// Rows.
+    pub fn rows(self) -> u16 {
+        self.rows
+    }
+
+    /// Total tiles.
+    pub fn tiles(self) -> u16 {
+        self.cols * self.rows
+    }
+
+    /// (x, y) coordinates of a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn coords(self, n: NodeId) -> (u16, u16) {
+        assert!(n.0 < self.tiles(), "node {n} outside torus");
+        (n.0 % self.cols, n.0 / self.cols)
+    }
+
+    /// Tile at (x, y).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn node_at(self, x: u16, y: u16) -> NodeId {
+        assert!(x < self.cols && y < self.rows, "coords out of torus");
+        NodeId(y * self.cols + x)
+    }
+
+    /// Minimal hop count between two tiles with wraparound in both
+    /// dimensions.
+    pub fn hops(self, a: NodeId, b: NodeId) -> u16 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let dx = ax.abs_diff(bx);
+        let dy = ay.abs_diff(by);
+        dx.min(self.cols - dx) + dy.min(self.rows - dy)
+    }
+
+    /// The tile nearest the geometric centre — where BulkSC's centralized
+    /// arbiter sits ("protocol from \[5\] with arbiter in the center",
+    /// Table 3).
+    pub fn center(self) -> NodeId {
+        self.node_at(self.cols / 2, self.rows / 2)
+    }
+
+    /// Average hop distance from `src` to all other tiles (useful for
+    /// calibration tests).
+    pub fn mean_hops_from(self, src: NodeId) -> f64 {
+        let total: u32 = (0..self.tiles())
+            .filter(|&t| NodeId(t) != src)
+            .map(|t| self.hops(src, NodeId(t)) as u32)
+            .sum();
+        total as f64 / (self.tiles() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_tiles_shapes() {
+        assert_eq!(Torus::for_tiles(64), Torus::new(8, 8));
+        assert_eq!(Torus::for_tiles(32), Torus::new(8, 4));
+        assert_eq!(Torus::for_tiles(16), Torus::new(4, 4));
+        assert_eq!(Torus::for_tiles(1), Torus::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_tiles_panics() {
+        Torus::for_tiles(48);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Torus::new(8, 8);
+        for n in 0..64 {
+            let (x, y) = t.coords(NodeId(n));
+            assert_eq!(t.node_at(x, y), NodeId(n));
+        }
+    }
+
+    #[test]
+    fn hops_symmetric_and_wrapping() {
+        let t = Torus::new(8, 8);
+        for a in 0..64u16 {
+            for b in 0..64u16 {
+                let h = t.hops(NodeId(a), NodeId(b));
+                assert_eq!(h, t.hops(NodeId(b), NodeId(a)));
+                assert!(h <= 8, "max torus distance is cols/2 + rows/2");
+            }
+        }
+        assert_eq!(t.hops(NodeId(0), NodeId(7)), 1); // row wrap
+        assert_eq!(t.hops(NodeId(0), NodeId(56)), 1); // column wrap
+        assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        let t = Torus::new(8, 4);
+        for a in 0..32u16 {
+            for b in 0..32u16 {
+                for c in [0u16, 5, 17, 31] {
+                    assert!(
+                        t.hops(NodeId(a), NodeId(b))
+                            <= t.hops(NodeId(a), NodeId(c)) + t.hops(NodeId(c), NodeId(b))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn center_is_central() {
+        let t = Torus::new(8, 8);
+        let c = t.center();
+        // The centre's mean distance is no worse than a corner's.
+        assert!(t.mean_hops_from(c) <= t.mean_hops_from(NodeId(0)) + 1e-9);
+    }
+
+    #[test]
+    fn id_conversions() {
+        assert_eq!(NodeId::from(CoreId(5)), NodeId(5));
+        assert_eq!(NodeId::from(DirId(6)), NodeId(6));
+        assert_eq!(NodeId(3).idx(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside torus")]
+    fn out_of_range_coords_panics() {
+        Torus::new(2, 2).coords(NodeId(4));
+    }
+}

@@ -1,0 +1,207 @@
+//! The protocol trait.
+
+use sb_chunks::{ChunkTag, CommitRequest};
+use sb_mem::{CoreId, DirId, DirSet, LineAddr};
+
+use crate::command::{Endpoint, Outbox};
+use crate::kind::ProtocolKind;
+use crate::view::MachineView;
+
+/// Information piggy-backed on a `bulk inv ack` when the acking processor
+/// had to squash a chunk it had already sent out for commit — the *commit
+/// recall* of §3.3/§3.4 (Optimistic Commit Initiation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbortedCommit {
+    /// The squashed chunk whose in-flight commit must be cancelled.
+    pub tag: ChunkTag,
+    /// The failed chunk's directory vector, so the winning group's leader
+    /// can compute the Collision module (`Dir ID` in Table 1) as the
+    /// lowest-numbered module common to both groups.
+    pub g_vec: DirSet,
+}
+
+/// A `bulk inv ack` delivered to the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BulkInvAck {
+    /// The directory the invalidation came from (the group leader in
+    /// ScalableBulk); the ack has arrived back there.
+    pub dir: DirId,
+    /// The sharer processor acknowledging.
+    pub from: CoreId,
+    /// The committing chunk whose invalidation is acknowledged.
+    pub tag: ChunkTag,
+    /// Present iff the sharer squashed a chunk it had already sent out for
+    /// commit (commit recall piggy-back).
+    pub aborted: Option<AbortedCommit>,
+}
+
+/// A chunk-commit coherence protocol.
+///
+/// Protocols are pure message-driven state machines: the host calls
+/// [`CommitProtocol::start_commit`] when a core finishes a chunk, delivers
+/// protocol-internal messages via [`CommitProtocol::deliver`], and reports
+/// bulk-invalidation acknowledgements via
+/// [`CommitProtocol::bulk_inv_acked`]. The protocol responds by pushing
+/// [`Command`](crate::Command)s.
+///
+/// Hosts guarantee:
+///
+/// * messages between the same (src, dst) pair are *not* reordered
+///   arbitrarily — they arrive at their computed network times, which may
+///   interleave across pairs (the protocols must tolerate the `&` orderings
+///   of Appendix A);
+/// * `start_commit` is called at most once per chunk tag at a time; on
+///   commit failure the host backs off and calls `start_commit` again with
+///   the same request (same tag — the chunk was not squashed);
+/// * after a bulk invalidation squashes a chunk, the host never retries
+///   that tag (the re-executed chunk gets a fresh tag).
+pub trait CommitProtocol {
+    /// The protocol's internal message type.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Which of the four protocols this is.
+    fn kind(&self) -> ProtocolKind;
+
+    /// Core `req.tag.core()` requests the commit of a finished chunk.
+    fn start_commit(
+        &mut self,
+        view: &dyn MachineView,
+        out: &mut Outbox<Self::Msg>,
+        req: CommitRequest,
+    );
+
+    /// A protocol-internal message arrives at actor `dst`.
+    fn deliver(
+        &mut self,
+        view: &dyn MachineView,
+        out: &mut Outbox<Self::Msg>,
+        dst: Endpoint,
+        msg: Self::Msg,
+    );
+
+    /// A `bulk inv ack` arrived back at the issuing directory.
+    fn bulk_inv_acked(
+        &mut self,
+        view: &dyn MachineView,
+        out: &mut Outbox<Self::Msg>,
+        ack: BulkInvAck,
+    );
+
+    /// Whether a load of `line` arriving at directory `dir` must be nacked
+    /// because it collides with a committing chunk (§3.1). The host retries
+    /// nacked reads after a backoff.
+    fn read_blocked(&self, _dir: DirId, _line: LineAddr) -> bool {
+        false
+    }
+
+    /// Number of chunks this protocol currently has in some stage of
+    /// commit processing (diagnostics).
+    fn in_flight(&self) -> usize;
+
+    /// One-line internal-state summary for livelock diagnostics.
+    fn debug_state(&self) -> String {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Command;
+    use sb_chunks::ActiveChunk;
+    use sb_engine::Cycle;
+    use sb_mem::CoreSet;
+    use sb_sigs::{Signature, SignatureConfig};
+
+    /// A trivial protocol that instantly grants every commit; exercises the
+    /// trait surface and serves as the "null protocol" for host tests.
+    struct InstantCommit {
+        in_flight: usize,
+    }
+
+    impl CommitProtocol for InstantCommit {
+        type Msg = ();
+
+        fn kind(&self) -> ProtocolKind {
+            ProtocolKind::BulkSc
+        }
+
+        fn start_commit(
+            &mut self,
+            _view: &dyn MachineView,
+            out: &mut Outbox<()>,
+            req: CommitRequest,
+        ) {
+            out.commit_success(req.tag.core(), req.tag, DirId(0));
+        }
+
+        fn deliver(
+            &mut self,
+            _view: &dyn MachineView,
+            _out: &mut Outbox<()>,
+            _dst: Endpoint,
+            _msg: (),
+        ) {
+        }
+
+        fn bulk_inv_acked(
+            &mut self,
+            _view: &dyn MachineView,
+            _out: &mut Outbox<()>,
+            _ack: BulkInvAck,
+        ) {
+        }
+
+        fn in_flight(&self) -> usize {
+            self.in_flight
+        }
+    }
+
+    struct NullView;
+    impl MachineView for NullView {
+        fn now(&self) -> Cycle {
+            Cycle::ZERO
+        }
+        fn cores(&self) -> u16 {
+            1
+        }
+        fn dirs(&self) -> u16 {
+            1
+        }
+        fn sharers_matching(&self, _: DirId, _: &Signature, _: CoreId) -> CoreSet {
+            CoreSet::empty()
+        }
+    }
+
+    #[test]
+    fn instant_protocol_grants_immediately() {
+        let mut p = InstantCommit { in_flight: 0 };
+        let mut out = Outbox::new();
+        let chunk = ActiveChunk::new(
+            ChunkTag::new(CoreId(0), 0),
+            SignatureConfig::paper_default(),
+        );
+        p.start_commit(&NullView, &mut out, chunk.to_commit_request());
+        let cmds = out.drain();
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(cmds[0], Command::CommitSuccess { .. }));
+        assert!(!p.read_blocked(DirId(0), LineAddr(0)));
+        assert_eq!(p.in_flight(), 0);
+        assert_eq!(p.kind(), ProtocolKind::BulkSc);
+    }
+
+    #[test]
+    fn aborted_commit_carries_gvec() {
+        let a = AbortedCommit {
+            tag: ChunkTag::new(CoreId(1), 3),
+            g_vec: DirSet::single(DirId(2)),
+        };
+        let ack = BulkInvAck {
+            dir: DirId(0),
+            from: CoreId(1),
+            tag: ChunkTag::new(CoreId(0), 9),
+            aborted: Some(a),
+        };
+        assert_eq!(ack.aborted.unwrap().g_vec.lowest(), Some(DirId(2)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Read-only machine state available to a protocol.
+
+use sb_engine::Cycle;
+use sb_mem::{CoreId, CoreSet, DirId};
+use sb_sigs::Signature;
+
+/// The machine state a protocol may consult synchronously during an upcall.
+///
+/// Everything a protocol *changes* goes through
+/// [`Command`](crate::Command)s; everything it *reads* comes from here.
+/// The sharer lookup is the §3.2.1 computation: each participating
+/// directory expands the W signature against its local directory state to
+/// find the processors that must be invalidated ("computing the sharer
+/// processors is done by all directory controllers in parallel").
+pub trait MachineView {
+    /// Current simulated time.
+    fn now(&self) -> Cycle;
+
+    /// Number of processor cores.
+    fn cores(&self) -> u16;
+
+    /// Number of directory modules.
+    fn dirs(&self) -> u16;
+
+    /// Directory `dir`'s local `inval_vec` for a committing chunk: the
+    /// union of sharers (and dirty owners) of every tracked line matching
+    /// `wsig`, excluding the committer itself.
+    fn sharers_matching(&self, dir: DirId, wsig: &Signature, committer: CoreId) -> CoreSet;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+
+    impl MachineView for Dummy {
+        fn now(&self) -> Cycle {
+            Cycle(42)
+        }
+        fn cores(&self) -> u16 {
+            4
+        }
+        fn dirs(&self) -> u16 {
+            4
+        }
+        fn sharers_matching(&self, _d: DirId, _w: &Signature, committer: CoreId) -> CoreSet {
+            CoreSet::single(CoreId(0)).without(committer)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let d = Dummy;
+        let view: &dyn MachineView = &d;
+        assert_eq!(view.now(), Cycle(42));
+        assert_eq!(view.cores(), 4);
+        let w = Signature::new(sb_sigs::SignatureConfig::paper_default());
+        assert!(view.sharers_matching(DirId(0), &w, CoreId(0)).is_empty());
+        assert!(!view.sharers_matching(DirId(0), &w, CoreId(1)).is_empty());
+    }
+}

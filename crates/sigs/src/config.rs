@@ -1,0 +1,127 @@
+//! Signature geometry.
+
+/// Geometry of a hardware address signature.
+///
+/// The paper's configuration (Table 2) is a 2 Kbit signature "organized like
+/// in \[5\]" (BulkSC); we default to four independent banks of 512 bits each.
+/// Smaller signatures alias more and squash more chunks — the
+/// `ablation_signature_size` bench sweeps this.
+///
+/// # Examples
+///
+/// ```
+/// use sb_sigs::SignatureConfig;
+///
+/// let cfg = SignatureConfig::paper_default();
+/// assert_eq!(cfg.total_bits(), 2048);
+/// assert_eq!(cfg.banks(), 4);
+/// assert_eq!(cfg.bits_per_bank(), 512);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SignatureConfig {
+    bits: u32,
+    banks: u32,
+}
+
+impl SignatureConfig {
+    /// Creates a configuration with `bits` total bits split across `banks`
+    /// equal banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `banks >= 1`, `bits` is a multiple of `64 * banks`
+    /// (each bank must be a whole number of machine words), and each bank is
+    /// a power of two bits wide (so the hash can mask instead of divide).
+    pub fn new(bits: u32, banks: u32) -> Self {
+        assert!(banks >= 1, "need at least one bank");
+        assert!(
+            bits.is_multiple_of(64 * banks),
+            "bits ({bits}) must be a multiple of 64 * banks ({banks})"
+        );
+        let per_bank = bits / banks;
+        assert!(
+            per_bank.is_power_of_two(),
+            "bits per bank ({per_bank}) must be a power of two"
+        );
+        SignatureConfig { bits, banks }
+    }
+
+    /// The paper's configuration: 2 Kbit, 4 banks of 512 bits.
+    pub fn paper_default() -> Self {
+        SignatureConfig::new(2048, 4)
+    }
+
+    /// Total bits in the signature register.
+    pub fn total_bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of banks.
+    pub fn banks(self) -> u32 {
+        self.banks
+    }
+
+    /// Bits in each bank.
+    pub fn bits_per_bank(self) -> u32 {
+        self.bits / self.banks
+    }
+
+    /// 64-bit words per bank.
+    pub fn words_per_bank(self) -> usize {
+        (self.bits_per_bank() / 64) as usize
+    }
+
+    /// Total 64-bit words in the signature.
+    pub fn total_words(self) -> usize {
+        (self.bits / 64) as usize
+    }
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let c = SignatureConfig::paper_default();
+        assert_eq!(c.total_bits(), 2048);
+        assert_eq!(c.banks(), 4);
+        assert_eq!(c.bits_per_bank(), 512);
+        assert_eq!(c.words_per_bank(), 8);
+        assert_eq!(c.total_words(), 32);
+        assert_eq!(SignatureConfig::default(), c);
+    }
+
+    #[test]
+    fn custom_geometries() {
+        let c = SignatureConfig::new(512, 2);
+        assert_eq!(c.bits_per_bank(), 256);
+        assert_eq!(c.words_per_bank(), 4);
+        let c = SignatureConfig::new(64, 1);
+        assert_eq!(c.words_per_bank(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        SignatureConfig::new(128, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn non_word_multiple_panics() {
+        SignatureConfig::new(96, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_bank_panics() {
+        SignatureConfig::new(384, 2); // 192 bits/bank: word multiple, not pow2
+    }
+}

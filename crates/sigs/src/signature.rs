@@ -1,0 +1,426 @@
+//! The signature register itself.
+
+use std::fmt;
+
+use crate::config::SignatureConfig;
+use crate::hashing::bank_hash;
+
+/// A hardware address signature: a banked Bloom encoding of a set of
+/// cache-line addresses.
+///
+/// All operations are conservative in the Bulk sense: [`Signature::test`]
+/// and [`Signature::intersects`] may return `true` for addresses/sets that
+/// were never inserted (aliasing), but never return `false` for ones that
+/// were.
+///
+/// # Examples
+///
+/// ```
+/// use sb_sigs::{Signature, SignatureConfig};
+///
+/// let cfg = SignatureConfig::paper_default();
+/// let w = Signature::from_lines(cfg, [10, 20, 30]);
+/// assert!(w.test(20));
+/// assert!(!w.is_empty());
+/// assert_eq!(w.expand([5, 10, 15, 20]).len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    cfg: SignatureConfig,
+    words: Vec<u64>,
+    /// Exact number of `insert` calls (hardware keeps a similar counter to
+    /// estimate occupancy); not part of the encoded set.
+    inserted: u32,
+}
+
+impl Signature {
+    /// Creates an empty signature.
+    pub fn new(cfg: SignatureConfig) -> Self {
+        Signature {
+            cfg,
+            words: vec![0; cfg.total_words()],
+            inserted: 0,
+        }
+    }
+
+    /// Creates a signature containing every line produced by `lines`.
+    pub fn from_lines<I: IntoIterator<Item = u64>>(cfg: SignatureConfig, lines: I) -> Self {
+        let mut s = Signature::new(cfg);
+        for l in lines {
+            s.insert(l);
+        }
+        s
+    }
+
+    /// The geometry this signature was built with.
+    pub fn config(&self) -> SignatureConfig {
+        self.cfg
+    }
+
+    /// Inserts a line address.
+    pub fn insert(&mut self, line: u64) {
+        let wpb = self.cfg.words_per_bank();
+        let bank_bits = self.cfg.bits_per_bank();
+        for bank in 0..self.cfg.banks() {
+            let bit = bank_hash(line, bank, bank_bits);
+            let word = bank as usize * wpb + (bit / 64) as usize;
+            self.words[word] |= 1u64 << (bit % 64);
+        }
+        self.inserted = self.inserted.saturating_add(1);
+    }
+
+    /// Membership test. Never produces a false negative.
+    pub fn test(&self, line: u64) -> bool {
+        let wpb = self.cfg.words_per_bank();
+        let bank_bits = self.cfg.bits_per_bank();
+        for bank in 0..self.cfg.banks() {
+            let bit = bank_hash(line, bank, bank_bits);
+            let word = bank as usize * wpb + (bit / 64) as usize;
+            if self.words[word] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether no line was ever inserted (exact, not probabilistic).
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every line.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
+    /// Conservative set-intersection test: `false` guarantees the two
+    /// encoded sets are disjoint; `true` means they *may* overlap.
+    ///
+    /// Per the Bulk intersection rule, the sets may overlap only if the
+    /// bitwise AND is non-empty in **every** bank (a shared address sets one
+    /// common bit per bank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two signatures have different geometry.
+    pub fn intersects(&self, other: &Signature) -> bool {
+        assert_eq!(self.cfg, other.cfg, "signature geometry mismatch");
+        let wpb = self.cfg.words_per_bank();
+        for bank in 0..self.cfg.banks() as usize {
+            let mut nonzero = false;
+            for w in 0..wpb {
+                if self.words[bank * wpb + w] & other.words[bank * wpb + w] != 0 {
+                    nonzero = true;
+                    break;
+                }
+            }
+            if !nonzero {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// In-place union: afterwards `self` encodes a superset of both inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two signatures have different geometry.
+    pub fn union_with(&mut self, other: &Signature) {
+        assert_eq!(self.cfg, other.cfg, "signature geometry mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.inserted = self.inserted.saturating_add(other.inserted);
+    }
+
+    /// Signature *expansion*: filters `candidates` down to the lines that
+    /// match the signature. This is how a directory module (or a cache)
+    /// recovers a concrete line list from a W signature — the result is a
+    /// superset of the truly inserted lines restricted to the candidate
+    /// universe.
+    pub fn expand<I: IntoIterator<Item = u64>>(&self, candidates: I) -> Vec<u64> {
+        candidates.into_iter().filter(|&l| self.test(l)).collect()
+    }
+
+    /// Number of `insert` calls performed (duplicates counted).
+    pub fn inserted_count(&self) -> u32 {
+        self.inserted
+    }
+
+    /// Fraction of bits set, averaged over banks — a direct measure of how
+    /// saturated (and thus alias-prone) the signature is.
+    pub fn occupancy(&self) -> f64 {
+        let set: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.cfg.total_bits() as f64
+    }
+
+    /// Estimated probability that a membership test on a *random* absent
+    /// line returns a false positive: the product over banks of each bank's
+    /// fill fraction.
+    pub fn false_positive_rate(&self) -> f64 {
+        let wpb = self.cfg.words_per_bank();
+        let bank_bits = self.cfg.bits_per_bank() as f64;
+        let mut p = 1.0;
+        for bank in 0..self.cfg.banks() as usize {
+            let set: u32 = self.words[bank * wpb..(bank + 1) * wpb]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
+            p *= set as f64 / bank_bits;
+        }
+        p
+    }
+
+    /// Approximate size in bits of the signature as carried in a network
+    /// message (used for flit accounting).
+    pub fn wire_bits(&self) -> u32 {
+        self.cfg.total_bits()
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Signature")
+            .field("bits", &self.cfg.total_bits())
+            .field("banks", &self.cfg.banks())
+            .field("inserted", &self.inserted)
+            .field("occupancy", &format!("{:.3}", self.occupancy()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SignatureConfig {
+        SignatureConfig::paper_default()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut s = Signature::new(cfg());
+        let lines: Vec<u64> = (0..200).map(|i| i * 37 + 5).collect();
+        for &l in &lines {
+            s.insert(l);
+        }
+        for &l in &lines {
+            assert!(s.test(l), "false negative on {l}");
+        }
+        assert_eq!(s.inserted_count(), 200);
+    }
+
+    #[test]
+    fn empty_signature_matches_nothing() {
+        let s = Signature::new(cfg());
+        assert!(s.is_empty());
+        for l in 0..100 {
+            assert!(!s.test(l));
+        }
+        assert_eq!(s.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Signature::from_lines(cfg(), [1, 2, 3]);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.inserted_count(), 0);
+        assert!(!s.test(1));
+    }
+
+    #[test]
+    fn disjoint_small_sets_usually_do_not_intersect() {
+        // With 2 Kbit signatures and ~16 lines each, the false intersection
+        // probability is tiny; over 100 trials expect no more than a couple.
+        let mut false_hits = 0;
+        for trial in 0..100u64 {
+            let a = Signature::from_lines(cfg(), (0..16).map(|i| trial * 1000 + i));
+            let b = Signature::from_lines(cfg(), (0..16).map(|i| trial * 1000 + 500 + i));
+            if a.intersects(&b) {
+                false_hits += 1;
+            }
+        }
+        assert!(false_hits <= 2, "too many false intersections: {false_hits}");
+    }
+
+    #[test]
+    fn overlapping_sets_always_intersect() {
+        for trial in 0..50u64 {
+            let mut a = Signature::from_lines(cfg(), (0..30).map(|i| trial * 999 + i));
+            let b = Signature::from_lines(cfg(), [trial * 999 + 7, 1_000_000 + trial]);
+            assert!(a.intersects(&b));
+            // Union makes the overlap permanent.
+            a.union_with(&b);
+            assert!(a.test(1_000_000 + trial));
+        }
+    }
+
+    #[test]
+    fn intersect_is_symmetric() {
+        let a = Signature::from_lines(cfg(), 0..40);
+        let b = Signature::from_lines(cfg(), 35..80);
+        assert_eq!(a.intersects(&b), b.intersects(&a));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn expansion_is_superset_of_truth() {
+        let truth: Vec<u64> = (0..25).map(|i| i * 101).collect();
+        let s = Signature::from_lines(cfg(), truth.iter().copied());
+        let universe: Vec<u64> = (0..3000).collect::<Vec<_>>();
+        let expanded = s.expand(universe);
+        for t in &truth {
+            if *t < 3000 {
+                assert!(expanded.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_grows_with_inserts() {
+        let mut s = Signature::new(cfg());
+        let mut last = 0.0;
+        for chunk in 0..5 {
+            for i in 0..50 {
+                s.insert(chunk * 1_000 + i * 13);
+            }
+            let occ = s.occupancy();
+            assert!(occ >= last);
+            last = occ;
+        }
+        assert!(last > 0.05 && last < 0.5, "occupancy {last}");
+    }
+
+    #[test]
+    fn false_positive_rate_tracks_saturation() {
+        let small = Signature::from_lines(cfg(), 0..8);
+        let big = Signature::from_lines(cfg(), 0..512);
+        assert!(small.false_positive_rate() < big.false_positive_rate());
+        assert!(big.false_positive_rate() <= 1.0);
+    }
+
+    #[test]
+    fn smaller_signatures_alias_more() {
+        // Dense scattered sets: the small signature saturates and aliases,
+        // the paper's 2 Kbit configuration keeps most pairs disjoint.
+        let small_cfg = SignatureConfig::new(256, 4);
+        let mut small_hits = 0;
+        let mut big_hits = 0;
+        for trial in 0..100u64 {
+            let a_lines: Vec<u64> = (0..12)
+                .map(|i: u64| (trial * 7 + i).wrapping_mul(0x9E37_79B9) ^ (i << 23))
+                .collect();
+            let b_lines: Vec<u64> = (0..12)
+                .map(|i: u64| (trial * 7 + i + 500).wrapping_mul(0x6C62_72E5) ^ (i << 19))
+                .collect();
+            let a_s = Signature::from_lines(small_cfg, a_lines.iter().copied());
+            let b_s = Signature::from_lines(small_cfg, b_lines.iter().copied());
+            let a_b = Signature::from_lines(cfg(), a_lines.iter().copied());
+            let b_b = Signature::from_lines(cfg(), b_lines.iter().copied());
+            small_hits += a_s.intersects(&b_s) as u32;
+            big_hits += a_b.intersects(&b_b) as u32;
+        }
+        assert!(
+            small_hits > big_hits,
+            "expected more aliasing in small sigs: small={small_hits} big={big_hits}"
+        );
+    }
+
+    #[test]
+    fn sequential_disjoint_footprints_rarely_alias() {
+        // The locality-preserving encoding keeps realistic chunk
+        // footprints (sequential runs over a few pages) from aliasing.
+        let mut hits = 0;
+        for trial in 0..100u64 {
+            let a = Signature::from_lines(cfg(), (0..128).map(|i| trial * 65_536 + i));
+            let b = Signature::from_lines(
+                cfg(),
+                (0..128).map(|i| trial * 65_536 + 30_000 + i),
+            );
+            hits += a.intersects(&b) as u32;
+        }
+        assert!(hits <= 10, "sequential footprints alias too much: {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn mismatched_geometry_panics() {
+        let a = Signature::new(SignatureConfig::new(2048, 4));
+        let b = Signature::new(SignatureConfig::new(1024, 4));
+        a.intersects(&b);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = Signature::from_lines(cfg(), [1]);
+        assert!(format!("{s:?}").contains("Signature"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_cfg() -> SignatureConfig {
+        SignatureConfig::new(2048, 4)
+    }
+
+    proptest! {
+        /// Fundamental soundness: inserted lines always test positive.
+        #[test]
+        fn prop_no_false_negatives(lines in proptest::collection::vec(any::<u64>(), 0..300)) {
+            let s = Signature::from_lines(small_cfg(), lines.iter().copied());
+            for &l in &lines {
+                prop_assert!(s.test(l));
+            }
+        }
+
+        /// If the true sets share an element, intersection must say so.
+        #[test]
+        fn prop_intersection_sound(
+            a in proptest::collection::vec(any::<u64>(), 1..100),
+            b in proptest::collection::vec(any::<u64>(), 1..100),
+            pick in any::<proptest::sample::Index>(),
+        ) {
+            let shared = a[pick.index(a.len())];
+            let sa = Signature::from_lines(small_cfg(), a.iter().copied());
+            let mut b2 = b.clone();
+            b2.push(shared);
+            let sb = Signature::from_lines(small_cfg(), b2.iter().copied());
+            prop_assert!(sa.intersects(&sb));
+        }
+
+        /// Union encodes a superset of both inputs.
+        #[test]
+        fn prop_union_superset(
+            a in proptest::collection::vec(any::<u64>(), 0..100),
+            b in proptest::collection::vec(any::<u64>(), 0..100),
+        ) {
+            let sa = Signature::from_lines(small_cfg(), a.iter().copied());
+            let sb = Signature::from_lines(small_cfg(), b.iter().copied());
+            let mut u = sa.clone();
+            u.union_with(&sb);
+            for &l in a.iter().chain(b.iter()) {
+                prop_assert!(u.test(l));
+            }
+        }
+
+        /// Expansion returns exactly the candidates that test positive.
+        #[test]
+        fn prop_expand_consistent(
+            lines in proptest::collection::vec(any::<u64>(), 0..50),
+            cands in proptest::collection::vec(any::<u64>(), 0..50),
+        ) {
+            let s = Signature::from_lines(small_cfg(), lines.iter().copied());
+            let out = s.expand(cands.iter().copied());
+            for &c in &cands {
+                prop_assert_eq!(out.contains(&c), s.test(c));
+            }
+        }
+    }
+}

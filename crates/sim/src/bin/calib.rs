@@ -1,0 +1,45 @@
+//! One-line calibration probe: run a single (app, protocol, cores,
+//! insns) configuration and print every headline metric on one line.
+//! Handy for quick comparisons while tuning workload models.
+//!
+//! ```text
+//! cargo run --release -p sb-sim --bin calib -- [app] [protocol] [cores] [insns]
+//! ```
+//!
+//! Environment: `SB_MAX_SQUASH=<n>` overrides the starvation-reservation
+//! threshold; `SB_SIM_PROGRESS=1` prints liveness diagnostics.
+
+use sb_proto::ProtocolKind;
+use sb_sim::{run_simulation, SimConfig};
+use sb_workloads::AppProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).map(|s| s.as_str()).unwrap_or("FFT");
+    let proto: ProtocolKind = args.get(2).map(|s| s.as_str()).unwrap_or("sb").parse().unwrap();
+    let cores: u16 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(64);
+    let insns: u64 = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(20_000);
+    let t0 = std::time::Instant::now();
+    let mut cfg = SimConfig::paper_default(cores, AppProfile::by_name(app).unwrap(), proto);
+    cfg.insns_per_thread = insns;
+    if let Ok(m) = std::env::var("SB_MAX_SQUASH") {
+        cfg.sb.max_squashes_before_reservation = m.parse().unwrap();
+    }
+    let r = run_simulation(&cfg);
+    println!(
+        "{app} {proto} cores={cores} wall={} commits={} lat={:.1} dW={:.2} dR={:.2} br={:.2} q={:.2} sq={:.4} nacks={} u%={:.2} c%={:.2} co%={:.3} s%={:.4} msgs={} rr={} [{:?}]",
+        r.wall_cycles, r.commits, r.latency.mean(),
+        r.dirs.mean_write_group(), r.dirs.mean_read_group(),
+        r.gauges.bottleneck_ratio(), r.gauges.mean_queue_length(),
+        r.squash_rate(), r.read_nacks,
+        r.breakdown.fraction_useful(), r.breakdown.fraction_cache_miss(),
+        r.breakdown.fraction_commit(), r.breakdown.fraction_squash(),
+        r.traffic.total_messages(), r.remote_reads, t0.elapsed()
+    );
+    use sb_net::TrafficClass::*;
+    println!(
+        "  classes: MemRd={} ShRd={} DirtyRd={} Large={} SmallC={}",
+        r.traffic.count(MemRd), r.traffic.count(RemoteShRd), r.traffic.count(RemoteDirtyRd),
+        r.traffic.count(LargeCMessage), r.traffic.count(SmallCMessage)
+    );
+}

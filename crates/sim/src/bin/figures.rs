@@ -1,0 +1,180 @@
+//! Regenerates every table and figure of the ScalableBulk paper.
+//!
+//! ```text
+//! cargo run --release -p sb-sim --bin figures -- <id> [--insns N] [--seed S] [--csv DIR]
+//! cargo run --release -p sb-sim --bin figures -- all
+//! ```
+//!
+//! IDs: `table1 table2 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//! fig14 fig15 fig16 fig17 fig18 fig19 ablation_oci ablation_sig
+//! ablation_rotation ext_seqts`.
+
+use sb_sim::experiments::{self, Sweep};
+use sb_workloads::{AppProfile, Suite};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut ids: Vec<String> = Vec::new();
+    let mut sweep = Sweep::default();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--insns" => {
+                i += 1;
+                sweep.insns_per_thread = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                sweep.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = [
+            "table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablation_oci",
+            "ablation_sig", "ablation_rotation", "ext_seqts",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let (title, table) = match id.as_str() {
+            "table1" => (
+                "Table 1: message types in ScalableBulk".to_string(),
+                experiments::message_types_table(),
+            ),
+            "table2" => (
+                "Table 2: simulated system configuration".to_string(),
+                experiments::system_config_table(),
+            ),
+            "table3" => (
+                "Table 3: simulated cache coherence protocols".to_string(),
+                experiments::protocols_table(),
+            ),
+            "fig7" => (
+                "Figure 7: SPLASH-2 execution time (normalized; speedup vs 1 proc)".to_string(),
+                experiments::exec_time_table(Suite::Splash2, &sweep),
+            ),
+            "fig8" => (
+                "Figure 8: PARSEC execution time (normalized; speedup vs 1 proc)".to_string(),
+                experiments::exec_time_table(Suite::Parsec, &sweep),
+            ),
+            "fig9" => (
+                "Figure 9: directories per chunk commit, SPLASH-2".to_string(),
+                experiments::dirs_per_commit_table(Suite::Splash2, &sweep),
+            ),
+            "fig10" => (
+                "Figure 10: directories per chunk commit, PARSEC".to_string(),
+                experiments::dirs_per_commit_table(Suite::Parsec, &sweep),
+            ),
+            "fig11" => (
+                "Figure 11: distribution of directories per commit, SPLASH-2, 64 procs (%)"
+                    .to_string(),
+                experiments::dirs_distribution_table(Suite::Splash2, &sweep),
+            ),
+            "fig12" => (
+                "Figure 12: distribution of directories per commit, PARSEC, 64 procs (%)"
+                    .to_string(),
+                experiments::dirs_distribution_table(Suite::Parsec, &sweep),
+            ),
+            "fig13" => (
+                "Figure 13: chunk commit latency (cycles; paper 64p means: SB 91, TCC 411, SEQ 153, BulkSC 2954)"
+                    .to_string(),
+                experiments::commit_latency_table(&sweep),
+            ),
+            "fig14" => (
+                "Figure 14: bottleneck ratio, SPLASH-2, 64 procs".to_string(),
+                experiments::bottleneck_ratio_table(Suite::Splash2, &sweep),
+            ),
+            "fig15" => (
+                "Figure 15: bottleneck ratio, PARSEC, 64 procs".to_string(),
+                experiments::bottleneck_ratio_table(Suite::Parsec, &sweep),
+            ),
+            "fig16" => (
+                "Figure 16: chunk queue length, SPLASH-2, 64 procs".to_string(),
+                experiments::queue_length_table(Suite::Splash2, &sweep),
+            ),
+            "fig17" => (
+                "Figure 17: chunk queue length, PARSEC, 64 procs".to_string(),
+                experiments::queue_length_table(Suite::Parsec, &sweep),
+            ),
+            "fig18" => (
+                "Figure 18: message characterization, SPLASH-2, 64 procs (normalized to TCC)"
+                    .to_string(),
+                experiments::traffic_table(Suite::Splash2, &sweep),
+            ),
+            "fig19" => (
+                "Figure 19: message characterization, PARSEC, 64 procs (normalized to TCC)"
+                    .to_string(),
+                experiments::traffic_table(Suite::Parsec, &sweep),
+            ),
+            "ablation_oci" => (
+                "Ablation: Optimistic Commit Initiation on/off (64 procs)".to_string(),
+                experiments::ablation_oci_table(
+                    &[
+                        AppProfile::radix(),
+                        AppProfile::barnes(),
+                        AppProfile::canneal(),
+                        AppProfile::fft(),
+                    ],
+                    &sweep,
+                ),
+            ),
+            "ablation_sig" => (
+                "Ablation: signature size sweep (Barnes, 64 procs)".to_string(),
+                experiments::ablation_signature_table(AppProfile::barnes(), &sweep),
+            ),
+            "ext_seqts" => (
+                "Extension: SEQ-PRO vs SEQ-TS vs ScalableBulk (64 procs)".to_string(),
+                experiments::seq_ts_table(&sweep),
+            ),
+            "ablation_rotation" => (
+                "Ablation: leader-priority rotation on/off (Radix, 64 procs)".to_string(),
+                experiments::ablation_rotation_table(AppProfile::radix(), &sweep),
+            ),
+            other => {
+                eprintln!("unknown experiment id {other:?}");
+                usage();
+            }
+        };
+        println!("== {title} ==");
+        println!(
+            "(insns/thread={}, seed={:#x})",
+            sweep.insns_per_thread, sweep.seed
+        );
+        println!("{}", table.render());
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{id}.csv"));
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("[{} csv -> {}]", id, path.display());
+        }
+        eprintln!("[{} done in {:?}]", id, started.elapsed());
+    }
+}

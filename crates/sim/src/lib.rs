@@ -1,0 +1,38 @@
+//! Full-system ScalableBulk simulator and experiment harness.
+//!
+//! This crate wires every substrate together into the machine of Figure 1
+//! / Table 2: 32 or 64 tiles on a 2D torus (7-cycle links), each with a
+//! 1-IPC core, private 32 KB L1 + 512 KB L2, and a directory module;
+//! first-touch page mapping; 2 Kbit address signatures; two active chunks
+//! of ~2000 instructions per core; 300-cycle memory. Any of the four
+//! commit protocols (Table 3) plugs in through
+//! [`sb_proto::CommitProtocol`].
+//!
+//! * [`SimConfig`] — the simulated system configuration (Table 2 defaults
+//!   via [`SimConfig::paper_default`]).
+//! * [`Machine`] — the discrete-event full-system model: cores execute
+//!   synthetic per-application chunk streams (`sb-workloads`), caches and
+//!   the torus provide timing, directories run the protocol, bulk
+//!   invalidations squash conflicting chunks, and every figure's metric
+//!   is collected along the way.
+//! * [`RunResult`] — everything one run produces (cycle breakdown,
+//!   dirs/commit, commit-latency distribution, serialization gauges,
+//!   traffic counters).
+//! * [`run_simulation`] / [`run_app`] — protocol-dispatching entry points.
+//! * [`experiments`] — one function per paper figure/table, returning
+//!   printable tables; the `figures` binary exposes them on the command
+//!   line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+mod machine;
+mod result;
+mod runner;
+
+pub use config::SimConfig;
+pub use machine::Machine;
+pub use result::RunResult;
+pub use runner::{run_app, run_simulation};

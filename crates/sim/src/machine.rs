@@ -1,0 +1,1236 @@
+//! The full-system discrete-event machine.
+
+use std::collections::{HashMap, VecDeque};
+
+use sb_chunks::{ChunkSpec, ChunkTag, ChunkWindow, CommitRequest};
+use sb_engine::{Cycle, EventQueue};
+use sb_mem::{
+    CacheHierarchy, CoreId, CoreSet, DirId, DirectoryState, HitLevel, LineAddr, PageMapper,
+};
+use sb_net::{MsgSize, Network, TrafficClass};
+use sb_proto::{AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, MachineView};
+use sb_sigs::Signature;
+use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, SerializationGauges};
+use sb_workloads::WorkloadGen;
+
+use crate::config::SimConfig;
+use crate::result::RunResult;
+
+/// Cap on how many accesses one `Step` event may process. Batching cuts
+/// event counts by an order of magnitude while keeping the time skew
+/// between a core's local progress and cross-core events small.
+const STEP_BATCH: usize = 32;
+
+enum Ev<M> {
+    /// Core resumes executing its instruction stream.
+    Step { core: u16, epoch: u64 },
+    /// A read request arrives at the home directory.
+    ReadAtDir {
+        core: u16,
+        line: LineAddr,
+        epoch: u64,
+        stall_start: Cycle,
+    },
+    /// The read response (or nack retry timer) arrives back at the core.
+    ReadDone {
+        core: u16,
+        line: LineAddr,
+        epoch: u64,
+        stall_start: Cycle,
+        nacked: bool,
+    },
+    /// A store-miss fill completes (no core stall).
+    StoreFill { core: u16, line: LineAddr },
+    /// A read is ready to be served (memory access / owner lookup done):
+    /// the response message is injected *now*, keeping per-node injection
+    /// timestamps monotonic.
+    ReadServe {
+        core: u16,
+        line: LineAddr,
+        epoch: u64,
+        stall_start: Cycle,
+        from: sb_net::NodeId,
+        class: TrafficClass,
+    },
+    /// A store fetch arrives at the home directory.
+    StoreAtDir { core: u16, line: LineAddr },
+    /// A store fetch is ready to be served.
+    StoreServe {
+        core: u16,
+        line: LineAddr,
+        from: sb_net::NodeId,
+        class: TrafficClass,
+    },
+    /// A protocol message is delivered.
+    Proto { dst: Endpoint, msg: M },
+    /// A bulk invalidation arrives at a core.
+    BulkInv {
+        from: DirId,
+        to: u16,
+        tag: ChunkTag,
+        wsig: Signature,
+    },
+    /// A bulk-invalidation ack arrives back at the issuing directory.
+    AckAtDir { ack: BulkInvAck },
+    /// Commit success/failure notification arrives at the core.
+    Outcome {
+        core: u16,
+        tag: ChunkTag,
+        success: bool,
+    },
+    /// Commit retry backoff expired.
+    Retry { core: u16, tag: ChunkTag },
+}
+
+/// Machine state visible to protocols.
+struct ViewState {
+    now: Cycle,
+    cores: u16,
+    dirs: Vec<DirectoryState>,
+}
+
+impl MachineView for ViewState {
+    fn now(&self) -> Cycle {
+        self.now
+    }
+    fn cores(&self) -> u16 {
+        self.cores
+    }
+    fn dirs(&self) -> u16 {
+        self.dirs.len() as u16
+    }
+    fn sharers_matching(&self, dir: DirId, wsig: &Signature, committer: CoreId) -> CoreSet {
+        self.dirs[dir.idx()].sharers_matching(wsig, committer)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Running,
+    WaitRead,
+    WaitCommitSlot,
+    Finished,
+}
+
+struct PendingCommit {
+    tag: ChunkTag,
+    req: CommitRequest,
+    /// The spec, kept for re-execution if the chunk is squashed.
+    spec: ChunkSpec,
+    started: Cycle,
+    retries: u64,
+    retry_scheduled: bool,
+}
+
+/// Cycles invested in an in-flight chunk, for squash re-accounting.
+#[derive(Clone, Copy, Default)]
+struct Invested {
+    useful: u64,
+    cache: u64,
+}
+
+struct CoreCtx {
+    window: ChunkWindow,
+    hier: CacheHierarchy,
+    /// Lines with a store fetch in flight (merge duplicate fetches).
+    store_pending: std::collections::HashSet<LineAddr>,
+    spec: Option<ChunkSpec>,
+    pos: usize,
+    per_gap: u64,
+    leading: u64,
+    respec: VecDeque<ChunkSpec>,
+    epoch: u64,
+    phase: Phase,
+    committed_insns: u64,
+    target: u64,
+    pending_commit: Option<PendingCommit>,
+    /// A chunk that finished executing while an older chunk's commit was
+    /// still in flight: chunks from one core commit in order, so its
+    /// commit request is deferred until the older one retires.
+    waiting_commit: Option<PendingCommit>,
+    /// Conservatively-held bulk invalidations (OCI disabled).
+    held_invs: Vec<(DirId, ChunkTag, Signature)>,
+    commit_wait_since: Option<Cycle>,
+    breakdown: Breakdown,
+    invested: HashMap<ChunkTag, Invested>,
+    thread: usize,
+    finished_at: Cycle,
+}
+
+impl CoreCtx {
+    fn charge_useful(&mut self, n: u64, tag: ChunkTag) {
+        self.breakdown.useful += n;
+        self.invested.entry(tag).or_default().useful += n;
+    }
+
+    fn charge_cache(&mut self, n: u64, tag: ChunkTag) {
+        self.breakdown.cache_miss += n;
+        self.invested.entry(tag).or_default().cache += n;
+    }
+}
+
+/// The full-system machine: cores + caches + torus + directories +
+/// one commit protocol. See the crate docs for the model.
+pub struct Machine<P: CommitProtocol> {
+    cfg: SimConfig,
+    queue: EventQueue<Ev<P::Msg>>,
+    proto: P,
+    view: ViewState,
+    net: Network,
+    mapper: PageMapper,
+    cores: Vec<CoreCtx>,
+    workload: WorkloadGen,
+    // statistics
+    dirs_stat: DirsPerCommit,
+    latency: LatencyDist,
+    gauges: SerializationGauges,
+    commits: u64,
+    squash_conflict: u64,
+    squash_alias: u64,
+    read_nacks: u64,
+    remote_reads: u64,
+    commit_retries: u64,
+    outcome_failures: u64,
+    finished_cores: usize,
+}
+
+impl<P: CommitProtocol> Machine<P> {
+    /// Builds the machine for `cfg` with protocol instance `proto`.
+    pub fn new(cfg: SimConfig, proto: P) -> Self {
+        let workload = WorkloadGen::new(cfg.app, cfg.threads, cfg.seed);
+        let cores: Vec<CoreCtx> = (0..cfg.cores)
+            .map(|i| CoreCtx {
+                window: ChunkWindow::new(CoreId(i), cfg.max_active_chunks, cfg.sig),
+                hier: CacheHierarchy::new(cfg.hier),
+                store_pending: std::collections::HashSet::new(),
+                spec: None,
+                pos: 0,
+                per_gap: 0,
+                leading: 0,
+                respec: VecDeque::new(),
+                epoch: 0,
+                phase: Phase::Running,
+                committed_insns: 0,
+                target: if cfg.cores == 1 {
+                    cfg.total_insns()
+                } else {
+                    cfg.insns_per_thread
+                },
+                pending_commit: None,
+                waiting_commit: None,
+                held_invs: Vec::new(),
+                commit_wait_since: None,
+                breakdown: Breakdown::new(),
+                invested: HashMap::new(),
+                thread: i as usize,
+                finished_at: Cycle::ZERO,
+            })
+            .collect();
+        let mut mapper = PageMapper::new(cfg.page_policy, cfg.cores);
+        // Model the parallel initialization loops of the benchmarks:
+        // shared pages are first-touched round-robin across tiles before
+        // the measured region, distributing homes across the directory
+        // modules (private pages still first-touch to their owner).
+        let mut workload = workload;
+        for page in workload.shared_pool_pages() {
+            // Hash the page number so homes are uncorrelated with the
+            // generator's per-thread page sharding.
+            let h = page.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+            mapper.home_of_page(page, CoreId((h % cfg.cores as u64) as u16));
+        }
+        let mut dirs: Vec<DirectoryState> = (0..cfg.cores).map(|_| DirectoryState::new()).collect();
+        // In a parallel run, the shared working set lives spread across
+        // the machine's aggregate L2 capacity at steady state: register a
+        // resident sharer for every pool line so reads are served
+        // cache-to-cache. A 1-processor run has a single L2 and gets no
+        // such help — which is precisely the paper's superlinear-speedup
+        // mechanism for Ocean/Cholesky/Raytrace (§6.1).
+        if cfg.cores > 1 {
+            for page in workload.shared_pool_pages() {
+                for i in 0..sb_mem::LineAddr::PER_PAGE {
+                    let line = page.line(i);
+                    let home = mapper
+                        .lookup(page)
+                        .expect("pool pages were pre-touched");
+                    dirs[home.idx()].mark_resident(line);
+                }
+            }
+        }
+        let mut cores = cores;
+        // A steady-state thread has its private scratch resident in its
+        // L2: pre-fill as much of it as one L2 can reasonably hold. A
+        // partitioned problem scaled up for a 1-processor normalization
+        // run overflows this on purpose (§6.1 superlinear mechanism).
+        let l2_lines = cfg.hier.l2.capacity_lines() * 3 / 4;
+        for i in 0..cfg.cores {
+            let (base, count) = workload.private_region(cores[i as usize].thread);
+            let fill = count.min(l2_lines);
+            for l in 0..fill {
+                let line = sb_mem::LineAddr(base.as_u64() + l);
+                cores[i as usize].hier.fill(line);
+                let home = mapper.home_of_line(line, CoreId(i));
+                dirs[home.idx()].record_read(line, CoreId(i));
+            }
+        }
+        // Warm-up: execute a few chunks per thread "instantly" — fill the
+        // touched lines into the core's caches and register sharers —
+        // so measurement starts from steady state rather than from the
+        // compulsory-miss transient.
+        for i in 0..cfg.cores {
+            for _ in 0..cfg.warmup_chunks {
+                let spec = if cfg.cores == 1 {
+                    workload.next_chunk_any()
+                } else {
+                    workload.next_chunk(i as usize)
+                };
+                let core: &mut CoreCtx = &mut cores[i as usize];
+                for a in spec.accesses() {
+                    let home = mapper.home_of_line(a.line, CoreId(i));
+                    core.hier.fill(a.line);
+                    if a.is_write {
+                        core.hier.mark_written(a.line);
+                    }
+                    dirs[home.idx()].record_read(a.line, CoreId(i));
+                }
+            }
+        }
+        let mut m = Machine {
+            view: ViewState {
+                now: Cycle::ZERO,
+                cores: cfg.cores,
+                dirs,
+            },
+            net: Network::new(cfg.net),
+            mapper,
+            queue: EventQueue::with_capacity(4096),
+            proto,
+            cores,
+            workload,
+            dirs_stat: DirsPerCommit::new(),
+            latency: LatencyDist::new(),
+            gauges: SerializationGauges::new(),
+            commits: 0,
+            squash_conflict: 0,
+            squash_alias: 0,
+            read_nacks: 0,
+            remote_reads: 0,
+            commit_retries: 0,
+            outcome_failures: 0,
+            finished_cores: 0,
+            cfg,
+        };
+        for i in 0..m.cfg.cores {
+            m.queue.push(Cycle(0), Ev::Step { core: i, epoch: 0 });
+        }
+        m
+    }
+
+    /// Runs to completion and returns the collected metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (event queue drains while cores
+    /// are unfinished) — that would be a protocol bug.
+    pub fn run(mut self) -> RunResult {
+        let debug_progress = std::env::var_os("SB_SIM_PROGRESS").is_some();
+        let mut events: u64 = 0;
+        while self.finished_cores < self.cores.len() {
+            events += 1;
+            if debug_progress && events.is_multiple_of(5_000_000) {
+                let waiting: usize = self
+                    .cores
+                    .iter()
+                    .filter(|c| c.pending_commit.is_some())
+                    .count();
+                eprintln!(
+                    "[progress] ev={}M now={} finished={}/{} commits={} fails={} nacks={} sq={} qlen={} inflight={} pending={}",
+                    events / 1_000_000,
+                    self.view.now,
+                    self.finished_cores,
+                    self.cores.len(),
+                    self.commits,
+                    self.outcome_failures,
+                    self.read_nacks,
+                    self.squash_conflict + self.squash_alias,
+                    self.queue.len(),
+                    self.proto.in_flight(),
+                    waiting,
+                );
+                if events.is_multiple_of(20_000_000) {
+                    eprintln!("[state] {}", self.proto.debug_state());
+                    let tags: Vec<String> = self
+                        .cores
+                        .iter()
+                        .filter_map(|c| c.pending_commit.as_ref())
+                        .take(8)
+                        .map(|pc| format!("{}r{}", pc.tag, pc.retries))
+                        .collect();
+                    eprintln!("[pending sample] {tags:?}");
+                }
+            }
+            let Some((at, ev)) = self.queue.pop() else {
+                let stuck: Vec<String> = self
+                    .cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.phase != Phase::Finished)
+                    .map(|(i, c)| format!("core {i}: {:?} in-flight {}", c.phase, c.window.in_flight()))
+                    .collect();
+                panic!(
+                    "machine deadlock at {} under {:?}: {stuck:?}",
+                    self.view.now, self.cfg.protocol
+                );
+            };
+            self.view.now = self.view.now.max_of(at);
+            self.dispatch(ev);
+        }
+        let wall = self
+            .cores
+            .iter()
+            .map(|c| c.finished_at)
+            .max()
+            .unwrap_or(self.view.now)
+            .as_u64();
+        let mut breakdown = Breakdown::new();
+        for c in &self.cores {
+            breakdown.merge(&c.breakdown);
+        }
+        RunResult {
+            wall_cycles: wall,
+            breakdown,
+            dirs: self.dirs_stat,
+            latency: self.latency,
+            gauges: self.gauges,
+            traffic: self.net.counters().clone(),
+            commits: self.commits,
+            squashes_conflict: self.squash_conflict,
+            squashes_alias: self.squash_alias,
+            read_nacks: self.read_nacks,
+            remote_reads: self.remote_reads,
+            commit_retries: self.commit_retries,
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev<P::Msg>) {
+        match ev {
+            Ev::Step { core, epoch } => {
+                if self.cores[core as usize].epoch == epoch {
+                    self.step(core);
+                }
+            }
+            Ev::ReadAtDir {
+                core,
+                line,
+                epoch,
+                stall_start,
+            } => self.read_at_dir(core, line, epoch, stall_start),
+            Ev::ReadDone {
+                core,
+                line,
+                epoch,
+                stall_start,
+                nacked,
+            } => self.read_done(core, line, epoch, stall_start, nacked),
+            Ev::StoreFill { core, line } => {
+                let c = &mut self.cores[core as usize];
+                c.store_pending.remove(&line);
+                c.hier.fill(line);
+                c.hier.mark_written(line);
+            }
+            Ev::ReadServe {
+                core,
+                line,
+                epoch,
+                stall_start,
+                from,
+                class,
+            } => {
+                let arrive =
+                    self.net
+                        .send(self.view.now, from, sb_net::NodeId(core), MsgSize::Line, class);
+                self.queue.push(
+                    arrive,
+                    Ev::ReadDone {
+                        core,
+                        line,
+                        epoch,
+                        stall_start,
+                        nacked: false,
+                    },
+                );
+            }
+            Ev::StoreAtDir { core, line } => self.store_at_dir(core, line),
+            Ev::StoreServe {
+                core,
+                line,
+                from,
+                class,
+            } => {
+                let arrive = self.net.send(
+                    self.view.now,
+                    from,
+                    sb_net::NodeId(core),
+                    MsgSize::Line,
+                    class,
+                );
+                self.queue.push(arrive, Ev::StoreFill { core, line });
+            }
+            Ev::Proto { dst, msg } => {
+                let mut out = sb_proto::Outbox::new();
+                self.proto.deliver(&self.view, &mut out, dst, msg);
+                self.execute(out.drain());
+            }
+            Ev::BulkInv {
+                from,
+                to,
+                tag,
+                wsig,
+            } => self.bulk_inv_at_core(from, to, tag, wsig),
+            Ev::AckAtDir { ack } => {
+                let mut out = sb_proto::Outbox::new();
+                self.proto.bulk_inv_acked(&self.view, &mut out, ack);
+                self.execute(out.drain());
+            }
+            Ev::Outcome { core, tag, success } => self.outcome(core, tag, success),
+            Ev::Retry { core, tag } => self.retry(core, tag),
+        }
+    }
+
+    // ----- core execution -------------------------------------------------
+
+    /// Ensures the core has a chunk to execute; returns false if the core
+    /// is (now) finished or must wait.
+    fn ensure_chunk(&mut self, core: u16) -> bool {
+        let t = self.view.now;
+        let c = &mut self.cores[core as usize];
+        if c.spec.is_some() {
+            return true;
+        }
+        let wants_work = !c.respec.is_empty() || c.committed_insns < c.target;
+        if !wants_work {
+            if c.window.in_flight() == 0 && c.phase != Phase::Finished {
+                c.phase = Phase::Finished;
+                c.finished_at = t;
+                self.finished_cores += 1;
+            }
+            return false;
+        }
+        if !c.window.has_free_slot() {
+            if c.phase != Phase::WaitCommitSlot {
+                c.phase = Phase::WaitCommitSlot;
+                c.commit_wait_since = Some(t);
+            }
+            return false;
+        }
+        let spec = match c.respec.pop_front() {
+            Some(s) => s,
+            None => {
+                if self.cfg.cores == 1 {
+                    self.workload.next_chunk_any()
+                } else {
+                    self.workload.next_chunk(c.thread)
+                }
+            }
+        };
+        let c = &mut self.cores[core as usize];
+        let (leading, per_gap) = spec.compute_gaps();
+        c.window.start_chunk().expect("slot checked");
+        c.leading = leading;
+        c.per_gap = per_gap;
+        c.pos = 0;
+        c.spec = Some(spec);
+        c.phase = Phase::Running;
+        true
+    }
+
+    /// Executes up to [`STEP_BATCH`] accesses of the core's current chunk.
+    fn step(&mut self, core: u16) {
+        let mut t = self.view.now;
+        for _ in 0..STEP_BATCH {
+            if !self.ensure_chunk(core) {
+                return;
+            }
+            let (access, gap, first, len) = {
+                let c = &self.cores[core as usize];
+                let spec = c.spec.as_ref().expect("ensured");
+                let len = spec.accesses().len();
+                if c.pos >= len {
+                    (None, 0, false, len)
+                } else {
+                    (
+                        Some(spec.accesses()[c.pos]),
+                        c.per_gap,
+                        c.pos == 0,
+                        len,
+                    )
+                }
+            };
+            let Some(access) = access else {
+                // Chunk finished executing (possibly with zero accesses).
+                self.finish_chunk(core, t, len);
+                continue;
+            };
+            // Non-memory instructions before this access, plus the access.
+            let tag = {
+                let c = &mut self.cores[core as usize];
+                let tag = c
+                    .window
+                    .youngest_mut()
+                    .expect("executing chunk")
+                    .chunk
+                    .tag();
+                let lead = if first { c.leading } else { 0 };
+                let insns = lead + gap + 1;
+                c.charge_useful(insns, tag);
+                t += insns;
+                c.pos += 1;
+                tag
+            };
+            let line = access.line;
+            let home = self.mapper.home_of_line(line, CoreId(core));
+            {
+                let c = &mut self.cores[core as usize];
+                let slot = c.window.youngest_mut().expect("executing chunk");
+                if access.is_write {
+                    slot.chunk.record_write(line, home);
+                } else {
+                    slot.chunk.record_read(line, home);
+                }
+            }
+            if access.is_write {
+                self.do_store(core, line, home, t);
+            } else if !self.do_load(core, line, home, t, tag) {
+                // Remote load: the core stalls until the response.
+                return;
+            }
+        }
+        // Batch exhausted: yield and continue at the local cursor time.
+        let epoch = self.cores[core as usize].epoch;
+        self.queue.push(t, Ev::Step { core, epoch });
+    }
+
+    /// Handles a load; returns `true` if the core can continue (hit),
+    /// `false` if it stalls on a remote access.
+    fn do_load(&mut self, core: u16, line: LineAddr, home: DirId, t: Cycle, tag: ChunkTag) -> bool {
+        let hit = self.cores[core as usize].hier.access(line);
+        match hit {
+            HitLevel::L1 => true,
+            HitLevel::L2 => {
+                let stall = self.cfg.hier.l2_round_trip;
+                self.cores[core as usize].charge_cache(stall, tag);
+                true
+            }
+            HitLevel::Miss => {
+                self.remote_reads += 1;
+                let c = &mut self.cores[core as usize];
+                c.phase = Phase::WaitRead;
+                let epoch = c.epoch;
+                let arrive = self.net.send(
+                    t,
+                    sb_net::NodeId(core),
+                    sb_net::NodeId(home.0),
+                    MsgSize::Small,
+                    self.read_class(home, line),
+                );
+                self.queue.push(
+                    arrive,
+                    Ev::ReadAtDir {
+                        core,
+                        line,
+                        epoch,
+                        stall_start: t,
+                    },
+                );
+                false
+            }
+        }
+    }
+
+    /// Handles a store: local mark, plus a non-blocking fetch on a miss.
+    fn do_store(&mut self, core: u16, line: LineAddr, home: DirId, t: Cycle) {
+        let c = &mut self.cores[core as usize];
+        if c.hier.contains(line) {
+            c.hier.mark_written(line);
+            return;
+        }
+        if !c.store_pending.insert(line) {
+            return; // fetch already in flight
+        }
+        // Read-for-write: fetch the line without stalling (store buffer).
+        let class = self.read_class(home, line);
+        let req_arrive = self.net.send(
+            t,
+            sb_net::NodeId(core),
+            sb_net::NodeId(home.0),
+            MsgSize::Small,
+            class,
+        );
+        self.queue.push(req_arrive, Ev::StoreAtDir { core, line });
+    }
+
+    /// Home-side handling of a store fetch: register the sharer and serve
+    /// the line (from memory after the memory latency, or cache-to-cache).
+    fn store_at_dir(&mut self, core: u16, line: LineAddr) {
+        let t = self.view.now;
+        let home = self.mapper.home_of_line(line, CoreId(core));
+        let class = self.read_class(home, line);
+        self.view.dirs[home.idx()].record_read(line, CoreId(core));
+        let extra = if class == TrafficClass::MemRd {
+            self.cfg.mem_latency
+        } else {
+            0
+        };
+        let from = match class {
+            TrafficClass::RemoteDirtyRd => {
+                sb_net::NodeId(self.view.dirs[home.idx()].owner_of(line).map_or(home.0, |o| o.0))
+            }
+            _ => sb_net::NodeId(home.0),
+        };
+        self.queue.push(
+            t + extra,
+            Ev::StoreServe {
+                core,
+                line,
+                from,
+                class,
+            },
+        );
+    }
+
+    /// Traffic class of a read serviced at `home` (§6.5's three read
+    /// classes).
+    fn read_class(&self, home: DirId, line: LineAddr) -> TrafficClass {
+        let st = &self.view.dirs[home.idx()];
+        if st.owner_of(line).is_some() {
+            TrafficClass::RemoteDirtyRd
+        } else if !st.sharers_of(line).is_empty() || st.is_resident(line) {
+            TrafficClass::RemoteShRd
+        } else {
+            TrafficClass::MemRd
+        }
+    }
+
+    fn read_at_dir(&mut self, core: u16, line: LineAddr, epoch: u64, stall_start: Cycle) {
+        let t = self.view.now;
+        let home = self.mapper.home_of_line(line, CoreId(core));
+        if self.proto.read_blocked(home, line) {
+            // §3.1: the line belongs to a committing chunk's W signature —
+            // nack and let the requester retry.
+            self.read_nacks += 1;
+            let arrive = self.net.send(
+                t,
+                sb_net::NodeId(home.0),
+                sb_net::NodeId(core),
+                MsgSize::Small,
+                TrafficClass::SmallCMessage,
+            );
+            self.queue.push(
+                arrive + self.cfg.nack_backoff,
+                Ev::ReadDone {
+                    core,
+                    line,
+                    epoch,
+                    stall_start,
+                    nacked: true,
+                },
+            );
+            return;
+        }
+        let class = self.read_class(home, line);
+        let (serve_from, serve_at) = match class {
+            TrafficClass::RemoteDirtyRd => {
+                // 3-hop: home forwards to the owner, which replies.
+                let owner = self.view.dirs[home.idx()].owner_of(line).expect("dirty");
+                let fwd = self.net.send(
+                    t,
+                    sb_net::NodeId(home.0),
+                    sb_net::NodeId(owner.0),
+                    MsgSize::Small,
+                    TrafficClass::RemoteDirtyRd,
+                );
+                (sb_net::NodeId(owner.0), fwd)
+            }
+            TrafficClass::MemRd => (sb_net::NodeId(home.0), t + self.cfg.mem_latency),
+            _ => (sb_net::NodeId(home.0), t),
+        };
+        self.view.dirs[home.idx()].record_read(line, CoreId(core));
+        self.queue.push(
+            serve_at,
+            Ev::ReadServe {
+                core,
+                line,
+                epoch,
+                stall_start,
+                from: serve_from,
+                class,
+            },
+        );
+    }
+
+    fn read_done(&mut self, core: u16, line: LineAddr, epoch: u64, stall_start: Cycle, nacked: bool) {
+        let t = self.view.now;
+        if self.cores[core as usize].epoch != epoch {
+            return; // the chunk this read belonged to was squashed
+        }
+        if nacked {
+            // Retry the read from scratch.
+            let home = self.mapper.home_of_line(line, CoreId(core));
+            let arrive = self.net.send(
+                t,
+                sb_net::NodeId(core),
+                sb_net::NodeId(home.0),
+                MsgSize::Small,
+                TrafficClass::SmallCMessage,
+            );
+            self.queue.push(
+                arrive,
+                Ev::ReadAtDir {
+                    core,
+                    line,
+                    epoch,
+                    stall_start,
+                },
+            );
+            return;
+        }
+        let tag = {
+            let c = &mut self.cores[core as usize];
+            c.hier.fill(line);
+            c.phase = Phase::Running;
+            c.window
+                .youngest_mut()
+                .expect("stalled chunk still in flight")
+                .chunk
+                .tag()
+        };
+        let stall = (t - stall_start).as_u64();
+        self.cores[core as usize].charge_cache(stall, tag);
+        self.queue.push(t, Ev::Step { core, epoch });
+    }
+
+    /// The executing chunk ran out of instructions: seal it and hand it to
+    /// the commit protocol (OCI: the core immediately tries to start the
+    /// next chunk).
+    fn finish_chunk(&mut self, core: u16, t: Cycle, _accesses: usize) {
+        let (tag, req, spec) = {
+            let c = &mut self.cores[core as usize];
+            let spec = c.spec.take().expect("finishing chunk");
+            let slot = c.window.youngest_mut().expect("executing chunk");
+            slot.chunk.retire_instructions(spec.instructions());
+            let tag = slot.chunk.tag();
+            let req = slot.chunk.to_commit_request();
+            c.window.mark_commit_pending(tag);
+            (tag, req, spec)
+        };
+        let pending = PendingCommit {
+            tag,
+            req: req.clone(),
+            spec,
+            started: t,
+            retries: 0,
+            retry_scheduled: false,
+        };
+        self.view.now = self.view.now.max_of(t);
+        if self.cores[core as usize].pending_commit.is_some() {
+            // An older chunk's commit is still in flight: chunks commit in
+            // order, so this one waits (it will show up as commit stall —
+            // the window is now full).
+            debug_assert!(self.cores[core as usize].waiting_commit.is_none());
+            self.cores[core as usize].waiting_commit = Some(pending);
+            return;
+        }
+        if std::env::var_os("SB_TRACE_COMMIT").is_some() {
+            eprintln!("[commit] {} start at {}", tag, t);
+        }
+        self.cores[core as usize].pending_commit = Some(pending);
+        let mut out = sb_proto::Outbox::new();
+        self.proto.start_commit(&self.view, &mut out, req);
+        self.execute(out.drain());
+    }
+
+    // ----- commit outcomes --------------------------------------------------
+
+    fn outcome(&mut self, core: u16, tag: ChunkTag, success: bool) {
+        let t = self.view.now;
+        let matches = self.cores[core as usize]
+            .pending_commit
+            .as_ref()
+            .is_some_and(|p| p.tag == tag);
+        if !matches {
+            return; // stale outcome for a squashed chunk (OCI discard)
+        }
+        if success {
+            let p = self.cores[core as usize].pending_commit.take().expect("matched");
+            if std::env::var_os("SB_TRACE_COMMIT").is_some() {
+                eprintln!("[commit] {} success at {} (lat {})", tag, t, (t - p.started).as_u64());
+            }
+            {
+                let c = &mut self.cores[core as usize];
+                let retired = c.window.retire_oldest();
+                debug_assert_eq!(retired, tag);
+                c.committed_insns += p.spec.instructions();
+                c.invested.remove(&tag);
+            }
+            self.commits += 1;
+            self.commit_retries += p.retries;
+            self.latency.record((t - p.started).as_u64());
+            self.dirs_stat
+                .record(p.req.write_dirs.len(), p.req.read_only_dirs().len());
+            // A younger chunk that finished executing in the meantime can
+            // now issue its (deferred) commit request.
+            if let Some(mut w) = self.cores[core as usize].waiting_commit.take() {
+                w.started = t;
+                let req = w.req.clone();
+                self.cores[core as usize].pending_commit = Some(w);
+                let mut out = sb_proto::Outbox::new();
+                self.proto.start_commit(&self.view, &mut out, req);
+                self.execute(out.drain());
+            }
+            // Conservative mode: invalidations held during the commit are
+            // processed now.
+            self.process_held_invs(core);
+            self.resume_after_window_change(core, t);
+        } else {
+            self.outcome_failures += 1;
+            let c = &mut self.cores[core as usize];
+            let p = c.pending_commit.as_mut().expect("matched");
+            if !p.retry_scheduled {
+                p.retry_scheduled = true;
+                p.retries += 1;
+                // Exponential backoff with deterministic jitter: collision
+                // storms among wide groups need spreading out.
+                let shift = p.retries.min(5) as u32;
+                let jitter = (tag.seq().wrapping_mul(0x9E37_79B9) ^ p.retries) % 37;
+                let delay = self.cfg.retry_backoff * (1u64 << shift) / 2 + jitter;
+                self.queue.push(t + delay, Ev::Retry { core, tag });
+            }
+            // Conservative mode: a failed commit lets held invalidations
+            // squash us now (Figure 4(c)).
+            if !self.cfg.oci && !self.cores[core as usize].held_invs.is_empty() {
+                self.cores[core as usize]
+                    .pending_commit
+                    .as_mut()
+                    .expect("matched")
+                    .retry_scheduled = true; // the squash below kills the retry
+                self.process_held_invs(core);
+            }
+        }
+    }
+
+    fn retry(&mut self, core: u16, tag: ChunkTag) {
+        let Some(p) = self.cores[core as usize].pending_commit.as_mut() else {
+            return; // squashed while the retry was pending
+        };
+        if p.tag != tag {
+            return;
+        }
+        p.retry_scheduled = false;
+        let req = p.req.clone();
+        let mut out = sb_proto::Outbox::new();
+        self.proto.start_commit(&self.view, &mut out, req);
+        self.execute(out.drain());
+    }
+
+    /// If the core was blocked on a full window, credit the commit-stall
+    /// time and resume execution.
+    fn resume_after_window_change(&mut self, core: u16, t: Cycle) {
+        let c = &mut self.cores[core as usize];
+        if c.phase == Phase::WaitCommitSlot {
+            let since = c.commit_wait_since.take().expect("waiting");
+            c.breakdown.commit += (t - since).as_u64();
+            c.phase = Phase::Running;
+            let epoch = c.epoch;
+            self.queue.push(t, Ev::Step { core, epoch });
+        } else if c.phase == Phase::Finished || c.spec.is_some() {
+            // Running or already done — nothing to do.
+        } else if c.phase == Phase::Running {
+            // Between chunks (e.g. outcome arrived while idle after
+            // target reached): poke the core so it can finish or continue.
+            let epoch = c.epoch;
+            self.queue.push(t, Ev::Step { core, epoch });
+        }
+    }
+
+    // ----- bulk invalidation / squash ---------------------------------------
+
+    fn bulk_inv_at_core(&mut self, from: DirId, to: u16, tag: ChunkTag, wsig: Signature) {
+        let t = self.view.now;
+        self.cores[to as usize].hier.bulk_invalidate(&wsig);
+        // Find the oldest in-flight chunk that conflicts (disambiguation
+        // against both in-flight chunks' signatures).
+        let victim = Self::find_victim(&self.cores[to as usize], tag, &wsig);
+        let mut aborted = None;
+        match victim {
+            Some((_vtag, true)) if !self.cfg.oci => {
+                // Conservative: hold this invalidation until our commit
+                // resolves; do not ack yet (Figure 4(c)).
+                self.cores[to as usize].held_invs.push((from, tag, wsig));
+                return;
+            }
+            Some((vtag, is_pending)) => {
+                aborted = self.squash(to, vtag, is_pending, &wsig);
+            }
+            None => {}
+        }
+        self.send_ack(from, to, tag, aborted, t);
+    }
+
+    /// Oldest in-flight chunk of `c` (excluding `incoming` itself) whose
+    /// signatures conflict with `wsig`; the bool says whether its commit
+    /// request is in flight (a squash must then carry a commit recall).
+    fn find_victim(c: &CoreCtx, incoming: ChunkTag, wsig: &Signature) -> Option<(ChunkTag, bool)> {
+        let oldest = c.window.oldest()?;
+        let mut slots = vec![oldest.chunk.tag()];
+        if let Some(young) = c.window.get(oldest.chunk.tag().next()) {
+            slots.push(young.chunk.tag());
+        }
+        for vt in slots {
+            if vt == incoming {
+                continue;
+            }
+            // Exact-line disambiguation: the cache expands the incoming W
+            // signature against its (speculatively-tagged) lines, so the
+            // squash test is per-line membership — false positives are a
+            // per-line signature alias, not a whole-signature
+            // intersection. (Directory-side *group* checks remain
+            // signature-intersection based, per §3.1 — a false positive
+            // there only retries a commit.)
+            let conflicts = c.window.get(vt).is_some_and(|s| {
+                s.chunk
+                    .read_set()
+                    .iter()
+                    .chain(s.chunk.write_set().iter())
+                    .any(|l| wsig.test(l.as_u64()))
+            });
+            if conflicts {
+                let in_flight = c.pending_commit.as_ref().is_some_and(|p| p.tag == vt);
+                return Some((vt, in_flight));
+            }
+        }
+        None
+    }
+
+    fn send_ack(
+        &mut self,
+        from: DirId,
+        to: u16,
+        tag: ChunkTag,
+        aborted: Option<AbortedCommit>,
+        t: Cycle,
+    ) {
+        let arrive = self.net.send(
+            t + self.cfg.ack_delay,
+            sb_net::NodeId(to),
+            sb_net::NodeId(from.0),
+            MsgSize::Small,
+            TrafficClass::SmallCMessage,
+        );
+        self.queue.push(
+            arrive,
+            Ev::AckAtDir {
+                ack: BulkInvAck {
+                    dir: from,
+                    from: CoreId(to),
+                    tag,
+                    aborted,
+                },
+            },
+        );
+    }
+
+    /// Squashes `vtag` (and younger) on core `core`. Returns the commit
+    /// recall payload if an in-flight commit died.
+    fn squash(
+        &mut self,
+        core: u16,
+        vtag: ChunkTag,
+        was_pending: bool,
+        wsig: &Signature,
+    ) -> Option<AbortedCommit> {
+        let t = self.view.now;
+        let mut aborted = None;
+        // Classify: exact conflict or pure signature aliasing.
+        let exact = {
+            let c = &self.cores[core as usize];
+            c.window.get(vtag).is_some_and(|s| {
+                s.chunk
+                    .read_set()
+                    .iter()
+                    .chain(s.chunk.write_set().iter())
+                    .any(|l| wsig.test(l.as_u64()))
+            })
+        };
+        let c = &mut self.cores[core as usize];
+        let squashed = c.window.squash_from(vtag);
+        if squashed.is_empty() {
+            return None;
+        }
+        for _ in &squashed {
+            if exact {
+                self.squash_conflict += 1;
+            } else {
+                self.squash_alias += 1;
+            }
+        }
+        let c = &mut self.cores[core as usize];
+        let _ = was_pending;
+        // Re-queue the squashed work in age order: the chunk with the
+        // in-flight commit (carrying the recall), then a deferred-commit
+        // chunk, then the executing chunk.
+        let mut respecs = Vec::new();
+        for tag in &squashed {
+            if c.pending_commit.as_ref().is_some_and(|p| p.tag == *tag) {
+                let p = c.pending_commit.take().expect("checked");
+                aborted = Some(AbortedCommit {
+                    tag: p.tag,
+                    g_vec: p.req.g_vec,
+                });
+                respecs.push(p.spec);
+            } else if c.waiting_commit.as_ref().is_some_and(|w| w.tag == *tag) {
+                // Its commit request was never sent: no recall needed.
+                let w = c.waiting_commit.take().expect("checked");
+                respecs.push(w.spec);
+            } else if let Some(spec) = c.spec.take() {
+                respecs.push(spec);
+            }
+        }
+        for spec in respecs.into_iter().rev() {
+            c.respec.push_front(spec);
+        }
+        // Move the invested cycles of the squashed chunks into Squash.
+        for tag in &squashed {
+            if let Some(inv) = c.invested.remove(tag) {
+                c.breakdown.useful -= inv.useful;
+                c.breakdown.cache_miss -= inv.cache;
+                c.breakdown.squash += inv.useful + inv.cache;
+            }
+        }
+        c.epoch += 1;
+        let epoch = c.epoch;
+        // Whatever the core was doing, it restarts the squashed work.
+        if c.phase == Phase::WaitCommitSlot {
+            let since = c.commit_wait_since.take().expect("waiting");
+            c.breakdown.commit += (t - since).as_u64();
+        }
+        c.phase = Phase::Running;
+        c.pos = 0;
+        self.queue.push(t + 1, Ev::Step { core, epoch });
+        aborted
+    }
+
+    /// Conservative-mode backlog: apply invalidations that were held while
+    /// a commit was in flight.
+    fn process_held_invs(&mut self, core: u16) {
+        let held = std::mem::take(&mut self.cores[core as usize].held_invs);
+        let t = self.view.now;
+        for (from, tag, wsig) in held {
+            // Re-run the squash check now that the commit resolved.
+            let victim = Self::find_victim(&self.cores[core as usize], tag, &wsig);
+            let aborted = match victim {
+                Some((vtag, is_pending)) => self.squash(core, vtag, is_pending, &wsig),
+                None => None,
+            };
+            self.send_ack(from, core, tag, aborted, t);
+        }
+    }
+
+    // ----- protocol command execution ----------------------------------------
+
+    fn execute(&mut self, cmds: Vec<Command<P::Msg>>) {
+        let now = self.view.now;
+        for cmd in cmds {
+            match cmd {
+                Command::Send {
+                    src,
+                    dst,
+                    size,
+                    class,
+                    msg,
+                } => {
+                    let arrive = self.net.send(
+                        now,
+                        sb_net::NodeId(src.tile()),
+                        sb_net::NodeId(dst.tile()),
+                        size,
+                        class,
+                    );
+                    self.queue.push(arrive, Ev::Proto { dst, msg });
+                }
+                Command::After { delay, dst, msg } => {
+                    self.queue.push(now + delay, Ev::Proto { dst, msg });
+                }
+                Command::CommitSuccess { core, tag, from } => {
+                    let arrive = self.net.send(
+                        now,
+                        sb_net::NodeId(from.0),
+                        sb_net::NodeId(core.0),
+                        MsgSize::Small,
+                        TrafficClass::SmallCMessage,
+                    );
+                    self.queue.push(
+                        arrive,
+                        Ev::Outcome {
+                            core: core.0,
+                            tag,
+                            success: true,
+                        },
+                    );
+                }
+                Command::CommitFailure { core, tag, from } => {
+                    let arrive = self.net.send(
+                        now,
+                        sb_net::NodeId(from.0),
+                        sb_net::NodeId(core.0),
+                        MsgSize::Small,
+                        TrafficClass::SmallCMessage,
+                    );
+                    self.queue.push(
+                        arrive,
+                        Ev::Outcome {
+                            core: core.0,
+                            tag,
+                            success: false,
+                        },
+                    );
+                }
+                Command::BulkInv {
+                    from,
+                    to,
+                    tag,
+                    wsig,
+                    size,
+                } => {
+                    let class = if size.is_large() {
+                        TrafficClass::LargeCMessage
+                    } else {
+                        TrafficClass::SmallCMessage
+                    };
+                    let arrive = self.net.send(
+                        now,
+                        sb_net::NodeId(from.0),
+                        sb_net::NodeId(to.0),
+                        size,
+                        class,
+                    );
+                    self.queue.push(
+                        arrive,
+                        Ev::BulkInv {
+                            from,
+                            to: to.0,
+                            tag,
+                            wsig,
+                        },
+                    );
+                }
+                Command::ApplyCommit {
+                    dir,
+                    wsig,
+                    committer,
+                } => {
+                    self.view.dirs[dir.idx()].apply_commit(&wsig, committer);
+                }
+                Command::Event(ev) => self.gauges.on_event(&ev),
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! What one simulation run produces.
+
+use sb_net::TrafficCounters;
+use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, SerializationGauges};
+
+/// All metrics collected by one [`Machine`](crate::Machine) run — enough
+/// to regenerate every figure of §6.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Wall-clock cycles until every core finished its work.
+    pub wall_cycles: u64,
+    /// Aggregated per-core cycle accounting (Figures 7–8 categories).
+    pub breakdown: Breakdown,
+    /// Directories per chunk commit (Figures 9–12).
+    pub dirs: DirsPerCommit,
+    /// Commit latency distribution (Figure 13).
+    pub latency: LatencyDist,
+    /// Bottleneck ratio / chunk queue length gauges (Figures 14–17).
+    pub gauges: SerializationGauges,
+    /// Message counts per class (Figures 18–19).
+    pub traffic: TrafficCounters,
+    /// Chunks committed.
+    pub commits: u64,
+    /// Chunks squashed where an exact data conflict existed.
+    pub squashes_conflict: u64,
+    /// Chunks squashed by signature aliasing only (no exact conflict).
+    pub squashes_alias: u64,
+    /// Reads that were nacked by a committing chunk's W signature (§3.1).
+    pub read_nacks: u64,
+    /// Total remote read transactions.
+    pub remote_reads: u64,
+    /// Commit-request retries (failed group formations seen by cores).
+    pub commit_retries: u64,
+}
+
+impl RunResult {
+    /// Total squashed chunks.
+    pub fn squashes(&self) -> u64 {
+        self.squashes_conflict + self.squashes_alias
+    }
+
+    /// Squash rate as a fraction of all chunks that reached a terminal
+    /// state.
+    pub fn squash_rate(&self) -> f64 {
+        let total = self.commits + self.squashes();
+        if total == 0 {
+            0.0
+        } else {
+            self.squashes() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squash_rate_math() {
+        let r = RunResult {
+            wall_cycles: 1,
+            breakdown: Breakdown::new(),
+            dirs: DirsPerCommit::new(),
+            latency: LatencyDist::new(),
+            gauges: SerializationGauges::new(),
+            traffic: TrafficCounters::new(),
+            commits: 98,
+            squashes_conflict: 1,
+            squashes_alias: 1,
+            read_nacks: 0,
+            remote_reads: 0,
+            commit_retries: 0,
+        };
+        assert_eq!(r.squashes(), 2);
+        assert!((r.squash_rate() - 0.02).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Execution-time breakdown (Figures 7–8).
+
+/// Per-core (or aggregated) cycle accounting in the four categories of
+/// Figures 7–8, bottom to top: Useful, Cache Miss, Commit, Squash.
+///
+/// # Examples
+///
+/// ```
+/// use sb_stats::Breakdown;
+///
+/// let mut b = Breakdown::new();
+/// b.useful += 100;
+/// b.cache_miss += 40;
+/// b.commit += 10;
+/// assert_eq!(b.total(), 150);
+/// assert!((b.fraction_useful() - 100.0 / 150.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Cycles executing one instruction (1 IPC cores).
+    pub useful: u64,
+    /// Cycles stalled on cache misses (includes nacked-read retries).
+    pub cache_miss: u64,
+    /// Cycles stalled waiting for a chunk to commit (both window slots
+    /// busy).
+    pub commit: u64,
+    /// Cycles wasted on chunks that were later squashed.
+    pub squash: u64,
+}
+
+impl Breakdown {
+    /// Zeroed accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cycles across categories.
+    pub fn total(&self) -> u64 {
+        self.useful + self.cache_miss + self.commit + self.squash
+    }
+
+    /// Fraction of cycles in the Useful category (0.0 when empty).
+    pub fn fraction_useful(&self) -> f64 {
+        self.frac(self.useful)
+    }
+
+    /// Fraction in Cache Miss.
+    pub fn fraction_cache_miss(&self) -> f64 {
+        self.frac(self.cache_miss)
+    }
+
+    /// Fraction in Commit.
+    pub fn fraction_commit(&self) -> f64 {
+        self.frac(self.commit)
+    }
+
+    /// Fraction in Squash.
+    pub fn fraction_squash(&self) -> f64 {
+        self.frac(self.squash)
+    }
+
+    fn frac(&self, v: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            v as f64 / t as f64
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.useful += other.useful;
+        self.cache_miss += other.cache_miss;
+        self.commit += other.commit;
+        self.squash += other.squash;
+    }
+
+    /// Scales each category to a share of `wall` cycles, proportionally.
+    /// Used to convert per-core accounting into a bar of the machine's
+    /// wall-clock execution time.
+    pub fn normalized_to(&self, wall: u64) -> [f64; 4] {
+        let t = self.total().max(1) as f64;
+        let w = wall as f64;
+        [
+            self.useful as f64 / t * w,
+            self.cache_miss as f64 / t * w,
+            self.commit as f64 / t * w,
+            self.squash as f64 / t * w,
+        ]
+    }
+
+    /// Speedup of this run (wall `par_wall`) over a baseline run with
+    /// wall time `seq_wall`.
+    pub fn speedup(seq_wall: u64, par_wall: u64) -> f64 {
+        if par_wall == 0 {
+            0.0
+        } else {
+            seq_wall as f64 / par_wall as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = Breakdown {
+            useful: 50,
+            cache_miss: 30,
+            commit: 15,
+            squash: 5,
+        };
+        assert_eq!(b.total(), 100);
+        assert_eq!(b.fraction_useful(), 0.5);
+        assert_eq!(b.fraction_cache_miss(), 0.3);
+        assert_eq!(b.fraction_commit(), 0.15);
+        assert_eq!(b.fraction_squash(), 0.05);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let b = Breakdown::new();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.fraction_useful(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Breakdown {
+            useful: 1,
+            cache_miss: 2,
+            commit: 3,
+            squash: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 20);
+    }
+
+    #[test]
+    fn normalization_preserves_proportions() {
+        let b = Breakdown {
+            useful: 60,
+            cache_miss: 20,
+            commit: 20,
+            squash: 0,
+        };
+        let bars = b.normalized_to(1000);
+        assert!((bars[0] - 600.0).abs() < 1e-9);
+        assert!((bars.iter().sum::<f64>() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert_eq!(Breakdown::speedup(1000, 100), 10.0);
+        assert_eq!(Breakdown::speedup(100, 0), 0.0);
+    }
+}

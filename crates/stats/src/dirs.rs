@@ -1,0 +1,159 @@
+//! Directories accessed per chunk commit (Figures 9–12).
+
+/// Collector for the "number of directories accessed per chunk commit"
+/// metrics: the write-group / read-group averages of Figures 9–10 and the
+/// distribution of Figures 11–12 (buckets 0..=14 plus "more").
+///
+/// # Examples
+///
+/// ```
+/// use sb_stats::DirsPerCommit;
+///
+/// let mut d = DirsPerCommit::new();
+/// d.record(3, 2); // 3 write-group dirs, 2 read-group dirs
+/// d.record(1, 0);
+/// assert_eq!(d.commits(), 2);
+/// assert_eq!(d.mean_write_group(), 2.0);
+/// assert_eq!(d.mean_read_group(), 1.0);
+/// assert_eq!(d.distribution()[5], 1); // the 3+2 = 5 commit
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DirsPerCommit {
+    commits: u64,
+    write_total: u64,
+    read_total: u64,
+    /// counts[k] = commits that touched exactly k directories, k in 0..=14.
+    counts: [u64; 15],
+    more: u64,
+}
+
+impl DirsPerCommit {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one committed chunk: `write_dirs` modules recorded at least
+    /// one write, `read_dirs` recorded only reads.
+    pub fn record(&mut self, write_dirs: u32, read_dirs: u32) {
+        self.commits += 1;
+        self.write_total += write_dirs as u64;
+        self.read_total += read_dirs as u64;
+        let total = (write_dirs + read_dirs) as usize;
+        if total < self.counts.len() {
+            self.counts[total] += 1;
+        } else {
+            self.more += 1;
+        }
+    }
+
+    /// Number of commits recorded.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Average write-group size (Figures 9–10, bottom segment).
+    pub fn mean_write_group(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.write_total as f64 / self.commits as f64
+        }
+    }
+
+    /// Average read-group size (top segment).
+    pub fn mean_read_group(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.read_total as f64 / self.commits as f64
+        }
+    }
+
+    /// Average total directories per commit.
+    pub fn mean_total(&self) -> f64 {
+        self.mean_write_group() + self.mean_read_group()
+    }
+
+    /// The distribution over 0..=14 directories (Figures 11–12 x-axis).
+    pub fn distribution(&self) -> [u64; 15] {
+        self.counts
+    }
+
+    /// Commits touching 15 or more directories ("more" bucket).
+    pub fn more(&self) -> u64 {
+        self.more
+    }
+
+    /// Percentage of commits in bucket `k` (or the overflow bucket when
+    /// `k == 15`).
+    pub fn percent(&self, k: usize) -> f64 {
+        if self.commits == 0 {
+            return 0.0;
+        }
+        let c = if k < 15 { self.counts[k] } else { self.more };
+        c as f64 * 100.0 / self.commits as f64
+    }
+
+    /// Merges another collector.
+    pub fn merge(&mut self, other: &DirsPerCommit) {
+        self.commits += other.commits;
+        self.write_total += other.write_total;
+        self.read_total += other.read_total;
+        for i in 0..15 {
+            self.counts[i] += other.counts[i];
+        }
+        self.more += other.more;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_and_distribution() {
+        let mut d = DirsPerCommit::new();
+        d.record(2, 1);
+        d.record(4, 3);
+        d.record(0, 0);
+        assert_eq!(d.commits(), 3);
+        assert_eq!(d.mean_write_group(), 2.0);
+        assert!((d.mean_read_group() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((d.mean_total() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.distribution()[3], 1);
+        assert_eq!(d.distribution()[7], 1);
+        assert_eq!(d.distribution()[0], 1);
+    }
+
+    #[test]
+    fn more_bucket() {
+        let mut d = DirsPerCommit::new();
+        d.record(10, 10);
+        assert_eq!(d.more(), 1);
+        assert_eq!(d.percent(15), 100.0);
+        d.record(14, 0);
+        assert_eq!(d.distribution()[14], 1);
+        assert_eq!(d.percent(14), 50.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DirsPerCommit::new();
+        a.record(1, 1);
+        let mut b = DirsPerCommit::new();
+        b.record(3, 3);
+        b.record(20, 0);
+        a.merge(&b);
+        assert_eq!(a.commits(), 3);
+        assert_eq!(a.more(), 1);
+        assert_eq!(a.mean_write_group(), 8.0);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let d = DirsPerCommit::new();
+        assert_eq!(d.mean_total(), 0.0);
+        assert_eq!(d.percent(0), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Commit-latency distribution (Figure 13).
+
+use sb_engine::stats::Histogram;
+
+/// Collector for chunk-commit latencies: from the first commit request to
+/// the commit-success arrival at the processor (Figure 13 plots the
+/// distribution; the paper quotes the means — 91/411/153/2954 cycles at
+/// 64 processors for ScalableBulk/TCC/SEQ/BulkSC).
+///
+/// # Examples
+///
+/// ```
+/// use sb_stats::LatencyDist;
+///
+/// let mut l = LatencyDist::new();
+/// l.record(80);
+/// l.record(120);
+/// assert_eq!(l.mean(), 100.0);
+/// assert_eq!(l.count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyDist {
+    hist: Histogram,
+}
+
+impl LatencyDist {
+    /// Buckets of 25 cycles up to 5000, plus overflow — enough to render
+    /// every panel of Figure 13.
+    pub fn new() -> Self {
+        LatencyDist {
+            hist: Histogram::new(200, 25),
+        }
+    }
+
+    /// Records one commit's latency in cycles.
+    pub fn record(&mut self, cycles: u64) {
+        self.hist.record(cycles);
+    }
+
+    /// Number of commits recorded.
+    pub fn count(&self) -> u64 {
+        self.hist.total()
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> f64 {
+        self.hist.mean()
+    }
+
+    /// Latency below which `q` of commits fall (bucket granularity).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.hist.quantile(q)
+    }
+
+    /// Fraction of commits in `[bucket*25, (bucket+1)*25)`.
+    pub fn bucket_fraction(&self, bucket: usize) -> f64 {
+        self.hist.bucket_fraction(bucket)
+    }
+
+    /// The largest observed latency.
+    pub fn max(&self) -> u64 {
+        self.hist.max().unwrap_or(0)
+    }
+
+    /// Merges another distribution.
+    pub fn merge(&mut self, other: &LatencyDist) {
+        self.hist.merge(&other.hist);
+    }
+
+    /// (lower-edge, count) pairs for the non-empty buckets — the series
+    /// plotted in Figure 13.
+    pub fn series(&self) -> Vec<(u64, u64)> {
+        (0..self.hist.buckets())
+            .filter(|&b| self.hist.bucket_count(b) > 0)
+            .map(|b| (b as u64 * self.hist.bucket_width(), self.hist.bucket_count(b)))
+            .collect()
+    }
+}
+
+impl Default for LatencyDist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut l = LatencyDist::new();
+        for v in [50, 75, 100, 3000] {
+            l.record(v);
+        }
+        assert_eq!(l.count(), 4);
+        assert_eq!(l.mean(), 806.25);
+        assert_eq!(l.max(), 3000);
+        assert!(l.quantile(0.5) <= 100);
+    }
+
+    #[test]
+    fn series_is_sparse() {
+        let mut l = LatencyDist::new();
+        l.record(0);
+        l.record(26);
+        l.record(27);
+        let s = l.series();
+        assert_eq!(s, vec![(0, 1), (25, 2)]);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyDist::new();
+        a.record(10);
+        let mut b = LatencyDist::new();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 20.0);
+    }
+}

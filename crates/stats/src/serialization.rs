@@ -1,0 +1,171 @@
+//! Bottleneck ratio (Figures 14–15) and chunk queue length (Figures
+//! 16–17), computed from protocol events.
+
+use sb_proto::ProtoEvent;
+
+/// Event-driven gauges for the two commit-serialization metrics of §6.4:
+///
+/// * **Bottleneck ratio** — "the number of chunks in the process of
+///   forming groups" over "the number of chunks that have successfully
+///   formed groups and are in the process of completing the commit",
+///   sampled every time a new group is formed.
+/// * **Chunk queue length** — the number of chunks machine-wide queued
+///   waiting to commit, also sampled at each group formation.
+///
+/// # Examples
+///
+/// ```
+/// use sb_proto::ProtoEvent;
+/// use sb_chunks::ChunkTag;
+/// use sb_mem::CoreId;
+/// use sb_stats::SerializationGauges;
+///
+/// let mut g = SerializationGauges::new();
+/// let t = ChunkTag::new(CoreId(0), 0);
+/// g.on_event(&ProtoEvent::GroupFormationStarted { tag: t });
+/// g.on_event(&ProtoEvent::GroupFormed { tag: t, dirs: 2 });
+/// assert_eq!(g.samples(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SerializationGauges {
+    forming: i64,
+    committing: i64,
+    queued: i64,
+    ratio_sum: f64,
+    queue_sum: f64,
+    samples: u64,
+    max_queue: i64,
+}
+
+impl SerializationGauges {
+    /// Creates zeroed gauges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one protocol event.
+    pub fn on_event(&mut self, ev: &ProtoEvent) {
+        match ev {
+            ProtoEvent::GroupFormationStarted { .. } => self.forming += 1,
+            ProtoEvent::GroupFormed { dirs, .. } => {
+                if *dirs > 0 {
+                    self.forming -= 1;
+                }
+                self.committing += 1;
+                // Sample both metrics at each group formation (§6.4).
+                let denom = self.committing.max(1) as f64;
+                self.ratio_sum += self.forming.max(0) as f64 / denom;
+                self.queue_sum += self.queued.max(0) as f64;
+                self.max_queue = self.max_queue.max(self.queued);
+                self.samples += 1;
+            }
+            ProtoEvent::GroupFailed { .. } => self.forming -= 1,
+            ProtoEvent::CommitCompleted { .. } => self.committing -= 1,
+            ProtoEvent::ChunkQueued { .. } => self.queued += 1,
+            ProtoEvent::ChunkUnqueued { .. } => self.queued -= 1,
+        }
+    }
+
+    /// Number of group-formation samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean bottleneck ratio over all samples.
+    pub fn bottleneck_ratio(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.ratio_sum / self.samples as f64
+        }
+    }
+
+    /// Mean chunk queue length over all samples.
+    pub fn mean_queue_length(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.queue_sum / self.samples as f64
+        }
+    }
+
+    /// Largest queue length observed at a sample point.
+    pub fn max_queue_length(&self) -> i64 {
+        self.max_queue
+    }
+
+    /// Current instantaneous gauges `(forming, committing, queued)` —
+    /// diagnostics.
+    pub fn current(&self) -> (i64, i64, i64) {
+        (self.forming, self.committing, self.queued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_chunks::ChunkTag;
+    use sb_mem::CoreId;
+
+    fn tag(i: u64) -> ChunkTag {
+        ChunkTag::new(CoreId(0), i)
+    }
+
+    #[test]
+    fn ratio_counts_forming_over_committing() {
+        let mut g = SerializationGauges::new();
+        // Three chunks start forming.
+        for i in 0..3 {
+            g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(i) });
+        }
+        // One forms: 2 still forming / 1 committing = 2.0.
+        g.on_event(&ProtoEvent::GroupFormed { tag: tag(0), dirs: 2 });
+        assert_eq!(g.bottleneck_ratio(), 2.0);
+        // Second forms: 1 forming / 2 committing = 0.5; mean = 1.25.
+        g.on_event(&ProtoEvent::GroupFormed { tag: tag(1), dirs: 2 });
+        assert!((g.bottleneck_ratio() - 1.25).abs() < 1e-12);
+        assert_eq!(g.samples(), 2);
+    }
+
+    #[test]
+    fn failed_formations_leave_the_forming_pool() {
+        let mut g = SerializationGauges::new();
+        g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(0) });
+        g.on_event(&ProtoEvent::GroupFailed { tag: tag(0) });
+        g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(1) });
+        g.on_event(&ProtoEvent::GroupFormed { tag: tag(1), dirs: 1 });
+        assert_eq!(g.bottleneck_ratio(), 0.0);
+    }
+
+    #[test]
+    fn queue_length_sampled_at_formations() {
+        let mut g = SerializationGauges::new();
+        g.on_event(&ProtoEvent::ChunkQueued { tag: tag(0) });
+        g.on_event(&ProtoEvent::ChunkQueued { tag: tag(1) });
+        g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(2) });
+        g.on_event(&ProtoEvent::GroupFormed { tag: tag(2), dirs: 1 });
+        assert_eq!(g.mean_queue_length(), 2.0);
+        assert_eq!(g.max_queue_length(), 2);
+        g.on_event(&ProtoEvent::ChunkUnqueued { tag: tag(0) });
+        g.on_event(&ProtoEvent::ChunkUnqueued { tag: tag(1) });
+        assert_eq!(g.current().2, 0);
+    }
+
+    #[test]
+    fn completion_drains_committing() {
+        let mut g = SerializationGauges::new();
+        g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(0) });
+        g.on_event(&ProtoEvent::GroupFormed { tag: tag(0), dirs: 1 });
+        g.on_event(&ProtoEvent::CommitCompleted { tag: tag(0) });
+        assert_eq!(g.current(), (0, 0, 0));
+    }
+
+    #[test]
+    fn zero_dir_groups_do_not_underflow() {
+        let mut g = SerializationGauges::new();
+        g.on_event(&ProtoEvent::GroupFormed { tag: tag(0), dirs: 0 });
+        g.on_event(&ProtoEvent::CommitCompleted { tag: tag(0) });
+        assert_eq!(g.current(), (0, 0, 0));
+        assert_eq!(g.samples(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Traffic characterization (Figures 18–19).
+
+use sb_net::{TrafficClass, TrafficCounters};
+
+/// One protocol's traffic, renderable as a Figures 18–19 bar: message
+/// counts per class, normalized to a reference protocol (the paper
+/// normalizes to TCC).
+///
+/// # Examples
+///
+/// ```
+/// use sb_net::{MsgSize, TrafficClass, TrafficCounters};
+/// use sb_stats::TrafficReport;
+///
+/// let mut tcc = TrafficCounters::new();
+/// tcc.record(TrafficClass::SmallCMessage, MsgSize::Small);
+/// tcc.record(TrafficClass::SmallCMessage, MsgSize::Small);
+/// let mut sb = TrafficCounters::new();
+/// sb.record(TrafficClass::LargeCMessage, MsgSize::Signature);
+/// let r = TrafficReport::normalized(&sb, &tcc);
+/// assert_eq!(r.total_percent(), 50.0); // half of TCC's message count
+/// ```
+#[derive(Clone, Debug)]
+pub struct TrafficReport {
+    /// Percentage of the reference protocol's total messages, per class.
+    per_class: [f64; 5],
+}
+
+impl TrafficReport {
+    /// Builds a report for `counters`, normalized to `reference`'s total
+    /// message count (100%).
+    pub fn normalized(counters: &TrafficCounters, reference: &TrafficCounters) -> Self {
+        let base = reference.total_messages().max(1) as f64;
+        let mut per_class = [0.0; 5];
+        for (i, class) in TrafficClass::ALL.iter().enumerate() {
+            per_class[i] = counters.count(*class) as f64 * 100.0 / base;
+        }
+        TrafficReport { per_class }
+    }
+
+    /// Percentage for one class.
+    pub fn percent(&self, class: TrafficClass) -> f64 {
+        let i = TrafficClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class in ALL");
+        self.per_class[i]
+    }
+
+    /// Total height of the bar (percent of the reference's messages).
+    pub fn total_percent(&self) -> f64 {
+        self.per_class.iter().sum()
+    }
+
+    /// The five stacked segments in figure order.
+    pub fn segments(&self) -> [f64; 5] {
+        self.per_class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_net::MsgSize;
+
+    #[test]
+    fn normalization_to_reference() {
+        let mut reference = TrafficCounters::new();
+        for _ in 0..10 {
+            reference.record(TrafficClass::SmallCMessage, MsgSize::Small);
+        }
+        let mut mine = TrafficCounters::new();
+        for _ in 0..3 {
+            mine.record(TrafficClass::MemRd, MsgSize::Line);
+        }
+        mine.record(TrafficClass::LargeCMessage, MsgSize::Signature);
+        let r = TrafficReport::normalized(&mine, &reference);
+        assert_eq!(r.percent(TrafficClass::MemRd), 30.0);
+        assert_eq!(r.percent(TrafficClass::LargeCMessage), 10.0);
+        assert_eq!(r.total_percent(), 40.0);
+        // The reference normalized to itself is 100%.
+        let self_r = TrafficReport::normalized(&reference, &reference);
+        assert_eq!(self_r.total_percent(), 100.0);
+    }
+
+    #[test]
+    fn empty_reference_is_safe() {
+        let empty = TrafficCounters::new();
+        let r = TrafficReport::normalized(&empty, &empty);
+        assert_eq!(r.total_percent(), 0.0);
+        assert_eq!(r.segments(), [0.0; 5]);
+    }
+}

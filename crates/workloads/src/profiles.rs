@@ -1,0 +1,457 @@
+//! Per-application footprint profiles.
+//!
+//! Numbers are calibrated against the paper's own characterization:
+//! Figures 9–10 (average directories per commit, split into write group
+//! and read group), Figures 11–12 (their distributions), §6.1's notes on
+//! Radix's scattered bucket writes and on the superlinear speedups of
+//! Ocean, Cholesky and Raytrace (single-processor runs overflow one L2),
+//! and §6.1's squash rates (1.5% data conflicts at 64 processors).
+
+/// Benchmark suite of an application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPLASH-2 (11 applications; LU and Ocean are the contiguous
+    /// versions per §5).
+    Splash2,
+    /// PARSEC (7 applications; small inputs except Dedup/Swaptions, §5).
+    Parsec,
+}
+
+impl Suite {
+    /// The paper's name for the suite.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Splash2 => "SPLASH-2",
+            Suite::Parsec => "PARSEC",
+        }
+    }
+}
+
+/// The synthetic footprint model of one application.
+///
+/// # Examples
+///
+/// ```
+/// use sb_workloads::AppProfile;
+///
+/// let radix = AppProfile::by_name("Radix").unwrap();
+/// assert!(radix.write_scatter, "Radix scatters bucket writes");
+/// assert_eq!(AppProfile::all().len(), 18);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppProfile {
+    /// Application name as used in the paper's figures.
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Dynamic instructions per chunk (Table 2: 2000).
+    pub chunk_insns: u64,
+    /// Fraction of instructions that are memory references.
+    pub mem_ratio: f64,
+    /// Fraction of references that are stores.
+    pub write_frac: f64,
+    /// Fraction of references targeting the thread-private region.
+    pub private_frac: f64,
+    /// Mean distinct *shared* pages written per chunk (write-group size
+    /// driver, Figures 9–10).
+    pub write_pages: f64,
+    /// Mean distinct shared pages read per chunk (read-group driver).
+    pub read_pages: f64,
+    /// Radix-style scatter: write pages drawn uniformly from a large
+    /// bucket region with no spatial locality (§6.1).
+    pub write_scatter: bool,
+    /// Mean sequential run length, in cache lines.
+    pub seq_run: f64,
+    /// Probability a shared page is re-drawn from the thread's recent
+    /// pages (temporal locality).
+    pub reuse_frac: f64,
+    /// Per-thread private working set, KB.
+    pub private_ws_kb: u32,
+    /// Whether the "private" data is a partition of the problem (grids,
+    /// scene, matrix panels): a 1-thread run then owns the whole problem
+    /// and overflows a single L2 — the §6.1 superlinear mechanism.
+    pub private_is_partition: bool,
+    /// Total shared working set, KB.
+    pub shared_ws_kb: u32,
+    /// Fraction of write pages drawn from the truly-shared pool instead
+    /// of the thread's shard (drives write-write conflicts and sharer
+    /// invalidations).
+    pub shared_write_frac: f64,
+    /// Probability a fresh shared read strays into the write region
+    /// (producer-consumer sharing; drives read-write conflicts).
+    pub rw_overlap: f64,
+    /// Per-chunk probability of touching a contended hot line.
+    pub conflict_prob: f64,
+    /// Number of hot lines.
+    pub hot_lines: u32,
+    /// Probability a hot-line touch is a write.
+    pub hot_write_frac: f64,
+}
+
+impl AppProfile {
+    const fn base(name: &'static str, suite: Suite) -> AppProfile {
+        AppProfile {
+            name,
+            suite,
+            chunk_insns: 2000,
+            mem_ratio: 0.22,
+            write_frac: 0.25,
+            private_frac: 0.60,
+            write_pages: 1.5,
+            read_pages: 1.5,
+            write_scatter: false,
+            seq_run: 6.0,
+            reuse_frac: 0.85,
+            private_ws_kb: 96,
+            private_is_partition: false,
+            shared_ws_kb: 4096,
+            shared_write_frac: 0.05,
+            rw_overlap: 0.08,
+            conflict_prob: 0.02,
+            hot_lines: 16,
+            hot_write_frac: 0.3,
+        }
+    }
+
+    // ----- SPLASH-2 ------------------------------------------------------
+
+    /// Radix sort: bucket writes scattered across many pages with no
+    /// spatial locality — "practically all of the directories in the
+    /// group record writes" (§6.2); the worst case for TCC/SEQ.
+    pub fn radix() -> Self {
+        AppProfile {
+            mem_ratio: 0.15,
+            write_frac: 0.30,
+            private_frac: 0.55,
+            write_pages: 12.0,
+            read_pages: 1.0,
+            write_scatter: true,
+            seq_run: 8.0,
+            rw_overlap: 0.10,
+            conflict_prob: 0.005,
+            ..Self::base("Radix", Suite::Splash2)
+        }
+    }
+
+    /// Cholesky factorization; superlinear at 32/64 procs (one L2 cannot
+    /// hold the single-processor working set, §6.1).
+    pub fn cholesky() -> Self {
+        AppProfile {
+            write_pages: 1.4,
+            read_pages: 1.6,
+            private_ws_kb: 384,
+            private_is_partition: true,
+            seq_run: 8.0,
+            ..Self::base("Cholesky", Suite::Splash2)
+        }
+    }
+
+    /// Barnes-Hut N-body: pointer-chasing over a shared octree — wide
+    /// read groups and noticeable conflicts.
+    pub fn barnes() -> Self {
+        AppProfile {
+            write_pages: 2.5,
+            read_pages: 3.5,
+            seq_run: 2.5,
+            reuse_frac: 0.6,
+            rw_overlap: 0.15,
+            conflict_prob: 0.05,
+            ..Self::base("Barnes", Suite::Splash2)
+        }
+    }
+
+    /// FFT: blocked transposes with high spatial locality.
+    pub fn fft() -> Self {
+        AppProfile {
+            write_pages: 2.0,
+            read_pages: 1.0,
+            seq_run: 12.0,
+            reuse_frac: 0.9,
+            conflict_prob: 0.005,
+            ..Self::base("FFT", Suite::Splash2)
+        }
+    }
+
+    /// Water-nsquared.
+    pub fn water_n() -> Self {
+        AppProfile {
+            write_pages: 1.4,
+            read_pages: 2.0,
+            conflict_prob: 0.02,
+            ..Self::base("Water-N", Suite::Splash2)
+        }
+    }
+
+    /// Fast multipole method: mid-size read and write groups.
+    pub fn fmm() -> Self {
+        AppProfile {
+            write_pages: 2.0,
+            read_pages: 2.5,
+            seq_run: 3.5,
+            conflict_prob: 0.035,
+            ..Self::base("FMM", Suite::Splash2)
+        }
+    }
+
+    /// LU (contiguous): dense blocked kernel, very local.
+    pub fn lu() -> Self {
+        AppProfile {
+            write_pages: 1.2,
+            read_pages: 0.8,
+            seq_run: 14.0,
+            reuse_frac: 0.92,
+            conflict_prob: 0.004,
+            ..Self::base("LU", Suite::Splash2)
+        }
+    }
+
+    /// Ocean (contiguous): stencil sweeps; superlinear (§6.1).
+    pub fn ocean() -> Self {
+        AppProfile {
+            write_pages: 2.0,
+            read_pages: 1.2,
+            seq_run: 12.0,
+            private_ws_kb: 384,
+            private_is_partition: true,
+            conflict_prob: 0.01,
+            ..Self::base("Ocean", Suite::Splash2)
+        }
+    }
+
+    /// Water-spatial.
+    pub fn water_s() -> Self {
+        AppProfile {
+            write_pages: 1.4,
+            read_pages: 1.5,
+            ..Self::base("Water-S", Suite::Splash2)
+        }
+    }
+
+    /// Radiosity: irregular task-stealing workload.
+    pub fn radiosity() -> Self {
+        AppProfile {
+            write_pages: 2.0,
+            read_pages: 2.0,
+            seq_run: 3.0,
+            conflict_prob: 0.03,
+            ..Self::base("Radiosity", Suite::Splash2)
+        }
+    }
+
+    /// Raytrace: shared-scene reads dominate; superlinear (§6.1).
+    pub fn raytrace() -> Self {
+        AppProfile {
+            write_frac: 0.15,
+            write_pages: 1.3,
+            read_pages: 2.5,
+            seq_run: 3.0,
+            private_ws_kb: 320,
+            private_is_partition: true,
+            conflict_prob: 0.015,
+            ..Self::base("Raytrace", Suite::Splash2)
+        }
+    }
+
+    // ----- PARSEC --------------------------------------------------------
+
+    /// Vips: image pipeline.
+    pub fn vips() -> Self {
+        AppProfile {
+            write_pages: 2.0,
+            read_pages: 2.0,
+            seq_run: 10.0,
+            ..Self::base("Vips", Suite::Parsec)
+        }
+    }
+
+    /// Swaptions (large input per §5): mostly private Monte-Carlo.
+    pub fn swaptions() -> Self {
+        AppProfile {
+            private_frac: 0.8,
+            write_pages: 1.2,
+            read_pages: 1.0,
+            conflict_prob: 0.003,
+            ..Self::base("Swaptions", Suite::Parsec)
+        }
+    }
+
+    /// Blackscholes: wide per-chunk footprint over the options array —
+    /// large groups, heavy TCC/SEQ serialization (§6.1).
+    pub fn blackscholes() -> Self {
+        AppProfile {
+            write_pages: 4.0,
+            read_pages: 4.0,
+            seq_run: 4.0,
+            reuse_frac: 0.55,
+            conflict_prob: 0.025,
+            ..Self::base("Blackscholes", Suite::Parsec)
+        }
+    }
+
+    /// Fluidanimate.
+    pub fn fluidanimate() -> Self {
+        AppProfile {
+            write_pages: 2.0,
+            read_pages: 2.0,
+            seq_run: 4.0,
+            conflict_prob: 0.025,
+            ..Self::base("Fluidanimate", Suite::Parsec)
+        }
+    }
+
+    /// Canneal (medium-class behaviour): random swaps over a huge netlist
+    /// — very low locality, the widest read groups in PARSEC (§6.2).
+    pub fn canneal() -> Self {
+        AppProfile {
+            write_pages: 3.0,
+            read_pages: 6.0,
+            seq_run: 1.5,
+            reuse_frac: 0.35,
+            rw_overlap: 0.2,
+            shared_ws_kb: 16 * 1024,
+            conflict_prob: 0.05,
+            ..Self::base("Canneal", Suite::Parsec)
+        }
+    }
+
+    /// Dedup (medium input per §5).
+    pub fn dedup() -> Self {
+        AppProfile {
+            write_pages: 2.0,
+            read_pages: 2.0,
+            seq_run: 8.0,
+            conflict_prob: 0.03,
+            ..Self::base("Dedup", Suite::Parsec)
+        }
+    }
+
+    /// Facesim.
+    pub fn facesim() -> Self {
+        AppProfile {
+            write_pages: 2.0,
+            read_pages: 2.0,
+            seq_run: 6.0,
+            ..Self::base("Facesim", Suite::Parsec)
+        }
+    }
+
+    /// The 11 SPLASH-2 applications, in the order of Figure 7.
+    pub fn splash2() -> Vec<AppProfile> {
+        vec![
+            Self::radix(),
+            Self::cholesky(),
+            Self::barnes(),
+            Self::fft(),
+            Self::water_n(),
+            Self::fmm(),
+            Self::lu(),
+            Self::ocean(),
+            Self::water_s(),
+            Self::radiosity(),
+            Self::raytrace(),
+        ]
+    }
+
+    /// The 7 PARSEC applications, in the order of Figure 8.
+    pub fn parsec() -> Vec<AppProfile> {
+        vec![
+            Self::vips(),
+            Self::swaptions(),
+            Self::blackscholes(),
+            Self::fluidanimate(),
+            Self::canneal(),
+            Self::dedup(),
+            Self::facesim(),
+        ]
+    }
+
+    /// All 18 applications (SPLASH-2 then PARSEC).
+    pub fn all() -> Vec<AppProfile> {
+        let mut v = Self::splash2();
+        v.extend(Self::parsec());
+        v
+    }
+
+    /// Looks an application up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<AppProfile> {
+        Self::all()
+            .into_iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Whether the single-processor working set overflows one L2 — the
+    /// §6.1 superlinear-speedup mechanism.
+    pub fn expects_superlinear(&self) -> bool {
+        self.private_is_partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_counts_match_paper() {
+        assert_eq!(AppProfile::splash2().len(), 11);
+        assert_eq!(AppProfile::parsec().len(), 7);
+        assert_eq!(AppProfile::all().len(), 18);
+        assert!(AppProfile::splash2().iter().all(|p| p.suite == Suite::Splash2));
+        assert!(AppProfile::parsec().iter().all(|p| p.suite == Suite::Parsec));
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let all = AppProfile::all();
+        for p in &all {
+            assert_eq!(AppProfile::by_name(p.name).unwrap().name, p.name);
+        }
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+        assert!(AppProfile::by_name("nosuchapp").is_none());
+        assert_eq!(AppProfile::by_name("radix").unwrap().name, "Radix");
+    }
+
+    #[test]
+    fn paper_characterizations_hold() {
+        // §6.2: Radix writes scatter and dominate its group.
+        let radix = AppProfile::radix();
+        assert!(radix.write_scatter);
+        assert!(radix.write_pages > 8.0);
+        assert!(radix.write_pages > radix.read_pages * 5.0);
+        // §6.1: superlinear trio.
+        for name in ["Ocean", "Cholesky", "Raytrace"] {
+            let p = AppProfile::by_name(name).unwrap();
+            assert!(p.expects_superlinear(), "{name}");
+            assert!(p.private_is_partition, "{name}");
+        }
+        assert!(!AppProfile::fft().expects_superlinear());
+        // §6.2: Canneal has the widest PARSEC read groups.
+        let canneal = AppProfile::canneal();
+        for p in AppProfile::parsec() {
+            assert!(canneal.read_pages >= p.read_pages);
+        }
+        // Chunk size is Table 2's 2000 instructions everywhere.
+        assert!(AppProfile::all().iter().all(|p| p.chunk_insns == 2000));
+    }
+
+    #[test]
+    fn sanity_of_fractions() {
+        for p in AppProfile::all() {
+            assert!((0.0..=1.0).contains(&p.mem_ratio), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.write_frac), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.private_frac), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.reuse_frac), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.conflict_prob), "{}", p.name);
+            assert!(p.write_pages >= 0.5 && p.read_pages >= 0.5, "{}", p.name);
+            assert!(p.seq_run >= 1.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn suite_labels() {
+        assert_eq!(Suite::Splash2.label(), "SPLASH-2");
+        assert_eq!(Suite::Parsec.label(), "PARSEC");
+    }
+}

@@ -1,0 +1,59 @@
+//! Protocol shootout: run the same contended workload under all four
+//! commit protocols (Table 3) and compare wall time, commit stall and
+//! commit latency — the §6.1 story in one screen.
+//!
+//! Radix is the stress case: each chunk writes ~12 scattered bucket pages,
+//! so its commit group spans ~12 directory modules. TCC and SEQ serialize
+//! chunks that share a directory; BulkSC funnels everything through one
+//! arbiter; ScalableBulk overlaps every non-conflicting commit.
+//!
+//! ```text
+//! cargo run --release --example protocol_shootout [app] [cores]
+//! ```
+
+use scalablebulk::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_name = args.first().map(String::as_str).unwrap_or("Radix");
+    let cores: u16 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(64);
+    let app = AppProfile::by_name(app_name).expect("known application");
+
+    println!(
+        "Comparing the four Table 3 protocols on {} with {cores} cores…\n",
+        app.name
+    );
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "wall cycles",
+        "commit stall %",
+        "mean latency",
+        "queue len",
+        "messages",
+        "squash %",
+    ]);
+    let mut baseline_wall = 0u64;
+    for proto in ProtocolKind::ALL {
+        let mut cfg = SimConfig::paper_default(cores, app, proto);
+        cfg.insns_per_thread = 20_000;
+        let r = run_simulation(&cfg);
+        if proto == ProtocolKind::ScalableBulk {
+            baseline_wall = r.wall_cycles;
+        }
+        table.row(vec![
+            proto.label().to_string(),
+            format!(
+                "{} ({:.2}x)",
+                r.wall_cycles,
+                r.wall_cycles as f64 / baseline_wall.max(1) as f64
+            ),
+            format!("{:.1}", r.breakdown.fraction_commit() * 100.0),
+            format!("{:.0}", r.latency.mean()),
+            format!("{:.1}", r.gauges.mean_queue_length()),
+            r.traffic.total_messages().to_string(),
+            format!("{:.2}", r.squash_rate() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(wall multipliers are relative to ScalableBulk)");
+}

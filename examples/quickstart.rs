@@ -1,0 +1,63 @@
+//! Quickstart: simulate one application on the Table 2 machine under the
+//! ScalableBulk protocol and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart [app] [cores]
+//! ```
+
+use scalablebulk::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_name = args.first().map(String::as_str).unwrap_or("Barnes");
+    let cores: u16 = args
+        .get(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let app = AppProfile::by_name(app_name).unwrap_or_else(|| {
+        eprintln!("unknown app {app_name:?}; available:");
+        for p in AppProfile::all() {
+            eprintln!("  {} ({})", p.name, p.suite.label());
+        }
+        std::process::exit(2);
+    });
+
+    println!("Simulating {} on {cores} cores under ScalableBulk…", app.name);
+    let mut cfg = SimConfig::paper_default(cores, app, ProtocolKind::ScalableBulk);
+    cfg.insns_per_thread = 20_000;
+    let r = run_simulation(&cfg);
+
+    println!("wall clock            : {} cycles", r.wall_cycles);
+    println!("chunks committed      : {}", r.commits);
+    println!(
+        "chunks squashed       : {} ({:.2}% — {} data conflicts, {} signature aliases)",
+        r.squashes(),
+        r.squash_rate() * 100.0,
+        r.squashes_conflict,
+        r.squashes_alias
+    );
+    println!(
+        "mean commit latency   : {:.0} cycles (p90 {} / max {})",
+        r.latency.mean(),
+        r.latency.quantile(0.9),
+        r.latency.max()
+    );
+    println!(
+        "directories per commit: {:.2} write group + {:.2} read group",
+        r.dirs.mean_write_group(),
+        r.dirs.mean_read_group()
+    );
+    let b = &r.breakdown;
+    println!(
+        "cycle breakdown       : {:.1}% useful, {:.1}% cache miss, {:.1}% commit, {:.2}% squash",
+        b.fraction_useful() * 100.0,
+        b.fraction_cache_miss() * 100.0,
+        b.fraction_commit() * 100.0,
+        b.fraction_squash() * 100.0
+    );
+    println!(
+        "network               : {} messages, {} reads nacked by committing W signatures",
+        r.traffic.total_messages(),
+        r.read_nacks
+    );
+}
