@@ -9,7 +9,7 @@ use sb_net::{MsgSize, TrafficClass};
 use sb_proto::{
     BulkInvAck, CommitProtocol, Endpoint, MachineView, Outbox, ProtoEvent, ProtocolKind,
 };
-use sb_sigs::Signature;
+use sb_sigs::SigHandle;
 
 /// BulkSC tuning.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,8 +46,8 @@ pub enum BscMsg {
 }
 
 struct Committing {
-    wsig: Signature,
-    rsig: Signature,
+    wsig: SigHandle,
+    rsig: SigHandle,
     pending_acks: u32,
 }
 
@@ -68,8 +68,17 @@ pub struct BulkSc {
 
 impl BulkSc {
     /// Creates the protocol for `ncores` cores and `ndirs` directories.
+    ///
+    /// The configured arbiter placement is clamped to an existing tile:
+    /// configs built for a larger machine (e.g. the torus-centre default)
+    /// fall back to tile 0 on small machines, so every host gets the same
+    /// normalization instead of patching the config by hand.
     pub fn new(cfg: BulkScConfig, ncores: u16, ndirs: u16) -> Self {
         assert!((1..=64).contains(&ncores), "1..=64 cores");
+        let mut cfg = cfg;
+        if cfg.arbiter.0 >= ndirs {
+            cfg.arbiter = DirId(0);
+        }
         BulkSc {
             cfg,
             ncores,
@@ -136,7 +145,7 @@ impl BulkSc {
             out.commit_success(tag.core(), tag, self.cfg.arbiter);
             // Directory-state updates for the written lines' homes.
             for d in req.write_dirs.iter() {
-                out.apply_commit(d, req.wsig.clone(), tag.core());
+                out.apply_commit(d, req.wsig.share(), tag.core());
             }
             // Broadcast the W signature to every other processor for bulk
             // invalidation and disambiguation (the BulkSC scheme).
@@ -147,7 +156,7 @@ impl BulkSc {
                         self.cfg.arbiter,
                         CoreId(c),
                         tag,
-                        req.wsig.clone(),
+                        req.wsig.share(),
                         MsgSize::Signature,
                     );
                     acks += 1;
@@ -336,8 +345,7 @@ mod tests {
             })
             .collect();
         assert!(
-            latencies.iter().max().unwrap() - latencies.iter().min().unwrap()
-                >= p.cfg.service_time,
+            latencies.iter().max().unwrap() - latencies.iter().min().unwrap() >= p.cfg.service_time,
             "arbiter serialization visible: {latencies:?}"
         );
     }

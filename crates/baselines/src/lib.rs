@@ -40,7 +40,7 @@ mod seq;
 mod seqts;
 mod tcc;
 
-pub use bulksc::{BulkSc, BulkScConfig, BscMsg};
+pub use bulksc::{BscMsg, BulkSc, BulkScConfig};
 pub use seq::{Seq, SeqMsg};
 pub use seqts::{SeqTs, SeqTsMsg};
 pub use tcc::{Tcc, TccConfig, TccMsg};

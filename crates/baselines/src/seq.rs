@@ -10,7 +10,7 @@ use sb_net::{MsgSize, TrafficClass};
 use sb_proto::{
     BulkInvAck, CommitProtocol, Endpoint, MachineView, Outbox, ProtoEvent, ProtocolKind,
 };
-use sb_sigs::Signature;
+use sb_sigs::SigHandle;
 
 /// SEQ wire messages.
 #[derive(Clone, Debug)]
@@ -20,8 +20,8 @@ pub enum SeqMsg {
     Occupy {
         /// The committing chunk.
         tag: ChunkTag,
-        /// Its W signature.
-        wsig: Signature,
+        /// Its W signature (shared handle).
+        wsig: SigHandle,
     },
     /// Directory → core: the module is yours.
     OccupyGranted {
@@ -53,9 +53,9 @@ pub enum SeqMsg {
 #[derive(Debug, Default)]
 struct SeqDir {
     /// Current occupant and its W signature.
-    occupant: Option<(ChunkTag, Signature)>,
+    occupant: Option<(ChunkTag, SigHandle)>,
     /// FIFO of blocked occupy requests.
-    queue: VecDeque<(ChunkTag, Signature)>,
+    queue: VecDeque<(ChunkTag, SigHandle)>,
     /// Outstanding invalidation acks for the occupant's publication.
     pending_acks: u32,
 }
@@ -91,7 +91,7 @@ impl Seq {
         }
     }
 
-    fn send_occupy(&self, out: &mut Outbox<SeqMsg>, tag: ChunkTag, wsig: Signature, d: DirId) {
+    fn send_occupy(&self, out: &mut Outbox<SeqMsg>, tag: ChunkTag, wsig: SigHandle, d: DirId) {
         out.send(
             Endpoint::Core(tag.core()),
             Endpoint::Dir(d),
@@ -172,7 +172,7 @@ impl CommitProtocol for Seq {
         }
         out.event(ProtoEvent::GroupFormationStarted { tag });
         let first = req.g_vec.lowest().expect("non-empty");
-        let wsig = req.wsig.clone();
+        let wsig = req.wsig.share();
         self.chunks.insert(
             tag,
             SeqChunk {
@@ -232,7 +232,7 @@ impl CommitProtocol for Seq {
                 c.occupied.insert(dir);
                 match c.req.g_vec.next_after(dir) {
                     Some(next) => {
-                        let wsig = c.req.wsig.clone();
+                        let wsig = c.req.wsig.share();
                         self.send_occupy(out, tag, wsig, next);
                     }
                     None => {
@@ -273,14 +273,18 @@ impl CommitProtocol for Seq {
                 }
             }
             (Endpoint::Dir(d), SeqMsg::StartInval { tag }) => {
-                let Some((occ_tag, wsig)) = self.dirs[d.idx()].occupant.clone() else {
+                let Some((occ_tag, wsig)) = self.dirs[d.idx()]
+                    .occupant
+                    .as_ref()
+                    .map(|(t, w)| (*t, w.share()))
+                else {
                     return;
                 };
                 if occ_tag != tag {
                     return; // stale (chunk aborted and module re-granted)
                 }
                 let sharers = view.sharers_matching(d, &wsig, tag.core());
-                out.apply_commit(d, wsig.clone(), tag.core());
+                out.apply_commit(d, wsig.share(), tag.core());
                 if sharers.is_empty() {
                     out.send(
                         Endpoint::Dir(d),
@@ -292,7 +296,7 @@ impl CommitProtocol for Seq {
                 } else {
                     self.dirs[d.idx()].pending_acks = sharers.len();
                     for core in sharers.iter() {
-                        out.bulk_inv_sized(d, core, tag, wsig.clone(), MsgSize::Line);
+                        out.bulk_inv_sized(d, core, tag, wsig.share(), MsgSize::Line);
                     }
                 }
             }
@@ -344,10 +348,7 @@ impl CommitProtocol for Seq {
         }
         let d = ack.dir;
         let dir = &mut self.dirs[d.idx()];
-        if dir
-            .occupant
-            .as_ref().is_none_or(|(t, _)| *t != ack.tag)
-        {
+        if dir.occupant.as_ref().is_none_or(|(t, _)| *t != ack.tag) {
             return; // occupant aborted while acks were in flight
         }
         if dir.pending_acks == 0 {
@@ -360,7 +361,10 @@ impl CommitProtocol for Seq {
                 Endpoint::Core(ack.tag.core()),
                 MsgSize::Small,
                 TrafficClass::SmallCMessage,
-                SeqMsg::DirCommitDone { tag: ack.tag, dir: d },
+                SeqMsg::DirCommitDone {
+                    tag: ack.tag,
+                    dir: d,
+                },
             );
         }
     }

@@ -22,7 +22,7 @@ use sb_net::{MsgSize, TrafficClass};
 use sb_proto::{
     BulkInvAck, CommitProtocol, Endpoint, MachineView, Outbox, ProtoEvent, ProtocolKind,
 };
-use sb_sigs::Signature;
+use sb_sigs::SigHandle;
 
 /// Stealing priority: strictly lower wins (older chunk sequence first,
 /// ties by core ID). A total order is what prevents steal ping-pong.
@@ -37,8 +37,8 @@ pub enum SeqTsMsg {
     Occupy {
         /// The committing chunk.
         tag: ChunkTag,
-        /// Its W signature (for invalidation and read nacking).
-        wsig: Signature,
+        /// Its W signature (for invalidation and read nacking; shared).
+        wsig: SigHandle,
         /// Consecutive denials so far (drives retry backoff).
         attempts: u32,
     },
@@ -107,7 +107,7 @@ struct TsDir {
     /// Occupant, its W signature, and whether it is publishing (an
     /// occupant that reached publication can no longer be stolen from —
     /// its directory updates are in flight).
-    occupant: Option<(ChunkTag, Signature, bool)>,
+    occupant: Option<(ChunkTag, SigHandle, bool)>,
     pending_acks: u32,
 }
 
@@ -149,12 +149,7 @@ impl SeqTs {
         self.steals
     }
 
-    fn small(
-        out: &mut Outbox<SeqTsMsg>,
-        src: Endpoint,
-        dst: Endpoint,
-        msg: SeqTsMsg,
-    ) {
+    fn small(out: &mut Outbox<SeqTsMsg>, src: Endpoint, dst: Endpoint, msg: SeqTsMsg) {
         out.send(src, dst, MsgSize::Small, TrafficClass::SmallCMessage, msg);
     }
 
@@ -162,7 +157,7 @@ impl SeqTs {
         &self,
         out: &mut Outbox<SeqTsMsg>,
         tag: ChunkTag,
-        wsig: Signature,
+        wsig: SigHandle,
         d: DirId,
         attempts: u32,
     ) {
@@ -216,7 +211,7 @@ impl SeqTs {
         }
     }
 
-    fn abort_chunk(&mut self, out: &mut Outbox<SeqTsMsg>, tag: ChunkTag) {
+    fn abort_chunk(&mut self, _out: &mut Outbox<SeqTsMsg>, tag: ChunkTag) {
         self.dead.insert(tag);
         let Some(c) = self.chunks.remove(&tag) else {
             return;
@@ -257,7 +252,7 @@ impl CommitProtocol for SeqTs {
         }
         out.event(ProtoEvent::GroupFormationStarted { tag });
         let g_vec = req.g_vec;
-        let wsig = req.wsig.clone();
+        let wsig = req.wsig.share();
         self.chunks.insert(
             tag,
             TsChunk {
@@ -269,7 +264,7 @@ impl CommitProtocol for SeqTs {
         );
         // The SEQ-TS difference: occupy all members IN PARALLEL.
         for d in g_vec.iter() {
-            self.occupy(out, tag, wsig.clone(), d, 0);
+            self.occupy(out, tag, wsig.share(), d, 0);
         }
     }
 
@@ -281,10 +276,18 @@ impl CommitProtocol for SeqTs {
         msg: SeqTsMsg,
     ) {
         match (dst, msg) {
-            (Endpoint::Dir(d), SeqTsMsg::Occupy { tag, wsig, attempts }) => {
+            (
+                Endpoint::Dir(d),
+                SeqTsMsg::Occupy {
+                    tag,
+                    wsig,
+                    attempts,
+                },
+            ) => {
                 if self.dead.contains(&tag) {
                     return;
                 }
+                // Cheap: the occupant tuple holds a SigHandle.
                 match self.dirs[d.idx()].occupant.clone() {
                     None => {
                         self.dirs[d.idx()].occupant = Some((tag, wsig, false));
@@ -360,7 +363,7 @@ impl CommitProtocol for SeqTs {
                 c.inval_done = DirSet::empty();
                 let was_publishing = c.publishing;
                 c.publishing = false;
-                let wsig = c.req.wsig.clone();
+                let wsig = c.req.wsig.share();
                 let write_dirs = c.req.write_dirs;
                 if was_publishing {
                     for d in write_dirs.iter().filter(|d| *d != dir) {
@@ -394,21 +397,25 @@ impl CommitProtocol for SeqTs {
             (Endpoint::Core(_), SeqTsMsg::Retry { tag, dir, attempts }) => {
                 if let Some(c) = self.chunks.get(&tag) {
                     if !c.granted.contains(dir) {
-                        let wsig = c.req.wsig.clone();
+                        let wsig = c.req.wsig.share();
                         self.occupy(out, tag, wsig, dir, attempts);
                     }
                 }
             }
             (Endpoint::Dir(d), SeqTsMsg::StartInval { tag }) => {
-                let Some((occ, wsig, _)) = self.dirs[d.idx()].occupant.clone() else {
+                let Some((occ, wsig)) = self.dirs[d.idx()]
+                    .occupant
+                    .as_ref()
+                    .map(|(t, w, _)| (*t, w.share()))
+                else {
                     return;
                 };
                 if occ != tag {
                     return; // stolen since; the revocation handler re-runs
                 }
-                self.dirs[d.idx()].occupant = Some((occ, wsig.clone(), true));
+                self.dirs[d.idx()].occupant = Some((occ, wsig.share(), true));
                 let sharers = view.sharers_matching(d, &wsig, tag.core());
-                out.apply_commit(d, wsig.clone(), tag.core());
+                out.apply_commit(d, wsig.share(), tag.core());
                 if sharers.is_empty() {
                     Self::small(
                         out,
@@ -419,7 +426,7 @@ impl CommitProtocol for SeqTs {
                 } else {
                     self.dirs[d.idx()].pending_acks = sharers.len();
                     for core in sharers.iter() {
-                        out.bulk_inv_sized(d, core, tag, wsig.clone(), MsgSize::Line);
+                        out.bulk_inv_sized(d, core, tag, wsig.share(), MsgSize::Line);
                     }
                 }
             }
@@ -436,9 +443,9 @@ impl CommitProtocol for SeqTs {
                 }
             }
             (Endpoint::Dir(d), SeqTsMsg::CancelPublish { tag }) => {
-                if let Some((occ, wsig, true)) = self.dirs[d.idx()].occupant.clone() {
-                    if occ == tag {
-                        self.dirs[d.idx()].occupant = Some((occ, wsig, false));
+                if let Some((occ, _, publishing)) = self.dirs[d.idx()].occupant.as_mut() {
+                    if *occ == tag && *publishing {
+                        *publishing = false;
                         self.dirs[d.idx()].pending_acks = 0;
                     }
                 }
@@ -467,10 +474,10 @@ impl CommitProtocol for SeqTs {
             self.abort_chunk(out, aborted.tag);
         }
         let d = ack.dir;
-        if !self.dirs[d.idx()]
+        if self.dirs[d.idx()]
             .occupant
             .as_ref()
-            .is_some_and(|(t, _, _)| *t == ack.tag)
+            .is_none_or(|(t, _, _)| *t != ack.tag)
         {
             return;
         }

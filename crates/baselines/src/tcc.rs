@@ -9,7 +9,7 @@ use sb_net::{MsgSize, TrafficClass};
 use sb_proto::{
     BulkInvAck, CommitProtocol, Endpoint, MachineView, Outbox, ProtoEvent, ProtocolKind,
 };
-use sb_sigs::Signature;
+use sb_sigs::SigHandle;
 
 /// TCC tuning.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,8 +80,8 @@ pub enum TccMsg {
         /// Whether this directory recorded writes (read-only members just
         /// synchronize the turn).
         has_writes: bool,
-        /// The chunk's W signature (sharer lookup).
-        wsig: Signature,
+        /// The chunk's W signature (sharer lookup; shared handle).
+        wsig: SigHandle,
     },
     /// Core → non-member directory: this TID does not involve you.
     Skip {
@@ -118,7 +118,11 @@ pub enum TccMsg {
 #[derive(Debug)]
 enum Slot {
     Skip,
-    Probe { tag: ChunkTag, has_writes: bool, wsig: Signature },
+    Probe {
+        tag: ChunkTag,
+        has_writes: bool,
+        wsig: SigHandle,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -127,7 +131,7 @@ struct TccDir {
     pending: BTreeMap<u64, Slot>,
     /// An in-progress probe: (tag, tid, outstanding invalidation acks,
     /// W signature for read nacking).
-    active: Option<(ChunkTag, u64, u32, Signature)>,
+    active: Option<(ChunkTag, u64, u32, SigHandle)>,
     /// Controller busy observing a run of skips.
     skipping: bool,
 }
@@ -188,9 +192,7 @@ impl Tcc {
                     // Observe the whole contiguous run of skips in one
                     // controller occupancy window.
                     let mut run = 1u64;
-                    while let Some(Slot::Skip) =
-                        self.dirs[d.idx()].pending.get(&(next + run))
-                    {
+                    while let Some(Slot::Skip) = self.dirs[d.idx()].pending.get(&(next + run)) {
                         self.dirs[d.idx()].pending.remove(&(next + run));
                         run += 1;
                     }
@@ -224,10 +226,7 @@ impl Tcc {
                             });
                         }
                     }
-                    let aborted = self
-                        .chunks
-                        .get(&tag)
-                        .is_none_or(|c| c.aborted);
+                    let aborted = self.chunks.get(&tag).is_none_or(|c| c.aborted);
                     if aborted || !has_writes {
                         // Read-only member (or dead chunk): just sync.
                         self.finish_dir_turn(out, d, tag, aborted);
@@ -408,7 +407,7 @@ impl CommitProtocol for Tcc {
                 self.tid_of.insert(tag, tid);
                 let gvec = c.req.g_vec;
                 let write_dirs = c.req.write_dirs;
-                let wsig = c.req.wsig.clone();
+                let wsig = c.req.wsig.share();
                 let marks: Vec<(DirId, u32)> = c.req.write_lines_per_dir.clone();
                 // Probe to members, skip broadcast to everyone else
                 // (the §2.1 message storm), one mark per written line.
@@ -424,7 +423,7 @@ impl CommitProtocol for Tcc {
                                 tag,
                                 tid,
                                 has_writes: write_dirs.contains(d),
-                                wsig: wsig.clone(),
+                                wsig: wsig.share(),
                             },
                         );
                     } else {
@@ -449,10 +448,23 @@ impl CommitProtocol for Tcc {
                     }
                 }
             }
-            (Endpoint::Dir(d), TccMsg::Probe { tag, tid, has_writes, wsig }) => {
-                self.dirs[d.idx()]
-                    .pending
-                    .insert(tid, Slot::Probe { tag, has_writes, wsig });
+            (
+                Endpoint::Dir(d),
+                TccMsg::Probe {
+                    tag,
+                    tid,
+                    has_writes,
+                    wsig,
+                },
+            ) => {
+                self.dirs[d.idx()].pending.insert(
+                    tid,
+                    Slot::Probe {
+                        tag,
+                        has_writes,
+                        wsig,
+                    },
+                );
                 self.advance_dir(view, out, d);
             }
             (Endpoint::Dir(d), TccMsg::Skip { tid }) => {
@@ -470,7 +482,7 @@ impl CommitProtocol for Tcc {
             (Endpoint::Dir(d), TccMsg::TurnDone { tag, dir }) => {
                 debug_assert_eq!(d, dir);
                 let (active_tag, wsig) = match self.dirs[d.idx()].active.as_ref() {
-                    Some((t, _, _, w)) => (*t, w.clone()),
+                    Some((t, _, _, w)) => (*t, w.share()),
                     None => return,
                 };
                 if active_tag != tag {
@@ -495,11 +507,11 @@ impl CommitProtocol for Tcc {
                     self.advance_dir(view, out, d);
                     return;
                 }
-                out.apply_commit(d, wsig.clone(), committer);
+                out.apply_commit(d, wsig.share(), committer);
                 for core in sharers.iter() {
                     // TCC sends line-granular invalidations; modelled as
                     // one line-sized message per directory.
-                    out.bulk_inv_sized(d, core, tag, wsig.clone(), MsgSize::Line);
+                    out.bulk_inv_sized(d, core, tag, wsig.share(), MsgSize::Line);
                 }
                 if let Some((_, _, acks, _)) = self.dirs[d.idx()].active.as_mut() {
                     *acks = sharers.len();

@@ -13,7 +13,11 @@ fn fig14_fig17(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(4));
-    let protos = [ProtocolKind::ScalableBulk, ProtocolKind::Tcc, ProtocolKind::Seq];
+    let protos = [
+        ProtocolKind::ScalableBulk,
+        ProtocolKind::Tcc,
+        ProtocolKind::Seq,
+    ];
     for app in bench_apps() {
         for proto in protos {
             let r = bench_run(app, 64, proto);
@@ -28,9 +32,11 @@ fn fig14_fig17(c: &mut Criterion) {
     }
     for proto in protos {
         let cfg = bench_config(AppProfile::radix(), 64, proto);
-        group.bench_with_input(BenchmarkId::new("radix64", proto.label()), &cfg, |b, cfg| {
-            b.iter(|| run_simulation(cfg))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("radix64", proto.label()),
+            &cfg,
+            |b, cfg| b.iter(|| run_simulation(cfg)),
+        );
     }
     group.finish();
 }

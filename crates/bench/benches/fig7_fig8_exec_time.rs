@@ -27,11 +27,9 @@ fn fig7_fig8(c: &mut Criterion) {
                 r.breakdown.fraction_squash() * 100.0,
             );
             let cfg = bench_config(app, 64, proto);
-            group.bench_with_input(
-                BenchmarkId::new(app.name, proto.label()),
-                &cfg,
-                |b, cfg| b.iter(|| run_simulation(cfg)),
-            );
+            group.bench_with_input(BenchmarkId::new(app.name, proto.label()), &cfg, |b, cfg| {
+                b.iter(|| run_simulation(cfg))
+            });
         }
     }
     group.finish();

@@ -16,7 +16,9 @@ fn fig9_fig12(c: &mut Criterion) {
     // All 18 applications: the metric is the point of these figures.
     for app in AppProfile::all() {
         let r = bench_run(app, 64, ProtocolKind::ScalableBulk);
-        let dist: Vec<String> = (0..=15).map(|k| format!("{:.0}", r.dirs.percent(k))).collect();
+        let dist: Vec<String> = (0..=15)
+            .map(|k| format!("{:.0}", r.dirs.percent(k)))
+            .collect();
         println!(
             "[fig9-12] {:14} write_group={:>5.2} read_group={:>5.2} dist%={}",
             app.name,
@@ -28,9 +30,11 @@ fn fig9_fig12(c: &mut Criterion) {
     // Time two representative runs.
     for app in [AppProfile::radix(), AppProfile::fft()] {
         let cfg = bench_config(app, 64, ProtocolKind::ScalableBulk);
-        group.bench_with_input(BenchmarkId::new("scalablebulk", app.name), &cfg, |b, cfg| {
-            b.iter(|| run_simulation(cfg))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("scalablebulk", app.name),
+            &cfg,
+            |b, cfg| b.iter(|| run_simulation(cfg)),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,88 @@
+//! Whole-run simulator throughput and commit-hot-path microbenches.
+//!
+//! Unlike the `fig*` benches, which regenerate the paper's *simulated*
+//! results, this bench measures the *simulator itself*: end-to-end runs
+//! of the fig-7 configuration at several core counts, plus the signature
+//! operations on the commit hot path (handle sharing vs. deep cloning).
+//!
+//! Run with `cargo bench --bench throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_proto::ProtocolKind;
+use sb_sigs::{SigHandle, Signature, SignatureConfig};
+use sb_sim::{run_simulation, SimConfig};
+use sb_workloads::AppProfile;
+use std::hint::black_box;
+
+/// The fig-7 sweep point used throughout: FFT under ScalableBulk, small
+/// enough that one sample finishes in well under a second.
+fn cfg(cores: u16) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(cores, AppProfile::fft(), ProtocolKind::ScalableBulk);
+    cfg.insns_per_thread = 10_000;
+    cfg
+}
+
+fn whole_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_whole_run");
+    g.sample_size(10);
+    for cores in [8u16, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("fft_sb", cores), &cores, |b, &cores| {
+            let cfg = cfg(cores);
+            b.iter(|| run_simulation(black_box(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn protocols_32(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_protocols_32c");
+    g.sample_size(10);
+    for proto in ProtocolKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("fft", format!("{proto}")),
+            &proto,
+            |b, &proto| {
+                let mut cfg = cfg(32);
+                cfg.protocol = proto;
+                b.iter(|| run_simulation(black_box(&cfg)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn signature_hot_path(c: &mut Criterion) {
+    let sig_cfg = SignatureConfig::paper_default();
+    let sig = Signature::from_lines(sig_cfg, (0..64).map(|i| i * 37));
+    let handle = SigHandle::from(sig.clone());
+
+    // The old commit fan-out: one deep copy of the W signature per
+    // bulk-invalidation target.
+    c.bench_function("wsig_deep_clone", |b| b.iter(|| black_box(&sig).clone()));
+    // The new fan-out: one refcount bump per target.
+    c.bench_function("wsig_handle_share", |b| {
+        b.iter(|| black_box(&handle).share())
+    });
+
+    // Copy-on-write: mutating a shared handle pays one copy, mutating an
+    // unshared one is free — the chunk-execution insert path.
+    c.bench_function("sighandle_unshared_insert", |b| {
+        let mut h = SigHandle::empty(sig_cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(97);
+            h.make_mut().insert(i);
+        })
+    });
+
+    c.bench_function("sig_intersects_via_handle", |b| {
+        let other = SigHandle::from(Signature::from_lines(
+            sig_cfg,
+            (0..64).map(|i| 1_000_000 + i * 41),
+        ));
+        b.iter(|| black_box(&handle).intersects(black_box(&other)))
+    });
+}
+
+criterion_group!(benches, whole_run, protocols_32, signature_hot_path);
+criterion_main!(benches);

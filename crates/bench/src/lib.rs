@@ -33,7 +33,11 @@ pub fn bench_run(app: AppProfile, cores: u16, proto: ProtocolKind) -> RunResult 
 /// stress case (Radix), a read-wide case (Canneal) and a well-behaved
 /// case (FFT).
 pub fn bench_apps() -> Vec<AppProfile> {
-    vec![AppProfile::radix(), AppProfile::canneal(), AppProfile::fft()]
+    vec![
+        AppProfile::radix(),
+        AppProfile::canneal(),
+        AppProfile::fft(),
+    ]
 }
 
 #[cfg(test)]
@@ -45,6 +49,9 @@ mod tests {
         let r = bench_run(AppProfile::fft(), 8, ProtocolKind::ScalableBulk);
         assert!(r.commits > 0);
         assert_eq!(bench_apps().len(), 3);
-        assert_eq!(bench_config(AppProfile::fft(), 8, ProtocolKind::Tcc).insns_per_thread, BENCH_INSNS);
+        assert_eq!(
+            bench_config(AppProfile::fft(), 8, ProtocolKind::Tcc).insns_per_thread,
+            BENCH_INSNS
+        );
     }
 }

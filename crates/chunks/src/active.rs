@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use sb_mem::{DirId, DirSet, LineAddr};
-use sb_sigs::{Signature, SignatureConfig};
+use sb_sigs::{SigHandle, Signature, SignatureConfig};
 
 use crate::tag::ChunkTag;
 
@@ -31,8 +31,11 @@ use crate::tag::ChunkTag;
 #[derive(Clone, Debug)]
 pub struct ActiveChunk {
     tag: ChunkTag,
-    rsig: Signature,
-    wsig: Signature,
+    /// Built in place while the chunk runs (the handle is unshared, so
+    /// `make_mut` mutates without copying); sealed into the commit
+    /// request by an O(1) `share`.
+    rsig: SigHandle,
+    wsig: SigHandle,
     rset: BTreeSet<LineAddr>,
     wset: BTreeSet<LineAddr>,
     read_dirs: DirSet,
@@ -46,8 +49,8 @@ impl ActiveChunk {
     pub fn new(tag: ChunkTag, sig_cfg: SignatureConfig) -> Self {
         ActiveChunk {
             tag,
-            rsig: Signature::new(sig_cfg),
-            wsig: Signature::new(sig_cfg),
+            rsig: SigHandle::empty(sig_cfg),
+            wsig: SigHandle::empty(sig_cfg),
             rset: BTreeSet::new(),
             wset: BTreeSet::new(),
             read_dirs: DirSet::empty(),
@@ -64,14 +67,14 @@ impl ActiveChunk {
 
     /// Records a load of `line` whose home is `home`.
     pub fn record_read(&mut self, line: LineAddr, home: DirId) {
-        self.rsig.insert(line.as_u64());
+        self.rsig.make_mut().insert(line.as_u64());
         self.rset.insert(line);
         self.read_dirs.insert(home);
     }
 
     /// Records a store to `line` whose home is `home`.
     pub fn record_write(&mut self, line: LineAddr, home: DirId) {
-        self.wsig.insert(line.as_u64());
+        self.wsig.make_mut().insert(line.as_u64());
         if self.wset.insert(line) {
             *self.write_lines_per_dir.entry(home).or_insert(0) += 1;
         }
@@ -90,12 +93,12 @@ impl ActiveChunk {
 
     /// The read signature.
     pub fn rsig(&self) -> &Signature {
-        &self.rsig
+        self.rsig.as_signature()
     }
 
     /// The write signature.
     pub fn wsig(&self) -> &Signature {
-        &self.wsig
+        self.wsig.as_signature()
     }
 
     /// Exact read set (for tests and exact-conflict diagnostics).
@@ -131,12 +134,14 @@ impl ActiveChunk {
     }
 
     /// Seals the chunk into the commit-request payload sent to the
-    /// directories.
+    /// directories. O(1) in the signature size: the request shares the
+    /// chunk's signature storage (a later in-place edit of the chunk
+    /// would copy-on-write, leaving the request unaffected).
     pub fn to_commit_request(&self) -> CommitRequest {
         CommitRequest {
             tag: self.tag,
-            rsig: self.rsig.clone(),
-            wsig: self.wsig.clone(),
+            rsig: self.rsig.share(),
+            wsig: self.wsig.share(),
             g_vec: self.g_vec(),
             write_dirs: self.write_dirs,
             read_lines: self.rset.len() as u32,
@@ -159,14 +164,18 @@ impl ActiveChunk {
 /// The payload of a `commit request` message (Table 1): chunk tag, both
 /// signatures, and the directory vector. Counts of exact lines ride along
 /// for statistics only.
+///
+/// The signatures are [`SigHandle`]s, so `Clone` is cheap (two refcount
+/// bumps plus a few words) — the protocol clones this payload once per
+/// grabbed directory and per retry.
 #[derive(Clone, Debug)]
 pub struct CommitRequest {
     /// Chunk tag (`C_Tag`).
     pub tag: ChunkTag,
-    /// Read signature (`R_Sig`).
-    pub rsig: Signature,
-    /// Write signature (`W_Sig`).
-    pub wsig: Signature,
+    /// Read signature (`R_Sig`), shared — see [`SigHandle`].
+    pub rsig: SigHandle,
+    /// Write signature (`W_Sig`), shared — see [`SigHandle`].
+    pub wsig: SigHandle,
     /// Directory modules in the chunk's read- and write-sets (`g_vec`).
     pub g_vec: DirSet,
     /// The subset of `g_vec` that recorded at least one write.
@@ -216,7 +225,10 @@ mod tests {
         assert_eq!(c.write_set().len(), 1);
         assert_eq!(c.g_vec().len(), 2);
         assert_eq!(c.write_dirs().iter().collect::<Vec<_>>(), vec![DirId(3)]);
-        assert_eq!(c.read_only_dirs().iter().collect::<Vec<_>>(), vec![DirId(0)]);
+        assert_eq!(
+            c.read_only_dirs().iter().collect::<Vec<_>>(),
+            vec![DirId(0)]
+        );
         assert!(c.rsig().test(10));
         assert!(c.wsig().test(20));
         assert!(!c.wsig().test(10));
@@ -258,7 +270,10 @@ mod tests {
         assert_eq!(req.read_lines, 1);
         assert_eq!(req.write_lines, 2);
         assert_eq!(req.leader(), Some(DirId(1)));
-        assert_eq!(req.read_only_dirs().iter().collect::<Vec<_>>(), vec![DirId(1)]);
+        assert_eq!(
+            req.read_only_dirs().iter().collect::<Vec<_>>(),
+            vec![DirId(1)]
+        );
         assert_eq!(c.instructions_done(), 2000);
     }
 

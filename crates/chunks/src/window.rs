@@ -63,11 +63,7 @@ impl ChunkWindow {
     /// # Panics
     ///
     /// Panics if `max_active` is zero.
-    pub fn new(
-        core: sb_mem::CoreId,
-        max_active: usize,
-        sig_cfg: sb_sigs::SignatureConfig,
-    ) -> Self {
+    pub fn new(core: sb_mem::CoreId, max_active: usize, sig_cfg: sb_sigs::SignatureConfig) -> Self {
         assert!(max_active >= 1, "window needs at least one slot");
         ChunkWindow {
             core,

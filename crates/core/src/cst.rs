@@ -227,6 +227,9 @@ mod tests {
         let e = cst.entry_or_insert(tag, 1);
         assert_eq!(e.g_vec(), None);
         e.req = Some(chunk.to_commit_request());
-        assert_eq!(e.g_vec().unwrap().iter().collect::<Vec<_>>(), vec![DirId(3)]);
+        assert_eq!(
+            e.g_vec().unwrap().iter().collect::<Vec<_>>(),
+            vec![DirId(3)]
+        );
     }
 }

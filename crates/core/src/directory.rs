@@ -90,15 +90,15 @@ impl DirModule {
     /// Whether a load of `line` must be nacked: it matches the W signature
     /// of a chunk this module is currently committing (§3.1).
     pub fn read_blocked(&self, line: LineAddr) -> bool {
-        self.cst.blocking().any(|e| {
-            e.req
-                .as_ref()
-                .is_some_and(|r| r.wsig.test(line.as_u64()))
-        })
+        self.cst
+            .blocking()
+            .any(|e| e.req.as_ref().is_some_and(|r| r.wsig.test(line.as_u64())))
     }
 
     fn attempt_failed_here(&self, tag: ChunkTag, attempt: u32) -> bool {
-        self.failed_attempts.get(&tag).is_some_and(|&a| a >= attempt)
+        self.failed_attempts
+            .get(&tag)
+            .is_some_and(|&a| a >= attempt)
     }
 
     /// Global starvation priority: lower is served first. Two starving
@@ -118,8 +118,9 @@ impl DirModule {
         if *count >= self.cfg.max_squashes_before_reservation {
             match self.reserved_for {
                 None => self.reserved_for = Some(tag),
-                Some(cur) if cur != tag
-                    && Self::starvation_priority(tag) < Self::starvation_priority(cur) =>
+                Some(cur)
+                    if cur != tag
+                        && Self::starvation_priority(tag) < Self::starvation_priority(cur) =>
                 {
                     self.reserved_for = Some(tag);
                 }
@@ -221,10 +222,7 @@ impl DirModule {
         // module has what Table 4/5 requires (for a leader, the request
         // alone; otherwise request + g).
         if self.lookout.contains_key(&tag) {
-            let has_g = self
-                .cst
-                .get(tag)
-                .is_some_and(|e| e.pending_g.is_some());
+            let has_g = self.cst.get(tag).is_some_and(|e| e.pending_g.is_some());
             if is_leader || has_g {
                 self.lookout.remove(&tag);
                 self.collisions_decided += 1;
@@ -362,12 +360,7 @@ impl DirModule {
 
     /// The `g` returned to the leader: confirm the group, notify the
     /// processor, publish the W signature to the sharers (Figure 3(c-e)).
-    fn confirm_leader(
-        &mut self,
-        view: &dyn MachineView,
-        out: &mut Outbox<SbMsg>,
-        tag: ChunkTag,
-    ) {
+    fn confirm_leader(&mut self, view: &dyn MachineView, out: &mut Outbox<SbMsg>, tag: ChunkTag) {
         self.trace(tag, "confirm_leader");
         self.groups_led += 1;
         let (req, attempt, targets) = {
@@ -394,9 +387,9 @@ impl DirModule {
             );
         }
         out.commit_success(tag.core(), tag, self.id);
-        out.apply_commit(self.id, req.wsig.clone(), tag.core());
+        out.apply_commit(self.id, req.wsig.share(), tag.core());
         for core in targets.iter() {
-            out.bulk_inv(self.id, core, tag, req.wsig.clone());
+            out.bulk_inv(self.id, core, tag, req.wsig.share());
         }
         if targets.is_empty() {
             self.complete_leader(out, tag);

@@ -274,7 +274,11 @@ mod tests {
             MessageType::by_name("commit recall").unwrap().direction,
             MessageDirection::ProcToDirThenDirToDir
         );
-        assert_eq!(MessageType::by_name("mark"), None, "mark is TCC, not ScalableBulk");
+        assert_eq!(
+            MessageType::by_name("mark"),
+            None,
+            "mark is TCC, not ScalableBulk"
+        );
     }
 
     #[test]
@@ -283,7 +287,10 @@ mod tests {
             MessageType::by_name("commit request").unwrap().format,
             "C_Tag, W_Sig, R_Sig, g_vec"
         );
-        assert_eq!(MessageType::by_name("g").unwrap().format, "C_Tag, inval_vec");
+        assert_eq!(
+            MessageType::by_name("g").unwrap().format,
+            "C_Tag, inval_vec"
+        );
         assert_eq!(
             MessageType::by_name("commit recall").unwrap().format,
             "C_Tag, Dir_ID"

@@ -48,7 +48,9 @@ impl ScalableBulk {
         ScalableBulk {
             cfg,
             ndirs,
-            dirs: (0..ndirs).map(|i| DirModule::new(DirId(i), ndirs, cfg)).collect(),
+            dirs: (0..ndirs)
+                .map(|i| DirModule::new(DirId(i), ndirs, cfg))
+                .collect(),
             attempts: HashMap::new(),
         }
     }
@@ -147,12 +149,7 @@ impl CommitProtocol for ScalableBulk {
         }
     }
 
-    fn bulk_inv_acked(
-        &mut self,
-        view: &dyn MachineView,
-        out: &mut Outbox<SbMsg>,
-        ack: BulkInvAck,
-    ) {
+    fn bulk_inv_acked(&mut self, view: &dyn MachineView, out: &mut Outbox<SbMsg>, ack: BulkInvAck) {
         self.dirs[ack.dir.idx()].on_bulk_inv_ack(view, out, ack.tag, ack.aborted);
     }
 
@@ -174,7 +171,15 @@ impl CommitProtocol for ScalableBulk {
                     "[{} res={:?} cst={:?}] ",
                     d.id(),
                     d.reserved_for().map(|t| t.to_string()),
-                    d.cst().iter().map(|e| (e.tag.to_string(), e.attempt, format!("{:?}", e.state), e.leader)).collect::<Vec<_>>(),
+                    d.cst()
+                        .iter()
+                        .map(|e| (
+                            e.tag.to_string(),
+                            e.attempt,
+                            format!("{:?}", e.state),
+                            e.leader
+                        ))
+                        .collect::<Vec<_>>(),
                 );
             }
         }

@@ -29,7 +29,7 @@ use sb_core::{SbConfig, SbMsg, ScalableBulk};
 use sb_engine::Cycle;
 use sb_mem::{CoreId, CoreSet, DirId, LineAddr};
 use sb_proto::{AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, MachineView};
-use sb_sigs::{Signature, SignatureConfig};
+use sb_sigs::{SigHandle, Signature, SignatureConfig};
 
 /// A deliverable event: one pending message/ack/notification.
 #[derive(Clone, Debug)]
@@ -39,7 +39,7 @@ enum Pending {
         from: DirId,
         to: CoreId,
         tag: ChunkTag,
-        wsig: Signature,
+        wsig: SigHandle,
     },
     Outcome {
         core: CoreId,
@@ -321,9 +321,7 @@ fn start(reqs: Vec<CommitRequest>, sharers: Vec<(u64, CoreId)>) -> State {
 }
 
 fn incompatible(a: &CommitRequest, b: &CommitRequest) -> bool {
-    a.wsig.intersects(&b.wsig)
-        || a.wsig.intersects(&b.rsig)
-        || a.rsig.intersects(&b.wsig)
+    a.wsig.intersects(&b.wsig) || a.wsig.intersects(&b.rsig) || a.rsig.intersects(&b.wsig)
 }
 
 /// Two compatible chunks sharing both directories: in EVERY interleaving
@@ -335,11 +333,24 @@ fn exhaustive_compatible_chunks_always_both_commit() {
     assert!(!incompatible(&a, &b), "scenario needs compatible chunks");
     let (ta, tb) = (a.tag, b.tag);
     let (terminals, visited) = explore(start(vec![a, b], vec![]), 2_000_000, |s| {
-        assert_eq!(s.outcomes.get(&ta), Some(&Terminal::Committed), "{:?}", s.outcomes);
-        assert_eq!(s.outcomes.get(&tb), Some(&Terminal::Committed), "{:?}", s.outcomes);
+        assert_eq!(
+            s.outcomes.get(&ta),
+            Some(&Terminal::Committed),
+            "{:?}",
+            s.outcomes
+        );
+        assert_eq!(
+            s.outcomes.get(&tb),
+            Some(&Terminal::Committed),
+            "{:?}",
+            s.outcomes
+        );
         assert_eq!(s.proto.in_flight(), 0, "CST leak");
     });
-    assert!(terminals >= 1 && visited > 50, "explored {terminals}/{visited}");
+    assert!(
+        terminals >= 1 && visited > 50,
+        "explored {terminals}/{visited}"
+    );
 }
 
 /// Two incompatible chunks: in EVERY interleaving exactly one commits
@@ -368,7 +379,10 @@ fn exhaustive_incompatible_chunks_exactly_one_commits() {
         assert!(oa.is_some() && ob.is_some(), "both terminal");
         assert_eq!(s.proto.in_flight(), 0, "CST leak");
     });
-    assert!(terminals >= 2 && visited > 100, "explored {terminals}/{visited}");
+    assert!(
+        terminals >= 2 && visited > 100,
+        "explored {terminals}/{visited}"
+    );
 }
 
 /// Three chunks in a collision triangle over shared directories: at
@@ -392,7 +406,10 @@ fn exhaustive_three_way_collision_always_progresses() {
         );
         assert_eq!(s.proto.in_flight(), 0, "CST leak");
     });
-    assert!(terminals >= 2 && visited > 1_000, "explored {terminals}/{visited}");
+    assert!(
+        terminals >= 2 && visited > 1_000,
+        "explored {terminals}/{visited}"
+    );
 }
 
 /// The OCI recall scenario explored exhaustively: the winner's bulk
@@ -418,7 +435,11 @@ fn exhaustive_recall_cleans_up_in_every_interleaving() {
             // writer's at the common module, the "winner" fails instead).
             let w = s.outcomes.get(&tw).copied();
             let l = s.outcomes.get(&tl).copied();
-            assert!(w.is_some() && l.is_some(), "both terminal: {:?}", s.outcomes);
+            assert!(
+                w.is_some() && l.is_some(),
+                "both terminal: {:?}",
+                s.outcomes
+            );
             assert!(
                 w == Some(Terminal::Committed) || l == Some(Terminal::Committed),
                 "at least one commits: {:?}",
@@ -433,7 +454,10 @@ fn exhaustive_recall_cleans_up_in_every_interleaving() {
             assert_eq!(s.proto.in_flight(), 0, "recall must clean the CST");
         },
     );
-    assert!(terminals >= 2 && visited > 500, "explored {terminals}/{visited}");
+    assert!(
+        terminals >= 2 && visited > 500,
+        "explored {terminals}/{visited}"
+    );
     assert!(
         squashes_seen.get() > 0,
         "the OCI squash-and-recall path must be reachable"

@@ -2,7 +2,7 @@
 //! protocol: the concrete figures of §3 plus liveness/safety properties.
 
 use sb_chunks::{ActiveChunk, ChunkTag, CommitRequest};
-use sb_core::{SbConfig, ScalableBulk, SbMsg};
+use sb_core::{SbConfig, SbMsg, ScalableBulk};
 use sb_engine::Cycle;
 use sb_mem::{CoreId, DirId, LineAddr};
 use sb_proto::{CommitProtocol, Fabric, FabricConfig, Outcome, ProtoEvent};
@@ -64,7 +64,9 @@ fn single_chunk_multi_directory_group_commits() {
     let r = f.run(&mut p, 100_000);
     assert_eq!(r.committed(), vec![tag]);
     match r.outcome_of(tag).unwrap() {
-        Outcome::Committed { latency, retries, .. } => {
+        Outcome::Committed {
+            latency, retries, ..
+        } => {
             assert_eq!(retries, 0);
             // request (10) + g 1→2 (10) + g 2→5 (10) + g 5→1 (10)
             // + success 1→core (10) = 50.
@@ -73,10 +75,10 @@ fn single_chunk_multi_directory_group_commits() {
         o => panic!("unexpected {o:?}"),
     }
     // GroupFormed reports 3 participating directories.
-    assert!(r.events.iter().any(|(_, e)| matches!(
-        e,
-        ProtoEvent::GroupFormed { dirs: 3, .. }
-    )));
+    assert!(r
+        .events
+        .iter()
+        .any(|(_, e)| matches!(e, ProtoEvent::GroupFormed { dirs: 3, .. })));
     assert_eq!(p.in_flight(), 0);
 }
 
@@ -203,7 +205,14 @@ fn oci_squash_with_commit_recall_cleans_up() {
     assert!(!r.hit_step_limit);
     // Winner group {2,3}: request (10) + g 2→3 (10) + g 3→2 (10) +
     // commit success (10) = 40 cycles.
-    assert_eq!(r.outcome_of(ta), Some(Outcome::Committed { tag: ta, latency: 40, retries: 0 }));
+    assert_eq!(
+        r.outcome_of(ta),
+        Some(Outcome::Committed {
+            tag: ta,
+            latency: 40,
+            retries: 0
+        })
+    );
     // The loser was squashed by the invalidation (OCI) — not committed.
     assert_eq!(r.outcome_of(tb), Some(Outcome::Squashed { tag: tb }));
     // No CST entry leaks: the commit recall cancelled the loser's group
@@ -235,10 +244,7 @@ fn three_colliding_groups_fig3g() {
     let committed = r.committed();
     assert!(!committed.is_empty(), "at least one group forms (§3.2.2)");
     for t in tags {
-        assert!(
-            r.outcome_of(t).is_some(),
-            "{t} must reach a terminal state"
-        );
+        assert!(r.outcome_of(t).is_some(), "{t} must reach a terminal state");
         assert!(r.outcome_of(t).unwrap().is_committed());
     }
     assert_eq!(p.in_flight(), 0);
@@ -252,7 +258,12 @@ fn rotation_policy_still_commits_everything() {
     let mut tags = Vec::new();
     for core in 0..8u16 {
         // Every chunk touches dirs {1, 5} with disjoint lines.
-        let req = request(core, 0, &[(8000 + core as u64, 1)], &[(9000 + core as u64, 5)]);
+        let req = request(
+            core,
+            0,
+            &[(8000 + core as u64, 1)],
+            &[(9000 + core as u64, 5)],
+        );
         tags.push(req.tag);
         f.schedule_commit(Cycle(core as u64 * 7), req);
     }

@@ -175,7 +175,11 @@ fn non_leader_both_arrival_orders() {
             deliver_req(&mut m, &mut out);
         }
         let kinds = sent_kinds(&out.drain());
-        assert_eq!(kinds, vec!["g->5"], "forward g to next module (order {req_first})");
+        assert_eq!(
+            kinds,
+            vec!["g->5"],
+            "forward g to next module (order {req_first})"
+        );
 
         // R: g_success confirms and applies the W signature.
         let mut out = Outbox::new();
@@ -201,7 +205,16 @@ fn last_member_returns_g_to_leader() {
     let gvec = req.g_vec;
     let mut out = Outbox::new();
     m.on_commit_request(&view, &mut out, req, 1, 0);
-    m.on_grab(&view, &mut out, tag, 1, CoreId(0), gvec, 0, CoreSet::empty());
+    m.on_grab(
+        &view,
+        &mut out,
+        tag,
+        1,
+        CoreId(0),
+        gvec,
+        0,
+        CoreSet::empty(),
+    );
     let kinds = sent_kinds(&out.drain());
     assert_eq!(kinds, vec!["g->1"], "g returns to the leader");
 }
@@ -232,7 +245,16 @@ fn collision_module_fails_second_group_in_both_orders() {
             // of B (lowest of {2,6}), so the conflict is detected at
             // request time and the group fails immediately.
         } else {
-            m.on_grab(&view, &mut out, tb, 1, CoreId(1), b_gvec, 0, CoreSet::empty());
+            m.on_grab(
+                &view,
+                &mut out,
+                tb,
+                1,
+                CoreId(1),
+                b_gvec,
+                0,
+                CoreSet::empty(),
+            );
             assert!(out.is_empty());
             m.on_commit_request(&view, &mut out, b, 1, 0);
         }
@@ -270,7 +292,16 @@ fn non_leader_collision_defers_commit_failure_to_leader() {
     let mut out = Outbox::new();
     m.on_commit_request(&view, &mut out, b.clone(), 1, 0);
     assert!(out.is_empty(), "non-leader waits for g before any decision");
-    m.on_grab(&view, &mut out, tb, 1, CoreId(1), b_gvec, 0, CoreSet::empty());
+    m.on_grab(
+        &view,
+        &mut out,
+        tb,
+        1,
+        CoreId(1),
+        b_gvec,
+        0,
+        CoreSet::empty(),
+    );
     let kinds = sent_kinds(&out.drain());
     assert!(kinds.contains(&"g_failure->1".to_string()));
     assert!(!kinds.contains(&"commit_failure".to_string()));
@@ -328,7 +359,16 @@ fn recall_then_request_then_g_at_non_leader() {
     m.on_recall(&mut out, note);
     m.on_commit_request(&view, &mut out, req, 1, 0);
     assert!(out.is_empty(), "non-leader still waits for the g");
-    m.on_grab(&view, &mut out, tag, 1, CoreId(0), gvec, 0, CoreSet::empty());
+    m.on_grab(
+        &view,
+        &mut out,
+        tag,
+        1,
+        CoreId(0),
+        gvec,
+        0,
+        CoreSet::empty(),
+    );
     let kinds = sent_kinds(&out.drain());
     assert!(kinds.contains(&"g_failure->1".to_string()));
     assert_eq!(m.cst().len(), 0);
@@ -344,7 +384,16 @@ fn g_then_recall_then_request() {
     let tag = req.tag;
     let gvec = req.g_vec;
     let mut out = Outbox::new();
-    m.on_grab(&view, &mut out, tag, 1, CoreId(0), gvec, 0, CoreSet::empty());
+    m.on_grab(
+        &view,
+        &mut out,
+        tag,
+        1,
+        CoreId(0),
+        gvec,
+        0,
+        CoreSet::empty(),
+    );
     m.on_recall(
         &mut out,
         RecallNote {
@@ -386,7 +435,9 @@ fn recall_after_failure_is_discarded() {
         }],
     );
     assert!(
-        sent_kinds(&out.drain()).iter().all(|k| !k.contains("g_failure")),
+        sent_kinds(&out.drain())
+            .iter()
+            .all(|k| !k.contains("g_failure")),
         "recall for an already-failed group is discarded"
     );
 }
@@ -490,7 +541,16 @@ fn stale_attempt_messages_are_dropped() {
     m.on_g_failure(&mut out, tag, 1);
     // Stale attempt-1 messages are dropped silently.
     m.on_commit_request(&view, &mut out, req.clone(), 1, 0);
-    m.on_grab(&view, &mut out, tag, 1, CoreId(0), gvec, 0, CoreSet::empty());
+    m.on_grab(
+        &view,
+        &mut out,
+        tag,
+        1,
+        CoreId(0),
+        gvec,
+        0,
+        CoreSet::empty(),
+    );
     assert!(out.is_empty());
     assert_eq!(m.cst().len(), 0);
     // Attempt 2 proceeds normally.

@@ -78,9 +78,18 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// The FIFO tie-break counter is 64-bit, so it cannot realistically
+    /// wrap within one simulation; if it ever does (debug builds assert),
+    /// the push still succeeds with a wrapped sequence number rather than
+    /// aborting the process in release builds.
     pub fn push(&mut self, at: Cycle, payload: E) {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        debug_assert!(
+            seq != u64::MAX,
+            "EventQueue sequence counter exhausted; FIFO tie-breaking would wrap"
+        );
+        self.next_seq = self.next_seq.wrapping_add(1);
         self.heap.push(Entry { at, seq, payload });
     }
 
@@ -90,18 +99,49 @@ impl<E> EventQueue<E> {
     }
 
     /// Returns the time of the earliest pending event without removing it.
+    ///
+    /// ```
+    /// use sb_engine::{Cycle, EventQueue};
+    /// let mut q = EventQueue::new();
+    /// assert_eq!(q.peek_time(), None);
+    /// q.push(Cycle(8), "late");
+    /// q.push(Cycle(2), "early");
+    /// assert_eq!(q.peek_time(), Some(Cycle(2)));
+    /// ```
     pub fn peek_time(&self) -> Option<Cycle> {
         self.heap.peek().map(|e| e.at)
     }
 
     /// Number of pending events.
+    ///
+    /// ```
+    /// use sb_engine::{Cycle, EventQueue};
+    /// let mut q = EventQueue::new();
+    /// q.push(Cycle(1), ());
+    /// q.push(Cycle(1), ());
+    /// assert_eq!(q.len(), 2);
+    /// ```
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// Whether no events are pending.
+    ///
+    /// ```
+    /// use sb_engine::{Cycle, EventQueue};
+    /// let mut q = EventQueue::<u8>::new();
+    /// assert!(q.is_empty());
+    /// q.push(Cycle(0), 1);
+    /// assert!(!q.is_empty());
+    /// ```
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Grows the queue so at least `additional` more events fit without
+    /// reallocating — lets a driver pre-size the heap for a known burst.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Total number of events ever scheduled on this queue.

@@ -30,9 +30,11 @@
 
 mod clock;
 mod events;
+pub mod hash;
 mod rng;
 pub mod stats;
 
 pub use clock::Cycle;
 pub use events::EventQueue;
+pub use hash::{FxHashMap, FxHashSet};
 pub use rng::{SplitMix64, Xoshiro256};

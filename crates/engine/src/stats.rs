@@ -92,7 +92,10 @@ impl fmt::Display for Accumulator {
         write!(
             f,
             "n={} mean={:.2} min={:?} max={:?}",
-            self.count, self.mean(), self.min, self.max
+            self.count,
+            self.mean(),
+            self.min,
+            self.max
         )
     }
 }
@@ -212,7 +215,11 @@ impl Histogram {
     /// Panics if geometries differ.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.width, other.width, "bucket width mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

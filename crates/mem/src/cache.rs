@@ -1,6 +1,7 @@
 //! A set-associative cache model with LRU replacement.
 
-use std::collections::HashMap;
+use sb_engine::FxHashMap;
+use sb_sigs::{bank_hash, Signature, SignatureConfig};
 
 use crate::addr::{LineAddr, LINE_BYTES};
 
@@ -71,8 +72,14 @@ struct Way {
 /// A set-associative, LRU, write-allocate cache.
 ///
 /// The model tracks tags and dirtiness only — there is no data array, since
-/// the protocol layer never needs values, only presence. A `HashMap` shadow
+/// the protocol layer never needs values, only presence. A hash-map shadow
 /// index gives O(1) lookups; the per-set `Vec` keeps replacement exact.
+///
+/// For bulk invalidation the cache also keeps an inverted bank-0 signature
+/// index over its resident tags (bank-0 bit position → resident lines
+/// hashing to it), so expanding a W signature visits only the buckets of
+/// the signature's set bits instead of the full tag array. See
+/// [`SetAssocCache::push_matching`].
 ///
 /// # Examples
 ///
@@ -88,7 +95,13 @@ struct Way {
 pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: Vec<Vec<Way>>,
-    index: HashMap<LineAddr, usize>,
+    index: FxHashMap<LineAddr, usize>,
+    /// Geometry of the W signatures the inverted index serves; expansions
+    /// with any other geometry fall back to a full tag scan.
+    sig_cfg: SignatureConfig,
+    /// Inverted index: bank-0 bit position → resident lines hashing to it.
+    /// Every resident line appears in exactly one bucket.
+    buckets: Vec<Vec<LineAddr>>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -96,13 +109,21 @@ pub struct SetAssocCache {
 }
 
 impl SetAssocCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache indexed for the paper's signature geometry.
     pub fn new(cfg: CacheConfig) -> Self {
+        Self::with_signature_config(cfg, SignatureConfig::paper_default())
+    }
+
+    /// Creates an empty cache whose inverted signature index matches
+    /// `sig` — the geometry of the W signatures it will be asked to expand.
+    pub fn with_signature_config(cfg: CacheConfig, sig: SignatureConfig) -> Self {
         let nsets = cfg.sets() as usize;
         SetAssocCache {
             cfg,
             sets: vec![Vec::with_capacity(cfg.assoc as usize); nsets],
-            index: HashMap::new(),
+            index: FxHashMap::default(),
+            sig_cfg: sig,
+            buckets: vec![Vec::new(); sig.bits_per_bank() as usize],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -112,6 +133,18 @@ impl SetAssocCache {
 
     fn set_of(&self, line: LineAddr) -> usize {
         (line.as_u64() % self.sets.len() as u64) as usize
+    }
+
+    #[inline]
+    fn bucket_of(&self, line: LineAddr) -> usize {
+        bank_hash(line.as_u64(), 0, self.sig_cfg.bits_per_bank()) as usize
+    }
+
+    fn bucket_remove(&mut self, line: LineAddr) {
+        let bucket = self.bucket_of(line);
+        let b = &mut self.buckets[bucket];
+        let pos = b.iter().position(|&l| l == line).expect("indexed line");
+        b.swap_remove(pos);
     }
 
     /// Looks a line up, updating LRU and (for writes) the dirty bit.
@@ -156,6 +189,7 @@ impl SetAssocCache {
                 .expect("full set has ways");
             let v = self.sets[set].swap_remove(vi);
             self.index.remove(&v.line);
+            self.bucket_remove(v.line);
             self.evictions += 1;
             victim = Some((v.line, v.dirty));
         }
@@ -165,6 +199,8 @@ impl SetAssocCache {
             lru: self.tick,
         });
         self.index.insert(line, set);
+        let bucket = self.bucket_of(line);
+        self.buckets[bucket].push(line);
         victim
     }
 
@@ -174,6 +210,7 @@ impl SetAssocCache {
         if let Some(set) = self.index.remove(&line) {
             if let Some(pos) = self.sets[set].iter().position(|w| w.line == line) {
                 self.sets[set].swap_remove(pos);
+                self.bucket_remove(line);
                 return true;
             }
         }
@@ -193,13 +230,34 @@ impl SetAssocCache {
     /// Whether a resident line is dirty (`None` if absent).
     pub fn is_dirty(&self, line: LineAddr) -> Option<bool> {
         let set = *self.index.get(&line)?;
-        self.sets[set].iter().find(|w| w.line == line).map(|w| w.dirty)
+        self.sets[set]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| w.dirty)
     }
 
     /// Iterates over all resident line addresses (the tag array), used when
     /// expanding a W signature against this cache for bulk invalidation.
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.index.keys().copied()
+    }
+
+    /// Appends every resident line matching `wsig` to `out` (signature
+    /// expansion against the tag array). Uses the inverted bank-0 index
+    /// when `wsig` has the geometry this cache was built for, and falls
+    /// back to a full tag scan otherwise.
+    pub fn push_matching(&self, wsig: &Signature, out: &mut Vec<LineAddr>) {
+        if wsig.config() == self.sig_cfg {
+            for bit in wsig.bank_set_bits(0) {
+                out.extend(
+                    self.buckets[bit as usize]
+                        .iter()
+                        .filter(|l| wsig.test(l.as_u64())),
+                );
+            }
+        } else {
+            out.extend(self.index.keys().filter(|l| wsig.test(l.as_u64())));
+        }
     }
 
     /// Number of resident lines.
@@ -315,6 +373,35 @@ mod tests {
     }
 
     #[test]
+    fn push_matching_agrees_with_full_scan() {
+        let mut c = SetAssocCache::new(CacheConfig::paper_l2());
+        for i in 0..500u64 {
+            c.fill(LineAddr(i * 5 + 2), false);
+        }
+        let wsig = sb_sigs::Signature::from_lines(
+            sb_sigs::SignatureConfig::paper_default(),
+            [7u64, 252, 1_000_003],
+        );
+        let mut indexed = Vec::new();
+        c.push_matching(&wsig, &mut indexed);
+        indexed.sort_unstable();
+        let mut brute: Vec<LineAddr> = c
+            .resident_lines()
+            .filter(|l| wsig.test(l.as_u64()))
+            .collect();
+        brute.sort_unstable();
+        assert_eq!(indexed, brute);
+
+        // A mismatched signature geometry falls back to the full scan.
+        let other =
+            sb_sigs::Signature::from_lines(sb_sigs::SignatureConfig::new(1024, 4), [7u64, 252]);
+        let mut fallback = Vec::new();
+        c.push_matching(&other, &mut fallback);
+        assert!(fallback.contains(&LineAddr(7)));
+        assert!(fallback.contains(&LineAddr(252)));
+    }
+
+    #[test]
     fn paper_geometries() {
         assert_eq!(CacheConfig::paper_l1().sets(), 256);
         assert_eq!(CacheConfig::paper_l2().sets(), 2048);
@@ -346,6 +433,16 @@ mod proptests {
                 prop_assert_eq!(from_sets, c.len());
                 for l in c.resident_lines().collect::<Vec<_>>() {
                     prop_assert!(c.contains(l));
+                }
+                // The inverted signature index tracks exactly the
+                // resident lines, each in its bank-0 bucket.
+                let from_buckets: usize = c.buckets.iter().map(|b| b.len()).sum();
+                prop_assert_eq!(from_buckets, c.len());
+                for (bit, b) in c.buckets.iter().enumerate() {
+                    for l in b {
+                        prop_assert!(c.contains(*l));
+                        prop_assert_eq!(c.bucket_of(*l), bit);
+                    }
                 }
             }
         }

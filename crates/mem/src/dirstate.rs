@@ -6,10 +6,21 @@
 //! signature into the set of processors to invalidate, and update it when a
 //! commit succeeds ("the directories in the group start updating their state
 //! based on the W signature", §3.2).
+//!
+//! Signature expansion is the simulator's hottest directory operation: every
+//! commit makes each participating directory match a W signature against its
+//! tracked lines. A naive scan touches every tracked line (tens of thousands
+//! at steady state) to find the handful that match, so the directory also
+//! maintains an *inverted bank-0 index*: for each bit position of the
+//! signature's finest-grained bank, the tracked lines hashing to it. A line
+//! can only pass [`Signature::test`] if its bank-0 bit is set, so expansion
+//! visits just the buckets of the signature's set bank-0 bits and full-tests
+//! each candidate — identical results, orders of magnitude fewer probes.
 
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
 
-use sb_sigs::Signature;
+use sb_engine::FxHashMap;
+use sb_sigs::{bank_hash, Signature, SignatureConfig};
 
 use crate::addr::LineAddr;
 use crate::ids::{CoreId, CoreSet};
@@ -40,27 +51,69 @@ pub struct LineDirInfo {
 /// d.record_read(LineAddr(8), CoreId(2));
 /// assert_eq!(d.sharers_of(LineAddr(8)).len(), 2);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct DirectoryState {
-    lines: HashMap<LineAddr, LineDirInfo>,
+    lines: FxHashMap<LineAddr, LineDirInfo>,
+    /// The signature geometry the inverted index is keyed for. Expansions
+    /// with a signature of any *other* geometry fall back to a full scan
+    /// (only exercised by signature-size ablations).
+    sig_cfg: SignatureConfig,
+    /// Inverted index: bank-0 bit position → tracked lines hashing to it.
+    /// Every tracked line appears in exactly one bucket.
+    buckets: Vec<Vec<LineAddr>>,
 }
 
 impl DirectoryState {
-    /// Creates an empty directory.
+    /// Creates an empty directory indexed for the paper's signature
+    /// geometry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_signature_config(SignatureConfig::paper_default())
+    }
+
+    /// Creates an empty directory whose inverted index matches `cfg` — the
+    /// geometry of the W signatures this directory will expand.
+    pub fn with_signature_config(cfg: SignatureConfig) -> Self {
+        DirectoryState {
+            lines: FxHashMap::default(),
+            sig_cfg: cfg,
+            buckets: vec![Vec::new(); cfg.bits_per_bank() as usize],
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, line: LineAddr) -> usize {
+        bank_hash(line.as_u64(), 0, self.sig_cfg.bits_per_bank()) as usize
+    }
+
+    /// Whether the inverted index can serve expansions of `wsig`.
+    #[inline]
+    fn indexed_for(&self, wsig: &Signature) -> bool {
+        wsig.config() == self.sig_cfg
+    }
+
+    /// The tracked entry for `line`, registering it in the inverted index
+    /// when first seen.
+    fn tracked_entry(&mut self, line: LineAddr) -> &mut LineDirInfo {
+        let bucket = self.bucket_of(line);
+        match self.lines.entry(line) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                self.buckets[bucket].push(line);
+                e.insert(LineDirInfo::default())
+            }
+        }
     }
 
     /// Records that `core` fetched `line` (it becomes a sharer).
     pub fn record_read(&mut self, line: LineAddr, core: CoreId) {
-        self.lines.entry(line).or_default().sharers.insert(core);
+        self.tracked_entry(line).sharers.insert(core);
     }
 
     /// Marks `line` as resident in the aggregate cache capacity without
     /// naming a sharer (steady-state warm-up; affects read classification
     /// only).
     pub fn mark_resident(&mut self, line: LineAddr) {
-        self.lines.entry(line).or_default().resident = true;
+        self.tracked_entry(line).resident = true;
     }
 
     /// Whether `line` is marked resident (or actually shared/owned).
@@ -72,7 +125,9 @@ impl DirectoryState {
 
     /// The sharers of `line` (empty if untracked).
     pub fn sharers_of(&self, line: LineAddr) -> CoreSet {
-        self.lines.get(&line).map_or(CoreSet::empty(), |i| i.sharers)
+        self.lines
+            .get(&line)
+            .map_or(CoreSet::empty(), |i| i.sharers)
     }
 
     /// The dirty owner of `line`, if any.
@@ -92,11 +147,24 @@ impl DirectoryState {
     /// arrives, before the `g` message shows up.
     pub fn sharers_matching(&self, wsig: &Signature, committer: CoreId) -> CoreSet {
         let mut set = CoreSet::empty();
-        for (line, info) in &self.lines {
-            if wsig.test(line.as_u64()) {
-                set = set.union(info.sharers);
-                if let Some(o) = info.owner {
-                    set.insert(o);
+        let mut visit = |info: &LineDirInfo| {
+            set = set.union(info.sharers);
+            if let Some(o) = info.owner {
+                set.insert(o);
+            }
+        };
+        if self.indexed_for(wsig) {
+            for bit in wsig.bank_set_bits(0) {
+                for line in &self.buckets[bit as usize] {
+                    if wsig.test(line.as_u64()) {
+                        visit(&self.lines[line]);
+                    }
+                }
+            }
+        } else {
+            for (line, info) in &self.lines {
+                if wsig.test(line.as_u64()) {
+                    visit(info);
                 }
             }
         }
@@ -106,12 +174,19 @@ impl DirectoryState {
     /// The tracked lines matching `wsig` (signature expansion against the
     /// directory's tag array).
     pub fn lines_matching(&self, wsig: &Signature) -> Vec<LineAddr> {
-        let mut v: Vec<LineAddr> = self
-            .lines
-            .keys()
-            .filter(|l| wsig.test(l.as_u64()))
-            .copied()
-            .collect();
+        let mut v: Vec<LineAddr> = if self.indexed_for(wsig) {
+            wsig.bank_set_bits(0)
+                .flat_map(|bit| self.buckets[bit as usize].iter())
+                .filter(|l| wsig.test(l.as_u64()))
+                .copied()
+                .collect()
+        } else {
+            self.lines
+                .keys()
+                .filter(|l| wsig.test(l.as_u64()))
+                .copied()
+                .collect()
+        };
         v.sort_unstable();
         v
     }
@@ -121,11 +196,24 @@ impl DirectoryState {
     /// Returns the number of lines updated.
     pub fn apply_commit(&mut self, wsig: &Signature, committer: CoreId) -> u32 {
         let mut n = 0;
-        for (line, info) in self.lines.iter_mut() {
-            if wsig.test(line.as_u64()) {
-                info.sharers = CoreSet::single(committer);
-                info.owner = Some(committer);
-                n += 1;
+        if self.indexed_for(wsig) {
+            for bit in wsig.bank_set_bits(0) {
+                for line in &self.buckets[bit as usize] {
+                    if wsig.test(line.as_u64()) {
+                        let info = self.lines.get_mut(line).expect("index tracks line");
+                        info.sharers = CoreSet::single(committer);
+                        info.owner = Some(committer);
+                        n += 1;
+                    }
+                }
+            }
+        } else {
+            for (line, info) in self.lines.iter_mut() {
+                if wsig.test(line.as_u64()) {
+                    info.sharers = CoreSet::single(committer);
+                    info.owner = Some(committer);
+                    n += 1;
+                }
             }
         }
         n
@@ -134,7 +222,7 @@ impl DirectoryState {
     /// Records that a committed write created a line not previously tracked
     /// (e.g. first write to a page homed here).
     pub fn record_commit_write(&mut self, line: LineAddr, committer: CoreId) {
-        let info = self.lines.entry(line).or_default();
+        let info = self.tracked_entry(line);
         info.sharers = CoreSet::single(committer);
         info.owner = Some(committer);
     }
@@ -149,6 +237,10 @@ impl DirectoryState {
             }
             if info.sharers.is_empty() && info.owner.is_none() && !info.resident {
                 self.lines.remove(&line);
+                let bucket = self.bucket_of(line);
+                let b = &mut self.buckets[bucket];
+                let pos = b.iter().position(|&l| l == line).expect("indexed line");
+                b.swap_remove(pos);
             }
         }
     }
@@ -166,6 +258,12 @@ impl DirectoryState {
     /// Iterates over all tracked lines.
     pub fn tracked_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.lines.keys().copied()
+    }
+}
+
+impl Default for DirectoryState {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -240,6 +338,8 @@ mod tests {
         d.record_read(LineAddr(1), CoreId(0));
         d.drop_sharer(LineAddr(1), CoreId(0));
         assert!(d.is_empty());
+        // The inverted index is garbage-collected with the line.
+        assert!(d.buckets.iter().all(|b| b.is_empty()));
         // Dropping an untracked line is a no-op.
         d.drop_sharer(LineAddr(2), CoreId(0));
     }
@@ -263,5 +363,42 @@ mod tests {
         v.sort();
         assert_eq!(v, vec![LineAddr(1), LineAddr(9)]);
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn indexed_expansion_matches_full_scan() {
+        // The inverted bank-0 index must produce exactly the same
+        // expansion as a brute-force scan over every tracked line.
+        let mut d = DirectoryState::new();
+        for l in 0..2000u64 {
+            d.record_read(LineAddr(l * 3 + 1), CoreId((l % 7) as u16));
+        }
+        let w = sig_of(&[4, 301, 1501, 99_999]);
+        let brute: Vec<LineAddr> = {
+            let mut v: Vec<LineAddr> = d.tracked_lines().filter(|l| w.test(l.as_u64())).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(d.lines_matching(&w), brute);
+        let mut brute_sharers = CoreSet::empty();
+        for l in &brute {
+            brute_sharers = brute_sharers.union(d.sharers_of(*l));
+        }
+        assert_eq!(
+            d.sharers_matching(&w, CoreId(63)),
+            brute_sharers.without(CoreId(63))
+        );
+    }
+
+    #[test]
+    fn mismatched_geometry_falls_back_to_full_scan() {
+        let mut d = DirectoryState::new(); // indexed for paper_default
+        d.record_read(LineAddr(42), CoreId(2));
+        let other = Signature::from_lines(SignatureConfig::new(1024, 4), [42u64]);
+        let s = d.sharers_matching(&other, CoreId(0));
+        assert!(s.contains(CoreId(2)), "fallback scan must still expand");
+        assert_eq!(d.lines_matching(&other), vec![LineAddr(42)]);
+        assert_eq!(d.apply_commit(&other, CoreId(5)), 1);
+        assert_eq!(d.owner_of(LineAddr(42)), Some(CoreId(5)));
     }
 }

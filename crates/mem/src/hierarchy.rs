@@ -1,6 +1,6 @@
 //! The per-tile two-level private cache hierarchy.
 
-use sb_sigs::Signature;
+use sb_sigs::{Signature, SignatureConfig};
 
 use crate::addr::LineAddr;
 use crate::cache::{CacheConfig, SetAssocCache};
@@ -68,15 +68,27 @@ pub struct CacheHierarchy {
     cfg: CacheHierarchyConfig,
     l1: SetAssocCache,
     l2: SetAssocCache,
+    /// Reusable match buffer for [`CacheHierarchy::bulk_invalidate`]; kept
+    /// across calls so the steady state allocates nothing.
+    inv_scratch: Vec<LineAddr>,
 }
 
 impl CacheHierarchy {
-    /// Creates an empty hierarchy.
+    /// Creates an empty hierarchy indexed for the paper's signature
+    /// geometry.
     pub fn new(cfg: CacheHierarchyConfig) -> Self {
+        Self::with_signature_config(cfg, SignatureConfig::paper_default())
+    }
+
+    /// Creates an empty hierarchy whose inverted signature indices match
+    /// `sig` — the geometry of the W signatures arriving in bulk
+    /// invalidations.
+    pub fn with_signature_config(cfg: CacheHierarchyConfig, sig: SignatureConfig) -> Self {
         CacheHierarchy {
             cfg,
-            l1: SetAssocCache::new(cfg.l1),
-            l2: SetAssocCache::new(cfg.l2),
+            l1: SetAssocCache::with_signature_config(cfg.l1, sig),
+            l2: SetAssocCache::with_signature_config(cfg.l2, sig),
+            inv_scratch: Vec::new(),
         }
     }
 
@@ -127,17 +139,20 @@ impl CacheHierarchy {
     /// invalidated. This is what a sharer processor does on receiving a
     /// `bulk inv` message.
     pub fn bulk_invalidate(&mut self, wsig: &Signature) -> u32 {
-        let candidates: Vec<LineAddr> = self
-            .l2
-            .resident_lines()
-            .chain(self.l1.resident_lines())
-            .collect();
+        // Expand the signature through each level's inverted index (a line
+        // resident in both levels appears twice; the second invalidate is a
+        // no-op and is not counted).
+        let mut matches = std::mem::take(&mut self.inv_scratch);
+        matches.clear();
+        self.l2.push_matching(wsig, &mut matches);
+        self.l1.push_matching(wsig, &mut matches);
         let mut n = 0;
-        for line in candidates {
-            if wsig.test(line.as_u64()) && self.invalidate(line) {
+        for &line in &matches {
+            if self.invalidate(line) {
                 n += 1;
             }
         }
+        self.inv_scratch = matches;
         n
     }
 

@@ -121,7 +121,9 @@ impl CoreSet {
 
     /// Iterates over members in increasing ID order.
     pub fn iter(self) -> impl Iterator<Item = CoreId> {
-        (0..64u16).filter(move |i| self.0 & (1 << i) != 0).map(CoreId)
+        (0..64u16)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(CoreId)
     }
 }
 
@@ -225,7 +227,9 @@ impl DirSet {
 
     /// Iterates over members in increasing ID order.
     pub fn iter(self) -> impl Iterator<Item = DirId> {
-        (0..64u16).filter(move |i| self.0 & (1 << i) != 0).map(DirId)
+        (0..64u16)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(DirId)
     }
 
     /// Members in a rotated priority order: the member with the highest
@@ -298,7 +302,10 @@ mod tests {
     fn dirset_intersect_union() {
         let a: DirSet = [DirId(0), DirId(2), DirId(3)].into_iter().collect();
         let b: DirSet = [DirId(2), DirId(3), DirId(7)].into_iter().collect();
-        assert_eq!(a.intersect(b).iter().collect::<Vec<_>>(), vec![DirId(2), DirId(3)]);
+        assert_eq!(
+            a.intersect(b).iter().collect::<Vec<_>>(),
+            vec![DirId(2), DirId(3)]
+        );
         assert_eq!(a.union(b).len(), 4);
         // Collision module = lowest common module (§3.2.1).
         assert_eq!(a.intersect(b).lowest(), Some(DirId(2)));

@@ -146,9 +146,21 @@ mod tests {
     #[test]
     fn latency_scales_with_hops() {
         let mut n = net();
-        let near = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::Small, TrafficClass::MemRd);
+        let near = n.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(1),
+            MsgSize::Small,
+            TrafficClass::MemRd,
+        );
         let mut n2 = net();
-        let far = n2.send(Cycle(0), NodeId(0), NodeId(36), MsgSize::Small, TrafficClass::MemRd);
+        let far = n2.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(36),
+            MsgSize::Small,
+            TrafficClass::MemRd,
+        );
         assert!(far > near, "farther destination takes longer");
         assert_eq!(near, Cycle(9)); // 2 fixed + 7 * 1 hop
     }
@@ -156,7 +168,13 @@ mod tests {
     #[test]
     fn serialization_adds_flit_cycles() {
         let mut a = net();
-        let small = a.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::Small, TrafficClass::MemRd);
+        let small = a.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(1),
+            MsgSize::Small,
+            TrafficClass::MemRd,
+        );
         let mut b = net();
         let sig = b.send(
             Cycle(0),
@@ -171,7 +189,13 @@ mod tests {
     #[test]
     fn local_messages_pay_fixed_overhead_only() {
         let mut n = net();
-        let t = n.send(Cycle(5), NodeId(3), NodeId(3), MsgSize::Small, TrafficClass::SmallCMessage);
+        let t = n.send(
+            Cycle(5),
+            NodeId(3),
+            NodeId(3),
+            MsgSize::Small,
+            TrafficClass::SmallCMessage,
+        );
         assert_eq!(t, Cycle(7));
     }
 
@@ -180,12 +204,30 @@ mod tests {
         let mut n = net();
         // Two large messages back to back from node 0: the second waits for
         // the first's 33 flits to leave the injection port.
-        let t1 = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::SignaturePair, TrafficClass::LargeCMessage);
-        let t2 = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::SignaturePair, TrafficClass::LargeCMessage);
+        let t1 = n.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(1),
+            MsgSize::SignaturePair,
+            TrafficClass::LargeCMessage,
+        );
+        let t2 = n.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(1),
+            MsgSize::SignaturePair,
+            TrafficClass::LargeCMessage,
+        );
         assert_eq!(t2.as_u64() - t1.as_u64(), 7);
         assert_eq!(n.total_queue_delay(), 7);
         // A different sender is unaffected.
-        let t3 = n.send(Cycle(0), NodeId(2), NodeId(1), MsgSize::Small, TrafficClass::SmallCMessage);
+        let t3 = n.send(
+            Cycle(0),
+            NodeId(2),
+            NodeId(1),
+            MsgSize::Small,
+            TrafficClass::SmallCMessage,
+        );
         assert_eq!(t3, Cycle(9));
     }
 
@@ -194,8 +236,20 @@ mod tests {
         let mut cfg = NetworkConfig::paper_default(64);
         cfg.model_contention = false;
         let mut n = Network::new(cfg);
-        let t1 = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::SignaturePair, TrafficClass::LargeCMessage);
-        let t2 = n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::SignaturePair, TrafficClass::LargeCMessage);
+        let t1 = n.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(1),
+            MsgSize::SignaturePair,
+            TrafficClass::LargeCMessage,
+        );
+        let t2 = n.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(1),
+            MsgSize::SignaturePair,
+            TrafficClass::LargeCMessage,
+        );
         assert_eq!(t1, t2);
         assert_eq!(n.total_queue_delay(), 0);
     }
@@ -203,8 +257,20 @@ mod tests {
     #[test]
     fn counters_and_hops_accumulate() {
         let mut n = net();
-        n.send(Cycle(0), NodeId(0), NodeId(1), MsgSize::Line, TrafficClass::RemoteShRd);
-        n.send(Cycle(0), NodeId(0), NodeId(2), MsgSize::Line, TrafficClass::RemoteDirtyRd);
+        n.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(1),
+            MsgSize::Line,
+            TrafficClass::RemoteShRd,
+        );
+        n.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(2),
+            MsgSize::Line,
+            TrafficClass::RemoteDirtyRd,
+        );
         assert_eq!(n.counters().total_messages(), 2);
         assert_eq!(n.total_hops(), 3);
     }
@@ -213,7 +279,13 @@ mod tests {
     fn pure_latency_matches_uncontended_send() {
         let mut n = net();
         let pure = n.pure_latency(NodeId(0), NodeId(9), MsgSize::Signature);
-        let sent = n.send(Cycle(0), NodeId(0), NodeId(9), MsgSize::Signature, TrafficClass::LargeCMessage);
+        let sent = n.send(
+            Cycle(0),
+            NodeId(0),
+            NodeId(9),
+            MsgSize::Signature,
+            TrafficClass::LargeCMessage,
+        );
         assert_eq!(Cycle(pure), sent);
     }
 }

@@ -3,7 +3,7 @@
 use sb_chunks::ChunkTag;
 use sb_mem::{CoreId, DirId};
 use sb_net::{MsgSize, TrafficClass};
-use sb_sigs::Signature;
+use sb_sigs::SigHandle;
 
 /// A protocol actor: a processor core or a directory module. (BulkSC's
 /// central arbiter is modelled as the directory agent of the centre tile.)
@@ -127,8 +127,8 @@ pub enum Command<M> {
         to: CoreId,
         /// The committing chunk whose writes are being published.
         tag: ChunkTag,
-        /// The committing chunk's W signature.
-        wsig: Signature,
+        /// The committing chunk's W signature (shared, O(1) to clone).
+        wsig: SigHandle,
         /// Wire size: ScalableBulk/BulkSC carry the 2 Kbit signature
         /// (`MsgSize::Signature`); TCC/SEQ send line-granular
         /// invalidations modelled as one `MsgSize::Line` message per
@@ -140,8 +140,8 @@ pub enum Command<M> {
     ApplyCommit {
         /// The directory to update.
         dir: DirId,
-        /// The committed chunk's W signature.
-        wsig: Signature,
+        /// The committed chunk's W signature (shared, O(1) to clone).
+        wsig: SigHandle,
         /// The committing processor.
         committer: CoreId,
     },
@@ -219,7 +219,7 @@ impl<M> Outbox<M> {
     }
 
     /// Queues a bulk invalidation carrying the full signature.
-    pub fn bulk_inv(&mut self, from: DirId, to: CoreId, tag: ChunkTag, wsig: Signature) {
+    pub fn bulk_inv(&mut self, from: DirId, to: CoreId, tag: ChunkTag, wsig: SigHandle) {
         self.bulk_inv_sized(from, to, tag, wsig, MsgSize::Signature);
     }
 
@@ -229,7 +229,7 @@ impl<M> Outbox<M> {
         from: DirId,
         to: CoreId,
         tag: ChunkTag,
-        wsig: Signature,
+        wsig: SigHandle,
         size: MsgSize,
     ) {
         self.cmds.push(Command::BulkInv {
@@ -242,7 +242,7 @@ impl<M> Outbox<M> {
     }
 
     /// Queues a directory-state update for a committed chunk.
-    pub fn apply_commit(&mut self, dir: DirId, wsig: Signature, committer: CoreId) {
+    pub fn apply_commit(&mut self, dir: DirId, wsig: SigHandle, committer: CoreId) {
         self.cmds.push(Command::ApplyCommit {
             dir,
             wsig,
@@ -258,6 +258,14 @@ impl<M> Outbox<M> {
     /// Takes all queued commands, leaving the outbox empty.
     pub fn drain(&mut self) -> Vec<Command<M>> {
         std::mem::take(&mut self.cmds)
+    }
+
+    /// Moves all queued commands into `dst` (cleared first), keeping both
+    /// buffers' capacity. Hot event loops call this once per protocol
+    /// upcall so no step allocates a fresh command vector.
+    pub fn drain_into(&mut self, dst: &mut Vec<Command<M>>) {
+        dst.clear();
+        dst.append(&mut self.cmds);
     }
 
     /// Number of queued commands.
@@ -282,6 +290,10 @@ mod tests {
     use super::*;
     use sb_sigs::SignatureConfig;
 
+    fn empty_sig() -> SigHandle {
+        SigHandle::empty(SignatureConfig::paper_default())
+    }
+
     #[test]
     fn outbox_accumulates_and_drains() {
         let mut out: Outbox<u32> = Outbox::new();
@@ -293,13 +305,9 @@ mod tests {
             DirId(0),
             CoreId(2),
             ChunkTag::new(CoreId(1), 0),
-            Signature::new(SignatureConfig::paper_default()),
+            empty_sig(),
         );
-        out.apply_commit(
-            DirId(0),
-            Signature::new(SignatureConfig::paper_default()),
-            CoreId(1),
-        );
+        out.apply_commit(DirId(0), empty_sig(), CoreId(1));
         out.event(ProtoEvent::CommitCompleted {
             tag: ChunkTag::new(CoreId(1), 0),
         });

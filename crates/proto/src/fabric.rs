@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use sb_chunks::{ChunkTag, CommitRequest};
 use sb_engine::{Cycle, EventQueue};
 use sb_mem::{CoreId, CoreSet, DirId, DirectoryState, LineAddr};
-use sb_sigs::Signature;
+use sb_sigs::{SigHandle, Signature};
 
 use crate::command::{Command, Endpoint, ProtoEvent};
 use crate::protocol::{AbortedCommit, BulkInvAck, CommitProtocol};
@@ -82,9 +82,9 @@ impl Outcome {
     /// The chunk this outcome is about.
     pub fn tag(&self) -> ChunkTag {
         match *self {
-            Outcome::Committed { tag, .. } | Outcome::Squashed { tag } | Outcome::GaveUp { tag } => {
-                tag
-            }
+            Outcome::Committed { tag, .. }
+            | Outcome::Squashed { tag }
+            | Outcome::GaveUp { tag } => tag,
         }
     }
 
@@ -138,12 +138,30 @@ struct PendingCommit {
 }
 
 enum Ev<M> {
-    Deliver { dst: Endpoint, msg: M },
-    StartCommit { req: CommitRequest },
-    BulkInvAtCore { from: DirId, to: CoreId, tag: ChunkTag, wsig: Signature },
-    AckAtDir { ack: BulkInvAck },
-    SuccessAtCore { core: CoreId, tag: ChunkTag },
-    FailureAtCore { core: CoreId, tag: ChunkTag },
+    Deliver {
+        dst: Endpoint,
+        msg: M,
+    },
+    StartCommit {
+        req: CommitRequest,
+    },
+    BulkInvAtCore {
+        from: DirId,
+        to: CoreId,
+        tag: ChunkTag,
+        wsig: SigHandle,
+    },
+    AckAtDir {
+        ack: BulkInvAck,
+    },
+    SuccessAtCore {
+        core: CoreId,
+        tag: ChunkTag,
+    },
+    FailureAtCore {
+        core: CoreId,
+        tag: ChunkTag,
+    },
 }
 
 /// The machine-state part of the fabric (separated so the host loop can
@@ -275,7 +293,9 @@ impl<M: Clone + std::fmt::Debug> Fabric<M> {
                                 tag: p.req.tag,
                                 g_vec: p.req.g_vec,
                             });
-                            self.report.outcomes.push(Outcome::Squashed { tag: p.req.tag });
+                            self.report
+                                .outcomes
+                                .push(Outcome::Squashed { tag: p.req.tag });
                             self.dead.insert(p.req.tag);
                             self.pending.remove(&to);
                         }
@@ -499,7 +519,9 @@ mod tests {
         assert!(!report.hit_step_limit);
         assert_eq!(report.committed(), vec![tag]);
         match report.outcome_of(tag).unwrap() {
-            Outcome::Committed { latency, retries, .. } => {
+            Outcome::Committed {
+                latency, retries, ..
+            } => {
                 // request->dir (10) + success->core (10) = 20.
                 assert_eq!(latency, 20);
                 assert_eq!(retries, 0);

@@ -112,9 +112,18 @@ mod tests {
         for p in ProtocolKind::ALL {
             assert_eq!(p.label().parse::<ProtocolKind>().unwrap(), p);
         }
-        assert_eq!("seq-pro".parse::<ProtocolKind>().unwrap(), ProtocolKind::Seq);
-        assert_eq!("SEQ-TS".parse::<ProtocolKind>().unwrap(), ProtocolKind::SeqTs);
-        assert!(!ProtocolKind::ALL.contains(&ProtocolKind::SeqTs), "Table 3 has four protocols");
+        assert_eq!(
+            "seq-pro".parse::<ProtocolKind>().unwrap(),
+            ProtocolKind::Seq
+        );
+        assert_eq!(
+            "SEQ-TS".parse::<ProtocolKind>().unwrap(),
+            ProtocolKind::SeqTs
+        );
+        assert!(
+            !ProtocolKind::ALL.contains(&ProtocolKind::SeqTs),
+            "Table 3 has four protocols"
+        );
         assert!("mesi".parse::<ProtocolKind>().is_err());
         let err = "mesi".parse::<ProtocolKind>().unwrap_err();
         assert!(err.to_string().contains("mesi"));

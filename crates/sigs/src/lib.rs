@@ -45,9 +45,11 @@
 #![warn(missing_docs)]
 
 mod config;
+mod handle;
 mod hashing;
 mod signature;
 
 pub use config::SignatureConfig;
+pub use handle::SigHandle;
 pub use hashing::bank_hash;
 pub use signature::Signature;

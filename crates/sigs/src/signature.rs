@@ -58,6 +58,7 @@ impl Signature {
     }
 
     /// Inserts a line address.
+    #[inline]
     pub fn insert(&mut self, line: u64) {
         let wpb = self.cfg.words_per_bank();
         let bank_bits = self.cfg.bits_per_bank();
@@ -70,6 +71,7 @@ impl Signature {
     }
 
     /// Membership test. Never produces a false negative.
+    #[inline]
     pub fn test(&self, line: u64) -> bool {
         let wpb = self.cfg.words_per_bank();
         let bank_bits = self.cfg.bits_per_bank();
@@ -104,6 +106,7 @@ impl Signature {
     /// # Panics
     ///
     /// Panics if the two signatures have different geometry.
+    #[inline]
     pub fn intersects(&self, other: &Signature) -> bool {
         assert_eq!(self.cfg, other.cfg, "signature geometry mismatch");
         let wpb = self.cfg.words_per_bank();
@@ -142,6 +145,50 @@ impl Signature {
     /// universe.
     pub fn expand<I: IntoIterator<Item = u64>>(&self, candidates: I) -> Vec<u64> {
         candidates.into_iter().filter(|&l| self.test(l)).collect()
+    }
+
+    /// Iterates over the set bit indices of bank `bank`, ascending.
+    ///
+    /// This exposes one bank's raw bit vector so a directory can keep an
+    /// inverted index "bank-`k` bit → tracked lines" and expand a
+    /// signature by visiting only the buckets of set bits instead of
+    /// scanning every tracked line: a line can only pass [`Signature::test`]
+    /// if its bank-`k` bit is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range for this geometry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sb_sigs::{bank_hash, Signature, SignatureConfig};
+    ///
+    /// let cfg = SignatureConfig::paper_default();
+    /// let s = Signature::from_lines(cfg, [7, 9]);
+    /// let bits: Vec<u32> = s.bank_set_bits(0).collect();
+    /// assert!(bits.contains(&bank_hash(7, 0, cfg.bits_per_bank())));
+    /// assert!(bits.contains(&bank_hash(9, 0, cfg.bits_per_bank())));
+    /// ```
+    pub fn bank_set_bits(&self, bank: u32) -> impl Iterator<Item = u32> + '_ {
+        assert!(bank < self.cfg.banks(), "bank out of range");
+        let wpb = self.cfg.words_per_bank();
+        let base = bank as usize * wpb;
+        self.words[base..base + wpb]
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| {
+                let mut w = word;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let bit = w.trailing_zeros();
+                        w &= w - 1;
+                        Some(wi as u32 * 64 + bit)
+                    }
+                })
+            })
     }
 
     /// Number of `insert` calls performed (duplicates counted).
@@ -244,7 +291,10 @@ mod tests {
                 false_hits += 1;
             }
         }
-        assert!(false_hits <= 2, "too many false intersections: {false_hits}");
+        assert!(
+            false_hits <= 2,
+            "too many false intersections: {false_hits}"
+        );
     }
 
     #[test]
@@ -337,10 +387,7 @@ mod tests {
         let mut hits = 0;
         for trial in 0..100u64 {
             let a = Signature::from_lines(cfg(), (0..128).map(|i| trial * 65_536 + i));
-            let b = Signature::from_lines(
-                cfg(),
-                (0..128).map(|i| trial * 65_536 + 30_000 + i),
-            );
+            let b = Signature::from_lines(cfg(), (0..128).map(|i| trial * 65_536 + 30_000 + i));
             hits += a.intersects(&b) as u32;
         }
         assert!(hits <= 10, "sequential footprints alias too much: {hits}");
@@ -358,6 +405,23 @@ mod tests {
     fn debug_is_nonempty() {
         let s = Signature::from_lines(cfg(), [1]);
         assert!(format!("{s:?}").contains("Signature"));
+    }
+
+    #[test]
+    fn bank_set_bits_are_exactly_the_inserted_hashes() {
+        use std::collections::HashSet;
+        let c = cfg();
+        let lines: Vec<u64> = (0..50).map(|i| i * 131 + 7).collect();
+        let s = Signature::from_lines(c, lines.iter().copied());
+        for bank in 0..c.banks() {
+            let got: HashSet<u32> = s.bank_set_bits(bank).collect();
+            let want: HashSet<u32> = lines
+                .iter()
+                .map(|&l| bank_hash(l, bank, c.bits_per_bank()))
+                .collect();
+            assert_eq!(got, want, "bank {bank}");
+        }
+        assert_eq!(Signature::new(c).bank_set_bits(0).count(), 0);
     }
 }
 

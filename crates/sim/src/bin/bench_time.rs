@@ -1,0 +1,69 @@
+//! Minimal timing probe used to compare simulator builds.
+//!
+//! Deliberately uses only APIs present in every revision of the repo
+//! (`run_simulation` + `RunResult`'s simulated counters + `Instant`), so
+//! the identical file can be dropped into an older checkout to measure a
+//! "before" build. Prints one line per configuration:
+//!
+//! ```text
+//! PROBE <app> <protocol> <cores> <insns> wall_cycles=.. commits=.. msgs=.. best_secs=..
+//! ```
+
+use std::time::Instant;
+
+use sb_proto::ProtocolKind;
+use sb_sim::{run_simulation, SimConfig};
+use sb_workloads::AppProfile;
+
+fn probe(name: &str, app: AppProfile, protocol: ProtocolKind, cores: u16, insns: u64, reps: u32) {
+    let mut cfg = SimConfig::paper_default(cores, app, protocol);
+    cfg.insns_per_thread = insns;
+    let mut best = f64::INFINITY;
+    let mut sim = (0u64, 0u64, 0u64);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run_simulation(&cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        best = best.min(secs);
+        sim = (r.wall_cycles, r.commits, r.traffic.total_messages());
+    }
+    println!(
+        "PROBE {name} {protocol} {cores} {insns} wall_cycles={} commits={} msgs={} best_secs={best:.4}",
+        sim.0, sim.1, sim.2
+    );
+}
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    // The golden grid (identity check): fft/radix x all protocols @ 16c.
+    for (name, app) in [("fft", AppProfile::fft()), ("radix", AppProfile::radix())] {
+        for protocol in [
+            ProtocolKind::ScalableBulk,
+            ProtocolKind::Tcc,
+            ProtocolKind::Seq,
+            ProtocolKind::SeqTs,
+            ProtocolKind::BulkSc,
+        ] {
+            probe(name, app, protocol, 16, 6_000, reps);
+        }
+    }
+    // The throughput sweep (speed check): fft under SB at 8/32/64 cores,
+    // fig-7 sized.
+    for cores in [8u16, 32, 64] {
+        probe(
+            "fft",
+            AppProfile::fft(),
+            ProtocolKind::ScalableBulk,
+            cores,
+            20_000,
+            reps,
+        );
+    }
+    // And the 32-core point under every protocol.
+    for protocol in ProtocolKind::ALL {
+        probe("fft", AppProfile::fft(), protocol, 32, 20_000, reps);
+    }
+}

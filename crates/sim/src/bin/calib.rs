@@ -16,7 +16,12 @@ use sb_workloads::AppProfile;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let app = args.get(1).map(|s| s.as_str()).unwrap_or("FFT");
-    let proto: ProtocolKind = args.get(2).map(|s| s.as_str()).unwrap_or("sb").parse().unwrap();
+    let proto: ProtocolKind = args
+        .get(2)
+        .map(|s| s.as_str())
+        .unwrap_or("sb")
+        .parse()
+        .unwrap();
     let cores: u16 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(64);
     let insns: u64 = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(20_000);
     let t0 = std::time::Instant::now();
@@ -39,7 +44,10 @@ fn main() {
     use sb_net::TrafficClass::*;
     println!(
         "  classes: MemRd={} ShRd={} DirtyRd={} Large={} SmallC={}",
-        r.traffic.count(MemRd), r.traffic.count(RemoteShRd), r.traffic.count(RemoteDirtyRd),
-        r.traffic.count(LargeCMessage), r.traffic.count(SmallCMessage)
+        r.traffic.count(MemRd),
+        r.traffic.count(RemoteShRd),
+        r.traffic.count(RemoteDirtyRd),
+        r.traffic.count(LargeCMessage),
+        r.traffic.count(SmallCMessage)
     );
 }

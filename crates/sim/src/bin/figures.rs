@@ -1,9 +1,14 @@
 //! Regenerates every table and figure of the ScalableBulk paper.
 //!
 //! ```text
-//! cargo run --release -p sb-sim --bin figures -- <id> [--insns N] [--seed S] [--csv DIR]
+//! cargo run --release -p sb-sim --bin figures -- <id> [--insns N] [--seed S] [--csv DIR] [--timing]
 //! cargo run --release -p sb-sim --bin figures -- all
+//! cargo run --release -p sb-sim --bin figures -- --timing
 //! ```
+//!
+//! `--timing` appends a host-side simulator-throughput probe (events/sec,
+//! sim-cycles/sec per core count) after the requested figures; it can
+//! also be used alone.
 //!
 //! IDs: `table1 table2 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 ablation_oci ablation_sig
@@ -14,9 +19,29 @@ use sb_workloads::{AppProfile, Suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S]"
+        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--csv DIR] [--timing]"
     );
     std::process::exit(2);
+}
+
+/// Runs the fig-7 FFT/ScalableBulk point at several core counts and
+/// prints the host-side throughput of each run plus the aggregate.
+fn timing_probe(sweep: &Sweep) {
+    use sb_proto::ProtocolKind;
+    use sb_sim::{run_simulation, SimConfig};
+
+    println!("== Simulator throughput (host-side; FFT under ScalableBulk) ==");
+    let mut total = sb_stats::PerfReport::default();
+    for cores in [8u16, 32, 64] {
+        let mut cfg =
+            SimConfig::paper_default(cores, AppProfile::fft(), ProtocolKind::ScalableBulk);
+        cfg.insns_per_thread = sweep.insns_per_thread;
+        cfg.seed = sweep.seed;
+        let r = run_simulation(&cfg);
+        println!("{:>3} cores: {}", cores, r.perf.render());
+        total.accumulate(&r.perf);
+    }
+    println!("  overall: {}", total.render());
 }
 
 fn main() {
@@ -24,12 +49,16 @@ fn main() {
     if args.is_empty() {
         usage();
     }
+    // (ids may legitimately be empty when only --timing was requested;
+    // checked after parsing.)
     let mut ids: Vec<String> = Vec::new();
     let mut sweep = Sweep::default();
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut timing = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--timing" => timing = true,
             "--csv" => {
                 i += 1;
                 csv_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
@@ -52,11 +81,31 @@ fn main() {
         }
         i += 1;
     }
+    if ids.is_empty() && !timing {
+        usage();
+    }
     if ids.iter().any(|i| i == "all") {
         ids = [
-            "table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablation_oci",
-            "ablation_sig", "ablation_rotation", "ext_seqts",
+            "table1",
+            "table2",
+            "table3",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "ablation_oci",
+            "ablation_sig",
+            "ablation_rotation",
+            "ext_seqts",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -176,5 +225,8 @@ fn main() {
             eprintln!("[{} csv -> {}]", id, path.display());
         }
         eprintln!("[{} done in {:?}]", id, started.elapsed());
+    }
+    if timing {
+        timing_probe(&sweep);
     }
 }

@@ -159,6 +159,9 @@ mod tests {
         assert_eq!(cfg.app.private_ws_kb, AppProfile::fft().private_ws_kb);
         // ...but problem partitions do.
         let ocean = SimConfig::single_processor(AppProfile::ocean(), 32, 10_000);
-        assert_eq!(ocean.app.private_ws_kb, AppProfile::ocean().private_ws_kb * 32);
+        assert_eq!(
+            ocean.app.private_ws_kb,
+            AppProfile::ocean().private_ws_kb * 32
+        );
     }
 }

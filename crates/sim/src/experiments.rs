@@ -71,8 +71,7 @@ impl RunSet {
                 // One normalization run per (app, parallel size): the
                 // single processor executes the whole problem.
                 for &cores in cores_list {
-                    let mut cfg =
-                        SimConfig::single_processor(*app, cores, sweep.insns_per_thread);
+                    let mut cfg = SimConfig::single_processor(*app, cores, sweep.insns_per_thread);
                     cfg.seed = sweep.seed;
                     jobs.push((
                         format!("{}@1p{}", app.name, cores),
@@ -211,7 +210,13 @@ pub fn exec_time_table_from(apps: &[AppProfile], set: &RunSet) -> TextTable {
 /// processors under ScalableBulk.
 pub fn dirs_per_commit_table(suite: Suite, sweep: &Sweep) -> TextTable {
     let apps = suite_apps(suite);
-    let set = RunSet::collect(&apps, &[32, 64], &[ProtocolKind::ScalableBulk], sweep, false);
+    let set = RunSet::collect(
+        &apps,
+        &[32, 64],
+        &[ProtocolKind::ScalableBulk],
+        sweep,
+        false,
+    );
     let mut t = TextTable::new(vec!["app", "cores", "write_group", "read_group", "total"]);
     let mut sums: HashMap<u16, (f64, f64)> = HashMap::new();
     for app in &apps {
@@ -300,7 +305,11 @@ pub fn commit_latency_table(sweep: &Sweep) -> TextTable {
 /// 64 processors.
 pub fn bottleneck_ratio_table(suite: Suite, sweep: &Sweep) -> TextTable {
     let apps = suite_apps(suite);
-    let protos = [ProtocolKind::ScalableBulk, ProtocolKind::Tcc, ProtocolKind::Seq];
+    let protos = [
+        ProtocolKind::ScalableBulk,
+        ProtocolKind::Tcc,
+        ProtocolKind::Seq,
+    ];
     let set = RunSet::collect(&apps, &[64], &protos, sweep, false);
     let mut t = TextTable::new(vec!["app", "ScalableBulk", "TCC", "SEQ"]);
     let mut sums = [0.0f64; 3];
@@ -333,14 +342,28 @@ pub fn bottleneck_ratio_table(suite: Suite, sweep: &Sweep) -> TextTable {
 /// TCC and SEQ at 64 processors (chunks do not queue in ScalableBulk).
 pub fn queue_length_table(suite: Suite, sweep: &Sweep) -> TextTable {
     let apps = suite_apps(suite);
-    let protos = [ProtocolKind::Tcc, ProtocolKind::Seq, ProtocolKind::ScalableBulk];
+    let protos = [
+        ProtocolKind::Tcc,
+        ProtocolKind::Seq,
+        ProtocolKind::ScalableBulk,
+    ];
     let set = RunSet::collect(&apps, &[64], &protos, sweep, false);
     let mut t = TextTable::new(vec!["app", "TCC", "SEQ", "ScalableBulk"]);
     for app in &apps {
         t.row(vec![
             app.name.into(),
-            format!("{:.2}", set.get(app.name, 64, ProtocolKind::Tcc).gauges.mean_queue_length()),
-            format!("{:.2}", set.get(app.name, 64, ProtocolKind::Seq).gauges.mean_queue_length()),
+            format!(
+                "{:.2}",
+                set.get(app.name, 64, ProtocolKind::Tcc)
+                    .gauges
+                    .mean_queue_length()
+            ),
+            format!(
+                "{:.2}",
+                set.get(app.name, 64, ProtocolKind::Seq)
+                    .gauges
+                    .mean_queue_length()
+            ),
             format!(
                 "{:.2}",
                 set.get(app.name, 64, ProtocolKind::ScalableBulk)
@@ -358,7 +381,13 @@ pub fn traffic_table(suite: Suite, sweep: &Sweep) -> TextTable {
     let apps = suite_apps(suite);
     let set = RunSet::collect(&apps, &[64], &ProtocolKind::ALL, sweep, false);
     let mut t = TextTable::new(vec![
-        "app", "protocol", "MemRd", "RemoteShRd", "RemoteDirtyRd", "LargeCMsg", "SmallCMsg",
+        "app",
+        "protocol",
+        "MemRd",
+        "RemoteShRd",
+        "RemoteDirtyRd",
+        "LargeCMsg",
+        "SmallCMsg",
         "total%",
     ]);
     for app in &apps {
@@ -396,19 +425,24 @@ pub fn message_types_table() -> TextTable {
 
 /// Table 2: the simulated system configuration.
 pub fn system_config_table() -> TextTable {
-    let cfg = SimConfig::paper_default(
-        64,
-        AppProfile::fft(),
-        ProtocolKind::ScalableBulk,
-    );
+    let cfg = SimConfig::paper_default(64, AppProfile::fft(), ProtocolKind::ScalableBulk);
     let mut t = TextTable::new(vec!["parameter", "value"]);
     let rows: Vec<(&str, String)> = vec![
         ("cores", "32 or 64 in a multicore".into()),
         ("signature size", format!("{} bits", cfg.sig.total_bits())),
-        ("max active chunks per core", cfg.max_active_chunks.to_string()),
+        (
+            "max active chunks per core",
+            cfg.max_active_chunks.to_string(),
+        ),
         ("chunk size", "2000 instructions".into()),
-        ("interconnect", format!("2D torus {}x{}", cfg.net.torus.cols(), cfg.net.torus.rows())),
-        ("interconnect link latency", format!("{} cycles", cfg.net.link_latency)),
+        (
+            "interconnect",
+            format!("2D torus {}x{}", cfg.net.torus.cols(), cfg.net.torus.rows()),
+        ),
+        (
+            "interconnect link latency",
+            format!("{} cycles", cfg.net.link_latency),
+        ),
         ("coherence protocol", "ScalableBulk".into()),
         (
             "L1",
@@ -477,7 +511,11 @@ pub fn ablation_oci_table(apps: &[AppProfile], sweep: &Sweep) -> TextTable {
 /// squash rate and commit latency vs the Table 2 default of 2 Kbit.
 pub fn ablation_signature_table(app: AppProfile, sweep: &Sweep) -> TextTable {
     let mut t = TextTable::new(vec![
-        "sig_bits", "squash_rate%", "alias_squash%", "mean_latency", "wall_cycles",
+        "sig_bits",
+        "squash_rate%",
+        "alias_squash%",
+        "mean_latency",
+        "wall_cycles",
     ]);
     for bits in [512u32, 1024, 2048, 4096] {
         let mut cfg = SimConfig::paper_default(64, app, ProtocolKind::ScalableBulk);
@@ -502,10 +540,23 @@ pub fn ablation_signature_table(app: AppProfile, sweep: &Sweep) -> TextTable {
 /// processors.
 pub fn seq_ts_table(sweep: &Sweep) -> TextTable {
     let mut t = TextTable::new(vec![
-        "app", "protocol", "wall_cycles", "commit%", "mean_latency", "queue_len",
+        "app",
+        "protocol",
+        "wall_cycles",
+        "commit%",
+        "mean_latency",
+        "queue_len",
     ]);
-    for app in [AppProfile::radix(), AppProfile::canneal(), AppProfile::fft()] {
-        for proto in [ProtocolKind::Seq, ProtocolKind::SeqTs, ProtocolKind::ScalableBulk] {
+    for app in [
+        AppProfile::radix(),
+        AppProfile::canneal(),
+        AppProfile::fft(),
+    ] {
+        for proto in [
+            ProtocolKind::Seq,
+            ProtocolKind::SeqTs,
+            ProtocolKind::ScalableBulk,
+        ] {
             let mut cfg = SimConfig::paper_default(64, app, proto);
             cfg.insns_per_thread = sweep.insns_per_thread;
             cfg.seed = sweep.seed;

@@ -1,16 +1,16 @@
 //! The full-system discrete-event machine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use sb_chunks::{ChunkSpec, ChunkTag, ChunkWindow, CommitRequest};
-use sb_engine::{Cycle, EventQueue};
+use sb_engine::{Cycle, EventQueue, FxHashMap, FxHashSet};
 use sb_mem::{
     CacheHierarchy, CoreId, CoreSet, DirId, DirectoryState, HitLevel, LineAddr, PageMapper,
 };
 use sb_net::{MsgSize, Network, TrafficClass};
-use sb_proto::{AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, MachineView};
-use sb_sigs::Signature;
-use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, SerializationGauges};
+use sb_proto::{AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, MachineView, Outbox};
+use sb_sigs::{SigHandle, Signature};
+use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, PerfReport, SerializationGauges};
 use sb_workloads::WorkloadGen;
 
 use crate::config::SimConfig;
@@ -63,12 +63,14 @@ enum Ev<M> {
     },
     /// A protocol message is delivered.
     Proto { dst: Endpoint, msg: M },
-    /// A bulk invalidation arrives at a core.
+    /// A bulk invalidation arrives at a core. The W signature travels as
+    /// a [`SigHandle`]: fanning one commit out to `n` sharers is `n`
+    /// refcount bumps, not `n` signature copies.
     BulkInv {
         from: DirId,
         to: u16,
         tag: ChunkTag,
-        wsig: Signature,
+        wsig: SigHandle,
     },
     /// A bulk-invalidation ack arrives back at the issuing directory.
     AckAtDir { ack: BulkInvAck },
@@ -133,7 +135,9 @@ struct CoreCtx {
     window: ChunkWindow,
     hier: CacheHierarchy,
     /// Lines with a store fetch in flight (merge duplicate fetches).
-    store_pending: std::collections::HashSet<LineAddr>,
+    /// Fx-hashed: probed on every store retirement, and only ever
+    /// accessed by key, so the hasher cannot affect simulated results.
+    store_pending: FxHashSet<LineAddr>,
     spec: Option<ChunkSpec>,
     pos: usize,
     per_gap: u64,
@@ -149,10 +153,11 @@ struct CoreCtx {
     /// commit request is deferred until the older one retires.
     waiting_commit: Option<PendingCommit>,
     /// Conservatively-held bulk invalidations (OCI disabled).
-    held_invs: Vec<(DirId, ChunkTag, Signature)>,
+    held_invs: Vec<(DirId, ChunkTag, SigHandle)>,
     commit_wait_since: Option<Cycle>,
     breakdown: Breakdown,
-    invested: HashMap<ChunkTag, Invested>,
+    /// Keyed-access only (never iterated) — safe to Fx-hash.
+    invested: FxHashMap<ChunkTag, Invested>,
     thread: usize,
     finished_at: Cycle,
 }
@@ -180,6 +185,14 @@ pub struct Machine<P: CommitProtocol> {
     mapper: PageMapper,
     cores: Vec<CoreCtx>,
     workload: WorkloadGen,
+    /// Reusable protocol outbox: every up-call writes its commands here
+    /// instead of into a freshly allocated one.
+    outbox: Outbox<P::Msg>,
+    /// Reusable command scratch the outbox drains into; its capacity
+    /// survives across protocol steps, so the steady state allocates
+    /// nothing per step.
+    cmd_scratch: Vec<Command<P::Msg>>,
+    protocol_steps: u64,
     // statistics
     dirs_stat: DirsPerCommit,
     latency: LatencyDist,
@@ -201,8 +214,8 @@ impl<P: CommitProtocol> Machine<P> {
         let cores: Vec<CoreCtx> = (0..cfg.cores)
             .map(|i| CoreCtx {
                 window: ChunkWindow::new(CoreId(i), cfg.max_active_chunks, cfg.sig),
-                hier: CacheHierarchy::new(cfg.hier),
-                store_pending: std::collections::HashSet::new(),
+                hier: CacheHierarchy::with_signature_config(cfg.hier, cfg.sig),
+                store_pending: FxHashSet::default(),
                 spec: None,
                 pos: 0,
                 per_gap: 0,
@@ -221,7 +234,7 @@ impl<P: CommitProtocol> Machine<P> {
                 held_invs: Vec::new(),
                 commit_wait_since: None,
                 breakdown: Breakdown::new(),
-                invested: HashMap::new(),
+                invested: FxHashMap::default(),
                 thread: i as usize,
                 finished_at: Cycle::ZERO,
             })
@@ -238,7 +251,9 @@ impl<P: CommitProtocol> Machine<P> {
             let h = page.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
             mapper.home_of_page(page, CoreId((h % cfg.cores as u64) as u16));
         }
-        let mut dirs: Vec<DirectoryState> = (0..cfg.cores).map(|_| DirectoryState::new()).collect();
+        let mut dirs: Vec<DirectoryState> = (0..cfg.cores)
+            .map(|_| DirectoryState::with_signature_config(cfg.sig))
+            .collect();
         // In a parallel run, the shared working set lives spread across
         // the machine's aggregate L2 capacity at steady state: register a
         // resident sharer for every pool line so reads are served
@@ -249,9 +264,7 @@ impl<P: CommitProtocol> Machine<P> {
             for page in workload.shared_pool_pages() {
                 for i in 0..sb_mem::LineAddr::PER_PAGE {
                     let line = page.line(i);
-                    let home = mapper
-                        .lookup(page)
-                        .expect("pool pages were pre-touched");
+                    let home = mapper.lookup(page).expect("pool pages were pre-touched");
                     dirs[home.idx()].mark_resident(line);
                 }
             }
@@ -306,6 +319,9 @@ impl<P: CommitProtocol> Machine<P> {
             proto,
             cores,
             workload,
+            outbox: Outbox::new(),
+            cmd_scratch: Vec::new(),
+            protocol_steps: 0,
             dirs_stat: DirsPerCommit::new(),
             latency: LatencyDist::new(),
             gauges: SerializationGauges::new(),
@@ -333,6 +349,14 @@ impl<P: CommitProtocol> Machine<P> {
     /// are unfinished) — that would be a protocol bug.
     pub fn run(mut self) -> RunResult {
         let debug_progress = std::env::var_os("SB_SIM_PROGRESS").is_some();
+        // Pre-size the future-event list for the expected concurrency:
+        // each core keeps a handful of events in flight, and commits fan
+        // out one event per group member.
+        let expected = self.cores.len().saturating_mul(64);
+        if expected > self.queue.len() {
+            self.queue.reserve(expected - self.queue.len());
+        }
+        let wall_start = std::time::Instant::now();
         let mut events: u64 = 0;
         while self.finished_cores < self.cores.len() {
             events += 1;
@@ -374,7 +398,9 @@ impl<P: CommitProtocol> Machine<P> {
                     .iter()
                     .enumerate()
                     .filter(|(_, c)| c.phase != Phase::Finished)
-                    .map(|(i, c)| format!("core {i}: {:?} in-flight {}", c.phase, c.window.in_flight()))
+                    .map(|(i, c)| {
+                        format!("core {i}: {:?} in-flight {}", c.phase, c.window.in_flight())
+                    })
                     .collect();
                 panic!(
                     "machine deadlock at {} under {:?}: {stuck:?}",
@@ -395,6 +421,12 @@ impl<P: CommitProtocol> Machine<P> {
         for c in &self.cores {
             breakdown.merge(&c.breakdown);
         }
+        let perf = PerfReport {
+            events_dispatched: events,
+            protocol_steps: self.protocol_steps,
+            sim_cycles: wall,
+            wall: wall_start.elapsed(),
+        };
         RunResult {
             wall_cycles: wall,
             breakdown,
@@ -408,6 +440,7 @@ impl<P: CommitProtocol> Machine<P> {
             read_nacks: self.read_nacks,
             remote_reads: self.remote_reads,
             commit_retries: self.commit_retries,
+            perf,
         }
     }
 
@@ -445,9 +478,13 @@ impl<P: CommitProtocol> Machine<P> {
                 from,
                 class,
             } => {
-                let arrive =
-                    self.net
-                        .send(self.view.now, from, sb_net::NodeId(core), MsgSize::Line, class);
+                let arrive = self.net.send(
+                    self.view.now,
+                    from,
+                    sb_net::NodeId(core),
+                    MsgSize::Line,
+                    class,
+                );
                 self.queue.push(
                     arrive,
                     Ev::ReadDone {
@@ -476,9 +513,8 @@ impl<P: CommitProtocol> Machine<P> {
                 self.queue.push(arrive, Ev::StoreFill { core, line });
             }
             Ev::Proto { dst, msg } => {
-                let mut out = sb_proto::Outbox::new();
-                self.proto.deliver(&self.view, &mut out, dst, msg);
-                self.execute(out.drain());
+                self.proto.deliver(&self.view, &mut self.outbox, dst, msg);
+                self.flush_outbox();
             }
             Ev::BulkInv {
                 from,
@@ -487,9 +523,8 @@ impl<P: CommitProtocol> Machine<P> {
                 wsig,
             } => self.bulk_inv_at_core(from, to, tag, wsig),
             Ev::AckAtDir { ack } => {
-                let mut out = sb_proto::Outbox::new();
-                self.proto.bulk_inv_acked(&self.view, &mut out, ack);
-                self.execute(out.drain());
+                self.proto.bulk_inv_acked(&self.view, &mut self.outbox, ack);
+                self.flush_outbox();
             }
             Ev::Outcome { core, tag, success } => self.outcome(core, tag, success),
             Ev::Retry { core, tag } => self.retry(core, tag),
@@ -557,12 +592,7 @@ impl<P: CommitProtocol> Machine<P> {
                 if c.pos >= len {
                     (None, 0, false, len)
                 } else {
-                    (
-                        Some(spec.accesses()[c.pos]),
-                        c.per_gap,
-                        c.pos == 0,
-                        len,
-                    )
+                    (Some(spec.accesses()[c.pos]), c.per_gap, c.pos == 0, len)
                 }
             };
             let Some(access) = access else {
@@ -681,9 +711,11 @@ impl<P: CommitProtocol> Machine<P> {
             0
         };
         let from = match class {
-            TrafficClass::RemoteDirtyRd => {
-                sb_net::NodeId(self.view.dirs[home.idx()].owner_of(line).map_or(home.0, |o| o.0))
-            }
+            TrafficClass::RemoteDirtyRd => sb_net::NodeId(
+                self.view.dirs[home.idx()]
+                    .owner_of(line)
+                    .map_or(home.0, |o| o.0),
+            ),
             _ => sb_net::NodeId(home.0),
         };
         self.queue.push(
@@ -767,7 +799,14 @@ impl<P: CommitProtocol> Machine<P> {
         );
     }
 
-    fn read_done(&mut self, core: u16, line: LineAddr, epoch: u64, stall_start: Cycle, nacked: bool) {
+    fn read_done(
+        &mut self,
+        core: u16,
+        line: LineAddr,
+        epoch: u64,
+        stall_start: Cycle,
+        nacked: bool,
+    ) {
         let t = self.view.now;
         if self.cores[core as usize].epoch != epoch {
             return; // the chunk this read belonged to was squashed
@@ -843,9 +882,8 @@ impl<P: CommitProtocol> Machine<P> {
             eprintln!("[commit] {} start at {}", tag, t);
         }
         self.cores[core as usize].pending_commit = Some(pending);
-        let mut out = sb_proto::Outbox::new();
-        self.proto.start_commit(&self.view, &mut out, req);
-        self.execute(out.drain());
+        self.proto.start_commit(&self.view, &mut self.outbox, req);
+        self.flush_outbox();
     }
 
     // ----- commit outcomes --------------------------------------------------
@@ -860,9 +898,17 @@ impl<P: CommitProtocol> Machine<P> {
             return; // stale outcome for a squashed chunk (OCI discard)
         }
         if success {
-            let p = self.cores[core as usize].pending_commit.take().expect("matched");
+            let p = self.cores[core as usize]
+                .pending_commit
+                .take()
+                .expect("matched");
             if std::env::var_os("SB_TRACE_COMMIT").is_some() {
-                eprintln!("[commit] {} success at {} (lat {})", tag, t, (t - p.started).as_u64());
+                eprintln!(
+                    "[commit] {} success at {} (lat {})",
+                    tag,
+                    t,
+                    (t - p.started).as_u64()
+                );
             }
             {
                 let c = &mut self.cores[core as usize];
@@ -882,9 +928,8 @@ impl<P: CommitProtocol> Machine<P> {
                 w.started = t;
                 let req = w.req.clone();
                 self.cores[core as usize].pending_commit = Some(w);
-                let mut out = sb_proto::Outbox::new();
-                self.proto.start_commit(&self.view, &mut out, req);
-                self.execute(out.drain());
+                self.proto.start_commit(&self.view, &mut self.outbox, req);
+                self.flush_outbox();
             }
             // Conservative mode: invalidations held during the commit are
             // processed now.
@@ -925,10 +970,10 @@ impl<P: CommitProtocol> Machine<P> {
             return;
         }
         p.retry_scheduled = false;
+        // Cheap: the request's signatures are shared handles.
         let req = p.req.clone();
-        let mut out = sb_proto::Outbox::new();
-        self.proto.start_commit(&self.view, &mut out, req);
-        self.execute(out.drain());
+        self.proto.start_commit(&self.view, &mut self.outbox, req);
+        self.flush_outbox();
     }
 
     /// If the core was blocked on a full window, credit the commit-stall
@@ -953,7 +998,7 @@ impl<P: CommitProtocol> Machine<P> {
 
     // ----- bulk invalidation / squash ---------------------------------------
 
-    fn bulk_inv_at_core(&mut self, from: DirId, to: u16, tag: ChunkTag, wsig: Signature) {
+    fn bulk_inv_at_core(&mut self, from: DirId, to: u16, tag: ChunkTag, wsig: SigHandle) {
         let t = self.view.now;
         self.cores[to as usize].hier.bulk_invalidate(&wsig);
         // Find the oldest in-flight chunk that conflicts (disambiguation
@@ -1136,9 +1181,24 @@ impl<P: CommitProtocol> Machine<P> {
 
     // ----- protocol command execution ----------------------------------------
 
-    fn execute(&mut self, cmds: Vec<Command<P::Msg>>) {
+    /// Counts the finished protocol step, drains the reusable outbox into
+    /// the scratch buffer, and executes the commands. Both allocations
+    /// are reused for the lifetime of the run — the steady-state event
+    /// loop does not allocate per protocol step.
+    fn flush_outbox(&mut self) {
+        self.protocol_steps += 1;
+        // Temporarily move the scratch out of `self` so `execute` can
+        // borrow the rest of the machine mutably; the (possibly grown)
+        // buffer is put back afterwards.
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        self.outbox.drain_into(&mut cmds);
+        self.execute(&mut cmds);
+        self.cmd_scratch = cmds;
+    }
+
+    fn execute(&mut self, cmds: &mut Vec<Command<P::Msg>>) {
         let now = self.view.now;
-        for cmd in cmds {
+        for cmd in cmds.drain(..) {
             match cmd {
                 Command::Send {
                     src,

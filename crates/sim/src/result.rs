@@ -1,7 +1,7 @@
 //! What one simulation run produces.
 
 use sb_net::TrafficCounters;
-use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, SerializationGauges};
+use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, PerfReport, SerializationGauges};
 
 /// All metrics collected by one [`Machine`](crate::Machine) run — enough
 /// to regenerate every figure of §6.
@@ -31,6 +31,9 @@ pub struct RunResult {
     pub remote_reads: u64,
     /// Commit-request retries (failed group formations seen by cores).
     pub commit_retries: u64,
+    /// Host-side simulator throughput (not a simulated metric; never
+    /// affects any of the figures).
+    pub perf: PerfReport,
 }
 
 impl RunResult {
@@ -70,6 +73,7 @@ mod tests {
             read_nacks: 0,
             remote_reads: 0,
             commit_retries: 0,
+            perf: PerfReport::default(),
         };
         assert_eq!(r.squashes(), 2);
         assert!((r.squash_rate() - 0.02).abs() < 1e-12);

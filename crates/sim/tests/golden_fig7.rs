@@ -1,0 +1,86 @@
+//! Golden snapshot of a small fig-7-style app × protocol grid.
+//!
+//! The zero-copy commit path (shared signature handles, reused command
+//! buffers, Fx-hashed simulator maps) must never change *simulated*
+//! results — only host-side speed. This test freezes `wall_cycles`,
+//! `commits` and `traffic.total_messages()` for a representative grid;
+//! any drift means an "optimization" changed machine behavior.
+//!
+//! To regenerate after an *intentional* model change, run
+//!
+//! ```text
+//! SB_GOLDEN_PRINT=1 cargo test -p sb-sim --test golden_fig7 -- --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN`.
+
+use sb_proto::ProtocolKind;
+use sb_sim::{run_simulation, SimConfig};
+use sb_workloads::AppProfile;
+
+const CORES: u16 = 16;
+const INSNS: u64 = 6_000;
+
+/// Table 3's four protocols plus the SEQ-TS extension.
+const PROTOCOLS: [ProtocolKind; 5] = [
+    ProtocolKind::ScalableBulk,
+    ProtocolKind::Tcc,
+    ProtocolKind::Seq,
+    ProtocolKind::SeqTs,
+    ProtocolKind::BulkSc,
+];
+
+fn apps() -> [(&'static str, AppProfile); 2] {
+    [("fft", AppProfile::fft()), ("radix", AppProfile::radix())]
+}
+
+/// (app, protocol, wall_cycles, commits, total_messages)
+const GOLDEN: &[(&str, ProtocolKind, u64, u64, u64)] = &[
+    ("fft", ProtocolKind::ScalableBulk, 14832, 73, 4826),
+    ("fft", ProtocolKind::Tcc, 15124, 73, 7495),
+    ("fft", ProtocolKind::Seq, 17362, 73, 5118),
+    ("fft", ProtocolKind::SeqTs, 45954, 73, 9600),
+    ("fft", ProtocolKind::BulkSc, 14603, 73, 6174),
+    ("radix", ProtocolKind::ScalableBulk, 16060, 71, 5165),
+    ("radix", ProtocolKind::Tcc, 17885, 71, 5430),
+    ("radix", ProtocolKind::Seq, 36815, 71, 5597),
+    ("radix", ProtocolKind::SeqTs, 144628, 71, 35594),
+    ("radix", ProtocolKind::BulkSc, 15889, 71, 4677),
+];
+
+fn run(app: AppProfile, protocol: ProtocolKind) -> (u64, u64, u64) {
+    let mut cfg = SimConfig::paper_default(CORES, app, protocol);
+    cfg.insns_per_thread = INSNS;
+    let r = run_simulation(&cfg);
+    (r.wall_cycles, r.commits, r.traffic.total_messages())
+}
+
+#[test]
+fn fig7_grid_matches_golden_snapshot() {
+    if std::env::var_os("SB_GOLDEN_PRINT").is_some() {
+        for (name, app) in apps() {
+            for protocol in PROTOCOLS {
+                let (w, c, m) = run(app, protocol);
+                println!("    (\"{name}\", ProtocolKind::{protocol:?}, {w}, {c}, {m}),");
+            }
+        }
+        return;
+    }
+    let mut checked = 0;
+    for (name, app) in apps() {
+        for protocol in PROTOCOLS {
+            let got = run(app, protocol);
+            let want = GOLDEN
+                .iter()
+                .find(|(n, p, ..)| *n == name && *p == protocol)
+                .unwrap_or_else(|| panic!("no golden entry for {name}/{protocol}"));
+            assert_eq!(
+                got,
+                (want.2, want.3, want.4),
+                "{name}/{protocol}: (wall_cycles, commits, total_messages) drifted from golden"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, GOLDEN.len(), "grid and golden table out of sync");
+}

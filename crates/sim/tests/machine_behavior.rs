@@ -29,12 +29,15 @@ fn breakdown_components_are_consistent() {
     let b = &r.breakdown;
     // Useful cycles equal committed instructions (1 IPC) plus nothing
     // else: committed insns are ~2000/chunk.
-    assert!(b.useful >= r.commits * 500, "useful {} commits {}", b.useful, r.commits);
+    assert!(
+        b.useful >= r.commits * 500,
+        "useful {} commits {}",
+        b.useful,
+        r.commits
+    );
     // Fractions sum to 1.
-    let sum = b.fraction_useful()
-        + b.fraction_cache_miss()
-        + b.fraction_commit()
-        + b.fraction_squash();
+    let sum =
+        b.fraction_useful() + b.fraction_cache_miss() + b.fraction_commit() + b.fraction_squash();
     assert!((sum - 1.0).abs() < 1e-9);
 }
 
@@ -85,10 +88,19 @@ fn dirs_per_commit_counts_every_commit() {
 fn traffic_has_all_flavours() {
     use sb_net::TrafficClass::*;
     let r = run_simulation(&cfg(AppProfile::canneal(), 32, ProtocolKind::ScalableBulk));
-    assert!(r.traffic.count(RemoteShRd) > 0, "pool reads serve cache-to-cache");
-    assert!(r.traffic.count(LargeCMessage) > 0, "commit requests carry signatures");
+    assert!(
+        r.traffic.count(RemoteShRd) > 0,
+        "pool reads serve cache-to-cache"
+    );
+    assert!(
+        r.traffic.count(LargeCMessage) > 0,
+        "commit requests carry signatures"
+    );
     assert!(r.traffic.count(SmallCMessage) > 0, "grabs/acks are small");
-    assert!(r.traffic.count(RemoteDirtyRd) > 0, "committed lines are read dirty");
+    assert!(
+        r.traffic.count(RemoteDirtyRd) > 0,
+        "committed lines are read dirty"
+    );
 }
 
 #[test]

@@ -72,7 +72,12 @@ impl LatencyDist {
     pub fn series(&self) -> Vec<(u64, u64)> {
         (0..self.hist.buckets())
             .filter(|&b| self.hist.bucket_count(b) > 0)
-            .map(|b| (b as u64 * self.hist.bucket_width(), self.hist.bucket_count(b)))
+            .map(|b| {
+                (
+                    b as u64 * self.hist.bucket_width(),
+                    self.hist.bucket_count(b),
+                )
+            })
             .collect()
     }
 }

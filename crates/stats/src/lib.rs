@@ -14,6 +14,9 @@
 //!   normalized to TCC.
 //! * [`TextTable`] — aligned text/CSV rendering used by the `figures`
 //!   binary.
+//! * [`PerfReport`] — host-side simulator throughput (events/sec,
+//!   sim-cycles/sec) behind the `figures --timing` flag and the
+//!   criterion benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +24,7 @@
 mod breakdown;
 mod dirs;
 mod latency;
+pub mod perf;
 mod serialization;
 mod table;
 mod traffic;
@@ -28,6 +32,7 @@ mod traffic;
 pub use breakdown::Breakdown;
 pub use dirs::DirsPerCommit;
 pub use latency::LatencyDist;
+pub use perf::PerfReport;
 pub use serialization::SerializationGauges;
 pub use table::TextTable;
 pub use traffic::TrafficReport;

@@ -119,10 +119,16 @@ mod tests {
             g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(i) });
         }
         // One forms: 2 still forming / 1 committing = 2.0.
-        g.on_event(&ProtoEvent::GroupFormed { tag: tag(0), dirs: 2 });
+        g.on_event(&ProtoEvent::GroupFormed {
+            tag: tag(0),
+            dirs: 2,
+        });
         assert_eq!(g.bottleneck_ratio(), 2.0);
         // Second forms: 1 forming / 2 committing = 0.5; mean = 1.25.
-        g.on_event(&ProtoEvent::GroupFormed { tag: tag(1), dirs: 2 });
+        g.on_event(&ProtoEvent::GroupFormed {
+            tag: tag(1),
+            dirs: 2,
+        });
         assert!((g.bottleneck_ratio() - 1.25).abs() < 1e-12);
         assert_eq!(g.samples(), 2);
     }
@@ -133,7 +139,10 @@ mod tests {
         g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(0) });
         g.on_event(&ProtoEvent::GroupFailed { tag: tag(0) });
         g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(1) });
-        g.on_event(&ProtoEvent::GroupFormed { tag: tag(1), dirs: 1 });
+        g.on_event(&ProtoEvent::GroupFormed {
+            tag: tag(1),
+            dirs: 1,
+        });
         assert_eq!(g.bottleneck_ratio(), 0.0);
     }
 
@@ -143,7 +152,10 @@ mod tests {
         g.on_event(&ProtoEvent::ChunkQueued { tag: tag(0) });
         g.on_event(&ProtoEvent::ChunkQueued { tag: tag(1) });
         g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(2) });
-        g.on_event(&ProtoEvent::GroupFormed { tag: tag(2), dirs: 1 });
+        g.on_event(&ProtoEvent::GroupFormed {
+            tag: tag(2),
+            dirs: 1,
+        });
         assert_eq!(g.mean_queue_length(), 2.0);
         assert_eq!(g.max_queue_length(), 2);
         g.on_event(&ProtoEvent::ChunkUnqueued { tag: tag(0) });
@@ -155,7 +167,10 @@ mod tests {
     fn completion_drains_committing() {
         let mut g = SerializationGauges::new();
         g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(0) });
-        g.on_event(&ProtoEvent::GroupFormed { tag: tag(0), dirs: 1 });
+        g.on_event(&ProtoEvent::GroupFormed {
+            tag: tag(0),
+            dirs: 1,
+        });
         g.on_event(&ProtoEvent::CommitCompleted { tag: tag(0) });
         assert_eq!(g.current(), (0, 0, 0));
     }
@@ -163,7 +178,10 @@ mod tests {
     #[test]
     fn zero_dir_groups_do_not_underflow() {
         let mut g = SerializationGauges::new();
-        g.on_event(&ProtoEvent::GroupFormed { tag: tag(0), dirs: 0 });
+        g.on_event(&ProtoEvent::GroupFormed {
+            tag: tag(0),
+            dirs: 0,
+        });
         g.on_event(&ProtoEvent::CommitCompleted { tag: tag(0) });
         assert_eq!(g.current(), (0, 0, 0));
         assert_eq!(g.samples(), 1);

@@ -159,7 +159,13 @@ impl WorkloadGen {
         // --- choose this chunk's page working set ---
         let jitter = |rng: &mut Xoshiro256, mean: f64| -> usize {
             // Log-ish spread producing the long tails of Figures 11–12.
-            let f = 0.5 + rng.gen_f64() + if rng.gen_bool(0.08) { rng.gen_f64() * 2.0 } else { 0.0 };
+            let f = 0.5
+                + rng.gen_f64()
+                + if rng.gen_bool(0.08) {
+                    rng.gen_f64() * 2.0
+                } else {
+                    0.0
+                };
             ((mean * f).round() as usize).max(1)
         };
         let n_wpages = jitter(rng, p.write_pages);
@@ -175,7 +181,8 @@ impl WorkloadGen {
             let page = if !recent.is_empty() && rng.gen_bool(p.reuse_frac) {
                 recent[rng.gen_range(recent.len() as u64) as usize]
             } else if rng.gen_bool(p.rw_overlap) {
-                SHARED_BASE / PAGE_BYTES + read_region
+                SHARED_BASE / PAGE_BYTES
+                    + read_region
                     + rng.gen_range((shared_pages - read_region).max(1))
             } else {
                 SHARED_BASE / PAGE_BYTES + rng.gen_range(read_region)
@@ -266,8 +273,8 @@ impl WorkloadGen {
                     s
                 };
                 for i in 0..run {
-                    let line = page * LINES_PER_PAGE
-                        + (start + i / TOUCHES_PER_SHARED_LINE) % PAGE_WINDOW;
+                    let line =
+                        page * LINES_PER_PAGE + (start + i / TOUCHES_PER_SHARED_LINE) % PAGE_WINDOW;
                     accesses.push(MemAccess::read(LineAddr(line)));
                 }
             }
@@ -311,13 +318,15 @@ impl WorkloadGen {
                 }
                 writes_left -= reps;
             } else {
-                let run = rng.gen_run_len((p.seq_run / 2.0).max(1.0)).min(writes_left as u64);
+                let run = rng
+                    .gen_run_len((p.seq_run / 2.0).max(1.0))
+                    .min(writes_left as u64);
                 let cur = st.page_cursor.entry(page).or_insert(0);
                 let start = *cur;
                 *cur = (*cur + run / TOUCHES_PER_SHARED_LINE + 1) % PAGE_WINDOW;
                 for i in 0..run {
-                    let line = page * LINES_PER_PAGE
-                        + (start + i / TOUCHES_PER_SHARED_LINE) % PAGE_WINDOW;
+                    let line =
+                        page * LINES_PER_PAGE + (start + i / TOUCHES_PER_SHARED_LINE) % PAGE_WINDOW;
                     accesses.push(MemAccess::write(LineAddr(line)));
                 }
                 writes_left -= run as usize;
@@ -379,9 +388,8 @@ mod tests {
         let mut c = ActiveChunk::new(ChunkTag::new(core, 0), SignatureConfig::paper_default());
         for a in spec.accesses() {
             let page = a.line.page().as_u64();
-            let home = sb_mem::DirId(
-                ((page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % 64) as u16,
-            );
+            let home =
+                sb_mem::DirId(((page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % 64) as u16);
             if a.is_write {
                 c.record_write(a.line, home);
             } else {
@@ -462,7 +470,10 @@ mod tests {
         };
         let (radix_w, radix_r) = stats("Radix");
         assert!(radix_w > 8.0, "Radix write group {radix_w}");
-        assert!(radix_r < radix_w / 3.0, "Radix is write-dominated ({radix_r})");
+        assert!(
+            radix_r < radix_w / 3.0,
+            "Radix is write-dominated ({radix_r})"
+        );
         let (fft_w, _fft_r) = stats("FFT");
         assert!(fft_w < 5.0, "FFT stays narrow ({fft_w})");
         let (can_w, can_r) = stats("Canneal");

@@ -395,8 +395,12 @@ mod tests {
         assert_eq!(AppProfile::splash2().len(), 11);
         assert_eq!(AppProfile::parsec().len(), 7);
         assert_eq!(AppProfile::all().len(), 18);
-        assert!(AppProfile::splash2().iter().all(|p| p.suite == Suite::Splash2));
-        assert!(AppProfile::parsec().iter().all(|p| p.suite == Suite::Parsec));
+        assert!(AppProfile::splash2()
+            .iter()
+            .all(|p| p.suite == Suite::Splash2));
+        assert!(AppProfile::parsec()
+            .iter()
+            .all(|p| p.suite == Suite::Parsec));
     }
 
     #[test]

@@ -34,7 +34,11 @@ fn narrate(title: &str, report: &scalablebulk::proto::FabricReport) {
     println!("--- {title} ---");
     for o in &report.outcomes {
         match o {
-            Outcome::Committed { tag, latency, retries } => {
+            Outcome::Committed {
+                tag,
+                latency,
+                retries,
+            } => {
                 println!("  {tag}: committed after {latency} cycles ({retries} retries)")
             }
             Outcome::Squashed { tag } => println!("  {tag}: squashed by a bulk invalidation"),
@@ -91,7 +95,11 @@ fn main() {
         fabric.schedule_commit(Cycle(1), request(1, 0, &[(500, 2)], &[(700, 4)]));
         let report = fabric.run(&mut proto, 100_000);
         narrate("OCI: loser squashed by bulk inv, recalled", &report);
-        assert_eq!(proto.in_flight(), 0, "commit recall cleaned every CST entry");
+        assert_eq!(
+            proto.in_flight(),
+            0,
+            "commit recall cleaned every CST entry"
+        );
         println!("  (no Chunk State Table entries leaked — the recall worked)");
     }
 }

@@ -10,10 +10,7 @@ use scalablebulk::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let app_name = args.first().map(String::as_str).unwrap_or("Barnes");
-    let cores: u16 = args
-        .get(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(32);
+    let cores: u16 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(32);
     let app = AppProfile::by_name(app_name).unwrap_or_else(|| {
         eprintln!("unknown app {app_name:?}; available:");
         for p in AppProfile::all() {
@@ -22,7 +19,10 @@ fn main() {
         std::process::exit(2);
     });
 
-    println!("Simulating {} on {cores} cores under ScalableBulk…", app.name);
+    println!(
+        "Simulating {} on {cores} cores under ScalableBulk…",
+        app.name
+    );
     let mut cfg = SimConfig::paper_default(cores, app, ProtocolKind::ScalableBulk);
     cfg.insns_per_thread = 20_000;
     let r = run_simulation(&cfg);

@@ -72,7 +72,11 @@ fn single_processor_normalization_run_works() {
 
 #[test]
 fn squash_rates_stay_sane_across_the_board() {
-    for app in [AppProfile::fft(), AppProfile::canneal(), AppProfile::radix()] {
+    for app in [
+        AppProfile::fft(),
+        AppProfile::canneal(),
+        AppProfile::radix(),
+    ] {
         let r = quick(app, 16, ProtocolKind::ScalableBulk);
         assert!(
             r.squash_rate() < 0.30,
