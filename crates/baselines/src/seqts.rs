@@ -618,4 +618,129 @@ mod tests {
         let r = f.run(&mut p, 1_000);
         assert_eq!(r.committed(), vec![tag]);
     }
+
+    #[test]
+    fn stale_dir_commit_done_after_revocation_is_ignored() {
+        // The narrow end of the §2.1 race: a chunk reaches full occupation
+        // and starts publishing to dirs {2, 5}; dir 2 is stolen (Revoked),
+        // which resets the chunk to re-occupation — and THEN dir 5's
+        // DirCommitDone from the cancelled publication round arrives. A
+        // stale done must not count towards the restarted publication:
+        // its directory update round was cancelled, so treating it as
+        // fresh would let the chunk finish with dir 5's update round
+        // unconfirmed. Delivering messages by hand pins the exact
+        // interleaving, which the Fabric-driven race test above only hits
+        // probabilistically.
+        struct Quiet;
+        impl sb_proto::MachineView for Quiet {
+            fn now(&self) -> Cycle {
+                Cycle(0)
+            }
+            fn cores(&self) -> u16 {
+                8
+            }
+            fn dirs(&self) -> u16 {
+                8
+            }
+            fn sharers_matching(
+                &self,
+                _dir: DirId,
+                _wsig: &sb_sigs::Signature,
+                _committer: CoreId,
+            ) -> sb_mem::CoreSet {
+                sb_mem::CoreSet::empty()
+            }
+        }
+        let view = Quiet;
+        let mut out: Outbox<SeqTsMsg> = Outbox::new();
+        let commit_successes = |cmds: &[sb_proto::Command<SeqTsMsg>]| {
+            cmds.iter()
+                .filter(|c| matches!(c, sb_proto::Command::CommitSuccess { .. }))
+                .count()
+        };
+
+        let mut p = SeqTs::new(8);
+        let req = request(1, 7, &[], &[(100, 2), (110, 5)]);
+        let tag = req.tag;
+        p.start_commit(&view, &mut out, req);
+        out.drain(); // parallel Occupies; dir responses delivered by hand
+
+        let core = Endpoint::Core(tag.core());
+        p.deliver(
+            &view,
+            &mut out,
+            core,
+            SeqTsMsg::Granted { tag, dir: DirId(2) },
+        );
+        p.deliver(
+            &view,
+            &mut out,
+            core,
+            SeqTsMsg::Granted { tag, dir: DirId(5) },
+        );
+        out.drain(); // fully granted: StartInval to dirs 2 and 5 in flight
+
+        // An older chunk steals dir 2 before its update round applies; the
+        // recovery cancels publication and re-occupies dir 2.
+        p.deliver(
+            &view,
+            &mut out,
+            core,
+            SeqTsMsg::Revoked { tag, dir: DirId(2) },
+        );
+        let recovery = out.drain();
+        assert!(
+            recovery.iter().any(|c| matches!(
+                c,
+                sb_proto::Command::Send {
+                    msg: SeqTsMsg::CancelPublish { .. },
+                    ..
+                }
+            )),
+            "recovery cancels the publication still in flight at dir 5"
+        );
+
+        // Dir 5's done from the CANCELLED round arrives late: stale.
+        p.deliver(
+            &view,
+            &mut out,
+            core,
+            SeqTsMsg::DirCommitDone { tag, dir: DirId(5) },
+        );
+        assert_eq!(
+            commit_successes(&out.drain()),
+            0,
+            "a stale done must not complete the commit"
+        );
+        assert_eq!(p.in_flight(), 1, "the chunk is still re-occupying");
+
+        // Re-granted dir 2: publication restarts from scratch, and only
+        // the fresh round's dones finish the commit.
+        p.deliver(
+            &view,
+            &mut out,
+            core,
+            SeqTsMsg::Granted { tag, dir: DirId(2) },
+        );
+        out.drain(); // fresh StartInval round
+        p.deliver(
+            &view,
+            &mut out,
+            core,
+            SeqTsMsg::DirCommitDone { tag, dir: DirId(2) },
+        );
+        assert_eq!(
+            commit_successes(&out.drain()),
+            0,
+            "one write dir still pending"
+        );
+        p.deliver(
+            &view,
+            &mut out,
+            core,
+            SeqTsMsg::DirCommitDone { tag, dir: DirId(5) },
+        );
+        assert_eq!(commit_successes(&out.drain()), 1, "fresh round completes");
+        assert_eq!(p.in_flight(), 0);
+    }
 }

@@ -1,0 +1,101 @@
+//! Fuzz-sweep / replay driver.
+//!
+//! ```text
+//! check [--smoke N] [--seed S]      run N cases of the schedule rooted at S
+//! check --replay W:P:PROTO          re-run one case and print its verdict
+//! ```
+//!
+//! Exit status is non-zero iff any case failed; every failure prints the
+//! one-line replay command and the trace fingerprint it reproduces.
+
+use std::process::ExitCode;
+
+use sb_check::{check_case, run_smoke, CaseReport, FuzzCase};
+
+const DEFAULT_CASES: u64 = 200;
+const DEFAULT_SEED: u64 = 0xf0f0_2026;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: check [--smoke N] [--seed S] | check --replay W:P:PROTO");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cases = DEFAULT_CASES;
+    let mut seed = DEFAULT_SEED;
+    let mut replay: Option<FuzzCase> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cases = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage(),
+            },
+            "--replay" => match it.next().and_then(|v| FuzzCase::parse(v)) {
+                Some(c) => replay = Some(c),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    if let Some(case) = replay {
+        let report = check_case(&case);
+        print_case(&case, &report);
+        return if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    println!("fuzzing {cases} cases (schedule seed {seed:#x}) ...");
+    let report = run_smoke(
+        seed,
+        cases,
+        Some(&mut |i, case: &FuzzCase, cr: &CaseReport| {
+            if !cr.passed() {
+                eprintln!("case {i} FAILED:");
+                print_case(case, cr);
+            } else if (i + 1) % 50 == 0 {
+                println!("  .. {} cases done", i + 1);
+            }
+        }),
+    );
+
+    println!(
+        "{} cases: {} commits, {} squashes, {} bulk invalidations checked",
+        report.cases, report.commits, report.squashes, report.invs_processed
+    );
+    if report.passed() {
+        println!("all cases passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} case(s) FAILED (replay commands above)",
+            report.failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn print_case(case: &FuzzCase, report: &CaseReport) {
+    println!(
+        "  case {case}: fingerprint {:#018x}, {} commits, {} squashes, {} invs",
+        report.fingerprint, report.commits, report.squashes, report.invs_processed
+    );
+    for v in &report.violations {
+        eprintln!("  violation: {v}");
+    }
+    if !report.violations.is_empty() {
+        eprintln!("  replay: {}", case.replay_command());
+    } else {
+        println!("  ok");
+    }
+}

@@ -1,0 +1,119 @@
+use super::*;
+use sb_sim::{run_simulation, InjectedBug};
+use std::collections::BTreeSet;
+
+/// A short slice of the default schedule passes cleanly, covers all five
+/// protocols, and actually exercises conflicts (squashes and processed
+/// bulk invalidations), so the oracle has something to check.
+#[test]
+fn smoke_slice_is_clean_and_covers_every_protocol() {
+    let mut protocols = BTreeSet::new();
+    let mut perturbed = 0u32;
+    let report = run_smoke(
+        0xf0f0_2026,
+        15,
+        Some(&mut |_, case: &FuzzCase, cr: &CaseReport| {
+            protocols.insert(protocol_name(case.protocol));
+            perturbed += (case.perturb_seed != 0) as u32;
+            assert!(cr.fingerprint != 0, "{case}: trace missing");
+        }),
+    );
+    for (case, cr) in &report.failures {
+        eprintln!("FAIL {}  {:?}", case.replay_command(), cr.violations);
+    }
+    assert!(report.passed(), "{} failing cases", report.failures.len());
+    assert_eq!(protocols.len(), PROTOCOLS.len(), "{protocols:?}");
+    assert!(perturbed > 0 && perturbed < 15, "mix of timing modes");
+    assert!(report.commits > 0);
+    assert!(report.invs_processed > 0, "no bulk invalidations processed");
+    assert!(report.squashes > 0, "no conflicts exercised");
+}
+
+/// The oracle has teeth: with the injected conflict-detection bug
+/// (read-set conflicts ignored) the machine lets write-after-read
+/// conflicts commit, and the oracle flags the run — while the identical
+/// case with the bug off is clean.
+#[test]
+fn injected_conflict_bug_is_caught() {
+    let mut caught = None;
+    for i in 0..40u64 {
+        let case = FuzzCase::nth(0xbad_c0de, i);
+        let mut cfg = case.config();
+        cfg.inject_bug = Some(InjectedBug::SkipReadSetConflicts);
+        let r = run_simulation(&cfg);
+        let violations = verify_result(&r);
+        if violations.iter().any(|v| v.starts_with("serializability")) {
+            caught = Some((case, violations));
+            break;
+        }
+    }
+    let (case, violations) =
+        caught.expect("oracle never flagged the injected read-set-conflict bug in 40 cases");
+    eprintln!("caught via {}: {}", case, violations[0]);
+    // The same case is clean with the sabotage off.
+    let clean = check_case(&case);
+    assert!(clean.passed(), "{case}: {:?}", clean.violations);
+}
+
+/// A failing-case triple replays exactly: parsing round-trips and two
+/// runs of one case produce the identical trace fingerprint.
+#[test]
+fn replay_triples_round_trip_and_replay_deterministically() {
+    for i in [0u64, 1, 2, 7] {
+        let case = FuzzCase::nth(42, i);
+        let parsed = FuzzCase::parse(&case.to_string()).expect("round trip");
+        assert_eq!(parsed, case);
+        assert!(case.replay_command().contains(&case.to_string()));
+    }
+    assert_eq!(
+        FuzzCase::parse("12:0:seqts").map(|c| c.protocol),
+        Some(ProtocolKind::SeqTs)
+    );
+    assert_eq!(FuzzCase::parse("12:0:nope"), None);
+    assert_eq!(FuzzCase::parse("12:0"), None);
+    assert_eq!(FuzzCase::parse("12:0:sb:extra"), None);
+
+    let case = FuzzCase::nth(7, 4); // i % 3 != 0 → perturbed
+    assert_ne!(case.perturb_seed, 0);
+    let a = check_case(&case);
+    let b = check_case(&case);
+    assert!(a.passed(), "{case}: {:?}", a.violations);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.commits, b.commits);
+}
+
+/// The timing adversary changes schedules (different fingerprint) but
+/// never correctness: the same workload passes both with and without
+/// perturbation.
+#[test]
+fn perturbation_perturbs_timing_not_correctness() {
+    let perturbed = FuzzCase::nth(99, 5);
+    assert_ne!(perturbed.perturb_seed, 0);
+    let plain = FuzzCase {
+        perturb_seed: 0,
+        ..perturbed
+    };
+    let rp = check_case(&perturbed);
+    let rq = check_case(&plain);
+    assert!(rp.passed(), "{perturbed}: {:?}", rp.violations);
+    assert!(rq.passed(), "{plain}: {:?}", rq.violations);
+    assert_ne!(
+        rp.fingerprint, rq.fingerprint,
+        "perturbation should alter the schedule"
+    );
+}
+
+/// Schedule derivation is stable: the same (base, i) always yields the
+/// same case, different bases diverge.
+#[test]
+fn schedule_is_deterministic_per_base_seed() {
+    assert_eq!(FuzzCase::nth(1, 3), FuzzCase::nth(1, 3));
+    assert_ne!(
+        FuzzCase::nth(1, 3).workload_seed,
+        FuzzCase::nth(2, 3).workload_seed
+    );
+    // i % 3 == 0 cases run unperturbed.
+    assert_eq!(FuzzCase::nth(1, 0).perturb_seed, 0);
+    assert_eq!(FuzzCase::nth(1, 3).perturb_seed, 0);
+    assert_ne!(FuzzCase::nth(1, 1).perturb_seed, 0);
+}

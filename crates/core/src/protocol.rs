@@ -161,6 +161,13 @@ impl CommitProtocol for ScalableBulk {
         self.dirs.iter().map(|d| d.cst().len()).sum()
     }
 
+    fn supports_held_invs(&self) -> bool {
+        // Group formation is per-directory, so a core's own commit
+        // resolves (possibly as a failure, which flushes the held
+        // invalidations) without the withheld ack — holding is safe.
+        true
+    }
+
     fn debug_state(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();

@@ -37,9 +37,11 @@
 #![warn(missing_docs)]
 
 mod network;
+mod perturb;
 mod topology;
 mod traffic;
 
 pub use network::{Network, NetworkConfig};
+pub use perturb::PerturbationConfig;
 pub use topology::{NodeId, Torus};
 pub use traffic::{MsgSize, TrafficClass, TrafficCounters};

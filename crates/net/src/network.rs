@@ -2,6 +2,7 @@
 
 use sb_engine::Cycle;
 
+use crate::perturb::{Perturbation, PerturbationConfig};
 use crate::topology::{NodeId, Torus};
 use crate::traffic::{MsgSize, TrafficClass, TrafficCounters};
 
@@ -62,6 +63,9 @@ pub struct Network {
     counters: TrafficCounters,
     hop_total: u64,
     queue_delay_total: u64,
+    /// Optional seeded timing adversary (fuzzing only). `None` leaves the
+    /// delivery path bit-identical to the unperturbed model.
+    perturb: Option<Perturbation>,
 }
 
 impl Network {
@@ -73,7 +77,17 @@ impl Network {
             counters: TrafficCounters::new(),
             hop_total: 0,
             queue_delay_total: 0,
+            perturb: None,
         }
+    }
+
+    /// Creates an idle network with a seeded timing adversary attached
+    /// (see [`PerturbationConfig`]). Used by the `sb-check` fuzzer; every
+    /// delivery is delayed deterministically, never hastened.
+    pub fn with_perturbation(cfg: NetworkConfig, p: PerturbationConfig) -> Self {
+        let mut net = Self::new(cfg);
+        net.perturb = Some(Perturbation::new(p, cfg.torus.tiles()));
+        net
     }
 
     /// Sends a message at time `now`; returns its arrival time at `dst`.
@@ -99,7 +113,11 @@ impl Network {
         } else {
             now
         };
-        depart + self.cfg.fixed_overhead + hops * self.cfg.link_latency + (flits - 1)
+        let base = depart + self.cfg.fixed_overhead + hops * self.cfg.link_latency + (flits - 1);
+        match &mut self.perturb {
+            None => base,
+            Some(p) => Cycle(p.perturb(src.idx(), dst.idx(), class, base.as_u64())),
+        }
     }
 
     /// Latency of a hypothetical message without sending it (no contention,
@@ -273,6 +291,55 @@ mod tests {
         );
         assert_eq!(n.counters().total_messages(), 2);
         assert_eq!(n.total_hops(), 3);
+    }
+
+    #[test]
+    fn perturbed_network_only_delays_and_preserves_pair_fifo() {
+        let cfg = NetworkConfig::paper_default(16);
+        let mut plain = Network::new(cfg);
+        let mut adv = Network::with_perturbation(cfg, PerturbationConfig::from_seed(42));
+        let mut last_pair = Cycle::ZERO;
+        for i in 0..300u64 {
+            let (src, dst) = (NodeId((i % 16) as u16), NodeId(((i * 7) % 16) as u16));
+            let t = Cycle(i * 3);
+            let base = plain.send(t, src, dst, MsgSize::Small, TrafficClass::SmallCMessage);
+            let pert = adv.send(t, src, dst, MsgSize::Small, TrafficClass::SmallCMessage);
+            assert!(pert >= base, "perturbation may only delay deliveries");
+            if (src, dst) == (NodeId(1), NodeId(7)) {
+                assert!(pert >= last_pair, "same-pair deliveries stay FIFO");
+                last_pair = pert;
+            }
+        }
+        // Traffic accounting is unaffected by the adversary.
+        assert_eq!(
+            plain.counters().total_messages(),
+            adv.counters().total_messages()
+        );
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed() {
+        let cfg = NetworkConfig::paper_default(16);
+        let run = |seed: u64| -> Vec<Cycle> {
+            let mut n = Network::with_perturbation(cfg, PerturbationConfig::from_seed(seed));
+            (0..100u64)
+                .map(|i| {
+                    n.send(
+                        Cycle(i),
+                        NodeId((i % 16) as u16),
+                        NodeId(((i + 5) % 16) as u16),
+                        MsgSize::Line,
+                        TrafficClass::RemoteShRd,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(
+            run(9),
+            run(10),
+            "the adversary actually depends on its seed"
+        );
     }
 
     #[test]

@@ -69,7 +69,9 @@ impl TrafficClass {
         TrafficClass::SmallCMessage,
     ];
 
-    fn index(self) -> usize {
+    /// Stable index of this class into length-5 per-class tables (same
+    /// order as [`TrafficClass::ALL`]).
+    pub fn index(self) -> usize {
         match self {
             TrafficClass::MemRd => 0,
             TrafficClass::RemoteShRd => 1,

@@ -98,6 +98,25 @@ pub trait CommitProtocol {
     /// commit processing (diagnostics).
     fn in_flight(&self) -> usize;
 
+    /// Whether a core may *hold* a bulk invalidation that hits its
+    /// in-flight commit until that commit resolves (the conservative,
+    /// non-OCI behaviour of Figure 4(c)).
+    ///
+    /// This is a ScalableBulk mechanism: SB's per-directory group
+    /// formation guarantees the held core's own commit still resolves
+    /// (succeeds or fails) without the withheld ack, at which point the
+    /// held invalidation is processed. Protocols that serialize commits
+    /// through a *global* order (TCC's TID stream, SEQ/SEQ-TS service
+    /// order, BulkSC's arbiter) must not allow holding: the earlier
+    /// chunk in that order has already won, and withholding its ack
+    /// while waiting for one's own later turn is a circular wait — the
+    /// directory cannot finish the winner's turn without the ack, and
+    /// the holder's turn never comes. (Found by the `sb-check` fuzzer
+    /// as a machine deadlock under TCC with `oci = false`.)
+    fn supports_held_invs(&self) -> bool {
+        false
+    }
+
     /// One-line internal-state summary for livelock diagnostics.
     fn debug_state(&self) -> String {
         String::new()

@@ -3,7 +3,7 @@
 use sb_baselines::{BulkScConfig, TccConfig};
 use sb_core::SbConfig;
 use sb_mem::{CacheHierarchyConfig, DirId, PageMapPolicy};
-use sb_net::{NetworkConfig, Torus};
+use sb_net::{NetworkConfig, PerturbationConfig, Torus};
 use sb_proto::ProtocolKind;
 use sb_sigs::SignatureConfig;
 use sb_workloads::AppProfile;
@@ -71,6 +71,33 @@ pub struct SimConfig {
     pub tcc: TccConfig,
     /// BulkSC parameters (arbiter placed at the torus centre).
     pub bulksc: BulkScConfig,
+    /// Optional seeded network-timing adversary (`sb-check` fuzzing).
+    /// `None` (the default) leaves the delivery path bit-identical to the
+    /// unperturbed model — guarded by the golden fig-7 snapshot.
+    pub perturb: Option<PerturbationConfig>,
+    /// Record the chunk-lifecycle [`RunTrace`](crate::RunTrace) for the
+    /// serializability oracle. Off by default (pure observation, but the
+    /// event stream costs memory on big runs).
+    pub trace: bool,
+    /// Deliberate, test-only protocol sabotage for proving the `sb-check`
+    /// oracle detects real bugs. Must stay `None` outside oracle
+    /// self-tests.
+    pub inject_bug: Option<InjectedBug>,
+}
+
+/// A deliberately introduced machine bug (see [`SimConfig::inject_bug`]).
+///
+/// The fuzzer's acceptance test flips one of these on, reruns a workload
+/// and asserts the oracle reports a violation — demonstrating the harness
+/// can catch the class of bug it exists for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// Conflict detection ignores the read sets of in-flight chunks when
+    /// a foreign bulk invalidation is processed: a chunk that read a line
+    /// another chunk then committed a write to is *not* squashed, which
+    /// silently breaks serializability (write-after-read conflicts slip
+    /// through).
+    SkipReadSetConflicts,
 }
 
 impl SimConfig {
@@ -101,6 +128,9 @@ impl SimConfig {
             sb: SbConfig::paper_default(),
             tcc: TccConfig::paper_default(),
             bulksc: BulkScConfig::paper_default(DirId(torus.center().0)),
+            perturb: None,
+            trace: false,
+            inject_bug: None,
         }
     }
 
@@ -147,6 +177,10 @@ mod tests {
         assert_eq!(cfg.page_policy, PageMapPolicy::FirstTouch);
         // BulkSC's arbiter sits at the torus centre.
         assert_eq!(DirId(Torus::for_tiles(64).center().0), cfg.bulksc.arbiter);
+        // Fuzzing machinery is strictly opt-in.
+        assert_eq!(cfg.perturb, None);
+        assert!(!cfg.trace);
+        assert_eq!(cfg.inject_bug, None);
     }
 
     #[test]

@@ -31,8 +31,10 @@ pub mod experiments;
 mod machine;
 mod result;
 mod runner;
+mod trace;
 
-pub use config::SimConfig;
+pub use config::{InjectedBug, SimConfig};
 pub use machine::Machine;
 pub use result::RunResult;
 pub use runner::{run_app, run_simulation};
+pub use trace::{ChunkSnapshot, RunTrace, TraceEvent};

@@ -13,8 +13,9 @@ use sb_sigs::{SigHandle, Signature};
 use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, PerfReport, SerializationGauges};
 use sb_workloads::WorkloadGen;
 
-use crate::config::SimConfig;
+use crate::config::{InjectedBug, SimConfig};
 use crate::result::RunResult;
+use crate::trace::{ChunkSnapshot, RunTrace, TraceEvent};
 
 /// Cap on how many accesses one `Step` event may process. Batching cuts
 /// event counts by an order of magnitude while keeping the time skew
@@ -205,6 +206,8 @@ pub struct Machine<P: CommitProtocol> {
     commit_retries: u64,
     outcome_failures: u64,
     finished_cores: usize,
+    /// Chunk-lifecycle recording for the `sb-check` oracle (`cfg.trace`).
+    trace: Option<RunTrace>,
 }
 
 impl<P: CommitProtocol> Machine<P> {
@@ -313,7 +316,10 @@ impl<P: CommitProtocol> Machine<P> {
                 cores: cfg.cores,
                 dirs,
             },
-            net: Network::new(cfg.net),
+            net: match cfg.perturb {
+                None => Network::new(cfg.net),
+                Some(p) => Network::with_perturbation(cfg.net, p),
+            },
             mapper,
             queue: EventQueue::with_capacity(4096),
             proto,
@@ -333,6 +339,7 @@ impl<P: CommitProtocol> Machine<P> {
             commit_retries: 0,
             outcome_failures: 0,
             finished_cores: 0,
+            trace: cfg.trace.then(RunTrace::new),
             cfg,
         };
         for i in 0..m.cfg.cores {
@@ -427,12 +434,12 @@ impl<P: CommitProtocol> Machine<P> {
             sim_cycles: wall,
             wall: wall_start.elapsed(),
         };
-        RunResult {
+        let mut result = RunResult {
             wall_cycles: wall,
             breakdown,
-            dirs: self.dirs_stat,
-            latency: self.latency,
-            gauges: self.gauges,
+            dirs: self.dirs_stat.clone(),
+            latency: self.latency.clone(),
+            gauges: self.gauges.clone(),
             traffic: self.net.counters().clone(),
             commits: self.commits,
             squashes_conflict: self.squash_conflict,
@@ -441,7 +448,24 @@ impl<P: CommitProtocol> Machine<P> {
             remote_reads: self.remote_reads,
             commit_retries: self.commit_retries,
             perf,
+            trace: None,
+        };
+        // The quiescence probe for the `sb-check` oracle must observe
+        // *true* quiescence: when the last core finishes, trailing
+        // protocol cleanup (releases, acks, skip turns) may still be
+        // queued, so drain it before reading `in_flight()`. All metrics
+        // above are already frozen — the untraced result is unaffected.
+        // The drain terminates: every queued event is a reaction to prior
+        // work, and finished cores issue no new chunks or retries.
+        if let Some(mut trace) = self.trace.take() {
+            while let Some((at, ev)) = self.queue.pop() {
+                self.view.now = self.view.now.max_of(at);
+                self.dispatch(ev);
+            }
+            trace.final_in_flight = self.proto.in_flight();
+            result.trace = Some(trace);
         }
+        result
     }
 
     fn dispatch(&mut self, ev: Ev<P::Msg>) {
@@ -569,12 +593,17 @@ impl<P: CommitProtocol> Machine<P> {
         };
         let c = &mut self.cores[core as usize];
         let (leading, per_gap) = spec.compute_gaps();
-        c.window.start_chunk().expect("slot checked");
+        let tag = c.window.start_chunk().expect("slot checked");
         c.leading = leading;
         c.per_gap = per_gap;
         c.pos = 0;
         c.spec = Some(spec);
         c.phase = Phase::Running;
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .events
+                .push(TraceEvent::ExecStart { core, tag, at: t });
+        }
         true
     }
 
@@ -917,6 +946,27 @@ impl<P: CommitProtocol> Machine<P> {
                 c.committed_insns += p.spec.instructions();
                 c.invested.remove(&tag);
             }
+            if let Some(trace) = self.trace.as_mut() {
+                // Exact footprint from the spec: `step` records every spec
+                // access into the chunk's sets, so this reconstructs the
+                // retired chunk's read/write sets independently.
+                let mut reads = std::collections::BTreeSet::new();
+                let mut writes = std::collections::BTreeSet::new();
+                for a in p.spec.accesses() {
+                    if a.is_write {
+                        writes.insert(a.line);
+                    } else {
+                        reads.insert(a.line);
+                    }
+                }
+                trace.events.push(TraceEvent::Committed {
+                    core,
+                    tag,
+                    at: t,
+                    reads: reads.into_iter().collect(),
+                    writes: writes.into_iter().collect(),
+                });
+            }
             self.commits += 1;
             self.commit_retries += p.retries;
             self.latency.record((t - p.started).as_u64());
@@ -1003,27 +1053,78 @@ impl<P: CommitProtocol> Machine<P> {
         self.cores[to as usize].hier.bulk_invalidate(&wsig);
         // Find the oldest in-flight chunk that conflicts (disambiguation
         // against both in-flight chunks' signatures).
-        let victim = Self::find_victim(&self.cores[to as usize], tag, &wsig);
+        let victim = Self::find_victim(&self.cores[to as usize], tag, &wsig, self.cfg.inject_bug);
         let mut aborted = None;
-        match victim {
-            Some((_vtag, true)) if !self.cfg.oci => {
-                // Conservative: hold this invalidation until our commit
-                // resolves; do not ack yet (Figure 4(c)).
+        if let (Some((_vtag, true)), false) = (victim, self.cfg.oci) {
+            // Conservative: hold this invalidation until our commit
+            // resolves; do not ack yet (Figure 4(c)). Not recorded as
+            // processed — it has not been applied to the window yet.
+            // Only where the protocol supports it: under a globally
+            // ordered commit service, withholding the winner's ack while
+            // waiting for one's own later turn deadlocks (see
+            // `CommitProtocol::supports_held_invs`).
+            if self.proto.supports_held_invs() {
                 self.cores[to as usize].held_invs.push((from, tag, wsig));
                 return;
             }
-            Some((vtag, is_pending)) => {
-                aborted = self.squash(to, vtag, is_pending, &wsig);
-            }
-            None => {}
+        }
+        self.record_inv_processed(to, tag, from, &wsig);
+        if let Some((vtag, is_pending)) = victim {
+            aborted = self.squash(to, vtag, is_pending, &wsig);
         }
         self.send_ack(from, to, tag, aborted, t);
+    }
+
+    /// Trace hook: a foreign W signature is being applied against `core`'s
+    /// in-flight chunks right now; snapshot what they have accessed so far
+    /// so the `sb-check` oracle can recompute the conflict decision
+    /// independently of [`Machine::find_victim`].
+    fn record_inv_processed(
+        &mut self,
+        core: u16,
+        committer: ChunkTag,
+        from: DirId,
+        wsig: &SigHandle,
+    ) {
+        let Some(trace) = self.trace.as_mut() else {
+            return;
+        };
+        let c = &self.cores[core as usize];
+        let mut inflight = Vec::new();
+        if let Some(oldest) = c.window.oldest() {
+            let mut tags = vec![oldest.chunk.tag()];
+            if let Some(young) = c.window.get(oldest.chunk.tag().next()) {
+                tags.push(young.chunk.tag());
+            }
+            for vt in tags {
+                if let Some(s) = c.window.get(vt) {
+                    inflight.push(ChunkSnapshot {
+                        tag: vt,
+                        reads: s.chunk.read_set().iter().copied().collect(),
+                        writes: s.chunk.write_set().iter().copied().collect(),
+                    });
+                }
+            }
+        }
+        trace.events.push(TraceEvent::InvProcessed {
+            core,
+            committer,
+            from,
+            at: self.view.now,
+            wsig: wsig.share(),
+            inflight,
+        });
     }
 
     /// Oldest in-flight chunk of `c` (excluding `incoming` itself) whose
     /// signatures conflict with `wsig`; the bool says whether its commit
     /// request is in flight (a squash must then carry a commit recall).
-    fn find_victim(c: &CoreCtx, incoming: ChunkTag, wsig: &Signature) -> Option<(ChunkTag, bool)> {
+    fn find_victim(
+        c: &CoreCtx,
+        incoming: ChunkTag,
+        wsig: &Signature,
+        inject: Option<InjectedBug>,
+    ) -> Option<(ChunkTag, bool)> {
         let oldest = c.window.oldest()?;
         let mut slots = vec![oldest.chunk.tag()];
         if let Some(young) = c.window.get(oldest.chunk.tag().next()) {
@@ -1041,9 +1142,17 @@ impl<P: CommitProtocol> Machine<P> {
             // signature-intersection based, per §3.1 — a false positive
             // there only retries a commit.)
             let conflicts = c.window.get(vt).is_some_and(|s| {
-                s.chunk
-                    .read_set()
-                    .iter()
+                // Test-only sabotage (`sb-check` oracle self-test): drop
+                // the read set from the conflict check, letting
+                // write-after-read conflicts slip through un-squashed.
+                let reads = if matches!(inject, Some(InjectedBug::SkipReadSetConflicts)) {
+                    None
+                } else {
+                    Some(s.chunk.read_set().iter())
+                };
+                reads
+                    .into_iter()
+                    .flatten()
                     .chain(s.chunk.write_set().iter())
                     .any(|l| wsig.test(l.as_u64()))
             });
@@ -1110,11 +1219,18 @@ impl<P: CommitProtocol> Machine<P> {
         if squashed.is_empty() {
             return None;
         }
-        for _ in &squashed {
+        for tag in &squashed {
             if exact {
                 self.squash_conflict += 1;
             } else {
                 self.squash_alias += 1;
+            }
+            if let Some(trace) = self.trace.as_mut() {
+                trace.events.push(TraceEvent::Squashed {
+                    core,
+                    tag: *tag,
+                    at: t,
+                });
             }
         }
         let c = &mut self.cores[core as usize];
@@ -1170,7 +1286,9 @@ impl<P: CommitProtocol> Machine<P> {
         let t = self.view.now;
         for (from, tag, wsig) in held {
             // Re-run the squash check now that the commit resolved.
-            let victim = Self::find_victim(&self.cores[core as usize], tag, &wsig);
+            let victim =
+                Self::find_victim(&self.cores[core as usize], tag, &wsig, self.cfg.inject_bug);
+            self.record_inv_processed(core, tag, from, &wsig);
             let aborted = match victim {
                 Some((vtag, is_pending)) => self.squash(core, vtag, is_pending, &wsig),
                 None => None,

@@ -3,6 +3,8 @@
 use sb_net::TrafficCounters;
 use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, PerfReport, SerializationGauges};
 
+use crate::trace::RunTrace;
+
 /// All metrics collected by one [`Machine`](crate::Machine) run — enough
 /// to regenerate every figure of §6.
 #[derive(Clone, Debug)]
@@ -34,6 +36,9 @@ pub struct RunResult {
     /// Host-side simulator throughput (not a simulated metric; never
     /// affects any of the figures).
     pub perf: PerfReport,
+    /// Chunk-lifecycle event stream for the `sb-check` oracle; `Some`
+    /// only when [`SimConfig::trace`](crate::SimConfig) was on.
+    pub trace: Option<RunTrace>,
 }
 
 impl RunResult {
@@ -74,6 +79,7 @@ mod tests {
             remote_reads: 0,
             commit_retries: 0,
             perf: PerfReport::default(),
+            trace: None,
         };
         assert_eq!(r.squashes(), 2);
         assert!((r.squash_rate() - 0.02).abs() < 1e-12);

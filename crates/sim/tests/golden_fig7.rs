@@ -30,8 +30,15 @@ const PROTOCOLS: [ProtocolKind; 5] = [
     ProtocolKind::BulkSc,
 ];
 
-fn apps() -> [(&'static str, AppProfile); 2] {
-    [("fft", AppProfile::fft()), ("radix", AppProfile::radix())]
+fn apps() -> [(&'static str, AppProfile); 3] {
+    [
+        ("fft", AppProfile::fft()),
+        ("radix", AppProfile::radix()),
+        // One PARSEC app so the snapshot also covers the wide-group,
+        // mostly-private footprint shape (SPLASH-2's two are
+        // conflict-heavier).
+        ("canneal", AppProfile::canneal()),
+    ]
 }
 
 /// (app, protocol, wall_cycles, commits, total_messages)
@@ -46,6 +53,11 @@ const GOLDEN: &[(&str, ProtocolKind, u64, u64, u64)] = &[
     ("radix", ProtocolKind::Seq, 36815, 71, 5597),
     ("radix", ProtocolKind::SeqTs, 144628, 71, 35594),
     ("radix", ProtocolKind::BulkSc, 15889, 71, 4677),
+    ("canneal", ProtocolKind::ScalableBulk, 21416, 74, 15071),
+    ("canneal", ProtocolKind::Tcc, 22177, 74, 20249),
+    ("canneal", ProtocolKind::Seq, 34183, 74, 15243),
+    ("canneal", ProtocolKind::SeqTs, 139886, 74, 38681),
+    ("canneal", ProtocolKind::BulkSc, 22215, 74, 15186),
 ];
 
 fn run(app: AppProfile, protocol: ProtocolKind) -> (u64, u64, u64) {
@@ -83,4 +95,15 @@ fn fig7_grid_matches_golden_snapshot() {
         }
     }
     assert_eq!(checked, GOLDEN.len(), "grid and golden table out of sync");
+}
+
+#[test]
+fn same_config_twice_is_bit_identical() {
+    // The golden table above catches drift *between* builds; this pins
+    // determinism *within* one process — two runs of the same config must
+    // agree exactly, or replaying an `sb-check` fuzz triple would not
+    // reproduce the failure it names.
+    let a = run(AppProfile::canneal(), ProtocolKind::ScalableBulk);
+    let b = run(AppProfile::canneal(), ProtocolKind::ScalableBulk);
+    assert_eq!(a, b, "(wall_cycles, commits, total_messages) diverged");
 }

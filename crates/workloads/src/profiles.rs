@@ -372,6 +372,38 @@ impl AppProfile {
         v
     }
 
+    /// A randomized, conflict-heavy profile for the `sb-check` fuzzer:
+    /// every footprint knob is drawn deterministically from `seed`, biased
+    /// toward small, hot, heavily shared working sets so that commits
+    /// collide, groups overlap and squashes actually happen in short
+    /// runs. Not part of [`AppProfile::all`] — it models no benchmark.
+    pub fn synthetic(seed: u64) -> AppProfile {
+        let mut rng = sb_engine::SplitMix64::new(seed ^ 0x5e_ed_f0_0d);
+        // Uniform draw in [lo, hi).
+        let mut f =
+            |lo: f64, hi: f64| lo + (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo);
+        AppProfile {
+            chunk_insns: 300 + (f(0.0, 1.0) * 900.0) as u64, // 300..1200: fast chunks
+            mem_ratio: f(0.15, 0.35),
+            write_frac: f(0.20, 0.45),
+            private_frac: f(0.25, 0.65),
+            write_pages: f(1.0, 6.0),
+            read_pages: f(1.0, 6.0),
+            write_scatter: f(0.0, 1.0) < 0.3,
+            seq_run: f(1.5, 8.0),
+            reuse_frac: f(0.3, 0.9),
+            private_ws_kb: 16 + (f(0.0, 1.0) * 48.0) as u32,
+            private_is_partition: false,
+            shared_ws_kb: 256 + (f(0.0, 1.0) * 1792.0) as u32, // small pool: dense sharing
+            shared_write_frac: f(0.10, 0.50),
+            rw_overlap: f(0.10, 0.40),
+            conflict_prob: f(0.05, 0.30),
+            hot_lines: 4 + (f(0.0, 1.0) * 28.0) as u32,
+            hot_write_frac: f(0.3, 0.8),
+            ..Self::base("Synthetic", Suite::Splash2)
+        }
+    }
+
     /// Looks an application up by (case-insensitive) name.
     pub fn by_name(name: &str) -> Option<AppProfile> {
         Self::all()
@@ -451,6 +483,33 @@ mod tests {
             assert!(p.write_pages >= 0.5 && p.read_pages >= 0.5, "{}", p.name);
             assert!(p.seq_run >= 1.0, "{}", p.name);
         }
+    }
+
+    #[test]
+    fn synthetic_profiles_are_deterministic_and_sane() {
+        for seed in 0..200u64 {
+            let a = AppProfile::synthetic(seed);
+            let b = AppProfile::synthetic(seed);
+            assert_eq!(a, b, "pure function of the seed");
+            assert!((0.0..=1.0).contains(&a.mem_ratio));
+            assert!((0.0..=1.0).contains(&a.write_frac));
+            assert!((0.0..=1.0).contains(&a.private_frac));
+            assert!((0.0..=1.0).contains(&a.reuse_frac));
+            assert!((0.0..=1.0).contains(&a.conflict_prob));
+            assert!(a.write_pages >= 0.5 && a.read_pages >= 0.5);
+            assert!(a.seq_run >= 1.0);
+            assert!((300..1200).contains(&a.chunk_insns));
+            assert!(a.hot_lines >= 4);
+            assert!(a.conflict_prob >= 0.05, "fuzz profiles are conflict-heavy");
+        }
+        assert_ne!(
+            AppProfile::synthetic(1),
+            AppProfile::synthetic(2),
+            "seeds actually vary the footprint"
+        );
+        // Not a benchmark model: stays out of the paper's app list.
+        assert_eq!(AppProfile::all().len(), 18);
+        assert!(AppProfile::by_name("Synthetic").is_none());
     }
 
     #[test]
