@@ -173,6 +173,10 @@ impl BulkSc {
                         pending_acks: acks,
                     },
                 );
+                out.event(ProtoEvent::DirGrabbed {
+                    dir: self.cfg.arbiter,
+                    tag,
+                });
             }
         }
         self.schedule_slot(out);
@@ -259,6 +263,10 @@ impl CommitProtocol for BulkSc {
         };
         if done {
             self.committing.remove(&ack.tag);
+            out.event(ProtoEvent::DirReleased {
+                dir: self.cfg.arbiter,
+                tag: ack.tag,
+            });
             out.event(ProtoEvent::CommitCompleted { tag: ack.tag });
             // A blocked queue head may now be grantable.
             self.schedule_slot(out);

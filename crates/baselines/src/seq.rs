@@ -116,6 +116,7 @@ impl Seq {
                 c.queued = false;
             }
             self.dirs[d.idx()].occupant = Some((tag, wsig));
+            out.event(ProtoEvent::DirGrabbed { dir: d, tag });
             out.send(
                 Endpoint::Dir(d),
                 Endpoint::Core(tag.core()),
@@ -142,6 +143,7 @@ impl Seq {
             {
                 self.dirs[d.idx()].occupant = None;
                 self.dirs[d.idx()].pending_acks = 0;
+                out.event(ProtoEvent::DirReleased { dir: d, tag });
                 self.grant_next(out, d);
             }
         }
@@ -199,6 +201,7 @@ impl CommitProtocol for Seq {
                 }
                 if self.dirs[d.idx()].occupant.is_none() {
                     self.dirs[d.idx()].occupant = Some((tag, wsig));
+                    out.event(ProtoEvent::DirGrabbed { dir: d, tag });
                     out.send(
                         Endpoint::Dir(d),
                         Endpoint::Core(tag.core()),
@@ -330,6 +333,7 @@ impl CommitProtocol for Seq {
                 {
                     self.dirs[d.idx()].occupant = None;
                     self.dirs[d.idx()].pending_acks = 0;
+                    out.event(ProtoEvent::DirReleased { dir: d, tag });
                     self.grant_next(out, d);
                 }
             }

@@ -211,7 +211,7 @@ impl SeqTs {
         }
     }
 
-    fn abort_chunk(&mut self, _out: &mut Outbox<SeqTsMsg>, tag: ChunkTag) {
+    fn abort_chunk(&mut self, out: &mut Outbox<SeqTsMsg>, tag: ChunkTag) {
         self.dead.insert(tag);
         let Some(c) = self.chunks.remove(&tag) else {
             return;
@@ -224,6 +224,7 @@ impl SeqTs {
             {
                 self.dirs[d.idx()].occupant = None;
                 self.dirs[d.idx()].pending_acks = 0;
+                out.event(ProtoEvent::DirReleased { dir: d, tag });
             }
         }
     }
@@ -291,6 +292,7 @@ impl CommitProtocol for SeqTs {
                 match self.dirs[d.idx()].occupant.clone() {
                     None => {
                         self.dirs[d.idx()].occupant = Some((tag, wsig, false));
+                        out.event(ProtoEvent::DirGrabbed { dir: d, tag });
                         Self::small(
                             out,
                             Endpoint::Dir(d),
@@ -306,6 +308,10 @@ impl CommitProtocol for SeqTs {
                         if !publishing && priority(tag) < priority(occ) {
                             self.steals += 1;
                             self.dirs[d.idx()].occupant = Some((tag, wsig, false));
+                            // A steal is a release of the victim's grab and
+                            // a fresh grab by the thief, back to back.
+                            out.event(ProtoEvent::DirReleased { dir: d, tag: occ });
+                            out.event(ProtoEvent::DirGrabbed { dir: d, tag });
                             Self::small(
                                 out,
                                 Endpoint::Dir(d),
@@ -458,6 +464,7 @@ impl CommitProtocol for SeqTs {
                 {
                     self.dirs[d.idx()].occupant = None;
                     self.dirs[d.idx()].pending_acks = 0;
+                    out.event(ProtoEvent::DirReleased { dir: d, tag });
                 }
             }
             (dst, msg) => debug_assert!(false, "misrouted {msg:?} at {dst:?}"),

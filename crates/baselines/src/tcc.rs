@@ -238,6 +238,7 @@ impl Tcc {
                     // self-message, after which invalidations (if any)
                     // still need acknowledging.
                     self.dirs[d.idx()].active = Some((tag, next, u32::MAX, wsig));
+                    out.event(ProtoEvent::DirGrabbed { dir: d, tag });
                     out.after(
                         self.cfg.turn_cost,
                         Endpoint::Dir(d),
@@ -500,6 +501,7 @@ impl CommitProtocol for Tcc {
                         out.apply_commit(d, wsig, committer);
                     }
                     self.dirs[d.idx()].active = None;
+                    out.event(ProtoEvent::DirReleased { dir: d, tag });
                     self.dirs[d.idx()].next_tid += 1;
                     if alive {
                         self.finish_dir_turn(out, d, tag, false);
@@ -550,6 +552,7 @@ impl CommitProtocol for Tcc {
             }
         };
         if let Some(tag) = finished {
+            out.event(ProtoEvent::DirReleased { dir: d, tag });
             let alive = self.chunks.contains_key(&tag);
             if alive {
                 self.finish_dir_turn(out, d, tag, false);

@@ -152,6 +152,7 @@ impl FuzzCase {
         cfg.oci = !rng.next_u64().is_multiple_of(4);
         cfg.warmup_chunks = 1;
         cfg.trace = true;
+        cfg.obs = true;
         cfg.perturb = match self.perturb_seed {
             0 => None,
             s => Some(PerturbationConfig::from_seed(s)),
@@ -322,6 +323,13 @@ pub fn verify_result(r: &RunResult) -> Vec<String> {
             "protocol still tracks {} in-flight commits at quiescence",
             trace.final_in_flight
         ));
+    }
+    // Observability-layer well-formedness: exec spans close exactly once,
+    // directory grabs/releases alternate and balance, and the Perfetto
+    // export round-trips and reconciles with the run's aggregates. Only
+    // checked when the run recorded an observability log.
+    if r.obs.is_some() {
+        violations.extend(sb_sim::verify_observability(r));
     }
     violations
 }

@@ -101,6 +101,32 @@ impl DirModule {
             .is_some_and(|&a| a >= attempt)
     }
 
+    /// Removes `tag`'s CST entry, emitting [`ProtoEvent::DirReleased`] if
+    /// the entry was blocking (Held/Confirmed). Every removal goes through
+    /// here so grab/release events stay balanced per module.
+    fn remove_entry(
+        &mut self,
+        out: &mut Outbox<SbMsg>,
+        tag: ChunkTag,
+    ) -> Option<crate::cst::CstEntry> {
+        let e = self.cst.remove(tag)?;
+        if e.blocks() {
+            out.event(ProtoEvent::DirReleased { dir: self.id, tag });
+        }
+        Some(e)
+    }
+
+    /// A newer attempt is about to replace `tag`'s entry in place (via
+    /// [`Cst::entry_or_insert`]); if the stale entry was blocking, its
+    /// grab ends here.
+    fn release_stale_attempt(&mut self, out: &mut Outbox<SbMsg>, tag: ChunkTag, attempt: u32) {
+        if let Some(e) = self.cst.get(tag) {
+            if e.attempt < attempt && e.blocks() {
+                out.event(ProtoEvent::DirReleased { dir: self.id, tag });
+            }
+        }
+    }
+
     /// Global starvation priority: lower is served first. Two starving
     /// chunks with overlapping groups could otherwise reserve different
     /// modules of each other's groups and block forever; a total order
@@ -194,7 +220,7 @@ impl DirModule {
                     self.collisions_decided += 1;
                     // A g may have arrived first and allocated an entry;
                     // drop it along with the attempt.
-                    self.cst.remove(tag);
+                    self.remove_entry(out, tag);
                     self.fail_incoming(out, &req, attempt, prio_offset);
                     return;
                 }
@@ -203,6 +229,7 @@ impl DirModule {
 
         let local_sharers = view.sharers_matching(self.id, &req.wsig, tag.core());
         let is_leader = leader_of(req.g_vec, prio_offset, self.ndirs) == Some(self.id);
+        self.release_stale_attempt(out, tag, attempt);
         {
             let e = self.cst.entry_or_insert(tag, attempt);
             if e.attempt != attempt {
@@ -237,6 +264,7 @@ impl DirModule {
                 self.fail_group(out, tag);
                 return;
             }
+            out.event(ProtoEvent::DirGrabbed { dir: self.id, tag });
             let e = self.cst.get_mut(tag).expect("just inserted");
             e.leader = true;
             e.state = ChunkState::Held;
@@ -271,6 +299,7 @@ impl DirModule {
             return; // group already failed here; failure multicast went out
         }
         debug_assert!(gvec.contains(self.id), "g routed to non-member");
+        self.release_stale_attempt(out, tag, attempt);
         let is_returning_to_leader = {
             let e = self.cst.entry_or_insert(tag, attempt);
             if e.attempt != attempt {
@@ -327,6 +356,7 @@ impl DirModule {
             e.state = ChunkState::Held;
             e.inval_acc = inval_acc;
         }
+        out.event(ProtoEvent::DirGrabbed { dir: self.id, tag });
         let next = next_in_order(req.g_vec, self.id, prio_offset, self.ndirs)
             .or_else(|| leader_of(req.g_vec, prio_offset, self.ndirs))
             .expect("group has a leader");
@@ -399,7 +429,7 @@ impl DirModule {
     /// All bulk-invalidation acks arrived: release the group
     /// (`commit done`, Figure 3(e)), forwarding any commit recalls.
     fn complete_leader(&mut self, out: &mut Outbox<SbMsg>, tag: ChunkTag) {
-        let e = self.cst.remove(tag).expect("leader entry");
+        let e = self.remove_entry(out, tag).expect("leader entry");
         let req = e.req.expect("leader has signatures");
         let recalls = e.recalls;
         for m in req.g_vec.iter().filter(|m| *m != self.id) {
@@ -507,10 +537,8 @@ impl DirModule {
         attempt: u32,
         recalls: Vec<RecallNote>,
     ) {
-        if let Some(e) = self.cst.get(tag) {
-            if e.attempt == attempt {
-                self.cst.remove(tag);
-            }
+        if self.cst.get(tag).is_some_and(|e| e.attempt == attempt) {
+            self.remove_entry(out, tag);
         }
         self.clear_chunk_bookkeeping(tag);
         for note in recalls {
@@ -526,7 +554,7 @@ impl DirModule {
         let was_leader = match self.cst.get(tag) {
             Some(e) if e.attempt == attempt => {
                 let l = e.leader;
-                self.cst.remove(tag);
+                self.remove_entry(out, tag);
                 l
             }
             _ => false,
@@ -595,7 +623,9 @@ impl DirModule {
     /// — send `commit failure` to the processor.
     fn fail_group(&mut self, out: &mut Outbox<SbMsg>, tag: ChunkTag) {
         self.trace(tag, "fail_group(conflict/recall)");
-        let e = self.cst.remove(tag).expect("fail_group needs an entry");
+        let e = self
+            .remove_entry(out, tag)
+            .expect("fail_group needs an entry");
         let req = e.req.expect("fail_group needs signatures");
         let attempt = e.attempt;
         self.record_failure(tag, attempt);

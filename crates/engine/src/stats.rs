@@ -325,4 +325,53 @@ mod tests {
         let mut a = Histogram::new(2, 2);
         a.merge(&Histogram::new(2, 3));
     }
+
+    #[test]
+    fn empty_accumulator_is_all_neutral() {
+        // Pins the empty-state contract the metrics registry and the
+        // figure collectors rely on: no division by zero, no phantom
+        // extrema.
+        let a = Accumulator::new();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.sum(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_neutral() {
+        let h = Histogram::new(4, 10);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), None);
+        for i in 0..h.buckets() {
+            assert_eq!(h.bucket_count(i), 0);
+            assert_eq!(h.bucket_fraction(i), 0.0);
+        }
+        assert_eq!(h.overflow_fraction(), 0.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn merging_empties_stays_empty() {
+        let mut a = Accumulator::new();
+        a.merge(&Accumulator::new());
+        assert_eq!((a.count(), a.min(), a.max()), (0, None, None));
+        let mut h = Histogram::new(4, 10);
+        h.merge(&Histogram::new(4, 10));
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max(), None);
+        // Merging an empty histogram into a populated one changes
+        // nothing.
+        let mut p = Histogram::new(4, 10);
+        p.record(7);
+        p.merge(&Histogram::new(4, 10));
+        assert_eq!(p.total(), 1);
+        assert_eq!(p.mean(), 7.0);
+    }
 }

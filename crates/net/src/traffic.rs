@@ -151,6 +151,16 @@ impl TrafficCounters {
         self.flits.iter().sum()
     }
 
+    /// Wire bytes recorded in `class` ([`FLIT_BITS`] per flit).
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        self.flits(class) * (FLIT_BITS as u64 / 8)
+    }
+
+    /// Total wire bytes across classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_flits() * (FLIT_BITS as u64 / 8)
+    }
+
     /// Fraction of total messages in `class` (0.0 when empty).
     pub fn fraction(&self, class: TrafficClass) -> f64 {
         let total = self.total_messages();
@@ -198,6 +208,8 @@ mod tests {
         assert_eq!(a.flits(TrafficClass::MemRd), 6);
         assert_eq!(a.total_messages(), 3);
         assert_eq!(a.total_flits(), 6 + 7);
+        assert_eq!(a.bytes(TrafficClass::MemRd), 6 * 16);
+        assert_eq!(a.total_bytes(), (6 + 7) * 16);
         assert!((a.fraction(TrafficClass::MemRd) - 2.0 / 3.0).abs() < 1e-12);
     }
 

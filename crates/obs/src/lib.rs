@@ -1,0 +1,46 @@
+//! Observability primitives for the ScalableBulk simulator.
+//!
+//! The build environment is fully offline (no `serde`/`serde_json`), so
+//! this crate provides the two things the observability layer needs from
+//! scratch, with deterministic output suitable for golden-snapshot tests:
+//!
+//! * [`json`] — an ordered JSON value type with a canonical writer and a
+//!   minimal parser, so exported traces can be round-tripped and diffed
+//!   byte-for-byte.
+//! * [`perfetto`] — a builder for the chrome-trace / Perfetto
+//!   "traceEvents" JSON format (complete spans, instants, counters and
+//!   track-name metadata), plus a structural validator.
+//!
+//! Nothing here knows about the simulator: `sb-sim` converts its
+//! `RunTrace` + observability log into a [`perfetto::PerfettoTrace`], and
+//! `sb-stats` dumps its metrics registry through [`json::JsonValue`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod perfetto;
+
+/// FNV-1a fingerprint of a byte string — stable across Rust releases,
+/// used to pin golden JSON snapshots (the same construction `sb-sim`
+/// uses for `RunTrace::fingerprint`).
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint(b"abc"), fingerprint(b"abc"));
+        assert_ne!(fingerprint(b"abc"), fingerprint(b"abd"));
+    }
+}

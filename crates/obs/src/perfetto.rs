@@ -1,0 +1,319 @@
+//! Builder and validator for the chrome-trace / Perfetto JSON format.
+//!
+//! The output is the classic "JSON Array Format" (`{"traceEvents":
+//! [...]}`) that both `chrome://tracing` and [ui.perfetto.dev] load
+//! directly. Four phases are used:
+//!
+//! * `"M"` — metadata naming processes (track groups) and threads
+//!   (tracks);
+//! * `"X"` — complete events: a span with `ts` + `dur`;
+//! * `"i"` — instant events;
+//! * `"C"` — counter samples.
+//!
+//! The builder keeps every track's events in non-decreasing-`ts` order
+//! (a stable sort at export time), so the produced JSON is deterministic
+//! for a deterministic input stream and satisfies the monotonicity
+//! property `sb-check` verifies.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+//!
+//! # Examples
+//!
+//! ```
+//! use sb_obs::perfetto::{validate, PerfettoTrace};
+//!
+//! let mut t = PerfettoTrace::new();
+//! t.process_name(0, "cores");
+//! t.thread_name(0, 0, "core 0");
+//! t.complete(0, 0, "c0#1", "chunk", 10, 25, vec![]);
+//! t.instant(0, 0, "inv", "inv", 20);
+//! let json = t.to_json();
+//! assert!(validate(&json).is_empty());
+//! ```
+
+use crate::json::JsonValue;
+
+/// In-progress chrome-trace document.
+#[derive(Debug, Default)]
+pub struct PerfettoTrace {
+    /// Metadata ("M") events, emitted ahead of all timed events.
+    meta: Vec<JsonValue>,
+    /// Timed events with their sort key (`ts`, insertion index).
+    events: Vec<(u64, JsonValue)>,
+}
+
+fn base_event(
+    ph: &str,
+    pid: u64,
+    tid: u64,
+    name: &str,
+    cat: &str,
+    ts: u64,
+) -> Vec<(String, JsonValue)> {
+    vec![
+        ("name".to_string(), JsonValue::from(name)),
+        ("cat".to_string(), JsonValue::from(cat)),
+        ("ph".to_string(), JsonValue::from(ph)),
+        ("ts".to_string(), JsonValue::from(ts)),
+        ("pid".to_string(), JsonValue::from(pid)),
+        ("tid".to_string(), JsonValue::from(tid)),
+    ]
+}
+
+impl PerfettoTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names a process (a group of tracks in the Perfetto UI).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.meta.push(JsonValue::obj([
+            ("name", JsonValue::from("process_name")),
+            ("ph", JsonValue::from("M")),
+            ("pid", JsonValue::from(pid)),
+            ("tid", JsonValue::from(0u64)),
+            ("args", JsonValue::obj([("name", JsonValue::from(name))])),
+        ]));
+    }
+
+    /// Names a thread (one track).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.meta.push(JsonValue::obj([
+            ("name", JsonValue::from("thread_name")),
+            ("ph", JsonValue::from("M")),
+            ("pid", JsonValue::from(pid)),
+            ("tid", JsonValue::from(tid)),
+            ("args", JsonValue::obj([("name", JsonValue::from(name))])),
+        ]));
+    }
+
+    /// Adds a complete ("X") span of `dur` ticks starting at `ts`.
+    // One parameter per chrome-trace field; a builder would obscure the
+    // 1:1 mapping to the format.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts: u64,
+        dur: u64,
+        args: Vec<(String, JsonValue)>,
+    ) {
+        let mut members = base_event("X", pid, tid, name, cat, ts);
+        members.push(("dur".to_string(), JsonValue::from(dur)));
+        if !args.is_empty() {
+            members.push(("args".to_string(), JsonValue::Object(args)));
+        }
+        self.events.push((ts, JsonValue::Object(members)));
+    }
+
+    /// Adds a thread-scoped instant ("i") event.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts: u64) {
+        let mut members = base_event("i", pid, tid, name, cat, ts);
+        members.push(("s".to_string(), JsonValue::from("t")));
+        self.events.push((ts, JsonValue::Object(members)));
+    }
+
+    /// Adds a counter ("C") sample: the named series on track
+    /// `(pid, tid)` takes `value` from `ts` on.
+    pub fn counter(&mut self, pid: u64, tid: u64, name: &str, ts: u64, series: &str, value: u64) {
+        let mut members = base_event("C", pid, tid, name, "counter", ts);
+        members.push((
+            "args".to_string(),
+            JsonValue::obj([(series, JsonValue::from(value))]),
+        ));
+        self.events.push((ts, JsonValue::Object(members)));
+    }
+
+    /// Number of timed (non-metadata) events added so far.
+    pub fn timed_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Finishes the document: metadata first, then all timed events in
+    /// stable non-decreasing `ts` order.
+    pub fn to_json(mut self) -> JsonValue {
+        self.events.sort_by_key(|(ts, _)| *ts);
+        let all = self
+            .meta
+            .into_iter()
+            .chain(self.events.into_iter().map(|(_, e)| e));
+        JsonValue::obj([("traceEvents", JsonValue::Array(all.collect()))])
+    }
+}
+
+/// Structural well-formedness check of a chrome-trace document.
+///
+/// Returns human-readable violations (empty = clean):
+/// * the root must be an object with a `traceEvents` array;
+/// * every event needs `ph`/`pid`/`tid`/`name`, with a known phase;
+/// * timed events need a non-negative integer `ts` (and `dur` for
+///   `"X"`);
+/// * per `(pid, tid)` track, timestamps must be monotonically
+///   non-decreasing in array order.
+pub fn validate(trace: &JsonValue) -> Vec<String> {
+    let mut violations = Vec::new();
+    let Some(events) = trace.get("traceEvents").and_then(|e| e.as_array()) else {
+        return vec!["root has no traceEvents array".to_string()];
+    };
+    let mut last_ts: Vec<((i64, i64), i64)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let Some(ph) = ev.get("ph").and_then(|p| p.as_str()) else {
+            violations.push(format!("event {i}: missing ph"));
+            continue;
+        };
+        if !matches!(ph, "M" | "X" | "i" | "C") {
+            violations.push(format!("event {i}: unknown phase {ph:?}"));
+            continue;
+        }
+        let pid = ev.get("pid").and_then(|v| v.as_i64());
+        let tid = ev.get("tid").and_then(|v| v.as_i64());
+        if pid.is_none() || tid.is_none() {
+            violations.push(format!("event {i}: missing pid/tid"));
+            continue;
+        }
+        if ev.get("name").and_then(|n| n.as_str()).is_none() {
+            violations.push(format!("event {i}: missing name"));
+        }
+        if ph == "M" {
+            continue;
+        }
+        let Some(ts) = ev.get("ts").and_then(|v| v.as_i64()) else {
+            violations.push(format!("event {i}: timed event missing ts"));
+            continue;
+        };
+        if ts < 0 {
+            violations.push(format!("event {i}: negative ts {ts}"));
+        }
+        if ph == "X" {
+            match ev.get("dur").and_then(|v| v.as_i64()) {
+                Some(d) if d >= 0 => {}
+                Some(d) => violations.push(format!("event {i}: negative dur {d}")),
+                None => violations.push(format!("event {i}: X event missing dur")),
+            }
+        }
+        let key = (pid.unwrap(), tid.unwrap());
+        match last_ts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, last)) => {
+                if ts < *last {
+                    violations.push(format!(
+                        "event {i}: ts {ts} goes backwards on track {key:?} (last {last})"
+                    ));
+                }
+                *last = ts;
+            }
+            None => last_ts.push((key, ts)),
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfettoTrace {
+        let mut t = PerfettoTrace::new();
+        t.process_name(0, "cores");
+        t.process_name(1, "directories");
+        t.thread_name(0, 0, "core 0");
+        t.thread_name(1, 3, "dir 3");
+        t.complete(
+            0,
+            0,
+            "c0#1",
+            "chunk",
+            10,
+            30,
+            vec![("outcome".to_string(), JsonValue::from("commit"))],
+        );
+        t.instant(0, 0, "inv", "inv", 25);
+        t.complete(1, 3, "grab c0#1", "grab", 15, 10, vec![]);
+        t.counter(0, 0, "held_invs", 26, "depth", 2);
+        t
+    }
+
+    #[test]
+    fn builder_produces_valid_sorted_output() {
+        let json = sample().to_json();
+        assert!(validate(&json).is_empty(), "{:?}", validate(&json));
+        let events = json.get("traceEvents").unwrap().as_array().unwrap();
+        // Metadata first, then ts order: 10, 15, 25, 26.
+        let ts: Vec<Option<i64>> = events
+            .iter()
+            .map(|e| e.get("ts").and_then(|v| v.as_i64()))
+            .collect();
+        assert_eq!(
+            ts,
+            vec![
+                None,
+                None,
+                None,
+                None,
+                Some(10),
+                Some(15),
+                Some(25),
+                Some(26)
+            ]
+        );
+    }
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        let json = sample().to_json();
+        let text = json.to_string();
+        let reparsed = JsonValue::parse(&text).expect("parses");
+        assert_eq!(reparsed, json);
+        assert!(validate(&reparsed).is_empty());
+    }
+
+    #[test]
+    fn validator_flags_structural_problems() {
+        // Not an object.
+        assert!(!validate(&JsonValue::Null).is_empty());
+        // Unknown phase.
+        let bad = JsonValue::obj([(
+            "traceEvents",
+            JsonValue::arr([JsonValue::obj([
+                ("name", JsonValue::from("x")),
+                ("ph", JsonValue::from("Q")),
+                ("pid", JsonValue::from(0u64)),
+                ("tid", JsonValue::from(0u64)),
+            ])]),
+        )]);
+        assert_eq!(validate(&bad).len(), 1);
+        // X without dur.
+        let no_dur = JsonValue::obj([(
+            "traceEvents",
+            JsonValue::arr([JsonValue::obj([
+                ("name", JsonValue::from("x")),
+                ("ph", JsonValue::from("X")),
+                ("ts", JsonValue::from(1u64)),
+                ("pid", JsonValue::from(0u64)),
+                ("tid", JsonValue::from(0u64)),
+            ])]),
+        )]);
+        assert!(validate(&no_dur).iter().any(|v| v.contains("missing dur")));
+    }
+
+    #[test]
+    fn validator_catches_backwards_time_per_track() {
+        let mut bad = PerfettoTrace::new();
+        bad.instant(0, 0, "a", "t", 10);
+        bad.instant(0, 0, "b", "t", 5);
+        // to_json sorts, so build the unsorted document by hand.
+        let events: Vec<JsonValue> = bad.events.into_iter().map(|(_, e)| e).collect();
+        let doc = JsonValue::obj([("traceEvents", JsonValue::Array(events))]);
+        assert!(validate(&doc).iter().any(|v| v.contains("goes backwards")));
+        // Different tracks may interleave freely.
+        let mut ok = PerfettoTrace::new();
+        ok.instant(0, 0, "a", "t", 10);
+        ok.instant(0, 1, "b", "t", 5);
+        let events: Vec<JsonValue> = ok.events.into_iter().map(|(_, e)| e).collect();
+        let doc = JsonValue::obj([("traceEvents", JsonValue::Array(events))]);
+        assert!(validate(&doc).is_empty());
+    }
+}

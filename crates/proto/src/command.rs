@@ -66,6 +66,26 @@ pub enum ProtoEvent {
         /// The dequeued chunk.
         tag: ChunkTag,
     },
+    /// A directory module was grabbed on behalf of a committing chunk
+    /// (§3.2: the module's CST entry turned blocking — ScalableBulk's
+    /// `Held`, an occupancy grant in SEQ/SEQ-TS/TCC, an arbiter slot in
+    /// BulkSC). Purely observational: the trace exporter turns matching
+    /// grab/release pairs into directory-occupancy spans.
+    DirGrabbed {
+        /// The grabbed directory module.
+        dir: DirId,
+        /// The chunk holding the grab.
+        tag: ChunkTag,
+    },
+    /// The matching release of an earlier [`ProtoEvent::DirGrabbed`]:
+    /// the module finished (or abandoned) the chunk's commit and can
+    /// serve the next one.
+    DirReleased {
+        /// The released directory module.
+        dir: DirId,
+        /// The chunk that held the grab.
+        tag: ChunkTag,
+    },
 }
 
 /// An effect requested by a protocol, executed by the host.

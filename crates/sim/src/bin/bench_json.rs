@@ -97,13 +97,18 @@ fn main() {
     json.push_str("  \"runs\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let p = &e.result.perf;
+        // Phase wall-times come from the run's metrics registry — the
+        // same source `figures --timing` renders.
+        let phase = |name| e.result.metrics.gauge(name).unwrap_or(0.0);
         json.push_str(&format!(
             concat!(
                 "    {{\"protocol\": \"{}\", \"cores\": {}, ",
                 "\"wall_cycles\": {}, \"commits\": {}, ",
                 "\"events\": {}, \"protocol_steps\": {}, ",
                 "\"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, ",
-                "\"sim_cycles_per_sec\": {:.0}}}{}\n"
+                "\"sim_cycles_per_sec\": {:.0}, ",
+                "\"phase_setup_secs\": {:.6}, \"phase_run_secs\": {:.6}, ",
+                "\"phase_drain_secs\": {:.6}}}{}\n"
             ),
             e.protocol,
             e.cores,
@@ -114,6 +119,9 @@ fn main() {
             p.wall.as_secs_f64(),
             p.events_per_sec(),
             p.sim_cycles_per_sec(),
+            phase("phase.setup_secs"),
+            phase("phase.run_secs"),
+            phase("phase.drain_secs"),
             if i + 1 == entries.len() { "" } else { "," },
         ));
     }

@@ -1,14 +1,20 @@
 //! Regenerates every table and figure of the ScalableBulk paper.
 //!
 //! ```text
-//! cargo run --release -p sb-sim --bin figures -- <id> [--insns N] [--seed S] [--csv DIR] [--timing]
+//! cargo run --release -p sb-sim --bin figures -- <id> [--insns N] [--seed S] [--csv DIR] [--timing] [--trace-out PATH]
 //! cargo run --release -p sb-sim --bin figures -- all
 //! cargo run --release -p sb-sim --bin figures -- --timing
 //! ```
 //!
 //! `--timing` appends a host-side simulator-throughput probe (events/sec,
-//! sim-cycles/sec per core count) after the requested figures; it can
-//! also be used alone.
+//! sim-cycles/sec per core count, per-phase wall times from the metrics
+//! registry) after the requested figures; it can also be used alone.
+//!
+//! `--trace-out PATH` additionally runs one observed 8-core
+//! FFT/ScalableBulk point (at the sweep's insns/seed) and writes its
+//! Perfetto/chrome-trace JSON to PATH — load it in `chrome://tracing`
+//! or ui.perfetto.dev. For other apps/protocols/core counts use the
+//! dedicated `trace` binary.
 //!
 //! IDs: `table1 table2 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 ablation_oci ablation_sig
@@ -19,7 +25,7 @@ use sb_workloads::{AppProfile, Suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--csv DIR] [--timing]"
+        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--csv DIR] [--timing] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -32,6 +38,7 @@ fn timing_probe(sweep: &Sweep) {
 
     println!("== Simulator throughput (host-side; FFT under ScalableBulk) ==");
     let mut total = sb_stats::PerfReport::default();
+    let mut phases = sb_stats::MetricsRegistry::new();
     for cores in [8u16, 32, 64] {
         let mut cfg =
             SimConfig::paper_default(cores, AppProfile::fft(), ProtocolKind::ScalableBulk);
@@ -39,9 +46,46 @@ fn timing_probe(sweep: &Sweep) {
         cfg.seed = sweep.seed;
         let r = run_simulation(&cfg);
         println!("{:>3} cores: {}", cores, r.perf.render());
+        println!("          {}", render_phases(&r.metrics));
         total.accumulate(&r.perf);
+        phases.merge(&r.metrics);
     }
     println!("  overall: {}", total.render());
+    println!("           {}", render_phases(&phases));
+}
+
+/// One-line per-phase wall-time rendering from the metrics registry —
+/// the same numbers `bench_json` exports.
+fn render_phases(m: &sb_stats::MetricsRegistry) -> String {
+    let g = |name| m.gauge(name).unwrap_or(0.0);
+    format!(
+        "phases: setup {:.3}s, run {:.3}s, drain {:.3}s",
+        g("phase.setup_secs"),
+        g("phase.run_secs"),
+        g("phase.drain_secs"),
+    )
+}
+
+/// Runs one observed 8-core FFT/ScalableBulk point and writes its
+/// Perfetto trace to `path`.
+fn trace_out(sweep: &Sweep, path: &std::path::Path) {
+    use sb_proto::ProtocolKind;
+    use sb_sim::{perfetto_trace, run_simulation, SimConfig};
+
+    let mut cfg = SimConfig::paper_default(8, AppProfile::fft(), ProtocolKind::ScalableBulk);
+    cfg.insns_per_thread = sweep.insns_per_thread;
+    cfg.seed = sweep.seed;
+    cfg.trace = true;
+    cfg.obs = true;
+    let r = run_simulation(&cfg);
+    let json = perfetto_trace(&r);
+    std::fs::write(path, json.to_string_pretty()).expect("write trace");
+    eprintln!(
+        "[trace-out -> {} ({} commits, {} squashes)]",
+        path.display(),
+        r.commits,
+        r.squashes()
+    );
 }
 
 fn main() {
@@ -55,10 +99,15 @@ fn main() {
     let mut sweep = Sweep::default();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut timing = false;
+    let mut trace_path: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--timing" => timing = true,
+            "--trace-out" => {
+                i += 1;
+                trace_path = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
             "--csv" => {
                 i += 1;
                 csv_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
@@ -81,7 +130,7 @@ fn main() {
         }
         i += 1;
     }
-    if ids.is_empty() && !timing {
+    if ids.is_empty() && !timing && trace_path.is_none() {
         usage();
     }
     if ids.iter().any(|i| i == "all") {
@@ -228,5 +277,8 @@ fn main() {
     }
     if timing {
         timing_probe(&sweep);
+    }
+    if let Some(path) = trace_path {
+        trace_out(&sweep, &path);
     }
 }

@@ -79,6 +79,12 @@ pub struct SimConfig {
     /// serializability oracle. Off by default (pure observation, but the
     /// event stream costs memory on big runs).
     pub trace: bool,
+    /// Record the directory-side observability log
+    /// ([`ObsLog`](crate::ObsLog)): grab/release occupancy spans, commit
+    /// recalls, held-invalidation and event-queue depth samples. Feeds
+    /// the Perfetto exporter and the histogram metrics. Off by default —
+    /// like `trace`, purely observational but costs memory.
+    pub obs: bool,
     /// Deliberate, test-only protocol sabotage for proving the `sb-check`
     /// oracle detects real bugs. Must stay `None` outside oracle
     /// self-tests.
@@ -130,6 +136,7 @@ impl SimConfig {
             bulksc: BulkScConfig::paper_default(DirId(torus.center().0)),
             perturb: None,
             trace: false,
+            obs: false,
             inject_bug: None,
         }
     }
@@ -177,9 +184,10 @@ mod tests {
         assert_eq!(cfg.page_policy, PageMapPolicy::FirstTouch);
         // BulkSC's arbiter sits at the torus centre.
         assert_eq!(DirId(Torus::for_tiles(64).center().0), cfg.bulksc.arbiter);
-        // Fuzzing machinery is strictly opt-in.
+        // Fuzzing and observability machinery is strictly opt-in.
         assert_eq!(cfg.perturb, None);
         assert!(!cfg.trace);
+        assert!(!cfg.obs);
         assert_eq!(cfg.inject_bug, None);
     }
 

@@ -28,13 +28,17 @@
 
 mod config;
 pub mod experiments;
+mod export;
 mod machine;
+mod obs;
 mod result;
 mod runner;
 mod trace;
 
 pub use config::{InjectedBug, SimConfig};
+pub use export::{perfetto_trace, verify_observability};
 pub use machine::Machine;
+pub use obs::{ObsEvent, ObsKind, ObsLog};
 pub use result::RunResult;
 pub use runner::{run_app, run_simulation};
 pub use trace::{ChunkSnapshot, RunTrace, TraceEvent};

@@ -10,10 +10,13 @@ use sb_mem::{
 use sb_net::{MsgSize, Network, TrafficClass};
 use sb_proto::{AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, MachineView, Outbox};
 use sb_sigs::{SigHandle, Signature};
-use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, PerfReport, SerializationGauges};
+use sb_stats::{
+    Breakdown, DirsPerCommit, LatencyDist, MetricsRegistry, PerfReport, SerializationGauges,
+};
 use sb_workloads::WorkloadGen;
 
 use crate::config::{InjectedBug, SimConfig};
+use crate::obs::{ObsKind, ObsLog};
 use crate::result::RunResult;
 use crate::trace::{ChunkSnapshot, RunTrace, TraceEvent};
 
@@ -208,11 +211,17 @@ pub struct Machine<P: CommitProtocol> {
     finished_cores: usize,
     /// Chunk-lifecycle recording for the `sb-check` oracle (`cfg.trace`).
     trace: Option<RunTrace>,
+    /// Directory-occupancy / queue-depth recording (`cfg.obs`).
+    obs: Option<ObsLog>,
+    /// Host time spent building the machine (workload pre-touch, cache
+    /// warm-up) — the `phase.setup_secs` gauge.
+    setup_wall: std::time::Duration,
 }
 
 impl<P: CommitProtocol> Machine<P> {
     /// Builds the machine for `cfg` with protocol instance `proto`.
     pub fn new(cfg: SimConfig, proto: P) -> Self {
+        let setup_start = std::time::Instant::now();
         let workload = WorkloadGen::new(cfg.app, cfg.threads, cfg.seed);
         let cores: Vec<CoreCtx> = (0..cfg.cores)
             .map(|i| CoreCtx {
@@ -340,11 +349,14 @@ impl<P: CommitProtocol> Machine<P> {
             outcome_failures: 0,
             finished_cores: 0,
             trace: cfg.trace.then(RunTrace::new),
+            obs: cfg.obs.then(ObsLog::new),
+            setup_wall: std::time::Duration::ZERO,
             cfg,
         };
         for i in 0..m.cfg.cores {
             m.queue.push(Cycle(0), Ev::Step { core: i, epoch: 0 });
         }
+        m.setup_wall = setup_start.elapsed();
         m
     }
 
@@ -415,6 +427,12 @@ impl<P: CommitProtocol> Machine<P> {
                 );
             };
             self.view.now = self.view.now.max_of(at);
+            if events.is_multiple_of(1024) {
+                if let Some(obs) = self.obs.as_mut() {
+                    let depth = self.queue.len() as u64;
+                    obs.push(self.view.now, ObsKind::QueueDepth { depth });
+                }
+            }
             self.dispatch(ev);
         }
         let wall = self
@@ -428,11 +446,12 @@ impl<P: CommitProtocol> Machine<P> {
         for c in &self.cores {
             breakdown.merge(&c.breakdown);
         }
+        let run_wall = wall_start.elapsed();
         let perf = PerfReport {
             events_dispatched: events,
             protocol_steps: self.protocol_steps,
             sim_cycles: wall,
-            wall: wall_start.elapsed(),
+            wall: run_wall,
         };
         let mut result = RunResult {
             wall_cycles: wall,
@@ -448,7 +467,9 @@ impl<P: CommitProtocol> Machine<P> {
             remote_reads: self.remote_reads,
             commit_retries: self.commit_retries,
             perf,
+            metrics: MetricsRegistry::new(),
             trace: None,
+            obs: None,
         };
         // The quiescence probe for the `sb-check` oracle must observe
         // *true* quiescence: when the last core finishes, trailing
@@ -456,16 +477,93 @@ impl<P: CommitProtocol> Machine<P> {
         // queued, so drain it before reading `in_flight()`. All metrics
         // above are already frozen — the untraced result is unaffected.
         // The drain terminates: every queued event is a reaction to prior
-        // work, and finished cores issue no new chunks or retries.
-        if let Some(mut trace) = self.trace.take() {
+        // work, and finished cores issue no new chunks or retries. The
+        // observability log drains too, so grab/release spans balance.
+        let drain_start = std::time::Instant::now();
+        if self.trace.is_some() || self.obs.is_some() {
             while let Some((at, ev)) = self.queue.pop() {
                 self.view.now = self.view.now.max_of(at);
                 self.dispatch(ev);
             }
-            trace.final_in_flight = self.proto.in_flight();
-            result.trace = Some(trace);
+            if let Some(mut trace) = self.trace.take() {
+                trace.final_in_flight = self.proto.in_flight();
+                result.trace = Some(trace);
+            }
         }
+        let drain_wall = drain_start.elapsed();
+        result.metrics = self.build_registry(&result, run_wall, drain_wall);
+        result.obs = self.obs.take();
         result
+    }
+
+    /// Builds the end-of-run metrics registry from the frozen result
+    /// (one source of truth for counters and phase wall-times). Purely
+    /// derived — never feeds back into simulated state.
+    fn build_registry(
+        &self,
+        r: &RunResult,
+        run_wall: std::time::Duration,
+        drain_wall: std::time::Duration,
+    ) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("events.dispatched", r.perf.events_dispatched);
+        reg.add_counter("protocol.steps", r.perf.protocol_steps);
+        reg.add_counter("commits", r.commits);
+        reg.add_counter("squashes.conflict", r.squashes_conflict);
+        reg.add_counter("squashes.alias", r.squashes_alias);
+        reg.add_counter("read.nacks", r.read_nacks);
+        reg.add_counter("remote.reads", r.remote_reads);
+        reg.add_counter("commit.retries", r.commit_retries);
+        for class in TrafficClass::ALL {
+            reg.add_counter(
+                &format!("traffic.msgs.{}", class.label()),
+                r.traffic.count(class),
+            );
+            reg.add_counter(
+                &format!("traffic.bytes.{}", class.label()),
+                r.traffic.bytes(class),
+            );
+        }
+        reg.set_gauge("sim.wall_cycles", r.wall_cycles as f64);
+        reg.set_gauge("phase.setup_secs", self.setup_wall.as_secs_f64());
+        reg.set_gauge("phase.run_secs", run_wall.as_secs_f64());
+        reg.set_gauge("phase.drain_secs", drain_wall.as_secs_f64());
+        if let Some(obs) = self.obs.as_ref() {
+            reg.add_counter(
+                "obs.dir_grabs",
+                obs.count(|k| matches!(k, ObsKind::DirGrabbed { .. })),
+            );
+            reg.add_counter(
+                "obs.dir_releases",
+                obs.count(|k| matches!(k, ObsKind::DirReleased { .. })),
+            );
+            reg.add_counter(
+                "obs.commit_recalls",
+                obs.count(|k| matches!(k, ObsKind::CommitRecalled { .. })),
+            );
+            // Grab-hold durations: match each release to its open grab
+            // per (dir, tag) in stream order.
+            let mut open: Vec<((DirId, ChunkTag), Cycle)> = Vec::new();
+            for e in &obs.events {
+                match e.kind {
+                    ObsKind::DirGrabbed { dir, tag } => open.push(((dir, tag), e.at)),
+                    ObsKind::DirReleased { dir, tag } => {
+                        if let Some(i) = open.iter().position(|(k, _)| *k == (dir, tag)) {
+                            let (_, start) = open.swap_remove(i);
+                            reg.observe("obs.grab_hold_cycles", (e.at - start).as_u64(), 64, 16);
+                        }
+                    }
+                    ObsKind::HeldInvDepth { depth, .. } => {
+                        reg.observe("obs.held_inv_depth", depth as u64, 16, 1);
+                    }
+                    ObsKind::QueueDepth { depth } => {
+                        reg.observe("obs.event_queue_depth", depth, 64, 256);
+                    }
+                    ObsKind::CommitRecalled { .. } => {}
+                }
+            }
+        }
+        reg
     }
 
     fn dispatch(&mut self, ev: Ev<P::Msg>) {
@@ -1065,6 +1163,10 @@ impl<P: CommitProtocol> Machine<P> {
             // `CommitProtocol::supports_held_invs`).
             if self.proto.supports_held_invs() {
                 self.cores[to as usize].held_invs.push((from, tag, wsig));
+                if let Some(obs) = self.obs.as_mut() {
+                    let depth = self.cores[to as usize].held_invs.len() as u32;
+                    obs.push(t, ObsKind::HeldInvDepth { core: to, depth });
+                }
                 return;
             }
         }
@@ -1276,6 +1378,11 @@ impl<P: CommitProtocol> Machine<P> {
         c.phase = Phase::Running;
         c.pos = 0;
         self.queue.push(t + 1, Ev::Step { core, epoch });
+        if let (Some(a), Some(obs)) = (aborted.as_ref(), self.obs.as_mut()) {
+            // The squash killed an in-flight commit: its partially formed
+            // group will be recalled (§3.4's lookout case).
+            obs.push(t, ObsKind::CommitRecalled { tag: a.tag });
+        }
         aborted
     }
 
@@ -1407,7 +1514,12 @@ impl<P: CommitProtocol> Machine<P> {
                 } => {
                     self.view.dirs[dir.idx()].apply_commit(&wsig, committer);
                 }
-                Command::Event(ev) => self.gauges.on_event(&ev),
+                Command::Event(ev) => {
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.record_proto(now, &ev);
+                    }
+                    self.gauges.on_event(&ev);
+                }
             }
         }
     }

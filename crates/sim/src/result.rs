@@ -1,8 +1,11 @@
 //! What one simulation run produces.
 
 use sb_net::TrafficCounters;
-use sb_stats::{Breakdown, DirsPerCommit, LatencyDist, PerfReport, SerializationGauges};
+use sb_stats::{
+    Breakdown, DirsPerCommit, LatencyDist, MetricsRegistry, PerfReport, SerializationGauges,
+};
 
+use crate::obs::ObsLog;
 use crate::trace::RunTrace;
 
 /// All metrics collected by one [`Machine`](crate::Machine) run — enough
@@ -36,9 +39,17 @@ pub struct RunResult {
     /// Host-side simulator throughput (not a simulated metric; never
     /// affects any of the figures).
     pub perf: PerfReport,
+    /// Typed metrics registry built from the frozen aggregates above at
+    /// the end of the run (counters, phase wall-time gauges, and — when
+    /// [`SimConfig::obs`](crate::SimConfig) was on — occupancy/depth
+    /// histograms). One source of truth for machine-readable dumps.
+    pub metrics: MetricsRegistry,
     /// Chunk-lifecycle event stream for the `sb-check` oracle; `Some`
     /// only when [`SimConfig::trace`](crate::SimConfig) was on.
     pub trace: Option<RunTrace>,
+    /// Directory-side observability log; `Some` only when
+    /// [`SimConfig::obs`](crate::SimConfig) was on.
+    pub obs: Option<ObsLog>,
 }
 
 impl RunResult {
@@ -79,7 +90,9 @@ mod tests {
             remote_reads: 0,
             commit_retries: 0,
             perf: PerfReport::default(),
+            metrics: MetricsRegistry::new(),
             trace: None,
+            obs: None,
         };
         assert_eq!(r.squashes(), 2);
         assert!((r.squash_rate() - 0.02).abs() < 1e-12);

@@ -124,4 +124,61 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.mean(), 20.0);
     }
+
+    #[test]
+    fn empty_distribution_is_all_zeros() {
+        let l = LatencyDist::new();
+        assert_eq!(l.count(), 0);
+        assert_eq!(l.mean(), 0.0);
+        assert_eq!(l.max(), 0);
+        assert_eq!(l.quantile(0.5), 0);
+        assert_eq!(l.quantile(1.0), 0);
+        assert_eq!(l.bucket_fraction(0), 0.0);
+        assert!(l.series().is_empty());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut a = LatencyDist::new();
+        a.record(100);
+        a.record(200);
+        a.merge(&LatencyDist::new());
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 150.0);
+        let mut empty = LatencyDist::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.mean(), 150.0);
+        assert_eq!(empty.series(), a.series());
+    }
+
+    #[test]
+    fn overflow_latencies_keep_exact_mean_and_max() {
+        // 200 buckets x 25 cycles tops out at 5000; beyond that the
+        // sample lands in overflow but the accumulator stays exact.
+        let mut l = LatencyDist::new();
+        l.record(10_000);
+        l.record(0);
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.mean(), 5000.0);
+        assert_eq!(l.max(), 10_000);
+        // Overflow is not part of any bucket, so the series only shows
+        // the in-range sample.
+        assert_eq!(l.series(), vec![(0, 1)]);
+        // A quantile landing in the overflow mass reports the exact max.
+        assert_eq!(l.quantile(1.0), 10_000);
+        assert_eq!(l.quantile(0.5), 25);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut l = LatencyDist::new();
+        for v in [10, 60, 110, 160, 4999] {
+            l.record(v);
+        }
+        let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        for w in qs.windows(2) {
+            assert!(l.quantile(w[0]) <= l.quantile(w[1]));
+        }
+    }
 }

@@ -17,6 +17,10 @@
 //! * [`PerfReport`] — host-side simulator throughput (events/sec,
 //!   sim-cycles/sec) behind the `figures --timing` flag and the
 //!   criterion benches.
+//! * [`MetricsRegistry`] — named counters/gauges/histograms registered
+//!   by the simulator (traffic per Table-1 class, phase wall times,
+//!   queue depths), merged across runs and dumped as deterministic
+//!   JSON alongside [`PerfReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +29,7 @@ mod breakdown;
 mod dirs;
 mod latency;
 pub mod perf;
+mod registry;
 mod serialization;
 mod table;
 mod traffic;
@@ -33,6 +38,7 @@ pub use breakdown::Breakdown;
 pub use dirs::DirsPerCommit;
 pub use latency::LatencyDist;
 pub use perf::PerfReport;
+pub use registry::{Metric, MetricsRegistry};
 pub use serialization::SerializationGauges;
 pub use table::TextTable;
 pub use traffic::TrafficReport;

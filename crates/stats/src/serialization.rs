@@ -63,7 +63,23 @@ impl SerializationGauges {
             ProtoEvent::CommitCompleted { .. } => self.committing -= 1,
             ProtoEvent::ChunkQueued { .. } => self.queued += 1,
             ProtoEvent::ChunkUnqueued { .. } => self.queued -= 1,
+            // Directory-occupancy events feed the observability layer
+            // (trace export / metrics registry), not these gauges.
+            ProtoEvent::DirGrabbed { .. } | ProtoEvent::DirReleased { .. } => {}
         }
+    }
+
+    /// Merges another run's gauges into this one (summing sample sums and
+    /// counts, taking the larger queue maximum) — used when aggregating
+    /// parallel runs into one report.
+    pub fn merge(&mut self, other: &SerializationGauges) {
+        self.forming += other.forming;
+        self.committing += other.committing;
+        self.queued += other.queued;
+        self.ratio_sum += other.ratio_sum;
+        self.queue_sum += other.queue_sum;
+        self.samples += other.samples;
+        self.max_queue = self.max_queue.max(other.max_queue);
     }
 
     /// Number of group-formation samples taken.
@@ -173,6 +189,69 @@ mod tests {
         });
         g.on_event(&ProtoEvent::CommitCompleted { tag: tag(0) });
         assert_eq!(g.current(), (0, 0, 0));
+    }
+
+    #[test]
+    fn merge_combines_samples_and_takes_the_larger_max() {
+        let mut a = SerializationGauges::new();
+        a.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(0) });
+        a.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(1) });
+        a.on_event(&ProtoEvent::GroupFormed {
+            tag: tag(0),
+            dirs: 1,
+        }); // ratio 1/1, queue 0
+        let mut b = SerializationGauges::new();
+        b.on_event(&ProtoEvent::ChunkQueued { tag: tag(2) });
+        b.on_event(&ProtoEvent::ChunkQueued { tag: tag(3) });
+        b.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(4) });
+        b.on_event(&ProtoEvent::GroupFormed {
+            tag: tag(4),
+            dirs: 2,
+        }); // ratio 0/1, queue 2
+        a.merge(&b);
+        assert_eq!(a.samples(), 2);
+        assert!((a.bottleneck_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(a.mean_queue_length(), 1.0);
+        assert_eq!(a.max_queue_length(), 2);
+        // Instantaneous gauges add: 1 forming (a) + 0 forming (b), etc.
+        assert_eq!(a.current(), (1, 2, 2));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut g = SerializationGauges::new();
+        g.on_event(&ProtoEvent::GroupFormationStarted { tag: tag(0) });
+        g.on_event(&ProtoEvent::GroupFormed {
+            tag: tag(0),
+            dirs: 3,
+        });
+        let snapshot = (g.samples(), g.bottleneck_ratio(), g.mean_queue_length());
+        let mut empty = SerializationGauges::new();
+        g.merge(&SerializationGauges::new());
+        assert_eq!(
+            (g.samples(), g.bottleneck_ratio(), g.mean_queue_length()),
+            snapshot
+        );
+        empty.merge(&g);
+        assert_eq!(
+            (empty.samples(), empty.bottleneck_ratio()),
+            (snapshot.0, snapshot.1)
+        );
+    }
+
+    #[test]
+    fn occupancy_events_do_not_disturb_the_gauges() {
+        let mut g = SerializationGauges::new();
+        g.on_event(&ProtoEvent::DirGrabbed {
+            dir: sb_mem::DirId(1),
+            tag: tag(0),
+        });
+        g.on_event(&ProtoEvent::DirReleased {
+            dir: sb_mem::DirId(1),
+            tag: tag(0),
+        });
+        assert_eq!(g.current(), (0, 0, 0));
+        assert_eq!(g.samples(), 0);
     }
 
     #[test]

@@ -90,4 +90,67 @@ mod tests {
         assert_eq!(r.total_percent(), 0.0);
         assert_eq!(r.segments(), [0.0; 5]);
     }
+
+    #[test]
+    fn empty_counters_against_a_real_reference_are_zero() {
+        let mut reference = TrafficCounters::new();
+        reference.record(TrafficClass::SmallCMessage, MsgSize::Small);
+        let r = TrafficReport::normalized(&TrafficCounters::new(), &reference);
+        assert_eq!(r.total_percent(), 0.0);
+        for class in TrafficClass::ALL {
+            assert_eq!(r.percent(class), 0.0);
+        }
+    }
+
+    #[test]
+    fn segments_follow_figure_stacking_order() {
+        let mut reference = TrafficCounters::new();
+        for _ in 0..100 {
+            reference.record(TrafficClass::SmallCMessage, MsgSize::Small);
+        }
+        let mut mine = TrafficCounters::new();
+        mine.record(TrafficClass::MemRd, MsgSize::Line);
+        for _ in 0..2 {
+            mine.record(TrafficClass::RemoteShRd, MsgSize::Line);
+        }
+        for _ in 0..3 {
+            mine.record(TrafficClass::RemoteDirtyRd, MsgSize::Line);
+        }
+        for _ in 0..4 {
+            mine.record(TrafficClass::LargeCMessage, MsgSize::Signature);
+        }
+        for _ in 0..5 {
+            mine.record(TrafficClass::SmallCMessage, MsgSize::Small);
+        }
+        let r = TrafficReport::normalized(&mine, &reference);
+        assert_eq!(r.segments(), [1.0, 2.0, 3.0, 4.0, 5.0]);
+        for (i, class) in TrafficClass::ALL.iter().enumerate() {
+            assert_eq!(r.segments()[i], r.percent(*class));
+        }
+    }
+
+    #[test]
+    fn report_agrees_with_merged_counters() {
+        // Normalizing the merge of two tallies equals summing the two
+        // reports segment-wise (shared reference denominator).
+        let mut reference = TrafficCounters::new();
+        for _ in 0..8 {
+            reference.record(TrafficClass::SmallCMessage, MsgSize::Small);
+        }
+        let mut a = TrafficCounters::new();
+        a.record(TrafficClass::MemRd, MsgSize::Line);
+        a.record(TrafficClass::LargeCMessage, MsgSize::SignaturePair);
+        let mut b = TrafficCounters::new();
+        b.record(TrafficClass::MemRd, MsgSize::Line);
+        b.record(TrafficClass::SmallCMessage, MsgSize::Small);
+        let ra = TrafficReport::normalized(&a, &reference);
+        let rb = TrafficReport::normalized(&b, &reference);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let rm = TrafficReport::normalized(&merged, &reference);
+        for i in 0..5 {
+            assert!((rm.segments()[i] - (ra.segments()[i] + rb.segments()[i])).abs() < 1e-12);
+        }
+        assert!((rm.total_percent() - (ra.total_percent() + rb.total_percent())).abs() < 1e-12);
+    }
 }
