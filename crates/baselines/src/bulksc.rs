@@ -190,6 +190,20 @@ impl CommitProtocol for BulkSc {
         ProtocolKind::BulkSc
     }
 
+    fn msg_label(msg: &BscMsg) -> &'static str {
+        match msg {
+            BscMsg::Request { .. } => "commit request",
+            BscMsg::ServiceSlot => "service slot",
+        }
+    }
+
+    fn msg_tag(msg: &BscMsg) -> Option<ChunkTag> {
+        match msg {
+            BscMsg::Request { req } => Some(req.tag),
+            BscMsg::ServiceSlot => None,
+        }
+    }
+
     fn start_commit(
         &mut self,
         _view: &dyn MachineView,

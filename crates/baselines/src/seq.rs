@@ -158,6 +158,26 @@ impl CommitProtocol for Seq {
         ProtocolKind::Seq
     }
 
+    fn msg_label(msg: &SeqMsg) -> &'static str {
+        match msg {
+            SeqMsg::Occupy { .. } => "occupy",
+            SeqMsg::OccupyGranted { .. } => "occupy granted",
+            SeqMsg::StartInval { .. } => "start inval",
+            SeqMsg::DirCommitDone { .. } => "dir commit done",
+            SeqMsg::Release { .. } => "release",
+        }
+    }
+
+    fn msg_tag(msg: &SeqMsg) -> Option<ChunkTag> {
+        match msg {
+            SeqMsg::Occupy { tag, .. }
+            | SeqMsg::OccupyGranted { tag, .. }
+            | SeqMsg::StartInval { tag }
+            | SeqMsg::DirCommitDone { tag, .. }
+            | SeqMsg::Release { tag } => Some(*tag),
+        }
+    }
+
     fn start_commit(
         &mut self,
         _view: &dyn MachineView,

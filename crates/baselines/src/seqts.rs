@@ -237,6 +237,34 @@ impl CommitProtocol for SeqTs {
         ProtocolKind::SeqTs
     }
 
+    fn msg_label(msg: &SeqTsMsg) -> &'static str {
+        match msg {
+            SeqTsMsg::Occupy { .. } => "occupy",
+            SeqTsMsg::Granted { .. } => "granted",
+            SeqTsMsg::Revoked { .. } => "revoked",
+            SeqTsMsg::Denied { .. } => "denied",
+            SeqTsMsg::Retry { .. } => "occupy retry",
+            SeqTsMsg::StartInval { .. } => "start inval",
+            SeqTsMsg::DirCommitDone { .. } => "dir commit done",
+            SeqTsMsg::Release { .. } => "release",
+            SeqTsMsg::CancelPublish { .. } => "cancel publish",
+        }
+    }
+
+    fn msg_tag(msg: &SeqTsMsg) -> Option<ChunkTag> {
+        match msg {
+            SeqTsMsg::Occupy { tag, .. }
+            | SeqTsMsg::Granted { tag, .. }
+            | SeqTsMsg::Revoked { tag, .. }
+            | SeqTsMsg::Denied { tag, .. }
+            | SeqTsMsg::Retry { tag, .. }
+            | SeqTsMsg::StartInval { tag }
+            | SeqTsMsg::DirCommitDone { tag, .. }
+            | SeqTsMsg::Release { tag }
+            | SeqTsMsg::CancelPublish { tag } => Some(*tag),
+        }
+    }
+
     fn start_commit(
         &mut self,
         _view: &dyn MachineView,

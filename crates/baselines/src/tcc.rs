@@ -312,6 +312,33 @@ impl CommitProtocol for Tcc {
         ProtocolKind::Tcc
     }
 
+    fn msg_label(msg: &TccMsg) -> &'static str {
+        match msg {
+            TccMsg::TidRequest { .. } => "tid request",
+            TccMsg::VendorReply { .. } => "vendor reply",
+            TccMsg::TidGrant { .. } => "tid grant",
+            TccMsg::Probe { .. } => "probe",
+            TccMsg::Skip { .. } => "skip",
+            TccMsg::Mark { .. } => "mark",
+            TccMsg::DirDone { .. } => "dir done",
+            TccMsg::TurnDone { .. } => "turn done",
+            TccMsg::SkipsDone { .. } => "skips done",
+        }
+    }
+
+    fn msg_tag(msg: &TccMsg) -> Option<ChunkTag> {
+        match msg {
+            TccMsg::TidRequest { tag }
+            | TccMsg::VendorReply { tag, .. }
+            | TccMsg::TidGrant { tag, .. }
+            | TccMsg::Probe { tag, .. }
+            | TccMsg::Mark { tag }
+            | TccMsg::DirDone { tag, .. }
+            | TccMsg::TurnDone { tag, .. } => Some(*tag),
+            TccMsg::Skip { .. } | TccMsg::SkipsDone { .. } => None,
+        }
+    }
+
     fn start_commit(
         &mut self,
         _view: &dyn MachineView,

@@ -139,6 +139,41 @@ fn trace_streams_are_well_formed_under_every_protocol() {
     }
 }
 
+/// Critical-path reconciliation survives the timing adversary: with
+/// perturbed deliveries, every commit's reconstructed path still tiles
+/// its latency interval exactly, the per-protocol sums/max/count match
+/// the recorded latency distribution, and adversary delay shows up as
+/// explicit [`sb_sim::SegmentKind::Perturb`] slices on some path.
+#[test]
+fn critical_paths_reconcile_under_timing_adversary() {
+    use sb_sim::SegmentKind;
+    let mut saw_perturb_segment = false;
+    for (pi, protocol) in PROTOCOLS.into_iter().enumerate() {
+        let case = FuzzCase {
+            workload_seed: 0xcafe_0b5e + 31 * pi as u64,
+            perturb_seed: 0x7e17_a11d | 1,
+            protocol,
+        };
+        let r = run_simulation(&case.config());
+        let paths = sb_sim::commit_paths(&r).unwrap_or_else(|e| panic!("{case}: {e}"));
+        assert_eq!(paths.len() as u64, r.latency.count(), "{case}");
+        let (mut sum, mut max) = (0u128, 0u64);
+        for p in &paths {
+            let tiled: u64 = p.segments.iter().map(|s| s.len()).sum();
+            assert_eq!(tiled, p.latency(), "{case}: {} does not tile", p.tag);
+            sum += p.latency() as u128;
+            max = max.max(p.latency());
+            saw_perturb_segment |= p.total(SegmentKind::Perturb) > 0;
+        }
+        assert_eq!(sum, r.latency.sum(), "{case}: sum diverged");
+        assert_eq!(max, r.latency.max(), "{case}: max diverged");
+    }
+    assert!(
+        saw_perturb_segment,
+        "adversary delay never surfaced as a Perturb segment"
+    );
+}
+
 /// Schedule derivation is stable: the same (base, i) always yields the
 /// same case, different bases diverge.
 #[test]

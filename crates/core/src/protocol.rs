@@ -168,6 +168,21 @@ impl CommitProtocol for ScalableBulk {
         true
     }
 
+    fn msg_label(msg: &SbMsg) -> &'static str {
+        match msg {
+            SbMsg::CommitRequest { .. } => "commit request",
+            SbMsg::Grab { .. } => "grab",
+            SbMsg::GSuccess { .. } => "g success",
+            SbMsg::GFailure { .. } => "g failure",
+            SbMsg::CommitDone { .. } => "commit done",
+            SbMsg::Recall { .. } => "commit recall",
+        }
+    }
+
+    fn msg_tag(msg: &SbMsg) -> Option<ChunkTag> {
+        Some(msg.tag())
+    }
+
     fn debug_state(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();

@@ -155,6 +155,11 @@ impl Histogram {
         }
     }
 
+    /// Exact sum of all recorded samples (overflow included).
+    pub fn sum(&self) -> u128 {
+        self.acc.sum()
+    }
+
     /// Count in bucket `i` (0 if out of range).
     pub fn bucket_count(&self, i: usize) -> u64 {
         self.counts.get(i).copied().unwrap_or(0)

@@ -41,7 +41,7 @@ mod perturb;
 mod topology;
 mod traffic;
 
-pub use network::{Network, NetworkConfig};
+pub use network::{Network, NetworkConfig, SendInfo};
 pub use perturb::PerturbationConfig;
 pub use topology::{NodeId, Torus};
 pub use traffic::{MsgSize, TrafficClass, TrafficCounters};

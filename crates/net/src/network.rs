@@ -33,6 +33,26 @@ impl NetworkConfig {
     }
 }
 
+/// Latency decomposition of one delivery, as reported by
+/// [`Network::send_info`]. The arrival time satisfies
+/// `arrive = depart + wire + perturb_extra` and
+/// `depart = send time + queue_wait`, so the segments tile the whole
+/// delivery interval exactly — the property the critical-path
+/// attribution in `sb-sim` relies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendInfo {
+    /// When the message left its injection port.
+    pub depart: Cycle,
+    /// Cycles spent waiting for the injection port (contention).
+    pub queue_wait: u64,
+    /// Torus hop count between the endpoints.
+    pub hops: u64,
+    /// Uncontended wire time: fixed overhead + hops × link + (flits − 1).
+    pub wire: u64,
+    /// Extra delay added by the timing adversary (0 when unperturbed).
+    pub perturb_extra: u64,
+}
+
 /// The interconnect: computes message delivery times and tallies traffic.
 ///
 /// The model is latency-first: a message from `src` to `dst` of `size`
@@ -100,6 +120,23 @@ impl Network {
         size: MsgSize,
         class: TrafficClass,
     ) -> Cycle {
+        self.send_info(now, src, dst, size, class).0
+    }
+
+    /// [`Network::send`] plus a latency decomposition of the delivery.
+    ///
+    /// The arrival time and all network state mutations are identical to
+    /// `send` (which delegates here); the extra [`SendInfo`] is derived
+    /// from the same intermediate values, so asking for it never changes
+    /// simulated timing.
+    pub fn send_info(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        size: MsgSize,
+        class: TrafficClass,
+    ) -> (Cycle, SendInfo) {
         self.counters.record(class, size);
         let hops = self.cfg.torus.hops(src, dst) as u64;
         self.hop_total += hops;
@@ -113,11 +150,20 @@ impl Network {
         } else {
             now
         };
-        let base = depart + self.cfg.fixed_overhead + hops * self.cfg.link_latency + (flits - 1);
-        match &mut self.perturb {
+        let wire = self.cfg.fixed_overhead + hops * self.cfg.link_latency + (flits - 1);
+        let base = depart + wire;
+        let arrive = match &mut self.perturb {
             None => base,
             Some(p) => Cycle(p.perturb(src.idx(), dst.idx(), class, base.as_u64())),
-        }
+        };
+        let info = SendInfo {
+            depart,
+            queue_wait: (depart - now).as_u64(),
+            hops,
+            wire,
+            perturb_extra: (arrive - base).as_u64(),
+        };
+        (arrive, info)
     }
 
     /// Latency of a hypothetical message without sending it (no contention,

@@ -128,6 +128,27 @@ impl PerfettoTrace {
         self.events.push((ts, JsonValue::Object(members)));
     }
 
+    /// Starts a flow ("s") with the given numeric id at `ts` on track
+    /// `(pid, tid)`. The Perfetto UI draws an arrow from here to the
+    /// matching [`PerfettoTrace::flow_end`] — tracks may differ (that is
+    /// the point: flows link a send on one track to a delivery on
+    /// another).
+    pub fn flow_start(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts: u64, id: u64) {
+        let mut members = base_event("s", pid, tid, name, cat, ts);
+        members.push(("id".to_string(), JsonValue::from(id)));
+        self.events.push((ts, JsonValue::Object(members)));
+    }
+
+    /// Ends a flow ("f") with the given numeric id at `ts` on track
+    /// `(pid, tid)`. Uses `"bp":"e"` (bind to enclosing slice) per the
+    /// chrome-trace format.
+    pub fn flow_end(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts: u64, id: u64) {
+        let mut members = base_event("f", pid, tid, name, cat, ts);
+        members.push(("bp".to_string(), JsonValue::from("e")));
+        members.push(("id".to_string(), JsonValue::from(id)));
+        self.events.push((ts, JsonValue::Object(members)));
+    }
+
     /// Number of timed (non-metadata) events added so far.
     pub fn timed_events(&self) -> usize {
         self.events.len()
@@ -153,19 +174,25 @@ impl PerfettoTrace {
 /// * timed events need a non-negative integer `ts` (and `dur` for
 ///   `"X"`);
 /// * per `(pid, tid)` track, timestamps must be monotonically
-///   non-decreasing in array order.
+///   non-decreasing in array order;
+/// * flow events (`"s"`/`"f"`) need a numeric `id`, and every id must
+///   bind exactly one start to exactly one end, with the end no earlier
+///   than the start (the two may live on different tracks).
 pub fn validate(trace: &JsonValue) -> Vec<String> {
     let mut violations = Vec::new();
     let Some(events) = trace.get("traceEvents").and_then(|e| e.as_array()) else {
         return vec!["root has no traceEvents array".to_string()];
     };
     let mut last_ts: Vec<((i64, i64), i64)> = Vec::new();
+    // Per flow id: (start ts, end ts) as seen so far.
+    let mut flows: std::collections::BTreeMap<i64, (Option<i64>, Option<i64>)> =
+        std::collections::BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let Some(ph) = ev.get("ph").and_then(|p| p.as_str()) else {
             violations.push(format!("event {i}: missing ph"));
             continue;
         };
-        if !matches!(ph, "M" | "X" | "i" | "C") {
+        if !matches!(ph, "M" | "X" | "i" | "C" | "s" | "f") {
             violations.push(format!("event {i}: unknown phase {ph:?}"));
             continue;
         }
@@ -195,6 +222,27 @@ pub fn validate(trace: &JsonValue) -> Vec<String> {
                 None => violations.push(format!("event {i}: X event missing dur")),
             }
         }
+        if ph == "s" || ph == "f" {
+            match ev.get("id").and_then(|v| v.as_i64()) {
+                None => violations.push(format!("event {i}: flow event missing id")),
+                Some(id) => {
+                    let entry = flows.entry(id).or_default();
+                    let slot = if ph == "s" {
+                        &mut entry.0
+                    } else {
+                        &mut entry.1
+                    };
+                    if slot.is_some() {
+                        violations.push(format!(
+                            "event {i}: duplicate flow {} for id {id}",
+                            if ph == "s" { "start" } else { "end" }
+                        ));
+                    } else {
+                        *slot = Some(ts);
+                    }
+                }
+            }
+        }
         let key = (pid.unwrap(), tid.unwrap());
         match last_ts.iter_mut().find(|(k, _)| *k == key) {
             Some((_, last)) => {
@@ -206,6 +254,18 @@ pub fn validate(trace: &JsonValue) -> Vec<String> {
                 *last = ts;
             }
             None => last_ts.push((key, ts)),
+        }
+    }
+    for (id, (start, end)) in &flows {
+        match (start, end) {
+            (Some(s), Some(f)) => {
+                if f < s {
+                    violations.push(format!("flow id {id}: ends at {f} before its start {s}"));
+                }
+            }
+            (Some(_), None) => violations.push(format!("flow id {id}: start without end")),
+            (None, Some(_)) => violations.push(format!("flow id {id}: end without start")),
+            (None, None) => {}
         }
     }
     violations
@@ -297,6 +357,80 @@ mod tests {
             ])]),
         )]);
         assert!(validate(&no_dur).iter().any(|v| v.contains("missing dur")));
+    }
+
+    #[test]
+    fn unmatched_flow_ids_are_flagged() {
+        let mut t = PerfettoTrace::new();
+        t.complete(0, 0, "send", "chunk", 5, 10, vec![]);
+        t.flow_start(0, 0, "grab", "flow", 10, 7);
+        let doc = t.to_json();
+        assert!(
+            validate(&doc)
+                .iter()
+                .any(|v| v.contains("start without end")),
+            "{:?}",
+            validate(&doc)
+        );
+        let mut t = PerfettoTrace::new();
+        t.flow_end(1, 3, "grab", "flow", 20, 9);
+        let doc = t.to_json();
+        assert!(validate(&doc)
+            .iter()
+            .any(|v| v.contains("end without start")));
+    }
+
+    #[test]
+    fn duplicate_flow_binding_is_flagged() {
+        let mut t = PerfettoTrace::new();
+        t.flow_start(0, 0, "grab", "flow", 10, 7);
+        t.flow_start(0, 1, "grab", "flow", 12, 7);
+        t.flow_end(1, 3, "grab", "flow", 20, 7);
+        let doc = t.to_json();
+        assert!(
+            validate(&doc)
+                .iter()
+                .any(|v| v.contains("duplicate flow start")),
+            "{:?}",
+            validate(&doc)
+        );
+        // An end arriving before its start (in time) is also rejected.
+        let mut t = PerfettoTrace::new();
+        t.flow_start(0, 0, "grab", "flow", 10, 8);
+        t.flow_end(1, 3, "grab", "flow", 4, 8);
+        let doc = t.to_json();
+        assert!(validate(&doc)
+            .iter()
+            .any(|v| v.contains("before its start")));
+    }
+
+    #[test]
+    fn cross_track_flows_are_legal() {
+        // A send on the cores track delivered on the directories track:
+        // the flow spans processes, which must validate cleanly.
+        let mut t = PerfettoTrace::new();
+        t.process_name(0, "cores");
+        t.process_name(1, "directories");
+        t.flow_start(0, 2, "commit request", "flow", 100, 1);
+        t.flow_end(1, 5, "commit request", "flow", 109, 1);
+        let doc = t.to_json();
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+    }
+
+    #[test]
+    fn flow_trace_round_trips_byte_identically() {
+        let build = || {
+            let mut t = sample();
+            t.flow_start(0, 0, "grab", "flow", 12, 41);
+            t.flow_end(1, 3, "grab", "flow", 15, 41);
+            t.to_json()
+        };
+        let a = build().to_string();
+        let b = build().to_string();
+        assert_eq!(a, b, "flow export is not deterministic");
+        let reparsed = JsonValue::parse(&a).expect("parses");
+        assert_eq!(reparsed.to_string(), a, "parser round-trip changed bytes");
+        assert!(validate(&reparsed).is_empty());
     }
 
     #[test]

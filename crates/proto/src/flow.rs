@@ -1,0 +1,66 @@
+//! Causal-flow identity for message tracing.
+//!
+//! When a host traces causality (`sb-sim` with `SimConfig::obs` on), it
+//! stamps every executed [`Command`](crate::Command) — message send,
+//! self-timer, outcome notification, bulk invalidation — with a
+//! [`FlowId`] and records which flow's handler caused it. Ids are dense
+//! and allocated in dispatch order, so a child's id is always larger
+//! than its parent's and the causal graph is acyclic by construction.
+//!
+//! The id is purely observational: hosts allocate [`FlowId::NONE`]
+//! everywhere when tracing is off, and protocols never see flow ids at
+//! all.
+
+/// Identity of one causal message flow.
+///
+/// Dense and 1-based; [`FlowId::NONE`] (zero) means "no flow" — either
+/// tracing is off, or the event had no traced cause (e.g. a core step).
+///
+/// # Examples
+///
+/// ```
+/// use sb_proto::FlowId;
+///
+/// assert!(FlowId::NONE.is_none());
+/// assert_eq!(FlowId::NONE.index(), None);
+/// assert_eq!(FlowId(3).index(), Some(2));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// The absent flow (tracing off, or no traced cause).
+    pub const NONE: FlowId = FlowId(0);
+
+    /// Whether this is the absent flow.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of this flow in a dense allocation-order vector, or `None`
+    /// for [`FlowId::NONE`].
+    pub fn index(self) -> Option<usize> {
+        self.0.checked_sub(1).map(|i| i as usize)
+    }
+}
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero_and_indexless() {
+        assert_eq!(FlowId::NONE, FlowId(0));
+        assert!(FlowId::NONE.is_none());
+        assert_eq!(FlowId::NONE.index(), None);
+        assert!(!FlowId(1).is_none());
+        assert_eq!(FlowId(1).index(), Some(0));
+        assert_eq!(FlowId(7).to_string(), "flow#7");
+    }
+}

@@ -28,12 +28,14 @@
 
 mod command;
 mod fabric;
+mod flow;
 mod kind;
 mod protocol;
 mod view;
 
 pub use command::{Command, Endpoint, Outbox, ProtoEvent};
 pub use fabric::{Fabric, FabricConfig, FabricReport, Outcome};
+pub use flow::FlowId;
 pub use kind::ProtocolKind;
 pub use protocol::{AbortedCommit, BulkInvAck, CommitProtocol};
 pub use view::MachineView;

@@ -121,6 +121,20 @@ pub trait CommitProtocol {
     fn debug_state(&self) -> String {
         String::new()
     }
+
+    /// Short static label for a protocol message, used by the causal
+    /// flow tracer to name message flows ("grab", "occupy", ...). Purely
+    /// observational — never consulted for simulated behaviour.
+    fn msg_label(_msg: &Self::Msg) -> &'static str {
+        "msg"
+    }
+
+    /// The committing chunk a protocol message belongs to, if the
+    /// message carries one (arbitration-slot style messages do not).
+    /// Purely observational, like [`CommitProtocol::msg_label`].
+    fn msg_tag(_msg: &Self::Msg) -> Option<ChunkTag> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 //! directory — run from the repo root to place it there):
 //!
 //! ```text
-//! cargo run --release -p sb-sim --bin bench_json [-- --out PATH] [--insns N] [--repeats R]
+//! cargo run --release -p sb-sim --bin bench_json [-- --out PATH] [--insns N] [--repeats R] \
+//!     [--compare BASELINE.json] [--max-regress PCT]
 //! ```
 //!
 //! Each entry records both the simulated outcome (`wall_cycles`,
@@ -13,7 +14,14 @@
 //! the host-side cost (`events`, `wall_secs`, `events_per_sec` — these
 //! are what an optimization is allowed to improve). `repeats` runs each
 //! configuration several times and keeps the fastest wall time.
+//!
+//! `--compare BASELINE.json` turns the run into a **perf-regression
+//! gate**: every `(protocol, cores)` cell present in the baseline is
+//! checked against the fresh measurement, and the process exits non-zero
+//! if any cell's `events_per_sec` dropped by more than `--max-regress`
+//! percent (default 15). Cells faster than baseline always pass.
 
+use sb_obs::json::JsonValue;
 use sb_proto::ProtocolKind;
 use sb_sim::{run_simulation, SimConfig};
 use sb_workloads::AppProfile;
@@ -29,6 +37,8 @@ fn main() {
     let mut out_path = String::from("BENCH_throughput.json");
     let mut insns: u64 = 10_000;
     let mut repeats: u32 = 3;
+    let mut compare: Option<String> = None;
+    let mut max_regress: f64 = 15.0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -46,6 +56,17 @@ fn main() {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .expect("--repeats R");
+            }
+            "--compare" => {
+                i += 1;
+                compare = Some(args.get(i).cloned().expect("--compare needs a path"));
+            }
+            "--max-regress" => {
+                i += 1;
+                max_regress = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regress PCT");
             }
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -131,4 +152,74 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("[bench] wrote {out_path}");
+
+    if let Some(baseline_path) = compare {
+        let regressions = check_regressions(&baseline_path, &entries, max_regress);
+        if regressions > 0 {
+            eprintln!("[bench] FAIL: {regressions} cell(s) regressed more than {max_regress}%");
+            std::process::exit(1);
+        }
+        eprintln!("[bench] regression gate passed (threshold {max_regress}%)");
+    }
+}
+
+/// Compares the fresh measurements against a baseline
+/// `BENCH_throughput.json`; prints one line per `(protocol, cores)` cell
+/// and returns how many regressed beyond `max_regress` percent.
+fn check_regressions(baseline_path: &str, entries: &[Entry], max_regress: f64) -> u32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[bench] cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline = match JsonValue::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[bench] baseline {baseline_path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let runs = baseline
+        .get("runs")
+        .and_then(|r| r.as_array())
+        .unwrap_or_else(|| {
+            eprintln!("[bench] baseline {baseline_path} has no \"runs\" array");
+            std::process::exit(1);
+        });
+
+    let mut regressions = 0u32;
+    for run in runs {
+        let (Some(proto), Some(cores), Some(base_eps)) = (
+            run.get("protocol").and_then(|v| v.as_str()),
+            run.get("cores").and_then(|v| v.as_i64()),
+            run.get("events_per_sec").and_then(|v| v.as_f64()),
+        ) else {
+            eprintln!("[bench] baseline entry missing protocol/cores/events_per_sec; skipped");
+            continue;
+        };
+        let Some(e) = entries
+            .iter()
+            .find(|e| e.protocol.to_string() == proto && e.cores as i64 == cores)
+        else {
+            eprintln!("[bench] {proto}@{cores}: in baseline but not measured; skipped");
+            continue;
+        };
+        let now_eps = e.result.perf.events_per_sec();
+        if base_eps <= 0.0 {
+            continue; // degenerate baseline cell; nothing to gate on
+        }
+        let delta_pct = (now_eps - base_eps) / base_eps * 100.0;
+        let verdict = if delta_pct < -max_regress {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "[bench] {proto:>12} @ {cores:>2} cores: {base_eps:>12.0} -> {now_eps:>12.0} ev/s ({delta_pct:+.1}%) {verdict}"
+        );
+    }
+    regressions
 }

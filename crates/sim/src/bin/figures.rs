@@ -1,14 +1,21 @@
 //! Regenerates every table and figure of the ScalableBulk paper.
 //!
 //! ```text
-//! cargo run --release -p sb-sim --bin figures -- <id> [--insns N] [--seed S] [--csv DIR] [--timing] [--trace-out PATH]
+//! cargo run --release -p sb-sim --bin figures -- <id> [--insns N] [--seed S] [--csv DIR] [--timing] [--attribution] [--trace-out PATH]
 //! cargo run --release -p sb-sim --bin figures -- all
 //! cargo run --release -p sb-sim --bin figures -- --timing
 //! ```
 //!
 //! `--timing` appends a host-side simulator-throughput probe (events/sec,
 //! sim-cycles/sec per core count, per-phase wall times from the metrics
-//! registry) after the requested figures; it can also be used alone.
+//! registry, commit-latency percentiles) after the requested figures; it
+//! can also be used alone.
+//!
+//! `--attribution` runs each Table-3 protocol with causal tracing on and
+//! prints (a) the Figure-7 cycle breakdown *reconstructed from the
+//! observability stream* — asserted equal to the aggregate accounting —
+//! and (b) the exact critical-path attribution of all commit-latency
+//! cycles (see the `analyze` binary for per-commit waterfalls).
 //!
 //! `--trace-out PATH` additionally runs one observed 8-core
 //! FFT/ScalableBulk point (at the sweep's insns/seed) and writes its
@@ -25,7 +32,7 @@ use sb_workloads::{AppProfile, Suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--csv DIR] [--timing] [--trace-out PATH]"
+        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--csv DIR] [--timing] [--attribution] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -47,11 +54,67 @@ fn timing_probe(sweep: &Sweep) {
         let r = run_simulation(&cfg);
         println!("{:>3} cores: {}", cores, r.perf.render());
         println!("          {}", render_phases(&r.metrics));
+        // Percentiles are per-run reads (gauges sum under merge), so
+        // render them here rather than from the merged registry.
+        println!(
+            "          commit latency: mean {:.1}, p50 {}, p95 {}, p99 {}, max {} cycles",
+            r.latency.mean(),
+            r.latency.p50(),
+            r.latency.p95(),
+            r.latency.p99(),
+            r.latency.max()
+        );
         total.accumulate(&r.perf);
         phases.merge(&r.metrics);
     }
     println!("  overall: {}", total.render());
     println!("           {}", render_phases(&phases));
+}
+
+/// Runs each Table-3 protocol (64-core FFT) with causal tracing on and
+/// prints the obs-reconstructed Figure-7 breakdown plus the exact
+/// critical-path attribution of all commit-latency cycles.
+fn attribution_probe(sweep: &Sweep) {
+    use sb_proto::ProtocolKind;
+    use sb_sim::{breakdown_from_obs, commit_paths, run_simulation, Attribution, SimConfig};
+
+    println!(
+        "== Critical-path attribution (FFT, 64 cores; reconstructed from the causal trace) =="
+    );
+    for proto in ProtocolKind::ALL {
+        let mut cfg = SimConfig::paper_default(64, AppProfile::fft(), proto);
+        cfg.insns_per_thread = sweep.insns_per_thread;
+        cfg.seed = sweep.seed;
+        cfg.trace = true;
+        cfg.obs = true;
+        let r = run_simulation(&cfg);
+        let b = breakdown_from_obs(r.obs.as_ref().expect("obs on"));
+        // The trace-reconstructed breakdown must equal the aggregate
+        // accounting *exactly* — same invariant verify_observability
+        // checks; asserting here keeps the printed numbers honest.
+        assert_eq!(b, r.breakdown, "{proto}: obs breakdown diverged");
+        let paths = commit_paths(&r).expect("critical paths");
+        let a = Attribution::from_paths(&paths);
+        assert_eq!(a.total(), r.latency.sum(), "{proto}: attribution diverged");
+        println!(
+            "{proto}: useful {:.1}%, cache {:.1}%, commit {:.1}%, squash {:.1}% (from trace, == aggregate)",
+            b.fraction_useful() * 100.0,
+            b.fraction_cache_miss() * 100.0,
+            b.fraction_commit() * 100.0,
+            b.fraction_squash() * 100.0
+        );
+        println!(
+            "  {} commits, latency mean {:.1} / p95 {} / max {}; {} path cycles:",
+            r.commits,
+            r.latency.mean(),
+            r.latency.p95(),
+            r.latency.max(),
+            a.total()
+        );
+        for (name, cycles, frac) in a.rows() {
+            println!("    {name:<14} {cycles:>12}  {:>5.1}%", frac * 100.0);
+        }
+    }
 }
 
 /// One-line per-phase wall-time rendering from the metrics registry —
@@ -99,11 +162,13 @@ fn main() {
     let mut sweep = Sweep::default();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut timing = false;
+    let mut attribution = false;
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--timing" => timing = true,
+            "--attribution" => attribution = true,
             "--trace-out" => {
                 i += 1;
                 trace_path = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
@@ -130,7 +195,7 @@ fn main() {
         }
         i += 1;
     }
-    if ids.is_empty() && !timing && trace_path.is_none() {
+    if ids.is_empty() && !timing && !attribution && trace_path.is_none() {
         usage();
     }
     if ids.iter().any(|i| i == "all") {
@@ -277,6 +342,9 @@ fn main() {
     }
     if timing {
         timing_probe(&sweep);
+    }
+    if attribution {
+        attribution_probe(&sweep);
     }
     if let Some(path) = trace_path {
         trace_out(&sweep, &path);

@@ -14,11 +14,21 @@
 //!   the holding chunk);
 //! * **pid 2 "machine"** — the event-queue depth counter.
 //!
+//! When the run recorded causal flows ([`ObsLog::flows`](crate::ObsLog)),
+//! each becomes a Perfetto flow arrow: an `"s"` event at `sent_at` on the
+//! sender's track bound to an `"f"` event at `delivered_at` on the
+//! receiver's track, both carrying the flow id — so ui.perfetto.dev draws
+//! the causal message graph over the chunk/occupancy spans.
+//!
 //! [`verify_observability`] is the matching oracle: exec spans must
 //! close exactly once, grab/release must alternate and balance per
-//! `(dir, chunk)`, the export must round-trip through the JSON parser
-//! and pass the structural validator, and the event counts in the
-//! document must reconcile exactly with the run's frozen aggregates.
+//! `(dir, chunk)`, the causal flow graph must be acyclic with exact
+//! per-link time tiling, every commit's reconstructed critical path must
+//! reconcile with the recorded latency distribution (sum, max, count),
+//! the obs-reconstructed Figure-7 breakdown must equal the aggregate
+//! exactly, the export must round-trip through the JSON parser and pass
+//! the structural validator, and the event counts in the document must
+//! reconcile exactly with the run's frozen aggregates.
 
 use std::collections::BTreeSet;
 
@@ -26,7 +36,9 @@ use sb_chunks::ChunkTag;
 use sb_mem::DirId;
 use sb_obs::json::JsonValue;
 use sb_obs::perfetto::{self, PerfettoTrace};
+use sb_proto::Endpoint;
 
+use crate::critical_path::{breakdown_from_obs, commit_paths, Segment};
 use crate::obs::ObsKind;
 use crate::result::RunResult;
 use crate::trace::TraceEvent;
@@ -183,6 +195,9 @@ pub fn perfetto_trace(r: &RunResult) -> JsonValue {
                 ObsKind::QueueDepth { depth } => {
                     t.counter(PID_MACHINE, 0, "event_queue", e.at.as_u64(), "depth", depth);
                 }
+                // Terminal accounting and stall credits are reconciliation
+                // material (`breakdown_from_obs`), not renderable spans.
+                ObsKind::ChunkDone { .. } | ObsKind::CommitStall { .. } => {}
             }
         }
         for ((dir, tag), start) in open {
@@ -195,6 +210,12 @@ pub fn perfetto_trace(r: &RunResult) -> JsonValue {
                 end.saturating_sub(start),
                 vec![],
             );
+        }
+        for f in &obs.flows {
+            let (spid, stid) = endpoint_track(f.src, &mut cores, &mut dirs);
+            let (dpid, dtid) = endpoint_track(f.dst, &mut cores, &mut dirs);
+            t.flow_start(spid, stid, f.label, "flow", f.sent_at.as_u64(), f.id.0);
+            t.flow_end(dpid, dtid, f.label, "flow", f.delivered_at.as_u64(), f.id.0);
         }
     }
 
@@ -210,6 +231,21 @@ pub fn perfetto_trace(r: &RunResult) -> JsonValue {
 fn take_open(open: &mut Vec<(ChunkTag, (u16, u64))>, tag: ChunkTag) -> Option<(u16, u64)> {
     let i = open.iter().position(|(t, _)| *t == tag)?;
     Some(open.remove(i).1)
+}
+
+/// Maps a flow endpoint onto its Perfetto track, registering the track
+/// for thread naming.
+fn endpoint_track(e: Endpoint, cores: &mut BTreeSet<u16>, dirs: &mut BTreeSet<u16>) -> (u64, u64) {
+    match e {
+        Endpoint::Core(c) => {
+            cores.insert(c.0);
+            (PID_CORES, c.0 as u64)
+        }
+        Endpoint::Dir(d) => {
+            dirs.insert(d.0);
+            (PID_DIRS, d.0 as u64)
+        }
+    }
 }
 
 /// Validates the whole observability pipeline of a traced run. Returns
@@ -315,6 +351,85 @@ pub fn verify_observability(r: &RunResult) -> Vec<String> {
         }
     }
 
+    // 2b. Causal flow graph: dense ids, acyclic by parent < child,
+    // per-link time tiling, and a network decomposition that fits inside
+    // the flow's span.
+    for (i, f) in obs.flows.iter().enumerate() {
+        if f.id.0 != i as u64 + 1 {
+            v.push(format!("flow {i}: id {} is not dense", f.id));
+        }
+        if f.parent.0 >= f.id.0 {
+            v.push(format!("{}: parent {} is not older", f.id, f.parent));
+        }
+        if f.delivered_at < f.sent_at {
+            v.push(format!("{}: delivered before sent", f.id));
+        }
+        if let Some(n) = f.net {
+            if n.depart.as_u64() < n.queue_wait
+                || n.depart.as_u64() - n.queue_wait < f.sent_at.as_u64()
+            {
+                v.push(format!("{}: injected before it was sent", f.id));
+            }
+            if (n.depart + n.wire + n.perturb_extra) > f.delivered_at {
+                v.push(format!("{}: wire time overruns delivery", f.id));
+            }
+        }
+    }
+
+    // 2c. Per-commit critical paths: every commit reconstructs, its
+    // segments tile the latency interval exactly, and the multiset of
+    // path lengths reconciles with the recorded distribution.
+    match commit_paths(r) {
+        Err(e) => v.push(format!("critical path: {e}")),
+        Ok(paths) => {
+            if paths.len() as u64 != r.latency.count() {
+                v.push(format!(
+                    "{} critical paths vs {} recorded latencies",
+                    paths.len(),
+                    r.latency.count()
+                ));
+            }
+            let (mut sum, mut max) = (0u128, 0u64);
+            for p in &paths {
+                let tiled: u64 = p.segments.iter().map(Segment::len).sum();
+                if tiled != p.latency() {
+                    v.push(format!(
+                        "{}: segments cover {tiled} of {} latency cycles",
+                        p.tag,
+                        p.latency()
+                    ));
+                }
+                sum += p.latency() as u128;
+                max = max.max(p.latency());
+            }
+            if sum != r.latency.sum() {
+                v.push(format!(
+                    "critical paths sum to {sum} cycles, latency dist recorded {}",
+                    r.latency.sum()
+                ));
+            }
+            if max != r.latency.max() {
+                v.push(format!(
+                    "longest critical path is {max} cycles, latency dist max is {}",
+                    r.latency.max()
+                ));
+            }
+        }
+    }
+
+    // 2d. Figure-7 breakdown reconstructed from the obs stream must equal
+    // the frozen aggregate exactly (quiesced runs only: in-flight chunks
+    // still hold invested cycles).
+    if trace.final_in_flight == 0 {
+        let b = breakdown_from_obs(obs);
+        if b != r.breakdown {
+            v.push(format!(
+                "obs breakdown {b:?} differs from aggregate {:?}",
+                r.breakdown
+            ));
+        }
+    }
+
     // 3. Export round-trip + structural validation.
     let json = perfetto_trace(r);
     for problem in perfetto::validate(&json) {
@@ -381,10 +496,20 @@ pub fn verify_observability(r: &RunResult) -> Vec<String> {
             cat_count("grab")
         ));
     }
+    // Every flow exports exactly one start + one end binding (the
+    // structural validator already paired the ids one-to-one).
+    if cat_count("flow") != 2 * obs.flows.len() as u64 {
+        v.push(format!(
+            "export has {} flow events, log recorded {} flows",
+            cat_count("flow"),
+            obs.flows.len()
+        ));
+    }
     for (name, want) in [
         ("commits", r.commits),
         ("obs.dir_grabs", grabs),
         ("obs.dir_releases", releases),
+        ("obs.flows", obs.flows.len() as u64),
     ] {
         if r.metrics.counter(name) != Some(want) {
             v.push(format!(

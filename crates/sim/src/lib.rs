@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod critical_path;
 pub mod experiments;
 mod export;
 mod machine;
@@ -36,9 +37,12 @@ mod runner;
 mod trace;
 
 pub use config::{InjectedBug, SimConfig};
+pub use critical_path::{
+    breakdown_from_obs, commit_paths, Attribution, CommitPath, Segment, SegmentKind,
+};
 pub use export::{perfetto_trace, verify_observability};
 pub use machine::Machine;
-pub use obs::{ObsEvent, ObsKind, ObsLog};
+pub use obs::{FlowEvent, FlowKind, ObsEvent, ObsKind, ObsLog};
 pub use result::RunResult;
 pub use runner::{run_app, run_simulation};
 pub use trace::{ChunkSnapshot, RunTrace, TraceEvent};

@@ -8,7 +8,9 @@ use sb_mem::{
     CacheHierarchy, CoreId, CoreSet, DirId, DirectoryState, HitLevel, LineAddr, PageMapper,
 };
 use sb_net::{MsgSize, Network, TrafficClass};
-use sb_proto::{AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, MachineView, Outbox};
+use sb_proto::{
+    AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, FlowId, MachineView, Outbox,
+};
 use sb_sigs::{SigHandle, Signature};
 use sb_stats::{
     Breakdown, DirsPerCommit, LatencyDist, MetricsRegistry, PerfReport, SerializationGauges,
@@ -16,7 +18,7 @@ use sb_stats::{
 use sb_workloads::WorkloadGen;
 
 use crate::config::{InjectedBug, SimConfig};
-use crate::obs::{ObsKind, ObsLog};
+use crate::obs::{FlowEvent, FlowKind, ObsKind, ObsLog};
 use crate::result::RunResult;
 use crate::trace::{ChunkSnapshot, RunTrace, TraceEvent};
 
@@ -66,7 +68,11 @@ enum Ev<M> {
         class: TrafficClass,
     },
     /// A protocol message is delivered.
-    Proto { dst: Endpoint, msg: M },
+    Proto {
+        dst: Endpoint,
+        msg: M,
+        cause: FlowId,
+    },
     /// A bulk invalidation arrives at a core. The W signature travels as
     /// a [`SigHandle`]: fanning one commit out to `n` sharers is `n`
     /// refcount bumps, not `n` signature copies.
@@ -75,17 +81,38 @@ enum Ev<M> {
         to: u16,
         tag: ChunkTag,
         wsig: SigHandle,
+        cause: FlowId,
     },
     /// A bulk-invalidation ack arrives back at the issuing directory.
-    AckAtDir { ack: BulkInvAck },
+    AckAtDir { ack: BulkInvAck, cause: FlowId },
     /// Commit success/failure notification arrives at the core.
     Outcome {
         core: u16,
         tag: ChunkTag,
         success: bool,
+        cause: FlowId,
     },
     /// Commit retry backoff expired.
-    Retry { core: u16, tag: ChunkTag },
+    Retry {
+        core: u16,
+        tag: ChunkTag,
+        cause: FlowId,
+    },
+}
+
+impl<M> Ev<M> {
+    /// The causal flow that scheduled this event ([`FlowId::NONE`] for
+    /// core-execution events, which tracing treats as external causes).
+    fn cause(&self) -> FlowId {
+        match self {
+            Ev::Proto { cause, .. }
+            | Ev::BulkInv { cause, .. }
+            | Ev::AckAtDir { cause, .. }
+            | Ev::Outcome { cause, .. }
+            | Ev::Retry { cause, .. } => *cause,
+            _ => FlowId::NONE,
+        }
+    }
 }
 
 /// Machine state visible to protocols.
@@ -213,6 +240,11 @@ pub struct Machine<P: CommitProtocol> {
     trace: Option<RunTrace>,
     /// Directory-occupancy / queue-depth recording (`cfg.obs`).
     obs: Option<ObsLog>,
+    /// Last causal-flow id allocated (0 = none yet; ids are 1-based).
+    flow_next: u64,
+    /// The flow whose delivery is currently being dispatched — the
+    /// causal parent of any flow allocated during this handler.
+    cur_cause: FlowId,
     /// Host time spent building the machine (workload pre-touch, cache
     /// warm-up) — the `phase.setup_secs` gauge.
     setup_wall: std::time::Duration,
@@ -350,6 +382,8 @@ impl<P: CommitProtocol> Machine<P> {
             finished_cores: 0,
             trace: cfg.trace.then(RunTrace::new),
             obs: cfg.obs.then(ObsLog::new),
+            flow_next: 0,
+            cur_cause: FlowId::NONE,
             setup_wall: std::time::Duration::ZERO,
             cfg,
         };
@@ -525,6 +559,16 @@ impl<P: CommitProtocol> Machine<P> {
             );
         }
         reg.set_gauge("sim.wall_cycles", r.wall_cycles as f64);
+        // Commit-latency distribution (Figure 13): the full histogram
+        // (merges exactly across runs) plus per-run quantile gauges.
+        // Gauges *sum* under `MetricsRegistry::merge`, so read the
+        // quantiles per run before merging sweep results.
+        reg.insert_histogram("commit.latency_cycles", r.latency.histogram().clone());
+        reg.set_gauge("latency.mean", r.latency.mean());
+        reg.set_gauge("latency.p50", r.latency.p50() as f64);
+        reg.set_gauge("latency.p95", r.latency.p95() as f64);
+        reg.set_gauge("latency.p99", r.latency.p99() as f64);
+        reg.set_gauge("latency.max", r.latency.max() as f64);
         reg.set_gauge("phase.setup_secs", self.setup_wall.as_secs_f64());
         reg.set_gauge("phase.run_secs", run_wall.as_secs_f64());
         reg.set_gauge("phase.drain_secs", drain_wall.as_secs_f64());
@@ -559,14 +603,33 @@ impl<P: CommitProtocol> Machine<P> {
                     ObsKind::QueueDepth { depth } => {
                         reg.observe("obs.event_queue_depth", depth, 64, 256);
                     }
-                    ObsKind::CommitRecalled { .. } => {}
+                    ObsKind::CommitStall { cycles, .. } => {
+                        reg.observe("obs.commit_stall_cycles", cycles, 64, 64);
+                    }
+                    ObsKind::CommitRecalled { .. } | ObsKind::ChunkDone { .. } => {}
                 }
             }
+            reg.add_counter("obs.flows", obs.flows.len() as u64);
+            reg.add_counter(
+                "obs.chunks_done",
+                obs.count(|k| matches!(k, ObsKind::ChunkDone { .. })),
+            );
         }
         reg
     }
 
     fn dispatch(&mut self, ev: Ev<P::Msg>) {
+        self.cur_cause = ev.cause();
+        if let (Some(idx), Some(obs)) = (self.cur_cause.index(), self.obs.as_mut()) {
+            // The handler runs *now*, which can be later than the
+            // scheduled arrival when a core's local clock ran ahead:
+            // patch the flow so consecutive causal links tile time
+            // exactly (the critical-path exactness invariant).
+            let f = &mut obs.flows[idx];
+            if f.delivered_at < self.view.now {
+                f.delivered_at = self.view.now;
+            }
+        }
         match ev {
             Ev::Step { core, epoch } => {
                 if self.cores[core as usize].epoch == epoch {
@@ -634,7 +697,7 @@ impl<P: CommitProtocol> Machine<P> {
                 );
                 self.queue.push(arrive, Ev::StoreFill { core, line });
             }
-            Ev::Proto { dst, msg } => {
+            Ev::Proto { dst, msg, cause: _ } => {
                 self.proto.deliver(&self.view, &mut self.outbox, dst, msg);
                 self.flush_outbox();
             }
@@ -643,13 +706,23 @@ impl<P: CommitProtocol> Machine<P> {
                 to,
                 tag,
                 wsig,
+                cause: _,
             } => self.bulk_inv_at_core(from, to, tag, wsig),
-            Ev::AckAtDir { ack } => {
+            Ev::AckAtDir { ack, cause: _ } => {
                 self.proto.bulk_inv_acked(&self.view, &mut self.outbox, ack);
                 self.flush_outbox();
             }
-            Ev::Outcome { core, tag, success } => self.outcome(core, tag, success),
-            Ev::Retry { core, tag } => self.retry(core, tag),
+            Ev::Outcome {
+                core,
+                tag,
+                success,
+                cause: _,
+            } => self.outcome(core, tag, success),
+            Ev::Retry {
+                core,
+                tag,
+                cause: _,
+            } => self.retry(core, tag),
         }
     }
 
@@ -1009,6 +1082,19 @@ impl<P: CommitProtocol> Machine<P> {
             eprintln!("[commit] {} start at {}", tag, t);
         }
         self.cores[core as usize].pending_commit = Some(pending);
+        // Root the chunk's causal chain at the commit-request instant
+        // (`started`, the origin of the recorded latency); the protocol
+        // commands below parent to it.
+        self.cur_cause = self.flow(
+            FlowKind::CommitStart,
+            "commit start",
+            Some(tag),
+            Endpoint::Core(CoreId(core)),
+            Endpoint::Core(CoreId(core)),
+            t,
+            t,
+            None,
+        );
         self.proto.start_commit(&self.view, &mut self.outbox, req);
         self.flush_outbox();
     }
@@ -1042,7 +1128,19 @@ impl<P: CommitProtocol> Machine<P> {
                 let retired = c.window.retire_oldest();
                 debug_assert_eq!(retired, tag);
                 c.committed_insns += p.spec.instructions();
-                c.invested.remove(&tag);
+                let inv = c.invested.remove(&tag).unwrap_or_default();
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.push(
+                        t,
+                        ObsKind::ChunkDone {
+                            core,
+                            tag,
+                            committed: true,
+                            useful: inv.useful,
+                            cache: inv.cache,
+                        },
+                    );
+                }
             }
             if let Some(trace) = self.trace.as_mut() {
                 // Exact footprint from the spec: `step` records every spec
@@ -1072,12 +1170,29 @@ impl<P: CommitProtocol> Machine<P> {
                 .record(p.req.write_dirs.len(), p.req.read_only_dirs().len());
             // A younger chunk that finished executing in the meantime can
             // now issue its (deferred) commit request.
+            let outcome_cause = self.cur_cause;
             if let Some(mut w) = self.cores[core as usize].waiting_commit.take() {
                 w.started = t;
+                let wtag = w.tag;
                 let req = w.req.clone();
                 self.cores[core as usize].pending_commit = Some(w);
+                // The deferred chunk's latency is measured from here, so
+                // its causal chain gets a fresh root at `t` (still
+                // parented to the older chunk's success flow — truthful
+                // causality for the graph; the walk stops at the root).
+                self.cur_cause = self.flow(
+                    FlowKind::CommitStart,
+                    "commit start",
+                    Some(wtag),
+                    Endpoint::Core(CoreId(core)),
+                    Endpoint::Core(CoreId(core)),
+                    t,
+                    t,
+                    None,
+                );
                 self.proto.start_commit(&self.view, &mut self.outbox, req);
                 self.flush_outbox();
+                self.cur_cause = outcome_cause;
             }
             // Conservative mode: invalidations held during the commit are
             // processed now.
@@ -1085,17 +1200,33 @@ impl<P: CommitProtocol> Machine<P> {
             self.resume_after_window_change(core, t);
         } else {
             self.outcome_failures += 1;
-            let c = &mut self.cores[core as usize];
-            let p = c.pending_commit.as_mut().expect("matched");
-            if !p.retry_scheduled {
-                p.retry_scheduled = true;
-                p.retries += 1;
-                // Exponential backoff with deterministic jitter: collision
-                // storms among wide groups need spreading out.
-                let shift = p.retries.min(5) as u32;
-                let jitter = (tag.seq().wrapping_mul(0x9E37_79B9) ^ p.retries) % 37;
-                let delay = self.cfg.retry_backoff * (1u64 << shift) / 2 + jitter;
-                self.queue.push(t + delay, Ev::Retry { core, tag });
+            let mut backoff = None;
+            {
+                let c = &mut self.cores[core as usize];
+                let p = c.pending_commit.as_mut().expect("matched");
+                if !p.retry_scheduled {
+                    p.retry_scheduled = true;
+                    p.retries += 1;
+                    // Exponential backoff with deterministic jitter:
+                    // collision storms among wide groups need spreading
+                    // out.
+                    let shift = p.retries.min(5) as u32;
+                    let jitter = (tag.seq().wrapping_mul(0x9E37_79B9) ^ p.retries) % 37;
+                    backoff = Some(self.cfg.retry_backoff * (1u64 << shift) / 2 + jitter);
+                }
+            }
+            if let Some(delay) = backoff {
+                let cause = self.flow(
+                    FlowKind::Backoff,
+                    "retry backoff",
+                    Some(tag),
+                    Endpoint::Core(CoreId(core)),
+                    Endpoint::Core(CoreId(core)),
+                    t,
+                    t + delay,
+                    None,
+                );
+                self.queue.push(t + delay, Ev::Retry { core, tag, cause });
             }
             // Conservative mode: a failed commit lets held invalidations
             // squash us now (Figure 4(c)).
@@ -1130,7 +1261,11 @@ impl<P: CommitProtocol> Machine<P> {
         let c = &mut self.cores[core as usize];
         if c.phase == Phase::WaitCommitSlot {
             let since = c.commit_wait_since.take().expect("waiting");
-            c.breakdown.commit += (t - since).as_u64();
+            let cycles = (t - since).as_u64();
+            c.breakdown.commit += cycles;
+            if let Some(obs) = self.obs.as_mut() {
+                obs.push(t, ObsKind::CommitStall { core, cycles });
+            }
             c.phase = Phase::Running;
             let epoch = c.epoch;
             self.queue.push(t, Ev::Step { core, epoch });
@@ -1274,12 +1409,25 @@ impl<P: CommitProtocol> Machine<P> {
         aborted: Option<AbortedCommit>,
         t: Cycle,
     ) {
-        let arrive = self.net.send(
+        let (arrive, info) = self.net.send_info(
             t + self.cfg.ack_delay,
             sb_net::NodeId(to),
             sb_net::NodeId(from.0),
             MsgSize::Small,
             TrafficClass::SmallCMessage,
+        );
+        // `sent_at` is `t` (before the core's ack-processing delay): the
+        // decomposition then shows the delay as pre-send service, keeping
+        // the flow's segments contiguous from cause to delivery.
+        let cause = self.flow(
+            FlowKind::BulkInvAck,
+            "bulk inv ack",
+            Some(tag),
+            Endpoint::Core(CoreId(to)),
+            Endpoint::Dir(from),
+            t,
+            arrive,
+            Some(info),
         );
         self.queue.push(
             arrive,
@@ -1290,6 +1438,7 @@ impl<P: CommitProtocol> Machine<P> {
                     tag,
                     aborted,
                 },
+                cause,
             },
         );
     }
@@ -1362,10 +1511,21 @@ impl<P: CommitProtocol> Machine<P> {
         }
         // Move the invested cycles of the squashed chunks into Squash.
         for tag in &squashed {
-            if let Some(inv) = c.invested.remove(tag) {
-                c.breakdown.useful -= inv.useful;
-                c.breakdown.cache_miss -= inv.cache;
-                c.breakdown.squash += inv.useful + inv.cache;
+            let inv = c.invested.remove(tag).unwrap_or_default();
+            c.breakdown.useful -= inv.useful;
+            c.breakdown.cache_miss -= inv.cache;
+            c.breakdown.squash += inv.useful + inv.cache;
+            if let Some(obs) = self.obs.as_mut() {
+                obs.push(
+                    t,
+                    ObsKind::ChunkDone {
+                        core,
+                        tag: *tag,
+                        committed: false,
+                        useful: inv.useful,
+                        cache: inv.cache,
+                    },
+                );
             }
         }
         c.epoch += 1;
@@ -1373,7 +1533,11 @@ impl<P: CommitProtocol> Machine<P> {
         // Whatever the core was doing, it restarts the squashed work.
         if c.phase == Phase::WaitCommitSlot {
             let since = c.commit_wait_since.take().expect("waiting");
-            c.breakdown.commit += (t - since).as_u64();
+            let cycles = (t - since).as_u64();
+            c.breakdown.commit += cycles;
+            if let Some(obs) = self.obs.as_mut() {
+                obs.push(t, ObsKind::CommitStall { core, cycles });
+            }
         }
         c.phase = Phase::Running;
         c.pos = 0;
@@ -1421,6 +1585,42 @@ impl<P: CommitProtocol> Machine<P> {
         self.cmd_scratch = cmds;
     }
 
+    /// Allocates a causal-flow record for a hand-off issued now, parented
+    /// to the flow being dispatched. Returns [`FlowId::NONE`] (and records
+    /// nothing) when observability is off — the id is then dead weight in
+    /// the scheduled event, never consulted.
+    #[allow(clippy::too_many_arguments)]
+    fn flow(
+        &mut self,
+        kind: FlowKind,
+        label: &'static str,
+        tag: Option<ChunkTag>,
+        src: Endpoint,
+        dst: Endpoint,
+        sent_at: Cycle,
+        delivered_at: Cycle,
+        net: Option<sb_net::SendInfo>,
+    ) -> FlowId {
+        let Some(obs) = self.obs.as_mut() else {
+            return FlowId::NONE;
+        };
+        self.flow_next += 1;
+        let id = FlowId(self.flow_next);
+        obs.flows.push(FlowEvent {
+            id,
+            parent: self.cur_cause,
+            kind,
+            label,
+            tag,
+            src,
+            dst,
+            sent_at,
+            delivered_at,
+            net,
+        });
+        id
+    }
+
     fn execute(&mut self, cmds: &mut Vec<Command<P::Msg>>) {
         let now = self.view.now;
         for cmd in cmds.drain(..) {
@@ -1432,25 +1632,55 @@ impl<P: CommitProtocol> Machine<P> {
                     class,
                     msg,
                 } => {
-                    let arrive = self.net.send(
+                    let (arrive, info) = self.net.send_info(
                         now,
                         sb_net::NodeId(src.tile()),
                         sb_net::NodeId(dst.tile()),
                         size,
                         class,
                     );
-                    self.queue.push(arrive, Ev::Proto { dst, msg });
+                    let cause = self.flow(
+                        FlowKind::Proto,
+                        P::msg_label(&msg),
+                        P::msg_tag(&msg),
+                        src,
+                        dst,
+                        now,
+                        arrive,
+                        Some(info),
+                    );
+                    self.queue.push(arrive, Ev::Proto { dst, msg, cause });
                 }
                 Command::After { delay, dst, msg } => {
-                    self.queue.push(now + delay, Ev::Proto { dst, msg });
+                    let cause = self.flow(
+                        FlowKind::Timer,
+                        P::msg_label(&msg),
+                        P::msg_tag(&msg),
+                        dst,
+                        dst,
+                        now,
+                        now + delay,
+                        None,
+                    );
+                    self.queue.push(now + delay, Ev::Proto { dst, msg, cause });
                 }
                 Command::CommitSuccess { core, tag, from } => {
-                    let arrive = self.net.send(
+                    let (arrive, info) = self.net.send_info(
                         now,
                         sb_net::NodeId(from.0),
                         sb_net::NodeId(core.0),
                         MsgSize::Small,
                         TrafficClass::SmallCMessage,
+                    );
+                    let cause = self.flow(
+                        FlowKind::CommitSuccess,
+                        "commit success",
+                        Some(tag),
+                        Endpoint::Dir(from),
+                        Endpoint::Core(core),
+                        now,
+                        arrive,
+                        Some(info),
                     );
                     self.queue.push(
                         arrive,
@@ -1458,16 +1688,27 @@ impl<P: CommitProtocol> Machine<P> {
                             core: core.0,
                             tag,
                             success: true,
+                            cause,
                         },
                     );
                 }
                 Command::CommitFailure { core, tag, from } => {
-                    let arrive = self.net.send(
+                    let (arrive, info) = self.net.send_info(
                         now,
                         sb_net::NodeId(from.0),
                         sb_net::NodeId(core.0),
                         MsgSize::Small,
                         TrafficClass::SmallCMessage,
+                    );
+                    let cause = self.flow(
+                        FlowKind::CommitFailure,
+                        "commit failure",
+                        Some(tag),
+                        Endpoint::Dir(from),
+                        Endpoint::Core(core),
+                        now,
+                        arrive,
+                        Some(info),
                     );
                     self.queue.push(
                         arrive,
@@ -1475,6 +1716,7 @@ impl<P: CommitProtocol> Machine<P> {
                             core: core.0,
                             tag,
                             success: false,
+                            cause,
                         },
                     );
                 }
@@ -1490,12 +1732,22 @@ impl<P: CommitProtocol> Machine<P> {
                     } else {
                         TrafficClass::SmallCMessage
                     };
-                    let arrive = self.net.send(
+                    let (arrive, info) = self.net.send_info(
                         now,
                         sb_net::NodeId(from.0),
                         sb_net::NodeId(to.0),
                         size,
                         class,
+                    );
+                    let cause = self.flow(
+                        FlowKind::BulkInv,
+                        "bulk inv",
+                        Some(tag),
+                        Endpoint::Dir(from),
+                        Endpoint::Core(to),
+                        now,
+                        arrive,
+                        Some(info),
                     );
                     self.queue.push(
                         arrive,
@@ -1504,6 +1756,7 @@ impl<P: CommitProtocol> Machine<P> {
                             to: to.0,
                             tag,
                             wsig,
+                            cause,
                         },
                     );
                 }

@@ -23,9 +23,9 @@ const CORES: u16 = 4;
 const INSNS: u64 = 4_000;
 
 /// FNV-1a fingerprint of the serialized Perfetto document.
-const GOLDEN_FINGERPRINT: u64 = 0x70406fbcaaa44b3b;
+const GOLDEN_FINGERPRINT: u64 = 0x9bd42708ad948a1b;
 /// Number of entries in `traceEvents` (metadata + timed).
-const GOLDEN_EVENTS: usize = 70;
+const GOLDEN_EVENTS: usize = 398;
 
 fn observed_cfg() -> SimConfig {
     let mut cfg = SimConfig::paper_default(CORES, AppProfile::fft(), ProtocolKind::ScalableBulk);
@@ -85,6 +85,10 @@ fn export_has_at_least_two_track_types() {
         cats.contains("chunk") && cats.contains("grab"),
         "need core-lifecycle and directory-occupancy tracks, got {cats:?}"
     );
+    assert!(
+        cats.contains("flow"),
+        "causal flow arrows missing: {cats:?}"
+    );
 }
 
 #[test]
@@ -105,4 +109,11 @@ fn observability_never_changes_simulated_results() {
         bare.traffic.total_messages()
     );
     assert_eq!(observed.read_nacks, bare.read_nacks);
+    // Flow stamping rides the same scheduled events: the full latency
+    // distribution and cycle breakdown must not move either.
+    assert_eq!(observed.latency.count(), bare.latency.count());
+    assert_eq!(observed.latency.sum(), bare.latency.sum());
+    assert_eq!(observed.latency.max(), bare.latency.max());
+    assert_eq!(observed.breakdown, bare.breakdown);
+    assert_eq!(observed.commit_retries, bare.commit_retries);
 }

@@ -62,6 +62,32 @@ impl LatencyDist {
         self.hist.max().unwrap_or(0)
     }
 
+    /// Exact sum of all recorded latencies (the accumulator is exact even
+    /// for samples past the last bucket).
+    pub fn sum(&self) -> u128 {
+        self.hist.sum()
+    }
+
+    /// Median latency (bucket granularity).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency (bucket granularity).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency (bucket granularity).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The underlying histogram (for registry export).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
     /// Merges another distribution.
     pub fn merge(&mut self, other: &LatencyDist) {
         self.hist.merge(&other.hist);
