@@ -1,22 +1,31 @@
 //! Fuzz-sweep / replay driver.
 //!
 //! ```text
-//! check [--smoke N] [--seed S]      run N cases of the schedule rooted at S
+//! check [--smoke N | --cases N] [--seed S] [--jobs J|auto]
+//!                                   run N cases of the schedule rooted at S
 //! check --replay W:P:PROTO          re-run one case and print its verdict
 //! ```
+//!
+//! `--jobs` spreads the independent cases over worker threads (default:
+//! all hardware threads). The sweep output — failing cases in case
+//! order, totals, one summary line per protocol — is buffered and
+//! byte-identical at every job count; only wall-clock changes.
 //!
 //! Exit status is non-zero iff any case failed; every failure prints the
 //! one-line replay command and the trace fingerprint it reproduces.
 
 use std::process::ExitCode;
 
-use sb_check::{check_case, run_smoke, CaseReport, FuzzCase};
+use sb_check::{check_case, render_sweep, run_cases, CaseReport, FuzzCase, SmokeReport};
+use sb_sim::parallel::AUTO_JOBS;
 
 const DEFAULT_CASES: u64 = 200;
 const DEFAULT_SEED: u64 = 0xf0f0_2026;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: check [--smoke N] [--seed S] | check --replay W:P:PROTO");
+    eprintln!(
+        "usage: check [--smoke N | --cases N] [--seed S] [--jobs J|auto] | check --replay W:P:PROTO"
+    );
     ExitCode::from(2)
 }
 
@@ -24,17 +33,22 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cases = DEFAULT_CASES;
     let mut seed = DEFAULT_SEED;
+    let mut jobs = AUTO_JOBS;
     let mut replay: Option<FuzzCase> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--smoke" => match it.next().and_then(|v| v.parse().ok()) {
+            "--smoke" | "--cases" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => cases = n,
                 None => return usage(),
             },
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(s) => seed = s,
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| sb_sim::parallel::parse_jobs(v)) {
+                Some(j) => jobs = j,
                 None => return usage(),
             },
             "--replay" => match it.next().and_then(|v| FuzzCase::parse(v)) {
@@ -56,31 +70,14 @@ fn main() -> ExitCode {
     }
 
     println!("fuzzing {cases} cases (schedule seed {seed:#x}) ...");
-    let report = run_smoke(
-        seed,
-        cases,
-        Some(&mut |i, case: &FuzzCase, cr: &CaseReport| {
-            if !cr.passed() {
-                eprintln!("case {i} FAILED:");
-                print_case(case, cr);
-            } else if (i + 1) % 50 == 0 {
-                println!("  .. {} cases done", i + 1);
-            }
-        }),
-    );
-
-    println!(
-        "{} cases: {} commits, {} squashes, {} bulk invalidations checked",
-        report.cases, report.commits, report.squashes, report.invs_processed
-    );
+    let results = run_cases(seed, cases, jobs);
+    // Everything below is a pure render of the ordered results, so the
+    // bytes printed are independent of how the workers interleaved.
+    print!("{}", render_sweep(&results));
+    let report = SmokeReport::from_cases(&results);
     if report.passed() {
-        println!("all cases passed");
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "{} case(s) FAILED (replay commands above)",
-            report.failures.len()
-        );
         ExitCode::FAILURE
     }
 }

@@ -356,6 +356,105 @@ impl SmokeReport {
     }
 }
 
+impl SmokeReport {
+    /// Aggregates a completed case list (as produced by [`run_cases`]).
+    pub fn from_cases(results: &[(FuzzCase, CaseReport)]) -> SmokeReport {
+        let mut report = SmokeReport::default();
+        for (case, cr) in results {
+            report.cases += 1;
+            report.commits += cr.commits;
+            report.squashes += cr.squashes;
+            report.invs_processed += cr.invs_processed;
+            if !cr.passed() {
+                report.failures.push((*case, cr.clone()));
+            }
+        }
+        report
+    }
+}
+
+/// Runs cases `0..n` of the deterministic schedule rooted at `base_seed`
+/// on up to `jobs` worker threads ([`sb_sim::parallel::AUTO_JOBS`] = all
+/// hardware threads) and returns `(case, report)` pairs **in case
+/// order** — workers may finish in any order, but the returned list (and
+/// therefore anything rendered from it) is identical at every `jobs`
+/// value.
+pub fn run_cases(base_seed: u64, n: u64, jobs: usize) -> Vec<(FuzzCase, CaseReport)> {
+    let cases: Vec<FuzzCase> = (0..n).map(|i| FuzzCase::nth(base_seed, i)).collect();
+    let reports = sb_sim::parallel::parallel_map(&cases, jobs, check_case);
+    cases.into_iter().zip(reports).collect()
+}
+
+/// One deterministic summary line per protocol, in [`PROTOCOLS`] order:
+/// case/commit/squash/invalidation counts, failure count, and an
+/// XOR-of-fingerprints digest that pins the exact set of traces run.
+pub fn protocol_summary(results: &[(FuzzCase, CaseReport)]) -> Vec<String> {
+    PROTOCOLS
+        .into_iter()
+        .map(|p| {
+            let (mut cases, mut commits, mut squashes, mut invs) = (0u64, 0u64, 0u64, 0u64);
+            let (mut failed, mut digest) = (0u64, 0u64);
+            for (case, cr) in results.iter().filter(|(c, _)| c.protocol == p) {
+                cases += 1;
+                commits += cr.commits;
+                squashes += cr.squashes;
+                invs += cr.invs_processed;
+                failed += u64::from(!cr.passed());
+                digest ^= cr.fingerprint.rotate_left((case.workload_seed % 63) as u32);
+            }
+            format!(
+                "  {:>6}: {cases:>4} cases, {commits:>6} commits, {squashes:>5} squashes, \
+                 {invs:>6} invs, {failed} failed, digest {digest:#018x}",
+                protocol_name(p)
+            )
+        })
+        .collect()
+}
+
+/// Renders the sweep verdict the `check` binary prints after running:
+/// every failing case (in case order) with its replay command, the
+/// aggregate totals, and the per-protocol summary. Pure function of
+/// `results`, so the output is byte-identical at any worker count.
+pub fn render_sweep(results: &[(FuzzCase, CaseReport)]) -> String {
+    use std::fmt::Write as _;
+
+    let report = SmokeReport::from_cases(results);
+    let mut out = String::new();
+    for (i, (case, cr)) in results.iter().enumerate() {
+        if cr.passed() {
+            continue;
+        }
+        let _ = writeln!(out, "case {i} FAILED:");
+        let _ = writeln!(
+            out,
+            "  case {case}: fingerprint {:#018x}, {} commits, {} squashes, {} invs",
+            cr.fingerprint, cr.commits, cr.squashes, cr.invs_processed
+        );
+        for v in &cr.violations {
+            let _ = writeln!(out, "  violation: {v}");
+        }
+        let _ = writeln!(out, "  replay: {}", case.replay_command());
+    }
+    let _ = writeln!(
+        out,
+        "{} cases: {} commits, {} squashes, {} bulk invalidations checked",
+        report.cases, report.commits, report.squashes, report.invs_processed
+    );
+    for line in protocol_summary(results) {
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = if report.passed() {
+        writeln!(out, "all cases passed")
+    } else {
+        writeln!(
+            out,
+            "{} case(s) FAILED (replay commands above)",
+            report.failures.len()
+        )
+    };
+    out
+}
+
 /// Per-case callback for [`run_smoke`] progress streaming.
 pub type ProgressFn<'a> = &'a mut dyn FnMut(u64, &FuzzCase, &CaseReport);
 

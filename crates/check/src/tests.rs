@@ -174,6 +174,39 @@ fn critical_paths_reconcile_under_timing_adversary() {
     );
 }
 
+/// The parallel sweep driver is deterministic: over 50 cases, `--jobs 1`
+/// and `--jobs 4` produce identical ordered results and byte-identical
+/// rendered output (failing-case blocks, totals, per-protocol summary
+/// lines) — worker interleaving must be unobservable.
+#[test]
+fn sweep_output_is_byte_identical_at_jobs_1_and_4() {
+    let serial = run_cases(0xf0f0_2026, 50, 1);
+    let parallel = run_cases(0xf0f0_2026, 50, 4);
+    assert_eq!(serial.len(), 50);
+    for ((ca, ra), (cb, rb)) in serial.iter().zip(&parallel) {
+        assert_eq!(ca, cb);
+        assert_eq!(ra.fingerprint, rb.fingerprint, "{ca}");
+        assert_eq!(ra.commits, rb.commits, "{ca}");
+        assert_eq!(ra.violations, rb.violations, "{ca}");
+    }
+    let out1 = render_sweep(&serial);
+    let out4 = render_sweep(&parallel);
+    assert_eq!(out1, out4, "sweep output depends on worker count");
+    // The summary covers every protocol and the run verdict.
+    for p in PROTOCOLS {
+        assert!(out1.contains(protocol_name(p)), "missing {p} summary line");
+    }
+    assert!(out1.contains("50 cases:"));
+    // And the case list matches what the serial streaming API reports.
+    let smoke = run_smoke(0xf0f0_2026, 50, None);
+    let agg = SmokeReport::from_cases(&serial);
+    assert_eq!(smoke.cases, agg.cases);
+    assert_eq!(smoke.commits, agg.commits);
+    assert_eq!(smoke.squashes, agg.squashes);
+    assert_eq!(smoke.invs_processed, agg.invs_processed);
+    assert_eq!(smoke.failures.len(), agg.failures.len());
+}
+
 /// Schedule derivation is stable: the same (base, i) always yields the
 /// same case, different bases diverge.
 #[test]

@@ -1,0 +1,234 @@
+//! Differential validation of the calendar-queue `EventQueue` against
+//! the `BinaryHeap` implementation it replaced.
+//!
+//! The reference model below is a verbatim port of the old
+//! heap-of-`(at, seq)` queue. Every test drives both structures through
+//! the same operation sequence and demands identical observable behavior
+//! — pop results, peek times, lengths — including the contract corners
+//! the bucket structure has to work for: same-cycle FIFO across tiers,
+//! far-future overflow promotion into the ring window, and pushes behind
+//! the current cursor.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use proptest::prelude::*;
+use sb_engine::{Cycle, EventQueue};
+
+/// The pre-calendar-queue implementation, kept as the executable spec.
+struct RefEntry<E> {
+    at: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for RefEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for RefEntry<E> {}
+impl<E> PartialOrd for RefEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for RefEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct RefQueue<E> {
+    heap: BinaryHeap<RefEntry<E>>,
+    next_seq: u64,
+}
+
+impl<E> RefQueue<E> {
+    fn new() -> Self {
+        RefQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+    fn push(&mut self, at: Cycle, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.heap.push(RefEntry { at, seq, payload });
+    }
+    fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+    fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Drives both queues through one scripted operation list and checks
+/// every observable at every step. `ops` items: `(is_push, cycle)` —
+/// pops ignore the cycle.
+fn run_differential(ops: &[(bool, u64)]) {
+    let mut q = EventQueue::new();
+    let mut r = RefQueue::new();
+    let mut tag = 0u64; // payloads are distinct so FIFO mix-ups can't hide
+    for &(is_push, cycle) in ops {
+        if is_push {
+            q.push(Cycle(cycle), tag);
+            r.push(Cycle(cycle), tag);
+            tag += 1;
+        } else {
+            assert_eq!(q.pop(), r.pop());
+        }
+        assert_eq!(q.peek_time(), r.peek_time());
+        assert_eq!(q.peek_cycle(), r.peek_time());
+        assert_eq!(q.len(), r.len());
+        assert_eq!(q.is_empty(), r.len() == 0);
+    }
+    // Drain both to the end: order must match exactly.
+    loop {
+        let (a, b) = (q.pop(), r.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(q.scheduled_total(), r.next_seq);
+}
+
+/// Exhaustive sweep over every push/pop interleaving of length <= 12
+/// with pushes drawn from a cycle alphabet that crosses all three tiers:
+/// same cycle (FIFO ties), near-future ring, exactly-at-horizon,
+/// far-future overflow, and (after pops advance the cursor) the past.
+#[test]
+fn exhaustive_interleavings_match_heap_reference() {
+    // Cycles chosen to straddle the 4096-cycle ring window from a cursor
+    // that the pop sequence drags forward.
+    const CYCLES: [u64; 5] = [0, 1, 7, 4096, 20_000];
+    const LEN: usize = 6; // 6 variants per op => 6^6 ~ 47k scripts
+    let mut script: Vec<(bool, u64)> = Vec::with_capacity(LEN);
+    // Each op has 6 variants: push at one of 5 cycles, or pop.
+    fn rec(script: &mut Vec<(bool, u64)>, depth: usize) {
+        if depth == 0 {
+            run_differential(script);
+            return;
+        }
+        for c in CYCLES {
+            script.push((true, c));
+            rec(script, depth - 1);
+            script.pop();
+        }
+        script.push((false, 0));
+        rec(script, depth - 1);
+        script.pop();
+    }
+    rec(&mut script, LEN);
+}
+
+/// Same-cycle FIFO holds even when the tied events were routed to
+/// different tiers: one pushed while the cycle was beyond the ring
+/// horizon (overflow heap), one pushed after pops moved the window over
+/// it (ring bucket).
+#[test]
+fn cross_tier_fifo_matches_reference() {
+    let horizon = 4096u64;
+    for gap in [0u64, 1, 5] {
+        let t = horizon + 100;
+        let ops = [
+            (true, t),           // far tier at push time
+            (true, horizon - 1), // ring
+            (true, horizon + gap),
+            (false, 0), // pop horizon-1: window now covers t
+            (false, 0),
+            (true, t), // ring tier; must pop after the far-tier twin
+            (false, 0),
+            (false, 0),
+        ];
+        run_differential(&ops);
+    }
+}
+
+/// `drain_cycle` returns exactly the events `pop` would have returned
+/// for the earliest cycle, in the same order, and nothing else.
+#[test]
+fn drain_cycle_equals_pop_loop() {
+    let mut rng = proptest::rng_for("drain_cycle_equals_pop_loop", 0);
+    for _ in 0..500 {
+        let mut q = EventQueue::new();
+        let mut r = RefQueue::new();
+        let n = 1 + rng.below(40);
+        for tag in 0..n {
+            // Cluster cycles so same-cycle batches are common, with an
+            // occasional far-future outlier.
+            let c = if rng.below(10) == 0 {
+                10_000 + rng.below(5000)
+            } else {
+                rng.below(6)
+            };
+            q.push(Cycle(c), tag);
+            r.push(Cycle(c), tag);
+        }
+        let mut out = VecDeque::new();
+        while let Some(c) = q.drain_cycle(&mut out) {
+            while r.peek_time() == Some(c) {
+                let want = r.pop().expect("peeked");
+                let got = out.pop_front().expect("drain under-delivered");
+                assert_eq!(got, want);
+            }
+            assert!(out.is_empty(), "drain over-delivered past cycle {c:?}");
+        }
+        assert!(r.pop().is_none());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Random long interleavings with cycles spread across the whole
+    /// tier structure (dense near-future, horizon edge, deep far-future)
+    /// and a pop bias that drags the cursor forward so late pushes land
+    /// behind it.
+    #[test]
+    fn random_interleavings_match_heap_reference(
+        ops in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..200),
+    ) {
+        let script: Vec<(bool, u64)> = ops
+            .iter()
+            .map(|&(kind, raw)| {
+                // ~40% pops; pushes pick a tier, then a cycle inside it.
+                let is_push = kind % 5 >= 2;
+                let cycle = match raw % 4 {
+                    0 => raw / 4 % 8,            // dense ties near zero
+                    1 => raw / 4 % 4096,         // across the ring window
+                    2 => 4090 + raw / 4 % 12,    // straddling the horizon
+                    _ => 4096 + raw / 4 % 50_000, // far-future overflow
+                };
+                (is_push, cycle)
+            })
+            .collect();
+        run_differential(&script);
+    }
+
+    /// A burst of same-cycle pushes separated by pops is returned in
+    /// exact push order (FIFO), matching the reference model.
+    #[test]
+    fn same_cycle_bursts_stay_fifo(
+        cycle in 0u64..10_000,
+        burst in 1usize..60,
+        pops_between in 0usize..3,
+    ) {
+        let mut script = Vec::new();
+        for _ in 0..burst {
+            script.push((true, cycle));
+            for _ in 0..pops_between {
+                script.push((false, 0));
+            }
+        }
+        run_differential(&script);
+    }
+}

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! cargo run --release -p sb-sim --bin analyze -- \
-//!     [--cores N] [--app NAME] [--proto P|all] [--insns N] [--seed S] [--top K]
+//!     [--cores N] [--app NAME] [--proto P|all] [--insns N] [--seed S] [--top K] [--jobs N]
 //! ```
+//!
+//! With `--proto all`, the per-protocol runs execute on `--jobs` worker
+//! threads (default: all hardware threads); reports still print in
+//! protocol order, byte-identical to a serial run.
 //!
 //! For each requested protocol the run is executed with causal tracing
 //! on, every commit's critical path is reconstructed from the flow graph
@@ -20,13 +24,14 @@
 //! 30x ScalableBulk's?" — see EXPERIMENTS.md for the walkthrough.
 
 use sb_proto::ProtocolKind;
+use sb_sim::parallel::{parallel_map, AUTO_JOBS};
 use sb_sim::{commit_paths, run_simulation, Attribution, CommitPath, SegmentKind, SimConfig};
 use sb_workloads::AppProfile;
 
 fn usage() -> ! {
     eprintln!(
         "usage: analyze -- [--cores N] [--app NAME] [--proto P|all] \
-         [--insns N] [--seed S] [--top K]"
+         [--insns N] [--seed S] [--top K] [--jobs N|auto]"
     );
     std::process::exit(2);
 }
@@ -39,6 +44,7 @@ fn main() {
     let mut insns: u64 = 10_000;
     let mut seed: u64 = 0x5ca1ab1e;
     let mut top: usize = 5;
+    let mut jobs: usize = AUTO_JOBS;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -85,19 +91,29 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|v| sb_sim::parallel::parse_jobs(v))
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
     }
 
-    for proto in protos {
+    // Runs fan out over workers; reports print in protocol order below.
+    let runs = parallel_map(&protos, jobs, |&proto| {
         let mut cfg = SimConfig::paper_default(cores, app, proto);
         cfg.insns_per_thread = insns;
         cfg.seed = seed;
         cfg.trace = true;
         cfg.obs = true;
-        let r = run_simulation(&cfg);
-        let mut paths = match commit_paths(&r) {
+        run_simulation(&cfg)
+    });
+    for (&proto, r) in protos.iter().zip(&runs) {
+        let mut paths = match commit_paths(r) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("[analyze] {proto}: critical-path reconstruction failed: {e}");

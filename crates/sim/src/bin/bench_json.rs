@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p sb-sim --bin bench_json [-- --out PATH] [--insns N] [--repeats R] \
-//!     [--compare BASELINE.json] [--max-regress PCT]
+//!     [--jobs N] [--compare BASELINE.json] [--max-regress PCT]
 //! ```
 //!
 //! Each entry records both the simulated outcome (`wall_cycles`,
@@ -20,9 +20,17 @@
 //! checked against the fresh measurement, and the process exits non-zero
 //! if any cell's `events_per_sec` dropped by more than `--max-regress`
 //! percent (default 15). Cells faster than baseline always pass.
+//!
+//! `--jobs N` runs the cells on worker threads (simulated outcomes are
+//! unaffected; results merge in cell order). The default stays `1`:
+//! this binary *measures* host-side throughput, and concurrent cells
+//! contend for cores and caches, which would make `events_per_sec` (and
+//! the regression gate) noisy. Use `--jobs` only when regenerating the
+//! simulated fields quickly, not for gating.
 
 use sb_obs::json::JsonValue;
 use sb_proto::ProtocolKind;
+use sb_sim::parallel::parallel_map;
 use sb_sim::{run_simulation, SimConfig};
 use sb_workloads::AppProfile;
 
@@ -39,6 +47,7 @@ fn main() {
     let mut repeats: u32 = 3;
     let mut compare: Option<String> = None;
     let mut max_regress: f64 = 15.0;
+    let mut jobs: usize = 1;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -68,6 +77,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--max-regress PCT");
             }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|v| sb_sim::parallel::parse_jobs(v))
+                    .expect("--jobs N|auto");
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -77,36 +93,46 @@ fn main() {
     }
     let repeats = repeats.max(1);
 
-    let mut entries: Vec<Entry> = Vec::new();
+    let mut cells: Vec<(u16, ProtocolKind)> = Vec::new();
     for cores in [8u16, 32, 64] {
         for protocol in ProtocolKind::ALL {
-            let mut cfg = SimConfig::paper_default(cores, AppProfile::fft(), protocol);
-            cfg.insns_per_thread = insns;
-            let mut best: Option<sb_sim::RunResult> = None;
-            for _ in 0..repeats {
-                let r = run_simulation(&cfg);
-                if let Some(b) = &best {
-                    // Identical simulated outcome is a hard invariant.
-                    assert_eq!(b.wall_cycles, r.wall_cycles, "{protocol}@{cores}");
-                    assert_eq!(b.commits, r.commits, "{protocol}@{cores}");
-                    if r.perf.wall < b.perf.wall {
-                        best = Some(r);
-                    }
-                } else {
+            cells.push((cores, protocol));
+        }
+    }
+    // Each cell keeps its repeats serial (back-to-back runs of the same
+    // config are the fair wall-clock comparison); `--jobs` only spreads
+    // distinct cells over workers. Entries come back in cell order, so
+    // the JSON and log are byte-stable at any job count.
+    let entries: Vec<Entry> = parallel_map(&cells, jobs, |&(cores, protocol)| {
+        let mut cfg = SimConfig::paper_default(cores, AppProfile::fft(), protocol);
+        cfg.insns_per_thread = insns;
+        let mut best: Option<sb_sim::RunResult> = None;
+        for _ in 0..repeats {
+            let r = run_simulation(&cfg);
+            if let Some(b) = &best {
+                // Identical simulated outcome is a hard invariant.
+                assert_eq!(b.wall_cycles, r.wall_cycles, "{protocol}@{cores}");
+                assert_eq!(b.commits, r.commits, "{protocol}@{cores}");
+                if r.perf.wall < b.perf.wall {
                     best = Some(r);
                 }
+            } else {
+                best = Some(r);
             }
-            let result = best.expect("repeats >= 1");
-            eprintln!(
-                "[bench] {protocol:>12} @ {cores:>2} cores: {}",
-                result.perf.render()
-            );
-            entries.push(Entry {
-                protocol,
-                cores,
-                result,
-            });
         }
+        Entry {
+            protocol,
+            cores,
+            result: best.expect("repeats >= 1"),
+        }
+    });
+    for e in &entries {
+        eprintln!(
+            "[bench] {:>12} @ {:>2} cores: {}",
+            e.protocol,
+            e.cores,
+            e.result.perf.render()
+        );
     }
 
     let mut json = String::new();
@@ -126,7 +152,7 @@ fn main() {
                 "    {{\"protocol\": \"{}\", \"cores\": {}, ",
                 "\"wall_cycles\": {}, \"commits\": {}, ",
                 "\"events\": {}, \"protocol_steps\": {}, ",
-                "\"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, ",
+                "\"wall_secs\": {:.6}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, ",
                 "\"sim_cycles_per_sec\": {:.0}, ",
                 "\"phase_setup_secs\": {:.6}, \"phase_run_secs\": {:.6}, ",
                 "\"phase_drain_secs\": {:.6}}}{}\n"
@@ -138,6 +164,7 @@ fn main() {
             p.events_dispatched,
             p.protocol_steps,
             p.wall.as_secs_f64(),
+            p.wall.as_secs_f64() * 1e3,
             p.events_per_sec(),
             p.sim_cycles_per_sec(),
             phase("phase.setup_secs"),

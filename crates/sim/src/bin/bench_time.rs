@@ -1,23 +1,41 @@
 //! Minimal timing probe used to compare simulator builds.
 //!
 //! Deliberately uses only APIs present in every revision of the repo
-//! (`run_simulation` + `RunResult`'s simulated counters + `Instant`), so
-//! the identical file can be dropped into an older checkout to measure a
-//! "before" build. Prints one line per configuration:
+//! (`run_simulation` + `RunResult`'s simulated counters + `Instant` +
+//! `std::thread::scope` — even the `--jobs` fan-out is local to this
+//! file), so the identical file can be dropped into an older checkout to
+//! measure a "before" build. Prints one line per configuration:
 //!
 //! ```text
 //! PROBE <app> <protocol> <cores> <insns> wall_cycles=.. commits=.. msgs=.. best_secs=..
 //! ```
+//!
+//! ```text
+//! cargo run --release -p sb-sim --bin bench_time -- [REPS] [--jobs N]
+//! ```
+//!
+//! `--jobs` defaults to 1: this probe measures host wall-clock, and
+//! concurrent probes steal cycles from each other. Lines always print in
+//! grid order regardless of the job count.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use sb_proto::ProtocolKind;
 use sb_sim::{run_simulation, SimConfig};
 use sb_workloads::AppProfile;
 
-fn probe(name: &str, app: AppProfile, protocol: ProtocolKind, cores: u16, insns: u64, reps: u32) {
-    let mut cfg = SimConfig::paper_default(cores, app, protocol);
-    cfg.insns_per_thread = insns;
+struct Spec {
+    name: &'static str,
+    app: AppProfile,
+    protocol: ProtocolKind,
+    cores: u16,
+    insns: u64,
+}
+
+fn probe(spec: &Spec, reps: u32) -> String {
+    let mut cfg = SimConfig::paper_default(spec.cores, spec.app, spec.protocol);
+    cfg.insns_per_thread = spec.insns;
     let mut best = f64::INFINITY;
     let mut sim = (0u64, 0u64, 0u64);
     for _ in 0..reps {
@@ -27,17 +45,38 @@ fn probe(name: &str, app: AppProfile, protocol: ProtocolKind, cores: u16, insns:
         best = best.min(secs);
         sim = (r.wall_cycles, r.commits, r.traffic.total_messages());
     }
-    println!(
-        "PROBE {name} {protocol} {cores} {insns} wall_cycles={} commits={} msgs={} best_secs={best:.4}",
-        sim.0, sim.1, sim.2
-    );
+    format!(
+        "PROBE {} {} {} {} wall_cycles={} commits={} msgs={} best_secs={best:.4}",
+        spec.name, spec.protocol, spec.cores, spec.insns, sim.0, sim.1, sim.2
+    )
 }
 
 fn main() {
-    let reps: u32 = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps: u32 = 3;
+    let mut jobs: usize = 1;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|v| {
+                        if v == "auto" {
+                            std::thread::available_parallelism().map(|n| n.get()).ok()
+                        } else {
+                            v.parse().ok().filter(|&n| n >= 1)
+                        }
+                    })
+                    .expect("--jobs N|auto");
+            }
+            v => reps = v.parse().expect("reps must be an integer"),
+        }
+        i += 1;
+    }
+
+    let mut specs: Vec<Spec> = Vec::new();
     // The golden grid (identity check): fft/radix x all protocols @ 16c.
     for (name, app) in [("fft", AppProfile::fft()), ("radix", AppProfile::radix())] {
         for protocol in [
@@ -47,23 +86,70 @@ fn main() {
             ProtocolKind::SeqTs,
             ProtocolKind::BulkSc,
         ] {
-            probe(name, app, protocol, 16, 6_000, reps);
+            specs.push(Spec {
+                name,
+                app,
+                protocol,
+                cores: 16,
+                insns: 6_000,
+            });
         }
     }
     // The throughput sweep (speed check): fft under SB at 8/32/64 cores,
     // fig-7 sized.
     for cores in [8u16, 32, 64] {
-        probe(
-            "fft",
-            AppProfile::fft(),
-            ProtocolKind::ScalableBulk,
+        specs.push(Spec {
+            name: "fft",
+            app: AppProfile::fft(),
+            protocol: ProtocolKind::ScalableBulk,
             cores,
-            20_000,
-            reps,
-        );
+            insns: 20_000,
+        });
     }
     // And the 32-core point under every protocol.
     for protocol in ProtocolKind::ALL {
-        probe("fft", AppProfile::fft(), protocol, 32, 20_000, reps);
+        specs.push(Spec {
+            name: "fft",
+            app: AppProfile::fft(),
+            protocol,
+            cores: 32,
+            insns: 20_000,
+        });
+    }
+
+    // Self-contained ordered fan-out (no sb_sim::parallel, so this file
+    // still drops into older checkouts): workers claim specs from a
+    // counter, lines print in spec order after all workers join.
+    let jobs = jobs.min(specs.len()).max(1);
+    let lines: Vec<String> = if jobs <= 1 {
+        specs.iter().map(|s| probe(s, reps)).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<String>> = Vec::new();
+        slots.resize_with(specs.len(), || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut produced = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(spec) = specs.get(i) else { break };
+                            produced.push((i, probe(spec, reps)));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, line) in h.join().expect("probe worker") {
+                    slots[i] = Some(line);
+                }
+            }
+        });
+        slots.into_iter().map(|l| l.expect("claimed")).collect()
+    };
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -1,10 +1,15 @@
 //! Regenerates every table and figure of the ScalableBulk paper.
 //!
 //! ```text
-//! cargo run --release -p sb-sim --bin figures -- <id> [--insns N] [--seed S] [--csv DIR] [--timing] [--attribution] [--trace-out PATH]
+//! cargo run --release -p sb-sim --bin figures -- <id> [--insns N] [--seed S] [--jobs N] [--csv DIR] [--timing] [--attribution] [--trace-out PATH]
 //! cargo run --release -p sb-sim --bin figures -- all
 //! cargo run --release -p sb-sim --bin figures -- --timing
 //! ```
+//!
+//! `--jobs N` sets the worker-thread count for the independent runs
+//! inside each figure (default: all hardware threads; `--jobs 1` is
+//! fully serial). Output is byte-identical at any value — results merge
+//! in work-list order, not completion order.
 //!
 //! `--timing` appends a host-side simulator-throughput probe (events/sec,
 //! sim-cycles/sec per core count, per-phase wall times from the metrics
@@ -32,7 +37,7 @@ use sb_workloads::{AppProfile, Suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--csv DIR] [--timing] [--attribution] [--trace-out PATH]"
+        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--jobs N|auto] [--csv DIR] [--timing] [--attribution] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -189,6 +194,13 @@ fn main() {
                 sweep.seed = args
                     .get(i)
                     .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                i += 1;
+                sweep.jobs = args
+                    .get(i)
+                    .and_then(|v| sb_sim::parallel::parse_jobs(v))
                     .unwrap_or_else(|| usage());
             }
             id => ids.push(id.to_string()),

@@ -8,7 +8,6 @@
 //! threads.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 use sb_core::MessageType;
 use sb_net::TrafficClass;
@@ -17,6 +16,7 @@ use sb_stats::{TextTable, TrafficReport};
 use sb_workloads::{AppProfile, Suite};
 
 use crate::config::SimConfig;
+use crate::parallel::{parallel_map, AUTO_JOBS};
 use crate::result::RunResult;
 use crate::runner::run_simulation;
 
@@ -28,6 +28,10 @@ pub struct Sweep {
     pub insns_per_thread: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for independent runs ([`AUTO_JOBS`] = one per
+    /// hardware thread). Only wall-clock depends on this; every table is
+    /// byte-identical at any value.
+    pub jobs: usize,
 }
 
 impl Default for Sweep {
@@ -35,6 +39,7 @@ impl Default for Sweep {
         Sweep {
             insns_per_thread: 20_000,
             seed: 0x5ca1ab1e,
+            jobs: AUTO_JOBS,
         }
     }
 }
@@ -57,14 +62,14 @@ impl RunSet {
         sweep: &Sweep,
         with_single: bool,
     ) -> RunSet {
-        let mut jobs: Vec<(String, u16, ProtocolKind, SimConfig)> = Vec::new();
+        let mut work: Vec<(String, u16, ProtocolKind, SimConfig)> = Vec::new();
         for app in apps {
             for &cores in cores_list {
                 for &p in protocols {
                     let mut cfg = SimConfig::paper_default(cores, *app, p);
                     cfg.insns_per_thread = sweep.insns_per_thread;
                     cfg.seed = sweep.seed;
-                    jobs.push((app.name.to_string(), cores, p, cfg));
+                    work.push((app.name.to_string(), cores, p, cfg));
                 }
             }
             if with_single {
@@ -73,7 +78,7 @@ impl RunSet {
                 for &cores in cores_list {
                     let mut cfg = SimConfig::single_processor(*app, cores, sweep.insns_per_thread);
                     cfg.seed = sweep.seed;
-                    jobs.push((
+                    work.push((
                         format!("{}@1p{}", app.name, cores),
                         0,
                         ProtocolKind::ScalableBulk,
@@ -82,37 +87,14 @@ impl RunSet {
                 }
             }
         }
-        let results: Mutex<HashMap<(String, u16, ProtocolKind), RunResult>> =
-            Mutex::new(HashMap::new());
-        let next: Mutex<usize> = Mutex::new(0);
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(jobs.len().max(1));
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = {
-                        let mut n = next.lock().expect("job counter");
-                        let i = *n;
-                        *n += 1;
-                        i
-                    };
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let (name, cores, p, cfg) = &jobs[i];
-                    let r = run_simulation(cfg);
-                    results
-                        .lock()
-                        .expect("results")
-                        .insert((name.clone(), *cores, *p), r);
-                });
-            }
-        });
+        let results = parallel_map(&work, sweep.jobs, |(_, _, _, cfg)| run_simulation(cfg));
         RunSet {
             sweep: sweep.clone(),
-            runs: results.into_inner().expect("results"),
+            runs: work
+                .into_iter()
+                .zip(results)
+                .map(|((name, cores, p, _), r)| ((name, cores, p), r))
+                .collect(),
         }
     }
 
@@ -488,21 +470,25 @@ pub fn protocols_table() -> TextTable {
 /// (§3.3), per application at 64 processors.
 pub fn ablation_oci_table(apps: &[AppProfile], sweep: &Sweep) -> TextTable {
     let mut t = TextTable::new(vec!["app", "oci", "wall_cycles", "mean_latency", "commit%"]);
+    let mut work: Vec<(&AppProfile, bool, SimConfig)> = Vec::new();
     for app in apps {
         for oci in [true, false] {
             let mut cfg = SimConfig::paper_default(64, *app, ProtocolKind::ScalableBulk);
             cfg.insns_per_thread = sweep.insns_per_thread;
             cfg.seed = sweep.seed;
             cfg.oci = oci;
-            let r = run_simulation(&cfg);
-            t.row(vec![
-                app.name.into(),
-                oci.to_string(),
-                r.wall_cycles.to_string(),
-                format!("{:.0}", r.latency.mean()),
-                format!("{:.1}", r.breakdown.fraction_commit() * 100.0),
-            ]);
+            work.push((app, oci, cfg));
         }
+    }
+    let results = parallel_map(&work, sweep.jobs, |(_, _, cfg)| run_simulation(cfg));
+    for ((app, oci, _), r) in work.iter().zip(&results) {
+        t.row(vec![
+            app.name.into(),
+            oci.to_string(),
+            r.wall_cycles.to_string(),
+            format!("{:.0}", r.latency.mean()),
+            format!("{:.1}", r.breakdown.fraction_commit() * 100.0),
+        ]);
     }
     t
 }
@@ -517,12 +503,18 @@ pub fn ablation_signature_table(app: AppProfile, sweep: &Sweep) -> TextTable {
         "mean_latency",
         "wall_cycles",
     ]);
-    for bits in [512u32, 1024, 2048, 4096] {
-        let mut cfg = SimConfig::paper_default(64, app, ProtocolKind::ScalableBulk);
-        cfg.insns_per_thread = sweep.insns_per_thread;
-        cfg.seed = sweep.seed;
-        cfg.sig = sb_sigs::SignatureConfig::new(bits, 4);
-        let r = run_simulation(&cfg);
+    let work: Vec<(u32, SimConfig)> = [512u32, 1024, 2048, 4096]
+        .into_iter()
+        .map(|bits| {
+            let mut cfg = SimConfig::paper_default(64, app, ProtocolKind::ScalableBulk);
+            cfg.insns_per_thread = sweep.insns_per_thread;
+            cfg.seed = sweep.seed;
+            cfg.sig = sb_sigs::SignatureConfig::new(bits, 4);
+            (bits, cfg)
+        })
+        .collect();
+    let results = parallel_map(&work, sweep.jobs, |(_, cfg)| run_simulation(cfg));
+    for ((bits, _), r) in work.iter().zip(&results) {
         let total = (r.commits + r.squashes()).max(1) as f64;
         t.row(vec![
             bits.to_string(),
@@ -547,6 +539,7 @@ pub fn seq_ts_table(sweep: &Sweep) -> TextTable {
         "mean_latency",
         "queue_len",
     ]);
+    let mut work: Vec<(AppProfile, ProtocolKind, SimConfig)> = Vec::new();
     for app in [
         AppProfile::radix(),
         AppProfile::canneal(),
@@ -560,16 +553,19 @@ pub fn seq_ts_table(sweep: &Sweep) -> TextTable {
             let mut cfg = SimConfig::paper_default(64, app, proto);
             cfg.insns_per_thread = sweep.insns_per_thread;
             cfg.seed = sweep.seed;
-            let r = run_simulation(&cfg);
-            t.row(vec![
-                app.name.into(),
-                proto.label().into(),
-                r.wall_cycles.to_string(),
-                format!("{:.1}", r.breakdown.fraction_commit() * 100.0),
-                format!("{:.0}", r.latency.mean()),
-                format!("{:.2}", r.gauges.mean_queue_length()),
-            ]);
+            work.push((app, proto, cfg));
         }
+    }
+    let results = parallel_map(&work, sweep.jobs, |(_, _, cfg)| run_simulation(cfg));
+    for ((app, proto, _), r) in work.iter().zip(&results) {
+        t.row(vec![
+            app.name.into(),
+            proto.label().into(),
+            r.wall_cycles.to_string(),
+            format!("{:.1}", r.breakdown.fraction_commit() * 100.0),
+            format!("{:.0}", r.latency.mean()),
+            format!("{:.2}", r.gauges.mean_queue_length()),
+        ]);
     }
     t
 }
@@ -578,12 +574,18 @@ pub fn seq_ts_table(sweep: &Sweep) -> TextTable {
 /// commit retries as the unfairness proxy.
 pub fn ablation_rotation_table(app: AppProfile, sweep: &Sweep) -> TextTable {
     let mut t = TextTable::new(vec!["rotation", "wall_cycles", "retries", "mean_latency"]);
-    for interval in [None, Some(10_000u64)] {
-        let mut cfg = SimConfig::paper_default(64, app, ProtocolKind::ScalableBulk);
-        cfg.insns_per_thread = sweep.insns_per_thread;
-        cfg.seed = sweep.seed;
-        cfg.sb.rotation_interval = interval;
-        let r = run_simulation(&cfg);
+    let work: Vec<(Option<u64>, SimConfig)> = [None, Some(10_000u64)]
+        .into_iter()
+        .map(|interval| {
+            let mut cfg = SimConfig::paper_default(64, app, ProtocolKind::ScalableBulk);
+            cfg.insns_per_thread = sweep.insns_per_thread;
+            cfg.seed = sweep.seed;
+            cfg.sb.rotation_interval = interval;
+            (interval, cfg)
+        })
+        .collect();
+    let results = parallel_map(&work, sweep.jobs, |(_, cfg)| run_simulation(cfg));
+    for ((interval, _), r) in work.iter().zip(&results) {
         t.row(vec![
             interval.map_or("off".to_string(), |i| format!("every {i}")),
             r.wall_cycles.to_string(),
@@ -602,6 +604,7 @@ mod tests {
         Sweep {
             insns_per_thread: 6_000,
             seed: 7,
+            jobs: AUTO_JOBS,
         }
     }
 

@@ -32,6 +32,7 @@ pub mod experiments;
 mod export;
 mod machine;
 mod obs;
+pub mod parallel;
 mod result;
 mod runner;
 mod trace;

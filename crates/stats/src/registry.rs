@@ -261,6 +261,66 @@ mod tests {
         assert_eq!(a.gauge("only_b"), Some(7.0));
     }
 
+    /// Merging per-run registries must commute and associate — that is
+    /// what lets a parallel sweep reduce worker results in any claim
+    /// order and still produce one deterministic aggregate. Counters sum
+    /// (commutative on u64), gauges sum (the values below are dyadic
+    /// rationals, so f64 addition is exact and order-free), histograms
+    /// merge bucket-wise; disjoint names union.
+    #[test]
+    fn merge_is_order_independent() {
+        let regs: Vec<MetricsRegistry> = (0..4)
+            .map(|i| {
+                let mut m = MetricsRegistry::new();
+                m.add_counter("shared.count", 10 + i);
+                m.add_counter(&format!("only.{i}"), i + 1);
+                m.set_gauge("shared.gauge", 0.25 * (i + 1) as f64);
+                m.observe("shared.hist", i * 8, 4, 10);
+                m.observe("shared.hist", 100 + i, 4, 10); // overflow bucket
+                m
+            })
+            .collect();
+
+        let merge_in = |order: &[usize]| {
+            let mut acc = MetricsRegistry::new();
+            for &i in order {
+                acc.merge(&regs[i]);
+            }
+            acc
+        };
+        let reference = merge_in(&[0, 1, 2, 3]);
+        for order in [
+            [3, 2, 1, 0],
+            [2, 0, 3, 1],
+            [1, 3, 0, 2],
+            [0, 2, 1, 3],
+            [3, 0, 2, 1],
+        ] {
+            let merged = merge_in(&order);
+            assert_eq!(merged, reference, "order {order:?} diverged");
+            // The JSON export (what sweeps persist) is identical too.
+            assert_eq!(
+                merged.to_json().to_string(),
+                reference.to_json().to_string()
+            );
+        }
+        // Pairwise-then-merge (a reduction tree) matches the linear fold:
+        // associativity, not just commutativity.
+        let mut left = MetricsRegistry::new();
+        left.merge(&regs[0]);
+        left.merge(&regs[1]);
+        let mut right = MetricsRegistry::new();
+        right.merge(&regs[2]);
+        right.merge(&regs[3]);
+        left.merge(&right);
+        assert_eq!(left, reference);
+        // Sanity on the aggregate itself.
+        assert_eq!(reference.counter("shared.count"), Some(10 + 11 + 12 + 13));
+        assert_eq!(reference.gauge("shared.gauge"), Some(0.25 * 10.0));
+        assert_eq!(reference.histogram("shared.hist").unwrap().total(), 8);
+        assert_eq!(reference.histogram("shared.hist").unwrap().overflow(), 4);
+    }
+
     #[test]
     #[should_panic(expected = "type mismatch")]
     fn merge_type_mismatch_panics() {
