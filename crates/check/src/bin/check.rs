@@ -1,7 +1,7 @@
 //! Fuzz-sweep / replay driver.
 //!
 //! ```text
-//! check [--smoke N | --cases N] [--seed S] [--jobs J|auto]
+//! check [--smoke N | --cases N] [--seed S] [--jobs J|auto] [--domains D|auto]
 //!                                   run N cases of the schedule rooted at S
 //! check --replay W:P:PROTO          re-run one case and print its verdict
 //! ```
@@ -11,12 +11,17 @@
 //! order, totals, one summary line per protocol — is buffered and
 //! byte-identical at every job count; only wall-clock changes.
 //!
+//! `--domains` splits each simulated machine over D intra-run PDES
+//! domains (default 1). Fingerprints and verdicts are identical at any
+//! value — so a failing case found at `--domains 4` replays exactly with
+//! the plain single-threaded `--replay` command it prints.
+//!
 //! Exit status is non-zero iff any case failed; every failure prints the
 //! one-line replay command and the trace fingerprint it reproduces.
 
 use std::process::ExitCode;
 
-use sb_check::{check_case, render_sweep, run_cases, CaseReport, FuzzCase, SmokeReport};
+use sb_check::{check_case_at, render_sweep, run_cases_at, CaseReport, FuzzCase, SmokeReport};
 use sb_sim::parallel::AUTO_JOBS;
 
 const DEFAULT_CASES: u64 = 200;
@@ -24,7 +29,7 @@ const DEFAULT_SEED: u64 = 0xf0f0_2026;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: check [--smoke N | --cases N] [--seed S] [--jobs J|auto] | check --replay W:P:PROTO"
+        "usage: check [--smoke N | --cases N] [--seed S] [--jobs J|auto] [--domains D|auto] | check --replay W:P:PROTO"
     );
     ExitCode::from(2)
 }
@@ -34,6 +39,7 @@ fn main() -> ExitCode {
     let mut cases = DEFAULT_CASES;
     let mut seed = DEFAULT_SEED;
     let mut jobs = AUTO_JOBS;
+    let mut domains = 1usize;
     let mut replay: Option<FuzzCase> = None;
 
     let mut it = args.iter();
@@ -51,6 +57,10 @@ fn main() -> ExitCode {
                 Some(j) => jobs = j,
                 None => return usage(),
             },
+            "--domains" => match it.next().and_then(|v| sb_sim::parallel::parse_domains(v)) {
+                Some(d) => domains = d,
+                None => return usage(),
+            },
             "--replay" => match it.next().and_then(|v| FuzzCase::parse(v)) {
                 Some(c) => replay = Some(c),
                 None => return usage(),
@@ -60,7 +70,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(case) = replay {
-        let report = check_case(&case);
+        let report = check_case_at(&case, domains);
         print_case(&case, &report);
         return if report.passed() {
             ExitCode::SUCCESS
@@ -70,7 +80,7 @@ fn main() -> ExitCode {
     }
 
     println!("fuzzing {cases} cases (schedule seed {seed:#x}) ...");
-    let results = run_cases(seed, cases, jobs);
+    let results = run_cases_at(seed, cases, jobs, domains);
     // Everything below is a pure render of the ordered results, so the
     // bytes printed are independent of how the workers interleaved.
     print!("{}", render_sweep(&results));

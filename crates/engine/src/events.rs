@@ -360,6 +360,46 @@ impl<E> EventQueue<E> {
         Some(c)
     }
 
+    /// Horizon-bounded drain: pops every event of the earliest pending
+    /// cycle (exactly like [`drain_cycle`]) **iff** that cycle lies
+    /// strictly before `horizon`; otherwise leaves the queue untouched
+    /// and returns `None`.
+    ///
+    /// This is the primitive a conservative parallel scheduler needs: a
+    /// domain repeatedly calls `advance_until(safe_horizon, ..)` and is
+    /// guaranteed never to consume an event at or past the horizon, while
+    /// same-cycle pushes made by the dispatched handlers drain on the
+    /// *next* call in exact `(cycle, seq)` order — so a loop over
+    /// `advance_until` is observationally identical to the serial
+    /// pop-loop truncated at the horizon.
+    ///
+    /// ```
+    /// use std::collections::VecDeque;
+    /// use sb_engine::{Cycle, EventQueue};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.push(Cycle(4), 'a');
+    /// q.push(Cycle(9), 'z');
+    /// let mut out = VecDeque::new();
+    /// assert_eq!(q.advance_until(Cycle(9), &mut out), Some(Cycle(4)));
+    /// assert_eq!(out, [(Cycle(4), 'a')]);
+    /// // Cycle 9 is at the horizon: not drained.
+    /// assert_eq!(q.advance_until(Cycle(9), &mut out), None);
+    /// assert_eq!(q.len(), 1);
+    /// ```
+    ///
+    /// [`drain_cycle`]: EventQueue::drain_cycle
+    pub fn advance_until(
+        &mut self,
+        horizon: Cycle,
+        out: &mut VecDeque<(Cycle, E)>,
+    ) -> Option<Cycle> {
+        if self.peek_time()? >= horizon {
+            return None;
+        }
+        self.drain_cycle(out)
+    }
+
     /// Number of pending events.
     ///
     /// ```
@@ -541,6 +581,50 @@ mod tests {
         out.clear();
         assert_eq!(q.drain_cycle(&mut out), None);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn advance_until_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(3), 'a');
+        q.push(Cycle(3), 'b');
+        q.push(Cycle(8), 'c');
+        let mut out = VecDeque::new();
+        // Horizon below everything: nothing moves.
+        assert_eq!(q.advance_until(Cycle(3), &mut out), None);
+        assert!(out.is_empty());
+        assert_eq!(q.len(), 3);
+        // One cycle strictly inside the horizon drains whole.
+        assert_eq!(q.advance_until(Cycle(4), &mut out), Some(Cycle(3)));
+        assert_eq!(out, [(Cycle(3), 'a'), (Cycle(3), 'b')]);
+        assert_eq!(q.advance_until(Cycle(4), &mut out), None);
+        // Raising the horizon releases the rest.
+        out.clear();
+        assert_eq!(q.advance_until(Cycle(9), &mut out), Some(Cycle(8)));
+        assert_eq!(out, [(Cycle(8), 'c')]);
+        assert_eq!(q.advance_until(Cycle(u64::MAX), &mut out), None);
+    }
+
+    #[test]
+    fn advance_until_loop_absorbs_same_cycle_feedback() {
+        // A handler that pushes back into the cycle it is draining must
+        // see its event on the *next* advance_until call, in FIFO order —
+        // the exact semantics of the serial pop loop.
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 0);
+        let mut out = VecDeque::new();
+        let mut seen = Vec::new();
+        while let Some(c) = q.advance_until(Cycle(6), &mut out) {
+            assert_eq!(c, Cycle(5));
+            while let Some((at, e)) = out.pop_front() {
+                seen.push(e);
+                if e < 3 {
+                    q.push(at, e + 1); // same-cycle feedback
+                }
+            }
+        }
+        assert_eq!(seen, [0, 1, 2, 3]);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -68,6 +68,18 @@ impl<E> RefQueue<E> {
     fn len(&self) -> usize {
         self.heap.len()
     }
+    /// Reference semantics of `advance_until`: pop the earliest cycle in
+    /// full, but only if it lies strictly before the horizon.
+    fn advance_until(&mut self, horizon: Cycle, out: &mut VecDeque<(Cycle, E)>) -> Option<Cycle> {
+        let c = self.peek_time()?;
+        if c >= horizon {
+            return None;
+        }
+        while self.peek_time() == Some(c) {
+            out.push_back(self.pop().expect("peeked"));
+        }
+        Some(c)
+    }
 }
 
 /// Drives both queues through one scripted operation list and checks
@@ -186,6 +198,128 @@ fn drain_cycle_equals_pop_loop() {
     }
 }
 
+/// Drives both queues through a script of pushes, pops, and
+/// horizon-bounded drains (`(2, h)` = advance_until at horizon `h`),
+/// checking every observable after each op.
+fn run_horizon_differential(ops: &[(u8, u64)]) {
+    let mut q = EventQueue::new();
+    let mut r = RefQueue::new();
+    let mut tag = 0u64;
+    let mut qo = VecDeque::new();
+    let mut ro = VecDeque::new();
+    for &(op, val) in ops {
+        match op {
+            0 => {
+                q.push(Cycle(val), tag);
+                r.push(Cycle(val), tag);
+                tag += 1;
+            }
+            1 => assert_eq!(q.pop(), r.pop()),
+            _ => {
+                qo.clear();
+                ro.clear();
+                let a = q.advance_until(Cycle(val), &mut qo);
+                let b = r.advance_until(Cycle(val), &mut ro);
+                assert_eq!(a, b, "advance_until({val}) returned cycle differs");
+                assert_eq!(qo, ro, "advance_until({val}) drained set differs");
+            }
+        }
+        assert_eq!(q.peek_time(), r.peek_time());
+        assert_eq!(q.len(), r.len());
+    }
+    loop {
+        let (a, b) = (q.pop(), r.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+/// `advance_until` at hand-picked horizons that sit exactly on the tier
+/// boundaries of the calendar structure: the bucket-ring edge (cursor +
+/// ring width), one inside/outside it, the overflow tier, and — after a
+/// pop drags the cursor forward — a push behind the cursor (`past`
+/// tier) with a horizon between past and ring content.
+#[test]
+fn advance_until_at_tier_edges_matches_reference() {
+    let ring = 1024u64; // EventQueue's documented near-future window
+    for &edge in &[ring - 1, ring, ring + 1, 4 * ring, 20_000] {
+        // Horizon exactly at / around an event on the edge cycle.
+        run_horizon_differential(&[
+            (0, 3),
+            (0, edge),
+            (2, edge),     // event at `edge` must NOT drain
+            (2, edge + 1), // now it must
+            (2, u64::MAX),
+        ]);
+        // Mixed tiers: near-future ring, the edge, and a far outlier.
+        run_horizon_differential(&[
+            (0, 1),
+            (0, 1),
+            (0, edge),
+            (0, edge + ring),
+            (2, 2),
+            (2, edge + 1),
+            (2, edge + ring + 1),
+            (2, u64::MAX),
+        ]);
+        // Past-tier edge: advance the cursor past `edge`, then push
+        // behind it; horizons between the past event and the rest.
+        run_horizon_differential(&[
+            (0, edge),
+            (1, 0), // cursor now at `edge`
+            (0, 5), // behind the cursor: past tier
+            (0, edge + 2),
+            (2, 5),        // past event at 5 not drained
+            (2, 6),        // drained
+            (2, edge + 2), // ring/far content at edge+2 not drained
+            (2, u64::MAX),
+        ]);
+    }
+}
+
+/// A loop of `advance_until` calls with a fixed horizon is equivalent to
+/// the truncated pop loop, over random scripts that cross all tiers.
+#[test]
+fn advance_until_loop_equals_truncated_pop_loop() {
+    let mut rng = proptest::rng_for("advance_until_loop_equals_truncated_pop_loop", 0);
+    for _ in 0..300 {
+        let mut q = EventQueue::new();
+        let mut r = RefQueue::new();
+        let n = 1 + rng.below(50);
+        for tag in 0..n {
+            let c = match rng.below(4) {
+                0 => rng.below(8),           // dense ties
+                1 => rng.below(1024),        // ring window
+                2 => 1020 + rng.below(10),   // straddling the ring edge
+                _ => 1024 + rng.below(9000), // overflow tier
+            };
+            q.push(Cycle(c), tag);
+            r.push(Cycle(c), tag);
+        }
+        let horizon = Cycle(rng.below(2048));
+        let mut qo = VecDeque::new();
+        while q.advance_until(horizon, &mut qo).is_some() {}
+        let mut ro = VecDeque::new();
+        while r.peek_time().is_some_and(|c| c < horizon) {
+            ro.push_back(r.pop().expect("peeked"));
+        }
+        assert_eq!(qo, ro, "horizon {horizon:?}");
+        // Both queues hold exactly the at-or-past-horizon remainder.
+        loop {
+            let (a, b) = (q.pop(), r.pop());
+            if let Some((at, _)) = a {
+                assert!(at >= horizon, "drained event left below horizon");
+            }
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(300))]
 
@@ -212,6 +346,24 @@ proptest! {
             })
             .collect();
         run_differential(&script);
+    }
+
+    /// Random interleavings of pushes, pops, and horizon drains match
+    /// the reference at every step — `advance_until` composes with the
+    /// other operations without disturbing FIFO or tier bookkeeping.
+    #[test]
+    fn random_horizon_interleavings_match_reference(
+        ops in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..150),
+    ) {
+        let script: Vec<(u8, u64)> = ops
+            .iter()
+            .map(|&(kind, raw)| match kind % 5 {
+                0 | 1 => (0u8, raw % 3000), // push across ring + overflow
+                2 => (1u8, 0),              // pop
+                _ => (2u8, raw % 3200),     // advance_until
+            })
+            .collect();
+        run_horizon_differential(&script);
     }
 
     /// A burst of same-cycle pushes separated by pops is returned in

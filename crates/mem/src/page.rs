@@ -77,6 +77,20 @@ impl PageMapper {
         }
     }
 
+    /// The home of the page containing `line`, which must already be
+    /// assigned. Read-only counterpart of [`PageMapper::home_of_line`]
+    /// for runtimes that pre-touch the whole access universe up front
+    /// (the parallel executor clones one frozen mapper per domain, so
+    /// no first-touch assignment may happen after the clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was never touched.
+    pub fn home_frozen(&self, line: LineAddr) -> DirId {
+        self.lookup(line.page())
+            .unwrap_or_else(|| panic!("page {:?} not pre-touched", line.page()))
+    }
+
     /// Number of pages assigned so far (always 0 under striping, which is
     /// computed, not stored).
     pub fn assigned_pages(&self) -> usize {
@@ -130,6 +144,14 @@ mod tests {
         let line = Addr(0x2000).line();
         let home = m.home_of_line(line, CoreId(1));
         assert_eq!(m.lookup(line.page()), Some(home));
+        assert_eq!(m.home_frozen(line), home);
+    }
+
+    #[test]
+    #[should_panic(expected = "not pre-touched")]
+    fn home_frozen_requires_pre_touch() {
+        let m = PageMapper::new(PageMapPolicy::FirstTouch, 8);
+        m.home_frozen(Addr(0x9000).line());
     }
 
     #[test]

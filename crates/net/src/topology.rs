@@ -133,6 +133,50 @@ impl Torus {
         self.node_at(self.cols / 2, self.rows / 2)
     }
 
+    /// Minimum hop distance between any two tiles assigned to *different*
+    /// domains, or `None` when every tile shares one domain (no
+    /// cross-domain link exists, so the lookahead is unbounded).
+    ///
+    /// `assignment[tile]` is the domain of that tile. This is the
+    /// quantity a conservative parallel scheduler turns into guaranteed
+    /// lookahead: any cross-domain message must traverse at least this
+    /// many links, each costing a fixed latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not cover every tile.
+    ///
+    /// ```
+    /// use sb_net::Torus;
+    ///
+    /// let t = Torus::for_tiles(4); // 2 × 2
+    /// // Adjacent tiles in different domains: one link apart.
+    /// assert_eq!(t.min_inter_domain_hops(&[0, 1, 0, 1]), Some(1));
+    /// assert_eq!(t.min_inter_domain_hops(&[0, 0, 0, 0]), None);
+    /// ```
+    pub fn min_inter_domain_hops(self, assignment: &[usize]) -> Option<u16> {
+        assert!(
+            assignment.len() >= self.tiles() as usize,
+            "assignment covers {} tiles, torus has {}",
+            assignment.len(),
+            self.tiles()
+        );
+        let mut best: Option<u16> = None;
+        for a in 0..self.tiles() {
+            for b in (a + 1)..self.tiles() {
+                if assignment[a as usize] == assignment[b as usize] {
+                    continue;
+                }
+                let h = self.hops(NodeId(a), NodeId(b));
+                best = Some(best.map_or(h, |m| m.min(h)));
+                if best == Some(1) {
+                    return best; // torus minimum for distinct tiles
+                }
+            }
+        }
+        best
+    }
+
     /// Average hop distance from `src` to all other tiles (useful for
     /// calibration tests).
     pub fn mean_hops_from(self, src: NodeId) -> f64 {

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p sb-sim --bin bench_json [-- --out PATH] [--insns N] [--repeats R] \
-//!     [--jobs N] [--compare BASELINE.json] [--max-regress PCT]
+//!     [--jobs N] [--domains N] [--compare BASELINE.json] [--max-regress PCT]
 //! ```
 //!
 //! Each entry records both the simulated outcome (`wall_cycles`,
@@ -27,6 +27,13 @@
 //! contend for cores and caches, which would make `events_per_sec` (and
 //! the regression gate) noisy. Use `--jobs` only when regenerating the
 //! simulated fields quickly, not for gating.
+//!
+//! `--domains N|auto` splits each simulated machine over N
+//! conservative-PDES domains. Simulated outcomes (`wall_cycles`,
+//! `commits`) are bit-identical at any value; host-side throughput is
+//! what changes, so this is how the intra-run speedup in EXPERIMENTS.md
+//! is measured. The default stays `1` — the checked-in baseline and the
+//! regression gate are single-threaded-machine numbers.
 
 use sb_obs::json::JsonValue;
 use sb_proto::ProtocolKind;
@@ -48,6 +55,7 @@ fn main() {
     let mut compare: Option<String> = None;
     let mut max_regress: f64 = 15.0;
     let mut jobs: usize = 1;
+    let mut domains: usize = 1;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -84,6 +92,13 @@ fn main() {
                     .and_then(|v| sb_sim::parallel::parse_jobs(v))
                     .expect("--jobs N|auto");
             }
+            "--domains" => {
+                i += 1;
+                domains = args
+                    .get(i)
+                    .and_then(|v| sb_sim::parallel::parse_domains(v))
+                    .expect("--domains N|auto");
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -106,6 +121,7 @@ fn main() {
     let entries: Vec<Entry> = parallel_map(&cells, jobs, |&(cores, protocol)| {
         let mut cfg = SimConfig::paper_default(cores, AppProfile::fft(), protocol);
         cfg.insns_per_thread = insns;
+        cfg.domains = domains;
         let mut best: Option<sb_sim::RunResult> = None;
         for _ in 0..repeats {
             let r = run_simulation(&cfg);

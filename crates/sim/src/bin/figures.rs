@@ -11,6 +11,12 @@
 //! fully serial). Output is byte-identical at any value — results merge
 //! in work-list order, not completion order.
 //!
+//! `--domains N|auto` additionally splits *each* simulation over N
+//! conservative-PDES domains (default 1: single-threaded machines).
+//! Like `--jobs`, this is pure wall-clock: every table is byte-identical
+//! at any domain count — the CI determinism step diffs `figures fig7`
+//! output at `--domains 1` vs `--domains 4` to enforce it.
+//!
 //! `--timing` appends a host-side simulator-throughput probe (events/sec,
 //! sim-cycles/sec per core count, per-phase wall times from the metrics
 //! registry, commit-latency percentiles) after the requested figures; it
@@ -37,7 +43,7 @@ use sb_workloads::{AppProfile, Suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--jobs N|auto] [--csv DIR] [--timing] [--attribution] [--trace-out PATH]"
+        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--jobs N|auto] [--domains N|auto] [--csv DIR] [--timing] [--attribution] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -56,6 +62,7 @@ fn timing_probe(sweep: &Sweep) {
             SimConfig::paper_default(cores, AppProfile::fft(), ProtocolKind::ScalableBulk);
         cfg.insns_per_thread = sweep.insns_per_thread;
         cfg.seed = sweep.seed;
+        cfg.domains = sweep.domains;
         let r = run_simulation(&cfg);
         println!("{:>3} cores: {}", cores, r.perf.render());
         println!("          {}", render_phases(&r.metrics));
@@ -90,6 +97,7 @@ fn attribution_probe(sweep: &Sweep) {
         let mut cfg = SimConfig::paper_default(64, AppProfile::fft(), proto);
         cfg.insns_per_thread = sweep.insns_per_thread;
         cfg.seed = sweep.seed;
+        cfg.domains = sweep.domains;
         cfg.trace = true;
         cfg.obs = true;
         let r = run_simulation(&cfg);
@@ -143,6 +151,7 @@ fn trace_out(sweep: &Sweep, path: &std::path::Path) {
     let mut cfg = SimConfig::paper_default(8, AppProfile::fft(), ProtocolKind::ScalableBulk);
     cfg.insns_per_thread = sweep.insns_per_thread;
     cfg.seed = sweep.seed;
+    cfg.domains = sweep.domains;
     cfg.trace = true;
     cfg.obs = true;
     let r = run_simulation(&cfg);
@@ -201,6 +210,13 @@ fn main() {
                 sweep.jobs = args
                     .get(i)
                     .and_then(|v| sb_sim::parallel::parse_jobs(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--domains" => {
+                i += 1;
+                sweep.domains = args
+                    .get(i)
+                    .and_then(|v| sb_sim::parallel::parse_domains(v))
                     .unwrap_or_else(|| usage());
             }
             id => ids.push(id.to_string()),

@@ -89,6 +89,14 @@ pub struct SimConfig {
     /// oracle detects real bugs. Must stay `None` outside oracle
     /// self-tests.
     pub inject_bug: Option<InjectedBug>,
+    /// Intra-run parallelism: the machine's per-core schedulers are
+    /// spread over this many worker threads, advancing in conservative
+    /// lookahead windows derived from the network's minimum latency.
+    /// Results are bit-identical at any value (the determinism battery
+    /// pins this); only wall-clock time changes. `0` means `auto`
+    /// (capped at the host's available parallelism and at `cores`);
+    /// the default `1` runs single-threaded.
+    pub domains: usize,
 }
 
 /// A deliberately introduced machine bug (see [`SimConfig::inject_bug`]).
@@ -138,6 +146,7 @@ impl SimConfig {
             trace: false,
             obs: false,
             inject_bug: None,
+            domains: 1,
         }
     }
 
@@ -189,6 +198,7 @@ mod tests {
         assert!(!cfg.trace);
         assert!(!cfg.obs);
         assert_eq!(cfg.inject_bug, None);
+        assert_eq!(cfg.domains, 1);
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct Sweep {
     /// hardware thread). Only wall-clock depends on this; every table is
     /// byte-identical at any value.
     pub jobs: usize,
+    /// Intra-run parallel domains per simulation (see
+    /// [`SimConfig::domains`]). Like `jobs`, only wall-clock depends on
+    /// this; every table is byte-identical at any value.
+    pub domains: usize,
 }
 
 impl Default for Sweep {
@@ -40,6 +44,7 @@ impl Default for Sweep {
             insns_per_thread: 20_000,
             seed: 0x5ca1ab1e,
             jobs: AUTO_JOBS,
+            domains: 1,
         }
     }
 }
@@ -69,6 +74,7 @@ impl RunSet {
                     let mut cfg = SimConfig::paper_default(cores, *app, p);
                     cfg.insns_per_thread = sweep.insns_per_thread;
                     cfg.seed = sweep.seed;
+                    cfg.domains = sweep.domains;
                     work.push((app.name.to_string(), cores, p, cfg));
                 }
             }
@@ -78,6 +84,7 @@ impl RunSet {
                 for &cores in cores_list {
                     let mut cfg = SimConfig::single_processor(*app, cores, sweep.insns_per_thread);
                     cfg.seed = sweep.seed;
+                    cfg.domains = sweep.domains;
                     work.push((
                         format!("{}@1p{}", app.name, cores),
                         0,
@@ -476,6 +483,7 @@ pub fn ablation_oci_table(apps: &[AppProfile], sweep: &Sweep) -> TextTable {
             let mut cfg = SimConfig::paper_default(64, *app, ProtocolKind::ScalableBulk);
             cfg.insns_per_thread = sweep.insns_per_thread;
             cfg.seed = sweep.seed;
+            cfg.domains = sweep.domains;
             cfg.oci = oci;
             work.push((app, oci, cfg));
         }
@@ -509,6 +517,7 @@ pub fn ablation_signature_table(app: AppProfile, sweep: &Sweep) -> TextTable {
             let mut cfg = SimConfig::paper_default(64, app, ProtocolKind::ScalableBulk);
             cfg.insns_per_thread = sweep.insns_per_thread;
             cfg.seed = sweep.seed;
+            cfg.domains = sweep.domains;
             cfg.sig = sb_sigs::SignatureConfig::new(bits, 4);
             (bits, cfg)
         })
@@ -553,6 +562,7 @@ pub fn seq_ts_table(sweep: &Sweep) -> TextTable {
             let mut cfg = SimConfig::paper_default(64, app, proto);
             cfg.insns_per_thread = sweep.insns_per_thread;
             cfg.seed = sweep.seed;
+            cfg.domains = sweep.domains;
             work.push((app, proto, cfg));
         }
     }
@@ -580,6 +590,7 @@ pub fn ablation_rotation_table(app: AppProfile, sweep: &Sweep) -> TextTable {
             let mut cfg = SimConfig::paper_default(64, app, ProtocolKind::ScalableBulk);
             cfg.insns_per_thread = sweep.insns_per_thread;
             cfg.seed = sweep.seed;
+            cfg.domains = sweep.domains;
             cfg.sb.rotation_interval = interval;
             (interval, cfg)
         })
@@ -605,6 +616,7 @@ mod tests {
             insns_per_thread: 6_000,
             seed: 7,
             jobs: AUTO_JOBS,
+            domains: 1,
         }
     }
 

@@ -1,15 +1,64 @@
 //! The full-system discrete-event machine.
+//!
+//! # Two-plane conservative parallel executor
+//!
+//! The machine's event space is partitioned into two planes:
+//!
+//! * **Plane A** — one [`CoreUnit`] per simulated core: instruction
+//!   execution, the private cache hierarchy, chunk windows, squash
+//!   handling, and the core-side injection port of the torus. Units
+//!   never touch each other's state, so a superphase's A-side work can
+//!   run on any number of worker threads.
+//! * **Plane B** — the serial [`Hub`]: the commit protocol, the
+//!   directory modules, and the directory-side injection ports. All
+//!   protocol serialization decisions stay on one thread.
+//!
+//! The planes exchange *mail*: units emit [`CoreToB`] messages (read
+//! requests arriving at a home directory, commit requests, bulk-inv
+//! acks), the hub emits [`AEv`] messages back (read responses, bulk
+//! invalidations, commit outcomes). Execution alternates A and B
+//! *superphases* under a conservative horizon:
+//!
+//! * `G` = the earliest pending event anywhere (hub queue, unit queues,
+//!   undelivered mail);
+//! * the A phase lets every unit drain events strictly below
+//!   `G + margin`, where `margin = fixed_overhead.max(1)` — the
+//!   network's [`lookahead`](sb_net::NetworkConfig::lookahead_bound)
+//!   floor, since any hub→core message sent at or after `G` arrives at
+//!   `G + fixed_overhead` at the earliest (perturbation only *adds*
+//!   delay);
+//! * the B phase then drains the hub strictly below the earliest
+//!   unit-side pending event, dynamically clamped to each hub→core
+//!   mail arrival it generates, so the hub never runs past a message a
+//!   unit still has to see.
+//!
+//! The phase schedule is computed from global state only, never from
+//! the thread layout, and all mail is merged in a fixed (unit index,
+//! generation) order — so the simulation is **bit-identical at every
+//! `domains` setting, including 1** (the determinism battery pins
+//! this). `SimConfig::domains` chooses how many OS threads the units
+//! are spread over; it changes wall-clock time and nothing else.
+//!
+//! Observability (causal flows, the chunk-lifecycle trace, the obs
+//! log) is recorded into per-plane buffers tagged with the superphase
+//! index and merged at the end of the run: flows get dense 1-based ids
+//! in merged order (parents always precede children), and cross-plane
+//! `delivered_at` patches are applied as max-merges — so the exported
+//! artifacts are byte-identical at any domain count too.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use sb_chunks::{ChunkSpec, ChunkTag, ChunkWindow, CommitRequest};
 use sb_engine::{Cycle, EventQueue, FxHashMap, FxHashSet};
 use sb_mem::{
     CacheHierarchy, CoreId, CoreSet, DirId, DirectoryState, HitLevel, LineAddr, PageMapper,
 };
-use sb_net::{MsgSize, Network, TrafficClass};
+use sb_net::{MsgSize, Network, PerturbationConfig, TrafficClass};
 use sb_proto::{
     AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, FlowId, MachineView, Outbox,
+    ProtoEvent,
 };
 use sb_sigs::{SigHandle, Signature};
 use sb_stats::{
@@ -18,7 +67,8 @@ use sb_stats::{
 use sb_workloads::WorkloadGen;
 
 use crate::config::{InjectedBug, SimConfig};
-use crate::obs::{FlowEvent, FlowKind, ObsKind, ObsLog};
+use crate::obs::{FlowEvent, FlowKind, ObsEvent, ObsKind, ObsLog};
+use crate::parallel::effective_domains;
 use crate::result::RunResult;
 use crate::trace::{ChunkSnapshot, RunTrace, TraceEvent};
 
@@ -27,9 +77,72 @@ use crate::trace::{ChunkSnapshot, RunTrace, TraceEvent};
 /// between a core's local progress and cross-core events small.
 const STEP_BATCH: usize = 32;
 
-enum Ev<M> {
+/// Bit position where a core unit's provisional flow-id namespace
+/// starts: unit `i` allocates ids `(i+1) << FLOW_UNIT_SHIFT | local`,
+/// the hub allocates plain `local` (both 1-based). The namespaces are
+/// erased at merge time, when flows are renumbered densely in the
+/// deterministic merged order.
+const FLOW_UNIT_SHIFT: u32 = 40;
+
+/// SplitMix64 finalizer; spreads a unit index into an uncorrelated
+/// perturbation-seed offset so each unit's timing-adversary stream is
+/// independent of its neighbours' (and of the domain count, which never
+/// enters the computation).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Plane-A event: core-local, dispatched by the owning [`CoreUnit`].
+enum AEv {
     /// Core resumes executing its instruction stream.
-    Step { core: u16, epoch: u64 },
+    Step { epoch: u64 },
+    /// The read response (or nack retry timer) arrives back at the core.
+    ReadDone {
+        line: LineAddr,
+        epoch: u64,
+        stall_start: Cycle,
+        nacked: bool,
+    },
+    /// A store-miss fill completes (no core stall).
+    StoreFill { line: LineAddr },
+    /// A bulk invalidation arrives at the core. The W signature travels
+    /// as a [`SigHandle`]: fanning one commit out to `n` sharers is `n`
+    /// refcount bumps, not `n` signature copies.
+    BulkInv {
+        from: DirId,
+        tag: ChunkTag,
+        wsig: SigHandle,
+        cause: FlowId,
+    },
+    /// Commit success/failure notification arrives at the core.
+    Outcome {
+        tag: ChunkTag,
+        success: bool,
+        cause: FlowId,
+    },
+    /// Commit retry backoff expired.
+    Retry { tag: ChunkTag, cause: FlowId },
+}
+
+impl AEv {
+    /// The causal flow that scheduled this event ([`FlowId::NONE`] for
+    /// core-execution events, which tracing treats as external causes).
+    fn cause(&self) -> FlowId {
+        match self {
+            AEv::BulkInv { cause, .. } | AEv::Outcome { cause, .. } | AEv::Retry { cause, .. } => {
+                *cause
+            }
+            _ => FlowId::NONE,
+        }
+    }
+}
+
+/// Plane A → plane B mail: a unit-side event whose handler lives at the
+/// directories or the protocol.
+enum CoreToB {
     /// A read request arrives at the home directory.
     ReadAtDir {
         core: u16,
@@ -37,19 +150,30 @@ enum Ev<M> {
         epoch: u64,
         stall_start: Cycle,
     },
-    /// The read response (or nack retry timer) arrives back at the core.
-    ReadDone {
-        core: u16,
-        line: LineAddr,
-        epoch: u64,
-        stall_start: Cycle,
-        nacked: bool,
-    },
-    /// A store-miss fill completes (no core stall).
-    StoreFill { core: u16, line: LineAddr },
+    /// A store fetch arrives at the home directory.
+    StoreAtDir { core: u16, line: LineAddr },
+    /// A bulk-invalidation ack arrives back at the issuing directory.
+    AckAtDir { ack: BulkInvAck, cause: FlowId },
+    /// The core hands a sealed chunk to the commit protocol.
+    CommitStart { req: CommitRequest, cause: FlowId },
+}
+
+impl CoreToB {
+    fn cause(&self) -> FlowId {
+        match self {
+            CoreToB::AckAtDir { cause, .. } | CoreToB::CommitStart { cause, .. } => *cause,
+            _ => FlowId::NONE,
+        }
+    }
+}
+
+/// Plane-B event: dispatched by the serial [`Hub`].
+enum BEv<M> {
+    /// Mail from a core unit.
+    FromCore(CoreToB),
     /// A read is ready to be served (memory access / owner lookup done):
-    /// the response message is injected *now*, keeping per-node injection
-    /// timestamps monotonic.
+    /// the response message is injected *now*, keeping per-node
+    /// injection timestamps monotonic.
     ReadServe {
         core: u16,
         line: LineAddr,
@@ -58,8 +182,6 @@ enum Ev<M> {
         from: sb_net::NodeId,
         class: TrafficClass,
     },
-    /// A store fetch arrives at the home directory.
-    StoreAtDir { core: u16, line: LineAddr },
     /// A store fetch is ready to be served.
     StoreServe {
         core: u16,
@@ -73,56 +195,29 @@ enum Ev<M> {
         msg: M,
         cause: FlowId,
     },
-    /// A bulk invalidation arrives at a core. The W signature travels as
-    /// a [`SigHandle`]: fanning one commit out to `n` sharers is `n`
-    /// refcount bumps, not `n` signature copies.
-    BulkInv {
-        from: DirId,
-        to: u16,
-        tag: ChunkTag,
-        wsig: SigHandle,
-        cause: FlowId,
-    },
-    /// A bulk-invalidation ack arrives back at the issuing directory.
-    AckAtDir { ack: BulkInvAck, cause: FlowId },
-    /// Commit success/failure notification arrives at the core.
-    Outcome {
-        core: u16,
-        tag: ChunkTag,
-        success: bool,
-        cause: FlowId,
-    },
-    /// Commit retry backoff expired.
-    Retry {
-        core: u16,
-        tag: ChunkTag,
-        cause: FlowId,
-    },
 }
 
-impl<M> Ev<M> {
-    /// The causal flow that scheduled this event ([`FlowId::NONE`] for
-    /// core-execution events, which tracing treats as external causes).
+impl<M> BEv<M> {
     fn cause(&self) -> FlowId {
         match self {
-            Ev::Proto { cause, .. }
-            | Ev::BulkInv { cause, .. }
-            | Ev::AckAtDir { cause, .. }
-            | Ev::Outcome { cause, .. }
-            | Ev::Retry { cause, .. } => *cause,
+            BEv::FromCore(m) => m.cause(),
+            BEv::Proto { cause, .. } => *cause,
             _ => FlowId::NONE,
         }
     }
 }
 
-/// Machine state visible to protocols.
-struct ViewState {
+/// Machine state visible to protocols: the hub's clock plus read access
+/// to the directory modules. Directory reads take the shared lock per
+/// call — never held across protocol up-calls, so the B phase can
+/// freely take the write lock between them.
+struct BView<'a> {
     now: Cycle,
     cores: u16,
-    dirs: Vec<DirectoryState>,
+    dirs: &'a RwLock<Vec<DirectoryState>>,
 }
 
-impl MachineView for ViewState {
+impl MachineView for BView<'_> {
     fn now(&self) -> Cycle {
         self.now
     }
@@ -130,10 +225,25 @@ impl MachineView for ViewState {
         self.cores
     }
     fn dirs(&self) -> u16 {
-        self.dirs.len() as u16
+        self.dirs.read().expect("dirs lock").len() as u16
     }
     fn sharers_matching(&self, dir: DirId, wsig: &Signature, committer: CoreId) -> CoreSet {
-        self.dirs[dir.idx()].sharers_matching(wsig, committer)
+        self.dirs.read().expect("dirs lock")[dir.idx()].sharers_matching(wsig, committer)
+    }
+}
+
+/// Traffic class of a read serviced at `home` (§6.5's three read
+/// classes). Shared by both planes: units classify their outgoing
+/// requests against the frozen phase-boundary directory state, the hub
+/// classifies while serving.
+fn read_class(dirs: &[DirectoryState], home: DirId, line: LineAddr) -> TrafficClass {
+    let st = &dirs[home.idx()];
+    if st.owner_of(line).is_some() {
+        TrafficClass::RemoteDirtyRd
+    } else if !st.sharers_of(line).is_empty() || st.is_resident(line) {
+        TrafficClass::RemoteShRd
+    } else {
+        TrafficClass::MemRd
     }
 }
 
@@ -205,544 +315,177 @@ impl CoreCtx {
     }
 }
 
-/// The full-system machine: cores + caches + torus + directories +
-/// one commit protocol. See the crate docs for the model.
-pub struct Machine<P: CommitProtocol> {
+/// One plane-A scheduler: a core, its caches and chunk window, its own
+/// event queue, clock, injection port, workload stream, and statistics.
+/// There is exactly one unit per core at *every* domain count — domains
+/// only distribute the units over worker threads.
+struct CoreUnit {
+    core: u16,
     cfg: SimConfig,
-    queue: EventQueue<Ev<P::Msg>>,
-    proto: P,
-    view: ViewState,
+    ctx: CoreCtx,
+    queue: EventQueue<AEv>,
+    batch: VecDeque<(Cycle, AEv)>,
+    now: Cycle,
+    /// Core-side network ports: this unit's requests and acks inject
+    /// here. Directory-side traffic uses the hub's network; the split
+    /// keeps injection-port state unit-local (and therefore domain-count
+    /// independent).
     net: Network,
-    mapper: PageMapper,
-    cores: Vec<CoreCtx>,
+    mapper: Arc<PageMapper>,
     workload: WorkloadGen,
-    /// Reusable protocol outbox: every up-call writes its commands here
-    /// instead of into a freshly allocated one.
-    outbox: Outbox<P::Msg>,
-    /// Reusable command scratch the outbox drains into; its capacity
-    /// survives across protocol steps, so the steady state allocates
-    /// nothing per step.
-    cmd_scratch: Vec<Command<P::Msg>>,
-    protocol_steps: u64,
-    // statistics
-    dirs_stat: DirsPerCommit,
-    latency: LatencyDist,
-    gauges: SerializationGauges,
+    /// Mail to the hub, in generation order; drained at the phase edge.
+    to_b: Vec<(Cycle, CoreToB)>,
+    events: u64,
+    // ---- unit-local statistics, merged at freeze ----
+    remote_reads: u64,
     commits: u64,
     squash_conflict: u64,
     squash_alias: u64,
-    read_nacks: u64,
-    remote_reads: u64,
     commit_retries: u64,
     outcome_failures: u64,
-    finished_cores: usize,
-    /// Chunk-lifecycle recording for the `sb-check` oracle (`cfg.trace`).
-    trace: Option<RunTrace>,
-    /// Directory-occupancy / queue-depth recording (`cfg.obs`).
-    obs: Option<ObsLog>,
-    /// Last causal-flow id allocated (0 = none yet; ids are 1-based).
+    latency: LatencyDist,
+    dirs_stat: DirsPerCommit,
+    // ---- phase-tagged observation buffers, merged at freeze ----
+    trace_on: bool,
+    obs_on: bool,
+    trace_buf: Vec<(u64, TraceEvent)>,
+    obs_buf: Vec<(u64, ObsEvent)>,
+    flow_buf: Vec<(u64, FlowEvent)>,
+    /// `delivered_at` max-patches against flows another plane allocated.
+    flow_fixups: Vec<(FlowId, Cycle)>,
     flow_next: u64,
-    /// The flow whose delivery is currently being dispatched — the
-    /// causal parent of any flow allocated during this handler.
     cur_cause: FlowId,
-    /// Host time spent building the machine (workload pre-touch, cache
-    /// warm-up) — the `phase.setup_secs` gauge.
-    setup_wall: std::time::Duration,
+    phase_tag: u64,
+    supports_held_invs: bool,
+    finish_reported: bool,
 }
 
-impl<P: CommitProtocol> Machine<P> {
-    /// Builds the machine for `cfg` with protocol instance `proto`.
-    pub fn new(cfg: SimConfig, proto: P) -> Self {
-        let setup_start = std::time::Instant::now();
-        let workload = WorkloadGen::new(cfg.app, cfg.threads, cfg.seed);
-        let cores: Vec<CoreCtx> = (0..cfg.cores)
-            .map(|i| CoreCtx {
-                window: ChunkWindow::new(CoreId(i), cfg.max_active_chunks, cfg.sig),
-                hier: CacheHierarchy::with_signature_config(cfg.hier, cfg.sig),
-                store_pending: FxHashSet::default(),
-                spec: None,
-                pos: 0,
-                per_gap: 0,
-                leading: 0,
-                respec: VecDeque::new(),
-                epoch: 0,
-                phase: Phase::Running,
-                committed_insns: 0,
-                target: if cfg.cores == 1 {
-                    cfg.total_insns()
-                } else {
-                    cfg.insns_per_thread
-                },
-                pending_commit: None,
-                waiting_commit: None,
-                held_invs: Vec::new(),
-                commit_wait_since: None,
-                breakdown: Breakdown::new(),
-                invested: FxHashMap::default(),
-                thread: i as usize,
-                finished_at: Cycle::ZERO,
-            })
-            .collect();
-        let mut mapper = PageMapper::new(cfg.page_policy, cfg.cores);
-        // Model the parallel initialization loops of the benchmarks:
-        // shared pages are first-touched round-robin across tiles before
-        // the measured region, distributing homes across the directory
-        // modules (private pages still first-touch to their owner).
-        let mut workload = workload;
-        for page in workload.shared_pool_pages() {
-            // Hash the page number so homes are uncorrelated with the
-            // generator's per-thread page sharding.
-            let h = page.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-            mapper.home_of_page(page, CoreId((h % cfg.cores as u64) as u16));
-        }
-        let mut dirs: Vec<DirectoryState> = (0..cfg.cores)
-            .map(|_| DirectoryState::with_signature_config(cfg.sig))
-            .collect();
-        // In a parallel run, the shared working set lives spread across
-        // the machine's aggregate L2 capacity at steady state: register a
-        // resident sharer for every pool line so reads are served
-        // cache-to-cache. A 1-processor run has a single L2 and gets no
-        // such help — which is precisely the paper's superlinear-speedup
-        // mechanism for Ocean/Cholesky/Raytrace (§6.1).
-        if cfg.cores > 1 {
-            for page in workload.shared_pool_pages() {
-                for i in 0..sb_mem::LineAddr::PER_PAGE {
-                    let line = page.line(i);
-                    let home = mapper.lookup(page).expect("pool pages were pre-touched");
-                    dirs[home.idx()].mark_resident(line);
-                }
-            }
-        }
-        let mut cores = cores;
-        // A steady-state thread has its private scratch resident in its
-        // L2: pre-fill as much of it as one L2 can reasonably hold. A
-        // partitioned problem scaled up for a 1-processor normalization
-        // run overflows this on purpose (§6.1 superlinear mechanism).
-        let l2_lines = cfg.hier.l2.capacity_lines() * 3 / 4;
-        for i in 0..cfg.cores {
-            let (base, count) = workload.private_region(cores[i as usize].thread);
-            let fill = count.min(l2_lines);
-            for l in 0..fill {
-                let line = sb_mem::LineAddr(base.as_u64() + l);
-                cores[i as usize].hier.fill(line);
-                let home = mapper.home_of_line(line, CoreId(i));
-                dirs[home.idx()].record_read(line, CoreId(i));
-            }
-        }
-        // Warm-up: execute a few chunks per thread "instantly" — fill the
-        // touched lines into the core's caches and register sharers —
-        // so measurement starts from steady state rather than from the
-        // compulsory-miss transient.
-        for i in 0..cfg.cores {
-            for _ in 0..cfg.warmup_chunks {
-                let spec = if cfg.cores == 1 {
-                    workload.next_chunk_any()
-                } else {
-                    workload.next_chunk(i as usize)
-                };
-                let core: &mut CoreCtx = &mut cores[i as usize];
-                for a in spec.accesses() {
-                    let home = mapper.home_of_line(a.line, CoreId(i));
-                    core.hier.fill(a.line);
-                    if a.is_write {
-                        core.hier.mark_written(a.line);
-                    }
-                    dirs[home.idx()].record_read(a.line, CoreId(i));
-                }
-            }
-        }
-        let mut m = Machine {
-            view: ViewState {
-                now: Cycle::ZERO,
-                cores: cfg.cores,
-                dirs,
-            },
-            net: match cfg.perturb {
-                None => Network::new(cfg.net),
-                Some(p) => Network::with_perturbation(cfg.net, p),
-            },
-            mapper,
-            queue: EventQueue::with_capacity(4096),
-            proto,
-            cores,
-            workload,
-            outbox: Outbox::new(),
-            cmd_scratch: Vec::new(),
-            protocol_steps: 0,
-            dirs_stat: DirsPerCommit::new(),
-            latency: LatencyDist::new(),
-            gauges: SerializationGauges::new(),
-            commits: 0,
-            squash_conflict: 0,
-            squash_alias: 0,
-            read_nacks: 0,
-            remote_reads: 0,
-            commit_retries: 0,
-            outcome_failures: 0,
-            finished_cores: 0,
-            trace: cfg.trace.then(RunTrace::new),
-            obs: cfg.obs.then(ObsLog::new),
-            flow_next: 0,
-            cur_cause: FlowId::NONE,
-            setup_wall: std::time::Duration::ZERO,
-            cfg,
-        };
-        for i in 0..m.cfg.cores {
-            m.queue.push(Cycle(0), Ev::Step { core: i, epoch: 0 });
-        }
-        m.setup_wall = setup_start.elapsed();
-        m
-    }
-
-    /// Runs to completion and returns the collected metrics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the machine deadlocks (event queue drains while cores
-    /// are unfinished) — that would be a protocol bug.
-    pub fn run(mut self) -> RunResult {
-        let debug_progress = std::env::var_os("SB_SIM_PROGRESS").is_some();
-        // Pre-size the future-event list for the expected concurrency:
-        // each core keeps a handful of events in flight, and commits fan
-        // out one event per group member.
-        let expected = self.cores.len().saturating_mul(64);
-        if expected > self.queue.len() {
-            self.queue.reserve(expected - self.queue.len());
-        }
-        let wall_start = std::time::Instant::now();
-        let mut events: u64 = 0;
-        // Events for the cycle currently being dispatched, bulk-popped in
-        // one `drain_cycle` call instead of per-event scheduler pops. The
-        // batch is logically the head of the queue: dispatch order is
-        // identical because any same-cycle events a handler schedules
-        // carry later sequence numbers and therefore drain *after* the
-        // current batch, exactly as they would pop from the heap.
-        let mut batch: VecDeque<(Cycle, Ev<P::Msg>)> = VecDeque::new();
-        while self.finished_cores < self.cores.len() {
-            events += 1;
-            if debug_progress && events.is_multiple_of(5_000_000) {
-                let waiting: usize = self
-                    .cores
-                    .iter()
-                    .filter(|c| c.pending_commit.is_some())
-                    .count();
-                eprintln!(
-                    "[progress] ev={}M now={} finished={}/{} commits={} fails={} nacks={} sq={} qlen={} inflight={} pending={}",
-                    events / 1_000_000,
-                    self.view.now,
-                    self.finished_cores,
-                    self.cores.len(),
-                    self.commits,
-                    self.outcome_failures,
-                    self.read_nacks,
-                    self.squash_conflict + self.squash_alias,
-                    self.queue.len() + batch.len(),
-                    self.proto.in_flight(),
-                    waiting,
-                );
-                if events.is_multiple_of(20_000_000) {
-                    eprintln!("[state] {}", self.proto.debug_state());
-                    let tags: Vec<String> = self
-                        .cores
-                        .iter()
-                        .filter_map(|c| c.pending_commit.as_ref())
-                        .take(8)
-                        .map(|pc| format!("{}r{}", pc.tag, pc.retries))
-                        .collect();
-                    eprintln!("[pending sample] {tags:?}");
-                }
-            }
-            let next = match batch.pop_front() {
+impl CoreUnit {
+    /// Drains every pending event strictly below `horizon`, in exact
+    /// `(cycle, seq)` order. The directory read guard is held for the
+    /// whole phase: plane B only mutates directories while no A phase
+    /// is running.
+    fn run_phase(&mut self, horizon: Cycle, dirs: &RwLock<Vec<DirectoryState>>) {
+        let dirs = dirs.read().expect("dirs lock");
+        loop {
+            let next = match self.batch.pop_front() {
                 Some(e) => Some(e),
                 None => {
-                    self.queue.drain_cycle(&mut batch);
-                    batch.pop_front()
+                    self.queue.advance_until(horizon, &mut self.batch);
+                    self.batch.pop_front()
                 }
             };
-            let Some((at, ev)) = next else {
-                let stuck: Vec<String> = self
-                    .cores
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| c.phase != Phase::Finished)
-                    .map(|(i, c)| {
-                        format!("core {i}: {:?} in-flight {}", c.phase, c.window.in_flight())
-                    })
-                    .collect();
-                panic!(
-                    "machine deadlock at {} under {:?}: {stuck:?}",
-                    self.view.now, self.cfg.protocol
-                );
-            };
-            self.view.now = self.view.now.max_of(at);
-            if events.is_multiple_of(1024) {
-                if let Some(obs) = self.obs.as_mut() {
-                    // Include the in-flight batch: it is still "pending"
-                    // from the simulation's point of view, and counting it
-                    // keeps the depth samples identical to the per-event
-                    // pop loop this replaced.
-                    let depth = (self.queue.len() + batch.len()) as u64;
-                    obs.push(self.view.now, ObsKind::QueueDepth { depth });
-                }
-            }
-            self.dispatch(ev);
+            let Some((at, ev)) = next else { break };
+            self.now = self.now.max_of(at);
+            self.events += 1;
+            self.dispatch(ev, &dirs);
         }
-        let wall = self
-            .cores
-            .iter()
-            .map(|c| c.finished_at)
-            .max()
-            .unwrap_or(self.view.now)
-            .as_u64();
-        let mut breakdown = Breakdown::new();
-        for c in &self.cores {
-            breakdown.merge(&c.breakdown);
-        }
-        let run_wall = wall_start.elapsed();
-        let perf = PerfReport {
-            events_dispatched: events,
-            protocol_steps: self.protocol_steps,
-            sim_cycles: wall,
-            wall: run_wall,
-        };
-        let mut result = RunResult {
-            wall_cycles: wall,
-            breakdown,
-            dirs: self.dirs_stat.clone(),
-            latency: self.latency.clone(),
-            gauges: self.gauges.clone(),
-            traffic: self.net.counters().clone(),
-            commits: self.commits,
-            squashes_conflict: self.squash_conflict,
-            squashes_alias: self.squash_alias,
-            read_nacks: self.read_nacks,
-            remote_reads: self.remote_reads,
-            commit_retries: self.commit_retries,
-            perf,
-            metrics: MetricsRegistry::new(),
-            trace: None,
-            obs: None,
-        };
-        // The quiescence probe for the `sb-check` oracle must observe
-        // *true* quiescence: when the last core finishes, trailing
-        // protocol cleanup (releases, acks, skip turns) may still be
-        // queued, so drain it before reading `in_flight()`. All metrics
-        // above are already frozen — the untraced result is unaffected.
-        // The drain terminates: every queued event is a reaction to prior
-        // work, and finished cores issue no new chunks or retries. The
-        // observability log drains too, so grab/release spans balance.
-        let drain_start = std::time::Instant::now();
-        if self.trace.is_some() || self.obs.is_some() {
-            // The batch is the queue's head: if the last core finished
-            // mid-cycle, its remaining events drain before the rest.
-            while let Some((at, ev)) = batch.pop_front().or_else(|| self.queue.pop()) {
-                self.view.now = self.view.now.max_of(at);
-                self.dispatch(ev);
-            }
-            if let Some(mut trace) = self.trace.take() {
-                trace.final_in_flight = self.proto.in_flight();
-                result.trace = Some(trace);
-            }
-        }
-        let drain_wall = drain_start.elapsed();
-        result.metrics = self.build_registry(&result, run_wall, drain_wall);
-        result.obs = self.obs.take();
-        result
     }
 
-    /// Builds the end-of-run metrics registry from the frozen result
-    /// (one source of truth for counters and phase wall-times). Purely
-    /// derived — never feeds back into simulated state.
-    fn build_registry(
-        &self,
-        r: &RunResult,
-        run_wall: std::time::Duration,
-        drain_wall: std::time::Duration,
-    ) -> MetricsRegistry {
-        let mut reg = MetricsRegistry::new();
-        reg.add_counter("events.dispatched", r.perf.events_dispatched);
-        reg.add_counter("protocol.steps", r.perf.protocol_steps);
-        reg.add_counter("commits", r.commits);
-        reg.add_counter("squashes.conflict", r.squashes_conflict);
-        reg.add_counter("squashes.alias", r.squashes_alias);
-        reg.add_counter("read.nacks", r.read_nacks);
-        reg.add_counter("remote.reads", r.remote_reads);
-        reg.add_counter("commit.retries", r.commit_retries);
-        for class in TrafficClass::ALL {
-            reg.add_counter(
-                &format!("traffic.msgs.{}", class.label()),
-                r.traffic.count(class),
-            );
-            reg.add_counter(
-                &format!("traffic.bytes.{}", class.label()),
-                r.traffic.bytes(class),
-            );
-        }
-        reg.set_gauge("sim.wall_cycles", r.wall_cycles as f64);
-        // Commit-latency distribution (Figure 13): the full histogram
-        // (merges exactly across runs) plus per-run quantile gauges.
-        // Gauges *sum* under `MetricsRegistry::merge`, so read the
-        // quantiles per run before merging sweep results.
-        reg.insert_histogram("commit.latency_cycles", r.latency.histogram().clone());
-        reg.set_gauge("latency.mean", r.latency.mean());
-        reg.set_gauge("latency.p50", r.latency.p50() as f64);
-        reg.set_gauge("latency.p95", r.latency.p95() as f64);
-        reg.set_gauge("latency.p99", r.latency.p99() as f64);
-        reg.set_gauge("latency.max", r.latency.max() as f64);
-        reg.set_gauge("phase.setup_secs", self.setup_wall.as_secs_f64());
-        reg.set_gauge("phase.run_secs", run_wall.as_secs_f64());
-        reg.set_gauge("phase.drain_secs", drain_wall.as_secs_f64());
-        if let Some(obs) = self.obs.as_ref() {
-            reg.add_counter(
-                "obs.dir_grabs",
-                obs.count(|k| matches!(k, ObsKind::DirGrabbed { .. })),
-            );
-            reg.add_counter(
-                "obs.dir_releases",
-                obs.count(|k| matches!(k, ObsKind::DirReleased { .. })),
-            );
-            reg.add_counter(
-                "obs.commit_recalls",
-                obs.count(|k| matches!(k, ObsKind::CommitRecalled { .. })),
-            );
-            // Grab-hold durations: match each release to its open grab
-            // per (dir, tag) in stream order.
-            let mut open: Vec<((DirId, ChunkTag), Cycle)> = Vec::new();
-            for e in &obs.events {
-                match e.kind {
-                    ObsKind::DirGrabbed { dir, tag } => open.push(((dir, tag), e.at)),
-                    ObsKind::DirReleased { dir, tag } => {
-                        if let Some(i) = open.iter().position(|(k, _)| *k == (dir, tag)) {
-                            let (_, start) = open.swap_remove(i);
-                            reg.observe("obs.grab_hold_cycles", (e.at - start).as_u64(), 64, 16);
-                        }
-                    }
-                    ObsKind::HeldInvDepth { depth, .. } => {
-                        reg.observe("obs.held_inv_depth", depth as u64, 16, 1);
-                    }
-                    ObsKind::QueueDepth { depth } => {
-                        reg.observe("obs.event_queue_depth", depth, 64, 256);
-                    }
-                    ObsKind::CommitStall { cycles, .. } => {
-                        reg.observe("obs.commit_stall_cycles", cycles, 64, 64);
-                    }
-                    ObsKind::CommitRecalled { .. } | ObsKind::ChunkDone { .. } => {}
-                }
-            }
-            reg.add_counter("obs.flows", obs.flows.len() as u64);
-            reg.add_counter(
-                "obs.chunks_done",
-                obs.count(|k| matches!(k, ObsKind::ChunkDone { .. })),
-            );
-        }
-        reg
-    }
-
-    fn dispatch(&mut self, ev: Ev<P::Msg>) {
+    fn dispatch(&mut self, ev: AEv, dirs: &[DirectoryState]) {
         self.cur_cause = ev.cause();
-        if let (Some(idx), Some(obs)) = (self.cur_cause.index(), self.obs.as_mut()) {
-            // The handler runs *now*, which can be later than the
-            // scheduled arrival when a core's local clock ran ahead:
-            // patch the flow so consecutive causal links tile time
-            // exactly (the critical-path exactness invariant).
-            let f = &mut obs.flows[idx];
-            if f.delivered_at < self.view.now {
-                f.delivered_at = self.view.now;
-            }
-        }
+        self.note_delivery();
         match ev {
-            Ev::Step { core, epoch } => {
-                if self.cores[core as usize].epoch == epoch {
-                    self.step(core);
+            AEv::Step { epoch } => {
+                if self.ctx.epoch == epoch {
+                    self.step(dirs);
                 }
             }
-            Ev::ReadAtDir {
-                core,
-                line,
-                epoch,
-                stall_start,
-            } => self.read_at_dir(core, line, epoch, stall_start),
-            Ev::ReadDone {
-                core,
+            AEv::ReadDone {
                 line,
                 epoch,
                 stall_start,
                 nacked,
-            } => self.read_done(core, line, epoch, stall_start, nacked),
-            Ev::StoreFill { core, line } => {
-                let c = &mut self.cores[core as usize];
-                c.store_pending.remove(&line);
-                c.hier.fill(line);
-                c.hier.mark_written(line);
+            } => self.read_done(line, epoch, stall_start, nacked),
+            AEv::StoreFill { line } => {
+                self.ctx.store_pending.remove(&line);
+                self.ctx.hier.fill(line);
+                self.ctx.hier.mark_written(line);
             }
-            Ev::ReadServe {
-                core,
-                line,
-                epoch,
-                stall_start,
+            AEv::BulkInv {
                 from,
-                class,
-            } => {
-                let arrive = self.net.send(
-                    self.view.now,
-                    from,
-                    sb_net::NodeId(core),
-                    MsgSize::Line,
-                    class,
-                );
-                self.queue.push(
-                    arrive,
-                    Ev::ReadDone {
-                        core,
-                        line,
-                        epoch,
-                        stall_start,
-                        nacked: false,
-                    },
-                );
-            }
-            Ev::StoreAtDir { core, line } => self.store_at_dir(core, line),
-            Ev::StoreServe {
-                core,
-                line,
-                from,
-                class,
-            } => {
-                let arrive = self.net.send(
-                    self.view.now,
-                    from,
-                    sb_net::NodeId(core),
-                    MsgSize::Line,
-                    class,
-                );
-                self.queue.push(arrive, Ev::StoreFill { core, line });
-            }
-            Ev::Proto { dst, msg, cause: _ } => {
-                self.proto.deliver(&self.view, &mut self.outbox, dst, msg);
-                self.flush_outbox();
-            }
-            Ev::BulkInv {
-                from,
-                to,
                 tag,
                 wsig,
                 cause: _,
-            } => self.bulk_inv_at_core(from, to, tag, wsig),
-            Ev::AckAtDir { ack, cause: _ } => {
-                self.proto.bulk_inv_acked(&self.view, &mut self.outbox, ack);
-                self.flush_outbox();
-            }
-            Ev::Outcome {
-                core,
+            } => self.bulk_inv_at_core(from, tag, wsig),
+            AEv::Outcome {
                 tag,
                 success,
                 cause: _,
-            } => self.outcome(core, tag, success),
-            Ev::Retry {
-                core,
+            } => self.outcome(tag, success),
+            AEv::Retry { tag, cause: _ } => self.retry(tag),
+        }
+    }
+
+    // ----- observation plumbing ------------------------------------------
+
+    /// Patches the dispatched cause's `delivered_at` up to the handler
+    /// time (the critical-path exactness invariant): directly for own
+    /// flows, via a merge-time fixup for flows the hub allocated.
+    fn note_delivery(&mut self) {
+        let cause = self.cur_cause;
+        if !self.obs_on || cause.is_none() {
+            return;
+        }
+        let t = self.now;
+        let ns = (self.core as u64 + 1) << FLOW_UNIT_SHIFT;
+        if cause.0 >> FLOW_UNIT_SHIFT == self.core as u64 + 1 {
+            let f = &mut self.flow_buf[(cause.0 - ns - 1) as usize].1;
+            if f.delivered_at < t {
+                f.delivered_at = t;
+            }
+        } else {
+            self.flow_fixups.push((cause, t));
+        }
+    }
+
+    /// Allocates a causal-flow record in this unit's provisional
+    /// namespace, parented to the flow being dispatched. Returns
+    /// [`FlowId::NONE`] (and records nothing) when observability is off.
+    #[allow(clippy::too_many_arguments)]
+    fn flow(
+        &mut self,
+        kind: FlowKind,
+        label: &'static str,
+        tag: Option<ChunkTag>,
+        src: Endpoint,
+        dst: Endpoint,
+        sent_at: Cycle,
+        delivered_at: Cycle,
+        net: Option<sb_net::SendInfo>,
+    ) -> FlowId {
+        if !self.obs_on {
+            return FlowId::NONE;
+        }
+        self.flow_next += 1;
+        let id = FlowId(((self.core as u64 + 1) << FLOW_UNIT_SHIFT) | self.flow_next);
+        self.flow_buf.push((
+            self.phase_tag,
+            FlowEvent {
+                id,
+                parent: self.cur_cause,
+                kind,
+                label,
                 tag,
-                cause: _,
-            } => self.retry(core, tag),
+                src,
+                dst,
+                sent_at,
+                delivered_at,
+                net,
+            },
+        ));
+        id
+    }
+
+    fn push_obs(&mut self, at: Cycle, kind: ObsKind) {
+        if self.obs_on {
+            self.obs_buf.push((self.phase_tag, ObsEvent { at, kind }));
+        }
+    }
+
+    fn push_trace(&mut self, ev: TraceEvent) {
+        if self.trace_on {
+            self.trace_buf.push((self.phase_tag, ev));
         }
     }
 
@@ -750,9 +493,10 @@ impl<P: CommitProtocol> Machine<P> {
 
     /// Ensures the core has a chunk to execute; returns false if the core
     /// is (now) finished or must wait.
-    fn ensure_chunk(&mut self, core: u16) -> bool {
-        let t = self.view.now;
-        let c = &mut self.cores[core as usize];
+    fn ensure_chunk(&mut self) -> bool {
+        let t = self.now;
+        let core = self.core;
+        let c = &mut self.ctx;
         if c.spec.is_some() {
             return true;
         }
@@ -761,7 +505,6 @@ impl<P: CommitProtocol> Machine<P> {
             if c.window.in_flight() == 0 && c.phase != Phase::Finished {
                 c.phase = Phase::Finished;
                 c.finished_at = t;
-                self.finished_cores += 1;
             }
             return false;
         }
@@ -782,7 +525,7 @@ impl<P: CommitProtocol> Machine<P> {
                 }
             }
         };
-        let c = &mut self.cores[core as usize];
+        let c = &mut self.ctx;
         let (leading, per_gap) = spec.compute_gaps();
         let tag = c.window.start_chunk().expect("slot checked");
         c.leading = leading;
@@ -790,23 +533,19 @@ impl<P: CommitProtocol> Machine<P> {
         c.pos = 0;
         c.spec = Some(spec);
         c.phase = Phase::Running;
-        if let Some(trace) = self.trace.as_mut() {
-            trace
-                .events
-                .push(TraceEvent::ExecStart { core, tag, at: t });
-        }
+        self.push_trace(TraceEvent::ExecStart { core, tag, at: t });
         true
     }
 
     /// Executes up to [`STEP_BATCH`] accesses of the core's current chunk.
-    fn step(&mut self, core: u16) {
-        let mut t = self.view.now;
+    fn step(&mut self, dirs: &[DirectoryState]) {
+        let mut t = self.now;
         for _ in 0..STEP_BATCH {
-            if !self.ensure_chunk(core) {
+            if !self.ensure_chunk() {
                 return;
             }
             let (access, gap, first, len) = {
-                let c = &self.cores[core as usize];
+                let c = &self.ctx;
                 let spec = c.spec.as_ref().expect("ensured");
                 let len = spec.accesses().len();
                 if c.pos >= len {
@@ -817,12 +556,12 @@ impl<P: CommitProtocol> Machine<P> {
             };
             let Some(access) = access else {
                 // Chunk finished executing (possibly with zero accesses).
-                self.finish_chunk(core, t, len);
+                self.finish_chunk(t, len);
                 continue;
             };
             // Non-memory instructions before this access, plus the access.
             let tag = {
-                let c = &mut self.cores[core as usize];
+                let c = &mut self.ctx;
                 let tag = c
                     .window
                     .youngest_mut()
@@ -837,9 +576,9 @@ impl<P: CommitProtocol> Machine<P> {
                 tag
             };
             let line = access.line;
-            let home = self.mapper.home_of_line(line, CoreId(core));
+            let home = self.mapper.home_frozen(line);
             {
-                let c = &mut self.cores[core as usize];
+                let c = &mut self.ctx;
                 let slot = c.window.youngest_mut().expect("executing chunk");
                 if access.is_write {
                     slot.chunk.record_write(line, home);
@@ -848,57 +587,64 @@ impl<P: CommitProtocol> Machine<P> {
                 }
             }
             if access.is_write {
-                self.do_store(core, line, home, t);
-            } else if !self.do_load(core, line, home, t, tag) {
+                self.do_store(line, home, t, dirs);
+            } else if !self.do_load(line, home, t, tag, dirs) {
                 // Remote load: the core stalls until the response.
                 return;
             }
         }
         // Batch exhausted: yield and continue at the local cursor time.
-        let epoch = self.cores[core as usize].epoch;
-        self.queue.push(t, Ev::Step { core, epoch });
+        let epoch = self.ctx.epoch;
+        self.queue.push(t, AEv::Step { epoch });
     }
 
     /// Handles a load; returns `true` if the core can continue (hit),
     /// `false` if it stalls on a remote access.
-    fn do_load(&mut self, core: u16, line: LineAddr, home: DirId, t: Cycle, tag: ChunkTag) -> bool {
-        let hit = self.cores[core as usize].hier.access(line);
+    fn do_load(
+        &mut self,
+        line: LineAddr,
+        home: DirId,
+        t: Cycle,
+        tag: ChunkTag,
+        dirs: &[DirectoryState],
+    ) -> bool {
+        let hit = self.ctx.hier.access(line);
         match hit {
             HitLevel::L1 => true,
             HitLevel::L2 => {
                 let stall = self.cfg.hier.l2_round_trip;
-                self.cores[core as usize].charge_cache(stall, tag);
+                self.ctx.charge_cache(stall, tag);
                 true
             }
             HitLevel::Miss => {
                 self.remote_reads += 1;
-                let c = &mut self.cores[core as usize];
-                c.phase = Phase::WaitRead;
-                let epoch = c.epoch;
+                self.ctx.phase = Phase::WaitRead;
+                let epoch = self.ctx.epoch;
+                let class = read_class(dirs, home, line);
                 let arrive = self.net.send(
                     t,
-                    sb_net::NodeId(core),
+                    sb_net::NodeId(self.core),
                     sb_net::NodeId(home.0),
                     MsgSize::Small,
-                    self.read_class(home, line),
+                    class,
                 );
-                self.queue.push(
+                self.to_b.push((
                     arrive,
-                    Ev::ReadAtDir {
-                        core,
+                    CoreToB::ReadAtDir {
+                        core: self.core,
                         line,
                         epoch,
                         stall_start: t,
                     },
-                );
+                ));
                 false
             }
         }
     }
 
     /// Handles a store: local mark, plus a non-blocking fetch on a miss.
-    fn do_store(&mut self, core: u16, line: LineAddr, home: DirId, t: Cycle) {
-        let c = &mut self.cores[core as usize];
+    fn do_store(&mut self, line: LineAddr, home: DirId, t: Cycle, dirs: &[DirectoryState]) {
+        let c = &mut self.ctx;
         if c.hier.contains(line) {
             c.hier.mark_written(line);
             return;
@@ -907,153 +653,51 @@ impl<P: CommitProtocol> Machine<P> {
             return; // fetch already in flight
         }
         // Read-for-write: fetch the line without stalling (store buffer).
-        let class = self.read_class(home, line);
+        let class = read_class(dirs, home, line);
         let req_arrive = self.net.send(
             t,
-            sb_net::NodeId(core),
+            sb_net::NodeId(self.core),
             sb_net::NodeId(home.0),
             MsgSize::Small,
             class,
         );
-        self.queue.push(req_arrive, Ev::StoreAtDir { core, line });
-    }
-
-    /// Home-side handling of a store fetch: register the sharer and serve
-    /// the line (from memory after the memory latency, or cache-to-cache).
-    fn store_at_dir(&mut self, core: u16, line: LineAddr) {
-        let t = self.view.now;
-        let home = self.mapper.home_of_line(line, CoreId(core));
-        let class = self.read_class(home, line);
-        self.view.dirs[home.idx()].record_read(line, CoreId(core));
-        let extra = if class == TrafficClass::MemRd {
-            self.cfg.mem_latency
-        } else {
-            0
-        };
-        let from = match class {
-            TrafficClass::RemoteDirtyRd => sb_net::NodeId(
-                self.view.dirs[home.idx()]
-                    .owner_of(line)
-                    .map_or(home.0, |o| o.0),
-            ),
-            _ => sb_net::NodeId(home.0),
-        };
-        self.queue.push(
-            t + extra,
-            Ev::StoreServe {
-                core,
+        self.to_b.push((
+            req_arrive,
+            CoreToB::StoreAtDir {
+                core: self.core,
                 line,
-                from,
-                class,
             },
-        );
+        ));
     }
 
-    /// Traffic class of a read serviced at `home` (§6.5's three read
-    /// classes).
-    fn read_class(&self, home: DirId, line: LineAddr) -> TrafficClass {
-        let st = &self.view.dirs[home.idx()];
-        if st.owner_of(line).is_some() {
-            TrafficClass::RemoteDirtyRd
-        } else if !st.sharers_of(line).is_empty() || st.is_resident(line) {
-            TrafficClass::RemoteShRd
-        } else {
-            TrafficClass::MemRd
-        }
-    }
-
-    fn read_at_dir(&mut self, core: u16, line: LineAddr, epoch: u64, stall_start: Cycle) {
-        let t = self.view.now;
-        let home = self.mapper.home_of_line(line, CoreId(core));
-        if self.proto.read_blocked(home, line) {
-            // §3.1: the line belongs to a committing chunk's W signature —
-            // nack and let the requester retry.
-            self.read_nacks += 1;
-            let arrive = self.net.send(
-                t,
-                sb_net::NodeId(home.0),
-                sb_net::NodeId(core),
-                MsgSize::Small,
-                TrafficClass::SmallCMessage,
-            );
-            self.queue.push(
-                arrive + self.cfg.nack_backoff,
-                Ev::ReadDone {
-                    core,
-                    line,
-                    epoch,
-                    stall_start,
-                    nacked: true,
-                },
-            );
-            return;
-        }
-        let class = self.read_class(home, line);
-        let (serve_from, serve_at) = match class {
-            TrafficClass::RemoteDirtyRd => {
-                // 3-hop: home forwards to the owner, which replies.
-                let owner = self.view.dirs[home.idx()].owner_of(line).expect("dirty");
-                let fwd = self.net.send(
-                    t,
-                    sb_net::NodeId(home.0),
-                    sb_net::NodeId(owner.0),
-                    MsgSize::Small,
-                    TrafficClass::RemoteDirtyRd,
-                );
-                (sb_net::NodeId(owner.0), fwd)
-            }
-            TrafficClass::MemRd => (sb_net::NodeId(home.0), t + self.cfg.mem_latency),
-            _ => (sb_net::NodeId(home.0), t),
-        };
-        self.view.dirs[home.idx()].record_read(line, CoreId(core));
-        self.queue.push(
-            serve_at,
-            Ev::ReadServe {
-                core,
-                line,
-                epoch,
-                stall_start,
-                from: serve_from,
-                class,
-            },
-        );
-    }
-
-    fn read_done(
-        &mut self,
-        core: u16,
-        line: LineAddr,
-        epoch: u64,
-        stall_start: Cycle,
-        nacked: bool,
-    ) {
-        let t = self.view.now;
-        if self.cores[core as usize].epoch != epoch {
+    fn read_done(&mut self, line: LineAddr, epoch: u64, stall_start: Cycle, nacked: bool) {
+        let t = self.now;
+        if self.ctx.epoch != epoch {
             return; // the chunk this read belonged to was squashed
         }
         if nacked {
             // Retry the read from scratch.
-            let home = self.mapper.home_of_line(line, CoreId(core));
+            let home = self.mapper.home_frozen(line);
             let arrive = self.net.send(
                 t,
-                sb_net::NodeId(core),
+                sb_net::NodeId(self.core),
                 sb_net::NodeId(home.0),
                 MsgSize::Small,
                 TrafficClass::SmallCMessage,
             );
-            self.queue.push(
+            self.to_b.push((
                 arrive,
-                Ev::ReadAtDir {
-                    core,
+                CoreToB::ReadAtDir {
+                    core: self.core,
                     line,
                     epoch,
                     stall_start,
                 },
-            );
+            ));
             return;
         }
         let tag = {
-            let c = &mut self.cores[core as usize];
+            let c = &mut self.ctx;
             c.hier.fill(line);
             c.phase = Phase::Running;
             c.window
@@ -1063,16 +707,16 @@ impl<P: CommitProtocol> Machine<P> {
                 .tag()
         };
         let stall = (t - stall_start).as_u64();
-        self.cores[core as usize].charge_cache(stall, tag);
-        self.queue.push(t, Ev::Step { core, epoch });
+        self.ctx.charge_cache(stall, tag);
+        self.queue.push(t, AEv::Step { epoch });
     }
 
-    /// The executing chunk ran out of instructions: seal it and hand it to
-    /// the commit protocol (OCI: the core immediately tries to start the
-    /// next chunk).
-    fn finish_chunk(&mut self, core: u16, t: Cycle, _accesses: usize) {
+    // ----- commit lifecycle -----------------------------------------------
+
+    fn finish_chunk(&mut self, t: Cycle, _accesses: usize) {
+        let core = self.core;
         let (tag, req, spec) = {
-            let c = &mut self.cores[core as usize];
+            let c = &mut self.ctx;
             let spec = c.spec.take().expect("finishing chunk");
             let slot = c.window.youngest_mut().expect("executing chunk");
             slot.chunk.retire_instructions(spec.instructions());
@@ -1089,23 +733,23 @@ impl<P: CommitProtocol> Machine<P> {
             retries: 0,
             retry_scheduled: false,
         };
-        self.view.now = self.view.now.max_of(t);
-        if self.cores[core as usize].pending_commit.is_some() {
+        self.now = self.now.max_of(t);
+        if self.ctx.pending_commit.is_some() {
             // An older chunk's commit is still in flight: chunks commit in
             // order, so this one waits (it will show up as commit stall —
             // the window is now full).
-            debug_assert!(self.cores[core as usize].waiting_commit.is_none());
-            self.cores[core as usize].waiting_commit = Some(pending);
+            debug_assert!(self.ctx.waiting_commit.is_none());
+            self.ctx.waiting_commit = Some(pending);
             return;
         }
         if std::env::var_os("SB_TRACE_COMMIT").is_some() {
             eprintln!("[commit] {} start at {}", tag, t);
         }
-        self.cores[core as usize].pending_commit = Some(pending);
+        self.ctx.pending_commit = Some(pending);
         // Root the chunk's causal chain at the commit-request instant
         // (`started`, the origin of the recorded latency); the protocol
-        // commands below parent to it.
-        self.cur_cause = self.flow(
+        // commands the hub issues parent to it across the plane boundary.
+        let cause = self.flow(
             FlowKind::CommitStart,
             "commit start",
             Some(tag),
@@ -1115,15 +759,16 @@ impl<P: CommitProtocol> Machine<P> {
             t,
             None,
         );
-        self.proto.start_commit(&self.view, &mut self.outbox, req);
-        self.flush_outbox();
+        self.to_b.push((t, CoreToB::CommitStart { req, cause }));
     }
 
-    // ----- commit outcomes --------------------------------------------------
+    // ----- commit outcomes ------------------------------------------------
 
-    fn outcome(&mut self, core: u16, tag: ChunkTag, success: bool) {
-        let t = self.view.now;
-        let matches = self.cores[core as usize]
+    fn outcome(&mut self, tag: ChunkTag, success: bool) {
+        let t = self.now;
+        let core = self.core;
+        let matches = self
+            .ctx
             .pending_commit
             .as_ref()
             .is_some_and(|p| p.tag == tag);
@@ -1131,10 +776,7 @@ impl<P: CommitProtocol> Machine<P> {
             return; // stale outcome for a squashed chunk (OCI discard)
         }
         if success {
-            let p = self.cores[core as usize]
-                .pending_commit
-                .take()
-                .expect("matched");
+            let p = self.ctx.pending_commit.take().expect("matched");
             if std::env::var_os("SB_TRACE_COMMIT").is_some() {
                 eprintln!(
                     "[commit] {} success at {} (lat {})",
@@ -1143,26 +785,24 @@ impl<P: CommitProtocol> Machine<P> {
                     (t - p.started).as_u64()
                 );
             }
-            {
-                let c = &mut self.cores[core as usize];
+            let inv = {
+                let c = &mut self.ctx;
                 let retired = c.window.retire_oldest();
                 debug_assert_eq!(retired, tag);
                 c.committed_insns += p.spec.instructions();
-                let inv = c.invested.remove(&tag).unwrap_or_default();
-                if let Some(obs) = self.obs.as_mut() {
-                    obs.push(
-                        t,
-                        ObsKind::ChunkDone {
-                            core,
-                            tag,
-                            committed: true,
-                            useful: inv.useful,
-                            cache: inv.cache,
-                        },
-                    );
-                }
-            }
-            if let Some(trace) = self.trace.as_mut() {
+                c.invested.remove(&tag).unwrap_or_default()
+            };
+            self.push_obs(
+                t,
+                ObsKind::ChunkDone {
+                    core,
+                    tag,
+                    committed: true,
+                    useful: inv.useful,
+                    cache: inv.cache,
+                },
+            );
+            if self.trace_on {
                 // Exact footprint from the spec: `step` records every spec
                 // access into the chunk's sets, so this reconstructs the
                 // retired chunk's read/write sets independently.
@@ -1175,7 +815,7 @@ impl<P: CommitProtocol> Machine<P> {
                         reads.insert(a.line);
                     }
                 }
-                trace.events.push(TraceEvent::Committed {
+                self.push_trace(TraceEvent::Committed {
                     core,
                     tag,
                     at: t,
@@ -1190,17 +830,16 @@ impl<P: CommitProtocol> Machine<P> {
                 .record(p.req.write_dirs.len(), p.req.read_only_dirs().len());
             // A younger chunk that finished executing in the meantime can
             // now issue its (deferred) commit request.
-            let outcome_cause = self.cur_cause;
-            if let Some(mut w) = self.cores[core as usize].waiting_commit.take() {
+            if let Some(mut w) = self.ctx.waiting_commit.take() {
                 w.started = t;
                 let wtag = w.tag;
                 let req = w.req.clone();
-                self.cores[core as usize].pending_commit = Some(w);
+                self.ctx.pending_commit = Some(w);
                 // The deferred chunk's latency is measured from here, so
                 // its causal chain gets a fresh root at `t` (still
                 // parented to the older chunk's success flow — truthful
                 // causality for the graph; the walk stops at the root).
-                self.cur_cause = self.flow(
+                let cause = self.flow(
                     FlowKind::CommitStart,
                     "commit start",
                     Some(wtag),
@@ -1210,19 +849,17 @@ impl<P: CommitProtocol> Machine<P> {
                     t,
                     None,
                 );
-                self.proto.start_commit(&self.view, &mut self.outbox, req);
-                self.flush_outbox();
-                self.cur_cause = outcome_cause;
+                self.to_b.push((t, CoreToB::CommitStart { req, cause }));
             }
             // Conservative mode: invalidations held during the commit are
             // processed now.
-            self.process_held_invs(core);
-            self.resume_after_window_change(core, t);
+            self.process_held_invs();
+            self.resume_after_window_change(t);
         } else {
             self.outcome_failures += 1;
             let mut backoff = None;
             {
-                let c = &mut self.cores[core as usize];
+                let c = &mut self.ctx;
                 let p = c.pending_commit.as_mut().expect("matched");
                 if !p.retry_scheduled {
                     p.retry_scheduled = true;
@@ -1246,23 +883,23 @@ impl<P: CommitProtocol> Machine<P> {
                     t + delay,
                     None,
                 );
-                self.queue.push(t + delay, Ev::Retry { core, tag, cause });
+                self.queue.push(t + delay, AEv::Retry { tag, cause });
             }
             // Conservative mode: a failed commit lets held invalidations
             // squash us now (Figure 4(c)).
-            if !self.cfg.oci && !self.cores[core as usize].held_invs.is_empty() {
-                self.cores[core as usize]
+            if !self.cfg.oci && !self.ctx.held_invs.is_empty() {
+                self.ctx
                     .pending_commit
                     .as_mut()
                     .expect("matched")
                     .retry_scheduled = true; // the squash below kills the retry
-                self.process_held_invs(core);
+                self.process_held_invs();
             }
         }
     }
 
-    fn retry(&mut self, core: u16, tag: ChunkTag) {
-        let Some(p) = self.cores[core as usize].pending_commit.as_mut() else {
+    fn retry(&mut self, tag: ChunkTag) {
+        let Some(p) = self.ctx.pending_commit.as_mut() else {
             return; // squashed while the retry was pending
         };
         if p.tag != tag {
@@ -1271,42 +908,43 @@ impl<P: CommitProtocol> Machine<P> {
         p.retry_scheduled = false;
         // Cheap: the request's signatures are shared handles.
         let req = p.req.clone();
-        self.proto.start_commit(&self.view, &mut self.outbox, req);
-        self.flush_outbox();
+        let cause = self.cur_cause;
+        self.to_b
+            .push((self.now, CoreToB::CommitStart { req, cause }));
     }
 
     /// If the core was blocked on a full window, credit the commit-stall
     /// time and resume execution.
-    fn resume_after_window_change(&mut self, core: u16, t: Cycle) {
-        let c = &mut self.cores[core as usize];
+    fn resume_after_window_change(&mut self, t: Cycle) {
+        let core = self.core;
+        let c = &mut self.ctx;
         if c.phase == Phase::WaitCommitSlot {
             let since = c.commit_wait_since.take().expect("waiting");
             let cycles = (t - since).as_u64();
             c.breakdown.commit += cycles;
-            if let Some(obs) = self.obs.as_mut() {
-                obs.push(t, ObsKind::CommitStall { core, cycles });
-            }
             c.phase = Phase::Running;
             let epoch = c.epoch;
-            self.queue.push(t, Ev::Step { core, epoch });
+            self.push_obs(t, ObsKind::CommitStall { core, cycles });
+            self.queue.push(t, AEv::Step { epoch });
         } else if c.phase == Phase::Finished || c.spec.is_some() {
             // Running or already done — nothing to do.
         } else if c.phase == Phase::Running {
             // Between chunks (e.g. outcome arrived while idle after
             // target reached): poke the core so it can finish or continue.
             let epoch = c.epoch;
-            self.queue.push(t, Ev::Step { core, epoch });
+            self.queue.push(t, AEv::Step { epoch });
         }
     }
 
-    // ----- bulk invalidation / squash ---------------------------------------
+    // ----- bulk invalidation / squash -------------------------------------
 
-    fn bulk_inv_at_core(&mut self, from: DirId, to: u16, tag: ChunkTag, wsig: SigHandle) {
-        let t = self.view.now;
-        self.cores[to as usize].hier.bulk_invalidate(&wsig);
+    fn bulk_inv_at_core(&mut self, from: DirId, tag: ChunkTag, wsig: SigHandle) {
+        let t = self.now;
+        let core = self.core;
+        self.ctx.hier.bulk_invalidate(&wsig);
         // Find the oldest in-flight chunk that conflicts (disambiguation
         // against both in-flight chunks' signatures).
-        let victim = Self::find_victim(&self.cores[to as usize], tag, &wsig, self.cfg.inject_bug);
+        let victim = Self::find_victim(&self.ctx, tag, &wsig, self.cfg.inject_bug);
         let mut aborted = None;
         if let (Some((_vtag, true)), false) = (victim, self.cfg.oci) {
             // Conservative: hold this invalidation until our commit
@@ -1316,37 +954,31 @@ impl<P: CommitProtocol> Machine<P> {
             // ordered commit service, withholding the winner's ack while
             // waiting for one's own later turn deadlocks (see
             // `CommitProtocol::supports_held_invs`).
-            if self.proto.supports_held_invs() {
-                self.cores[to as usize].held_invs.push((from, tag, wsig));
-                if let Some(obs) = self.obs.as_mut() {
-                    let depth = self.cores[to as usize].held_invs.len() as u32;
-                    obs.push(t, ObsKind::HeldInvDepth { core: to, depth });
-                }
+            if self.supports_held_invs {
+                self.ctx.held_invs.push((from, tag, wsig));
+                let depth = self.ctx.held_invs.len() as u32;
+                self.push_obs(t, ObsKind::HeldInvDepth { core, depth });
                 return;
             }
         }
-        self.record_inv_processed(to, tag, from, &wsig);
+        self.record_inv_processed(tag, from, &wsig);
         if let Some((vtag, is_pending)) = victim {
-            aborted = self.squash(to, vtag, is_pending, &wsig);
+            aborted = self.squash(vtag, is_pending, &wsig);
         }
-        self.send_ack(from, to, tag, aborted, t);
+        self.send_ack(from, tag, aborted, t);
     }
 
-    /// Trace hook: a foreign W signature is being applied against `core`'s
-    /// in-flight chunks right now; snapshot what they have accessed so far
-    /// so the `sb-check` oracle can recompute the conflict decision
-    /// independently of [`Machine::find_victim`].
-    fn record_inv_processed(
-        &mut self,
-        core: u16,
-        committer: ChunkTag,
-        from: DirId,
-        wsig: &SigHandle,
-    ) {
-        let Some(trace) = self.trace.as_mut() else {
+    /// Trace hook: a foreign W signature is being applied against this
+    /// core's in-flight chunks right now; snapshot what they have accessed
+    /// so far so the `sb-check` oracle can recompute the conflict decision
+    /// independently of [`CoreUnit::find_victim`].
+    fn record_inv_processed(&mut self, committer: ChunkTag, from: DirId, wsig: &SigHandle) {
+        if !self.trace_on {
             return;
-        };
-        let c = &self.cores[core as usize];
+        }
+        let at = self.now;
+        let core = self.core;
+        let c = &self.ctx;
         let mut inflight = Vec::new();
         if let Some(oldest) = c.window.oldest() {
             let mut tags = vec![oldest.chunk.tag()];
@@ -1363,11 +995,11 @@ impl<P: CommitProtocol> Machine<P> {
                 }
             }
         }
-        trace.events.push(TraceEvent::InvProcessed {
+        self.push_trace(TraceEvent::InvProcessed {
             core,
             committer,
             from,
-            at: self.view.now,
+            at,
             wsig: wsig.share(),
             inflight,
         });
@@ -1421,17 +1053,11 @@ impl<P: CommitProtocol> Machine<P> {
         None
     }
 
-    fn send_ack(
-        &mut self,
-        from: DirId,
-        to: u16,
-        tag: ChunkTag,
-        aborted: Option<AbortedCommit>,
-        t: Cycle,
-    ) {
+    fn send_ack(&mut self, from: DirId, tag: ChunkTag, aborted: Option<AbortedCommit>, t: Cycle) {
+        let core = self.core;
         let (arrive, info) = self.net.send_info(
             t + self.cfg.ack_delay,
-            sb_net::NodeId(to),
+            sb_net::NodeId(core),
             sb_net::NodeId(from.0),
             MsgSize::Small,
             TrafficClass::SmallCMessage,
@@ -1443,40 +1069,40 @@ impl<P: CommitProtocol> Machine<P> {
             FlowKind::BulkInvAck,
             "bulk inv ack",
             Some(tag),
-            Endpoint::Core(CoreId(to)),
+            Endpoint::Core(CoreId(core)),
             Endpoint::Dir(from),
             t,
             arrive,
             Some(info),
         );
-        self.queue.push(
+        self.to_b.push((
             arrive,
-            Ev::AckAtDir {
+            CoreToB::AckAtDir {
                 ack: BulkInvAck {
                     dir: from,
-                    from: CoreId(to),
+                    from: CoreId(core),
                     tag,
                     aborted,
                 },
                 cause,
             },
-        );
+        ));
     }
 
-    /// Squashes `vtag` (and younger) on core `core`. Returns the commit
+    /// Squashes `vtag` (and younger) on this core. Returns the commit
     /// recall payload if an in-flight commit died.
     fn squash(
         &mut self,
-        core: u16,
         vtag: ChunkTag,
         was_pending: bool,
         wsig: &Signature,
     ) -> Option<AbortedCommit> {
-        let t = self.view.now;
+        let t = self.now;
+        let core = self.core;
         let mut aborted = None;
         // Classify: exact conflict or pure signature aliasing.
         let exact = {
-            let c = &self.cores[core as usize];
+            let c = &self.ctx;
             c.window.get(vtag).is_some_and(|s| {
                 s.chunk
                     .read_set()
@@ -1485,8 +1111,7 @@ impl<P: CommitProtocol> Machine<P> {
                     .any(|l| wsig.test(l.as_u64()))
             })
         };
-        let c = &mut self.cores[core as usize];
-        let squashed = c.window.squash_from(vtag);
+        let squashed = self.ctx.window.squash_from(vtag);
         if squashed.is_empty() {
             return None;
         }
@@ -1496,15 +1121,13 @@ impl<P: CommitProtocol> Machine<P> {
             } else {
                 self.squash_alias += 1;
             }
-            if let Some(trace) = self.trace.as_mut() {
-                trace.events.push(TraceEvent::Squashed {
-                    core,
-                    tag: *tag,
-                    at: t,
-                });
-            }
+            self.push_trace(TraceEvent::Squashed {
+                core,
+                tag: *tag,
+                at: t,
+            });
         }
-        let c = &mut self.cores[core as usize];
+        let c = &mut self.ctx;
         let _ = was_pending;
         // Re-queue the squashed work in age order: the chunk with the
         // in-flight commit (carrying the recall), then a deferred-commit
@@ -1530,119 +1153,334 @@ impl<P: CommitProtocol> Machine<P> {
             c.respec.push_front(spec);
         }
         // Move the invested cycles of the squashed chunks into Squash.
-        for tag in &squashed {
-            let inv = c.invested.remove(tag).unwrap_or_default();
+        for tag in squashed {
+            let inv = self.ctx.invested.remove(&tag).unwrap_or_default();
+            let c = &mut self.ctx;
             c.breakdown.useful -= inv.useful;
             c.breakdown.cache_miss -= inv.cache;
             c.breakdown.squash += inv.useful + inv.cache;
-            if let Some(obs) = self.obs.as_mut() {
-                obs.push(
-                    t,
-                    ObsKind::ChunkDone {
-                        core,
-                        tag: *tag,
-                        committed: false,
-                        useful: inv.useful,
-                        cache: inv.cache,
-                    },
-                );
-            }
+            self.push_obs(
+                t,
+                ObsKind::ChunkDone {
+                    core,
+                    tag,
+                    committed: false,
+                    useful: inv.useful,
+                    cache: inv.cache,
+                },
+            );
         }
+        let c = &mut self.ctx;
         c.epoch += 1;
         let epoch = c.epoch;
         // Whatever the core was doing, it restarts the squashed work.
-        if c.phase == Phase::WaitCommitSlot {
+        let stall = if c.phase == Phase::WaitCommitSlot {
             let since = c.commit_wait_since.take().expect("waiting");
-            let cycles = (t - since).as_u64();
-            c.breakdown.commit += cycles;
-            if let Some(obs) = self.obs.as_mut() {
-                obs.push(t, ObsKind::CommitStall { core, cycles });
-            }
+            Some((t - since).as_u64())
+        } else {
+            None
+        };
+        if let Some(cycles) = stall {
+            self.ctx.breakdown.commit += cycles;
+            self.push_obs(t, ObsKind::CommitStall { core, cycles });
         }
-        c.phase = Phase::Running;
-        c.pos = 0;
-        self.queue.push(t + 1, Ev::Step { core, epoch });
-        if let (Some(a), Some(obs)) = (aborted.as_ref(), self.obs.as_mut()) {
+        self.ctx.phase = Phase::Running;
+        self.ctx.pos = 0;
+        self.queue.push(t + 1, AEv::Step { epoch });
+        if let Some(a) = aborted.as_ref() {
             // The squash killed an in-flight commit: its partially formed
             // group will be recalled (§3.4's lookout case).
-            obs.push(t, ObsKind::CommitRecalled { tag: a.tag });
+            let atag = a.tag;
+            self.push_obs(t, ObsKind::CommitRecalled { tag: atag });
         }
         aborted
     }
 
     /// Conservative-mode backlog: apply invalidations that were held while
     /// a commit was in flight.
-    fn process_held_invs(&mut self, core: u16) {
-        let held = std::mem::take(&mut self.cores[core as usize].held_invs);
-        let t = self.view.now;
+    fn process_held_invs(&mut self) {
+        let held = std::mem::take(&mut self.ctx.held_invs);
+        let t = self.now;
         for (from, tag, wsig) in held {
             // Re-run the squash check now that the commit resolved.
-            let victim =
-                Self::find_victim(&self.cores[core as usize], tag, &wsig, self.cfg.inject_bug);
-            self.record_inv_processed(core, tag, from, &wsig);
+            let victim = Self::find_victim(&self.ctx, tag, &wsig, self.cfg.inject_bug);
+            self.record_inv_processed(tag, from, &wsig);
             let aborted = match victim {
-                Some((vtag, is_pending)) => self.squash(core, vtag, is_pending, &wsig),
+                Some((vtag, is_pending)) => self.squash(vtag, is_pending, &wsig),
                 None => None,
             };
-            self.send_ack(from, core, tag, aborted, t);
+            self.send_ack(from, tag, aborted, t);
+        }
+    }
+}
+
+/// Plane B: the serial protocol/directory scheduler. Owns the commit
+/// protocol, the directory-side network ports, and the serialization
+/// gauges; mutates the directory modules (behind the machine's
+/// `RwLock`, write-locked only while no A phase runs).
+struct Hub<P: CommitProtocol> {
+    cfg: SimConfig,
+    proto: P,
+    /// Directory-side network ports (responses, protocol messages,
+    /// bulk invalidations, outcomes).
+    net: Network,
+    mapper: Arc<PageMapper>,
+    bq: EventQueue<BEv<P::Msg>>,
+    batch: VecDeque<(Cycle, BEv<P::Msg>)>,
+    now: Cycle,
+    outbox: Outbox<P::Msg>,
+    cmd_scratch: Vec<Command<P::Msg>>,
+    protocol_steps: u64,
+    gauges: SerializationGauges,
+    read_nacks: u64,
+    events: u64,
+    /// Mail to the units, in generation order; distributed at the phase
+    /// edge (same order in inline and threaded modes).
+    mail: Vec<(u16, Cycle, AEv)>,
+    /// The B phase's dynamic horizon: clamped to every hub→core mail
+    /// arrival so the hub never advances past a message a unit has not
+    /// seen yet (a core can react to mail in the very cycle it arrives —
+    /// e.g. seal and commit-start a next chunk).
+    hb: Cycle,
+    obs_on: bool,
+    obs_buf: Vec<(u64, ObsEvent)>,
+    flow_buf: Vec<(u64, FlowEvent)>,
+    flow_fixups: Vec<(FlowId, Cycle)>,
+    flow_next: u64,
+    cur_cause: FlowId,
+    phase_tag: u64,
+}
+
+impl<P: CommitProtocol> Hub<P> {
+    /// Drains hub events strictly below `horizon` (dynamically clamped
+    /// by generated mail), in exact `(cycle, seq)` order.
+    fn b_phase(&mut self, horizon: Cycle, dirs: &RwLock<Vec<DirectoryState>>) {
+        self.hb = horizon;
+        loop {
+            let next = match self.batch.pop_front() {
+                Some(e) => Some(e),
+                None => {
+                    let hb = self.hb;
+                    self.bq.advance_until(hb, &mut self.batch);
+                    self.batch.pop_front()
+                }
+            };
+            let Some((at, ev)) = next else { break };
+            self.dispatch(at, ev, dirs);
         }
     }
 
-    // ----- protocol command execution ----------------------------------------
+    fn push_mail(&mut self, core: u16, at: Cycle, ev: AEv) {
+        if at < self.hb {
+            self.hb = at;
+        }
+        self.mail.push((core, at, ev));
+    }
+
+    fn dispatch(&mut self, at: Cycle, ev: BEv<P::Msg>, dirs: &RwLock<Vec<DirectoryState>>) {
+        self.now = self.now.max_of(at);
+        self.events += 1;
+        self.cur_cause = ev.cause();
+        self.note_delivery();
+        if self.events.is_multiple_of(1024) {
+            // Hub-local depth sample (the units' queues are small and
+            // bounded; the hub queue is where protocol storms pile up).
+            let depth = (self.bq.len() + self.batch.len()) as u64;
+            self.push_obs(self.now, ObsKind::QueueDepth { depth });
+        }
+        match ev {
+            BEv::FromCore(m) => match m {
+                CoreToB::ReadAtDir {
+                    core,
+                    line,
+                    epoch,
+                    stall_start,
+                } => self.read_at_dir(core, line, epoch, stall_start, dirs),
+                CoreToB::StoreAtDir { core, line } => self.store_at_dir(core, line, dirs),
+                CoreToB::AckAtDir { ack, cause: _ } => {
+                    let view = BView {
+                        now: self.now,
+                        cores: self.cfg.cores,
+                        dirs,
+                    };
+                    self.proto.bulk_inv_acked(&view, &mut self.outbox, ack);
+                    self.flush_outbox(dirs);
+                }
+                CoreToB::CommitStart { req, cause: _ } => {
+                    let view = BView {
+                        now: self.now,
+                        cores: self.cfg.cores,
+                        dirs,
+                    };
+                    self.proto.start_commit(&view, &mut self.outbox, req);
+                    self.flush_outbox(dirs);
+                }
+            },
+            BEv::ReadServe {
+                core,
+                line,
+                epoch,
+                stall_start,
+                from,
+                class,
+            } => {
+                let arrive =
+                    self.net
+                        .send(self.now, from, sb_net::NodeId(core), MsgSize::Line, class);
+                self.push_mail(
+                    core,
+                    arrive,
+                    AEv::ReadDone {
+                        line,
+                        epoch,
+                        stall_start,
+                        nacked: false,
+                    },
+                );
+            }
+            BEv::StoreServe {
+                core,
+                line,
+                from,
+                class,
+            } => {
+                let arrive =
+                    self.net
+                        .send(self.now, from, sb_net::NodeId(core), MsgSize::Line, class);
+                self.push_mail(core, arrive, AEv::StoreFill { line });
+            }
+            BEv::Proto { dst, msg, cause: _ } => {
+                let view = BView {
+                    now: self.now,
+                    cores: self.cfg.cores,
+                    dirs,
+                };
+                self.proto.deliver(&view, &mut self.outbox, dst, msg);
+                self.flush_outbox(dirs);
+            }
+        }
+    }
+
+    /// Home-side handling of a read request (§3.1 nacks, three-hop dirty
+    /// forwards, memory latency).
+    fn read_at_dir(
+        &mut self,
+        core: u16,
+        line: LineAddr,
+        epoch: u64,
+        stall_start: Cycle,
+        dirs: &RwLock<Vec<DirectoryState>>,
+    ) {
+        let t = self.now;
+        let home = self.mapper.home_frozen(line);
+        if self.proto.read_blocked(home, line) {
+            // §3.1: the line belongs to a committing chunk's W signature —
+            // nack and let the requester retry.
+            self.read_nacks += 1;
+            let arrive = self.net.send(
+                t,
+                sb_net::NodeId(home.0),
+                sb_net::NodeId(core),
+                MsgSize::Small,
+                TrafficClass::SmallCMessage,
+            );
+            self.push_mail(
+                core,
+                arrive + self.cfg.nack_backoff,
+                AEv::ReadDone {
+                    line,
+                    epoch,
+                    stall_start,
+                    nacked: true,
+                },
+            );
+            return;
+        }
+        let (serve_from, serve_at, class) = {
+            let mut d = dirs.write().expect("dirs lock");
+            let class = read_class(&d, home, line);
+            let res = match class {
+                TrafficClass::RemoteDirtyRd => {
+                    // 3-hop: home forwards to the owner, which replies.
+                    let owner = d[home.idx()].owner_of(line).expect("dirty");
+                    let fwd = self.net.send(
+                        t,
+                        sb_net::NodeId(home.0),
+                        sb_net::NodeId(owner.0),
+                        MsgSize::Small,
+                        TrafficClass::RemoteDirtyRd,
+                    );
+                    (sb_net::NodeId(owner.0), fwd, class)
+                }
+                TrafficClass::MemRd => (sb_net::NodeId(home.0), t + self.cfg.mem_latency, class),
+                _ => (sb_net::NodeId(home.0), t, class),
+            };
+            d[home.idx()].record_read(line, CoreId(core));
+            res
+        };
+        self.bq.push(
+            serve_at,
+            BEv::ReadServe {
+                core,
+                line,
+                epoch,
+                stall_start,
+                from: serve_from,
+                class,
+            },
+        );
+    }
+
+    /// Home-side handling of a store fetch: register the sharer and serve
+    /// the line (from memory after the memory latency, or cache-to-cache).
+    fn store_at_dir(&mut self, core: u16, line: LineAddr, dirs: &RwLock<Vec<DirectoryState>>) {
+        let t = self.now;
+        let home = self.mapper.home_frozen(line);
+        let (class, from) = {
+            let mut d = dirs.write().expect("dirs lock");
+            let class = read_class(&d, home, line);
+            d[home.idx()].record_read(line, CoreId(core));
+            let from = match class {
+                TrafficClass::RemoteDirtyRd => {
+                    sb_net::NodeId(d[home.idx()].owner_of(line).map_or(home.0, |o| o.0))
+                }
+                _ => sb_net::NodeId(home.0),
+            };
+            (class, from)
+        };
+        let extra = if class == TrafficClass::MemRd {
+            self.cfg.mem_latency
+        } else {
+            0
+        };
+        self.bq.push(
+            t + extra,
+            BEv::StoreServe {
+                core,
+                line,
+                from,
+                class,
+            },
+        );
+    }
 
     /// Counts the finished protocol step, drains the reusable outbox into
     /// the scratch buffer, and executes the commands. Both allocations
     /// are reused for the lifetime of the run — the steady-state event
     /// loop does not allocate per protocol step.
-    fn flush_outbox(&mut self) {
+    fn flush_outbox(&mut self, dirs: &RwLock<Vec<DirectoryState>>) {
         self.protocol_steps += 1;
         // Temporarily move the scratch out of `self` so `execute` can
-        // borrow the rest of the machine mutably; the (possibly grown)
+        // borrow the rest of the hub mutably; the (possibly grown)
         // buffer is put back afterwards.
         let mut cmds = std::mem::take(&mut self.cmd_scratch);
         self.outbox.drain_into(&mut cmds);
-        self.execute(&mut cmds);
+        self.execute(&mut cmds, dirs);
         self.cmd_scratch = cmds;
     }
 
-    /// Allocates a causal-flow record for a hand-off issued now, parented
-    /// to the flow being dispatched. Returns [`FlowId::NONE`] (and records
-    /// nothing) when observability is off — the id is then dead weight in
-    /// the scheduled event, never consulted.
-    #[allow(clippy::too_many_arguments)]
-    fn flow(
-        &mut self,
-        kind: FlowKind,
-        label: &'static str,
-        tag: Option<ChunkTag>,
-        src: Endpoint,
-        dst: Endpoint,
-        sent_at: Cycle,
-        delivered_at: Cycle,
-        net: Option<sb_net::SendInfo>,
-    ) -> FlowId {
-        let Some(obs) = self.obs.as_mut() else {
-            return FlowId::NONE;
-        };
-        self.flow_next += 1;
-        let id = FlowId(self.flow_next);
-        obs.flows.push(FlowEvent {
-            id,
-            parent: self.cur_cause,
-            kind,
-            label,
-            tag,
-            src,
-            dst,
-            sent_at,
-            delivered_at,
-            net,
-        });
-        id
-    }
-
-    fn execute(&mut self, cmds: &mut Vec<Command<P::Msg>>) {
-        let now = self.view.now;
+    fn execute(&mut self, cmds: &mut Vec<Command<P::Msg>>, dirs: &RwLock<Vec<DirectoryState>>) {
+        let now = self.now;
         for cmd in cmds.drain(..) {
             match cmd {
                 Command::Send {
@@ -1669,7 +1507,7 @@ impl<P: CommitProtocol> Machine<P> {
                         arrive,
                         Some(info),
                     );
-                    self.queue.push(arrive, Ev::Proto { dst, msg, cause });
+                    self.bq.push(arrive, BEv::Proto { dst, msg, cause });
                 }
                 Command::After { delay, dst, msg } => {
                     let cause = self.flow(
@@ -1682,7 +1520,7 @@ impl<P: CommitProtocol> Machine<P> {
                         now + delay,
                         None,
                     );
-                    self.queue.push(now + delay, Ev::Proto { dst, msg, cause });
+                    self.bq.push(now + delay, BEv::Proto { dst, msg, cause });
                 }
                 Command::CommitSuccess { core, tag, from } => {
                     let (arrive, info) = self.net.send_info(
@@ -1702,10 +1540,10 @@ impl<P: CommitProtocol> Machine<P> {
                         arrive,
                         Some(info),
                     );
-                    self.queue.push(
+                    self.push_mail(
+                        core.0,
                         arrive,
-                        Ev::Outcome {
-                            core: core.0,
+                        AEv::Outcome {
                             tag,
                             success: true,
                             cause,
@@ -1730,10 +1568,10 @@ impl<P: CommitProtocol> Machine<P> {
                         arrive,
                         Some(info),
                     );
-                    self.queue.push(
+                    self.push_mail(
+                        core.0,
                         arrive,
-                        Ev::Outcome {
-                            core: core.0,
+                        AEv::Outcome {
                             tag,
                             success: false,
                             cause,
@@ -1769,11 +1607,11 @@ impl<P: CommitProtocol> Machine<P> {
                         arrive,
                         Some(info),
                     );
-                    self.queue.push(
+                    self.push_mail(
+                        to.0,
                         arrive,
-                        Ev::BulkInv {
+                        AEv::BulkInv {
                             from,
-                            to: to.0,
                             tag,
                             wsig,
                             cause,
@@ -1785,15 +1623,892 @@ impl<P: CommitProtocol> Machine<P> {
                     wsig,
                     committer,
                 } => {
-                    self.view.dirs[dir.idx()].apply_commit(&wsig, committer);
+                    dirs.write().expect("dirs lock")[dir.idx()].apply_commit(&wsig, committer);
                 }
                 Command::Event(ev) => {
-                    if let Some(obs) = self.obs.as_mut() {
-                        obs.record_proto(now, &ev);
+                    if self.obs_on {
+                        match &ev {
+                            ProtoEvent::DirGrabbed { dir, tag } => {
+                                let (dir, tag) = (*dir, *tag);
+                                self.push_obs(now, ObsKind::DirGrabbed { dir, tag });
+                            }
+                            ProtoEvent::DirReleased { dir, tag } => {
+                                let (dir, tag) = (*dir, *tag);
+                                self.push_obs(now, ObsKind::DirReleased { dir, tag });
+                            }
+                            _ => {}
+                        }
                     }
                     self.gauges.on_event(&ev);
                 }
             }
         }
+    }
+
+    /// Mirror of [`CoreUnit::note_delivery`] for the hub's namespace.
+    fn note_delivery(&mut self) {
+        let cause = self.cur_cause;
+        if !self.obs_on || cause.is_none() {
+            return;
+        }
+        let t = self.now;
+        if cause.0 >> FLOW_UNIT_SHIFT == 0 {
+            let f = &mut self.flow_buf[(cause.0 - 1) as usize].1;
+            if f.delivered_at < t {
+                f.delivered_at = t;
+            }
+        } else {
+            self.flow_fixups.push((cause, t));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn flow(
+        &mut self,
+        kind: FlowKind,
+        label: &'static str,
+        tag: Option<ChunkTag>,
+        src: Endpoint,
+        dst: Endpoint,
+        sent_at: Cycle,
+        delivered_at: Cycle,
+        net: Option<sb_net::SendInfo>,
+    ) -> FlowId {
+        if !self.obs_on {
+            return FlowId::NONE;
+        }
+        self.flow_next += 1;
+        let id = FlowId(self.flow_next);
+        self.flow_buf.push((
+            self.phase_tag,
+            FlowEvent {
+                id,
+                parent: self.cur_cause,
+                kind,
+                label,
+                tag,
+                src,
+                dst,
+                sent_at,
+                delivered_at,
+                net,
+            },
+        ));
+        id
+    }
+
+    fn push_obs(&mut self, at: Cycle, kind: ObsKind) {
+        if self.obs_on {
+            self.obs_buf.push((self.phase_tag, ObsEvent { at, kind }));
+        }
+    }
+}
+
+/// Coordination state for one threaded run: generation-counted phase
+/// barriers plus per-unit mailboxes and outboxes. All mail still flows
+/// through the same index-ordered merge as the inline path, so thread
+/// scheduling never reaches simulated state.
+struct PhaseShared {
+    /// Phase generation; workers spin until it advances.
+    gen: AtomicU64,
+    /// The published A-phase horizon for the current generation.
+    horizon: AtomicU64,
+    /// The published superphase tag (for observation buffers).
+    phase_idx: AtomicU64,
+    stop: AtomicBool,
+    /// Worker chunks finished with the current generation.
+    done: AtomicUsize,
+    /// Units that reached `Phase::Finished` (monotone).
+    finished: AtomicUsize,
+    /// Each unit's next pending event time after its last A phase
+    /// (`u64::MAX` = empty queue).
+    n_next: Vec<AtomicU64>,
+    /// Hub→unit mail, delivered at the start of the unit's next A phase.
+    mailboxes: Vec<Mutex<Vec<(Cycle, AEv)>>>,
+    /// Unit→hub mail, gathered by the main thread in unit-index order.
+    outboxes: Vec<Mutex<Vec<(Cycle, CoreToB)>>>,
+}
+
+impl PhaseShared {
+    fn new(n: usize) -> Self {
+        PhaseShared {
+            gen: AtomicU64::new(0),
+            horizon: AtomicU64::new(0),
+            phase_idx: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            done: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+            n_next: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            outboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+/// Runs one A phase over a contiguous chunk of units (`offset` = index
+/// of the first). Identical for the main thread and workers: deliver
+/// pending mail in order, drain to the horizon, publish the next event
+/// time, and swap the unit's outgoing mail into its outbox slot.
+fn run_chunk(
+    units: &mut [CoreUnit],
+    offset: usize,
+    shared: &PhaseShared,
+    dirs: &RwLock<Vec<DirectoryState>>,
+    horizon: Cycle,
+    pt: u64,
+) {
+    for (k, u) in units.iter_mut().enumerate() {
+        let i = offset + k;
+        u.phase_tag = pt;
+        {
+            let mut mb = shared.mailboxes[i].lock().expect("mailbox");
+            for (at, ev) in mb.drain(..) {
+                u.queue.push(at, ev);
+            }
+        }
+        u.run_phase(horizon, dirs);
+        shared.n_next[i].store(
+            u.queue.peek_time().map_or(u64::MAX, Cycle::as_u64),
+            Ordering::SeqCst,
+        );
+        {
+            let mut ob = shared.outboxes[i].lock().expect("outbox");
+            debug_assert!(ob.is_empty());
+            std::mem::swap(&mut *ob, &mut u.to_b);
+        }
+        if u.ctx.phase == Phase::Finished && !u.finish_reported {
+            u.finish_reported = true;
+            shared.finished.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Worker thread body: spin for the next phase generation, run the
+/// chunk, report done. Spinning (with periodic yields) beats parking
+/// here — phases are microseconds long and the fleet is capped at the
+/// host's available parallelism.
+fn worker_loop(
+    units: &mut [CoreUnit],
+    offset: usize,
+    shared: &PhaseShared,
+    dirs: &RwLock<Vec<DirectoryState>>,
+) {
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        loop {
+            let g = shared.gen.load(Ordering::SeqCst);
+            if g != seen {
+                seen = g;
+                break;
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let horizon = Cycle(shared.horizon.load(Ordering::SeqCst));
+        let pt = shared.phase_idx.load(Ordering::SeqCst);
+        run_chunk(units, offset, shared, dirs, horizon, pt);
+        shared.done.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The simulated machine: per-core plane-A units, the shared directory
+/// modules, and the plane-B hub.
+pub struct Machine<P: CommitProtocol> {
+    cfg: SimConfig,
+    units: Vec<CoreUnit>,
+    dirs: RwLock<Vec<DirectoryState>>,
+    hub: Hub<P>,
+    /// Superphase counter; continues across the measured run and the
+    /// observability drain so phase tags stay globally ordered.
+    phase_ctr: u64,
+    setup_wall: std::time::Duration,
+}
+
+impl<P: CommitProtocol> Machine<P> {
+    /// Builds the machine for `cfg` with protocol instance `proto`:
+    /// pre-touches (and thereby freezes) the page map, warms the caches,
+    /// and splits the state into per-core units plus the hub.
+    pub fn new(cfg: SimConfig, proto: P) -> Self {
+        let setup_start = std::time::Instant::now();
+        let mut workload = WorkloadGen::new(cfg.app, cfg.threads, cfg.seed);
+        let ctxs: Vec<CoreCtx> = (0..cfg.cores)
+            .map(|i| CoreCtx {
+                window: ChunkWindow::new(CoreId(i), cfg.max_active_chunks, cfg.sig),
+                hier: CacheHierarchy::with_signature_config(cfg.hier, cfg.sig),
+                store_pending: FxHashSet::default(),
+                spec: None,
+                pos: 0,
+                per_gap: 0,
+                leading: 0,
+                respec: VecDeque::new(),
+                epoch: 0,
+                phase: Phase::Running,
+                committed_insns: 0,
+                target: if cfg.cores == 1 {
+                    cfg.total_insns()
+                } else {
+                    cfg.insns_per_thread
+                },
+                pending_commit: None,
+                waiting_commit: None,
+                held_invs: Vec::new(),
+                commit_wait_since: None,
+                breakdown: Breakdown::new(),
+                invested: FxHashMap::default(),
+                thread: i as usize,
+                finished_at: Cycle::ZERO,
+            })
+            .collect();
+        let mut mapper = PageMapper::new(cfg.page_policy, cfg.cores);
+        // Model the parallel initialization loops of the benchmarks:
+        // shared pages are first-touched round-robin across tiles before
+        // the measured region, distributing homes across the directory
+        // modules (private pages still first-touch to their owner).
+        for page in workload.shared_pool_pages() {
+            // Hash the page number so homes are uncorrelated with the
+            // generator's per-thread page sharding.
+            let h = page.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+            mapper.home_of_page(page, CoreId((h % cfg.cores as u64) as u16));
+        }
+        // Freeze the page map: pre-touch every private line each thread
+        // can ever access, attributed to the core that runs the thread —
+        // exactly the home runtime first-touch would have assigned, but
+        // assigned up front so the measured run only ever *reads* the
+        // mapper (shared immutably across domains). `max(1)`: the
+        // generator clamps its private-index modulus the same way, so a
+        // zero-sized region still accesses its base line.
+        for t in 0..cfg.threads {
+            let (base, count) = workload.private_region(t);
+            let toucher = CoreId((t % cfg.cores as usize) as u16);
+            for l in 0..count.max(1) {
+                mapper.home_of_line(LineAddr(base.as_u64() + l), toucher);
+            }
+        }
+        let mut dirs: Vec<DirectoryState> = (0..cfg.cores)
+            .map(|_| DirectoryState::with_signature_config(cfg.sig))
+            .collect();
+        // In a parallel run, the shared working set lives spread across
+        // the machine's aggregate L2 capacity at steady state: register a
+        // resident sharer for every pool line so reads are served
+        // cache-to-cache. A 1-processor run has a single L2 and gets no
+        // such help — which is precisely the paper's superlinear-speedup
+        // mechanism for Ocean/Cholesky/Raytrace (§6.1).
+        if cfg.cores > 1 {
+            for page in workload.shared_pool_pages() {
+                for i in 0..sb_mem::LineAddr::PER_PAGE {
+                    let line = page.line(i);
+                    let home = mapper.lookup(page).expect("pool pages were pre-touched");
+                    dirs[home.idx()].mark_resident(line);
+                }
+            }
+        }
+        let mut ctxs = ctxs;
+        // A steady-state thread has its private scratch resident in its
+        // L2: pre-fill as much of it as one L2 can reasonably hold. A
+        // partitioned problem scaled up for a 1-processor normalization
+        // run overflows this on purpose (§6.1 superlinear mechanism).
+        let l2_lines = cfg.hier.l2.capacity_lines() * 3 / 4;
+        for i in 0..cfg.cores {
+            let (base, count) = workload.private_region(ctxs[i as usize].thread);
+            let fill = count.min(l2_lines);
+            for l in 0..fill {
+                let line = sb_mem::LineAddr(base.as_u64() + l);
+                ctxs[i as usize].hier.fill(line);
+                let home = mapper.home_of_line(line, CoreId(i));
+                dirs[home.idx()].record_read(line, CoreId(i));
+            }
+        }
+        // Warm-up: execute a few chunks per thread "instantly" — fill the
+        // touched lines into the core's caches and register sharers —
+        // so measurement starts from steady state rather than from the
+        // compulsory-miss transient.
+        for i in 0..cfg.cores {
+            for _ in 0..cfg.warmup_chunks {
+                let spec = if cfg.cores == 1 {
+                    workload.next_chunk_any()
+                } else {
+                    workload.next_chunk(i as usize)
+                };
+                let core: &mut CoreCtx = &mut ctxs[i as usize];
+                for a in spec.accesses() {
+                    let home = mapper.home_of_line(a.line, CoreId(i));
+                    core.hier.fill(a.line);
+                    if a.is_write {
+                        core.hier.mark_written(a.line);
+                    }
+                    dirs[home.idx()].record_read(a.line, CoreId(i));
+                }
+            }
+        }
+        let mapper = Arc::new(mapper);
+        let held_ok = proto.supports_held_invs();
+        let hub = Hub {
+            cfg: cfg.clone(),
+            proto,
+            net: match cfg.perturb {
+                None => Network::new(cfg.net),
+                Some(p) => Network::with_perturbation(cfg.net, p),
+            },
+            mapper: Arc::clone(&mapper),
+            bq: EventQueue::with_capacity(4096),
+            batch: VecDeque::new(),
+            now: Cycle::ZERO,
+            outbox: Outbox::new(),
+            cmd_scratch: Vec::new(),
+            protocol_steps: 0,
+            gauges: SerializationGauges::new(),
+            read_nacks: 0,
+            events: 0,
+            mail: Vec::new(),
+            hb: Cycle::MAX,
+            obs_on: cfg.obs,
+            obs_buf: Vec::new(),
+            flow_buf: Vec::new(),
+            flow_fixups: Vec::new(),
+            flow_next: 0,
+            cur_cause: FlowId::NONE,
+            phase_tag: 0,
+        };
+        let units: Vec<CoreUnit> = ctxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, ctx)| {
+                let mut queue = EventQueue::with_capacity(64);
+                queue.push(Cycle(0), AEv::Step { epoch: 0 });
+                CoreUnit {
+                    core: i as u16,
+                    cfg: cfg.clone(),
+                    ctx,
+                    queue,
+                    batch: VecDeque::new(),
+                    now: Cycle::ZERO,
+                    net: match cfg.perturb {
+                        None => Network::new(cfg.net),
+                        // Re-seed per unit (SplitMix-spread) so every
+                        // unit draws an independent jitter stream no
+                        // matter how units land on threads.
+                        Some(p) => Network::with_perturbation(
+                            cfg.net,
+                            PerturbationConfig {
+                                seed: p.seed ^ splitmix64(i as u64 + 1),
+                                ..p
+                            },
+                        ),
+                    },
+                    mapper: Arc::clone(&mapper),
+                    workload: workload.clone(),
+                    to_b: Vec::new(),
+                    events: 0,
+                    remote_reads: 0,
+                    commits: 0,
+                    squash_conflict: 0,
+                    squash_alias: 0,
+                    commit_retries: 0,
+                    outcome_failures: 0,
+                    latency: LatencyDist::new(),
+                    dirs_stat: DirsPerCommit::new(),
+                    trace_on: cfg.trace,
+                    obs_on: cfg.obs,
+                    trace_buf: Vec::new(),
+                    obs_buf: Vec::new(),
+                    flow_buf: Vec::new(),
+                    flow_fixups: Vec::new(),
+                    flow_next: 0,
+                    cur_cause: FlowId::NONE,
+                    phase_tag: 0,
+                    supports_held_invs: held_ok,
+                    finish_reported: false,
+                }
+            })
+            .collect();
+        Machine {
+            cfg,
+            units,
+            dirs: RwLock::new(dirs),
+            hub,
+            phase_ctr: 0,
+            setup_wall: setup_start.elapsed(),
+        }
+    }
+
+    /// Runs to completion and returns the collected metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (every queue drains while cores
+    /// are unfinished) — that would be a protocol bug.
+    pub fn run(mut self) -> RunResult {
+        // Pre-size the hub's future-event list for the expected
+        // concurrency: commits fan out one event per group member.
+        let expected = self.units.len().saturating_mul(64);
+        if expected > self.hub.bq.len() {
+            self.hub.bq.reserve(expected - self.hub.bq.len());
+        }
+        let wall_start = std::time::Instant::now();
+        let domains = effective_domains(self.cfg.domains, self.cfg.cores as usize);
+        let deadlocked = if domains <= 1 || self.units.len() <= 1 {
+            self.run_superphases(false)
+        } else {
+            self.run_threaded(domains)
+        };
+        if deadlocked {
+            self.panic_deadlock();
+        }
+        let run_wall = wall_start.elapsed();
+        let mut result = self.freeze(run_wall);
+        // The quiescence probe for the `sb-check` oracle must observe
+        // *true* quiescence: when the last core finishes, trailing
+        // protocol cleanup (releases, acks, skip turns) may still be
+        // queued, so drain it before reading `in_flight()`. All metrics
+        // above are already frozen — the untraced result is unaffected.
+        // The drain terminates: every queued event is a reaction to prior
+        // work, and finished cores issue no new chunks or retries. The
+        // observability log drains too, so grab/release spans balance.
+        let drain_start = std::time::Instant::now();
+        if self.cfg.trace || self.cfg.obs {
+            let late_deadlock = self.run_superphases(true);
+            debug_assert!(!late_deadlock);
+            if self.cfg.trace {
+                let mut trace = self.merged_trace();
+                trace.final_in_flight = self.hub.proto.in_flight();
+                result.trace = Some(trace);
+            }
+        }
+        let drain_wall = drain_start.elapsed();
+        if self.cfg.obs {
+            result.obs = Some(self.merged_obs());
+        }
+        result.metrics = self.build_registry(&result, run_wall, drain_wall);
+        result
+    }
+
+    /// The inline superphase loop: same schedule as the threaded path,
+    /// no threads, no atomics. Used for `domains <= 1` and for the
+    /// post-run observability drain (`drain = true`, which ignores the
+    /// all-finished break and stops at global quiescence instead).
+    /// Returns `true` on deadlock.
+    fn run_superphases(&mut self, drain: bool) -> bool {
+        let margin = self.cfg.net.fixed_overhead.max(1);
+        let total = self.units.len();
+        let mut finished = self.units.iter().filter(|u| u.finish_reported).count();
+        let progress = std::env::var_os("SB_SIM_PROGRESS").is_some();
+        let mut next_report = 5_000_000u64;
+        loop {
+            if !drain && finished == total {
+                break;
+            }
+            // G: the earliest pending event anywhere. Mail is already in
+            // the unit queues (delivered below), so two terms suffice.
+            let mut g = self.hub.bq.peek_time().unwrap_or(Cycle::MAX);
+            for u in &self.units {
+                if let Some(t) = u.queue.peek_time() {
+                    if t < g {
+                        g = t;
+                    }
+                }
+            }
+            if g == Cycle::MAX {
+                return !drain && finished < total;
+            }
+            let ha = g + margin;
+            let pt = self.phase_ctr;
+            for i in 0..total {
+                let u = &mut self.units[i];
+                u.phase_tag = pt;
+                u.run_phase(ha, &self.dirs);
+                for (at, m) in u.to_b.drain(..) {
+                    self.hub.bq.push(at, BEv::FromCore(m));
+                }
+                if u.ctx.phase == Phase::Finished && !u.finish_reported {
+                    u.finish_reported = true;
+                    finished += 1;
+                }
+            }
+            self.phase_ctr = pt + 1;
+            if !drain && finished == total {
+                break;
+            }
+            let mut hb0 = Cycle::MAX;
+            for u in &self.units {
+                if let Some(t) = u.queue.peek_time() {
+                    if t < hb0 {
+                        hb0 = t;
+                    }
+                }
+            }
+            self.hub.phase_tag = self.phase_ctr;
+            self.hub.b_phase(hb0, &self.dirs);
+            let mut mail = std::mem::take(&mut self.hub.mail);
+            for (core, at, ev) in mail.drain(..) {
+                self.units[core as usize].queue.push(at, ev);
+            }
+            self.hub.mail = mail;
+            self.phase_ctr += 1;
+            if progress {
+                let ev: u64 = self.units.iter().map(|u| u.events).sum::<u64>() + self.hub.events;
+                if ev >= next_report {
+                    eprintln!(
+                        "[progress] ev={}M now={} finished={}/{} commits={} fails={} nacks={} inflight={}",
+                        ev / 1_000_000,
+                        self.hub.now,
+                        finished,
+                        total,
+                        self.units.iter().map(|u| u.commits).sum::<u64>(),
+                        self.units.iter().map(|u| u.outcome_failures).sum::<u64>(),
+                        self.hub.read_nacks,
+                        self.hub.proto.in_flight(),
+                    );
+                    next_report = ev + 5_000_000;
+                }
+            }
+        }
+        false
+    }
+
+    /// The threaded superphase loop: identical schedule to
+    /// [`Machine::run_superphases`], with the A phases distributed over
+    /// `domains` OS threads (this thread runs chunk 0 itself and spawns
+    /// `domains - 1` workers). Returns `true` on deadlock.
+    fn run_threaded(&mut self, domains: usize) -> bool {
+        let n = self.units.len();
+        let margin = self.cfg.net.fixed_overhead.max(1);
+        let chunk = n.div_ceil(domains);
+        let shared = PhaseShared::new(n);
+        for (i, u) in self.units.iter().enumerate() {
+            shared.n_next[i].store(
+                u.queue.peek_time().map_or(u64::MAX, Cycle::as_u64),
+                Ordering::SeqCst,
+            );
+            if u.finish_reported {
+                shared.finished.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        // Earliest undelivered mail per unit; `MAX` when its mailbox is
+        // empty. Main-thread-local: refilled on each distribution, read
+        // when computing the next G (the mailboxes drain during the A
+        // phase *after* that read).
+        let mut mail_min = vec![Cycle::MAX; n];
+        let mut deadlocked = false;
+        let dirs = &self.dirs;
+        let hub = &mut self.hub;
+        let phase_ctr = &mut self.phase_ctr;
+        let mut finished = shared.finished.load(Ordering::SeqCst);
+        std::thread::scope(|s| {
+            let mut chunks = self.units.chunks_mut(chunk);
+            let main_chunk = chunks.next().expect("at least one unit");
+            let mut offset = main_chunk.len();
+            let mut workers = 0usize;
+            for ch in chunks {
+                let off = offset;
+                offset += ch.len();
+                let sh = &shared;
+                s.spawn(move || worker_loop(ch, off, sh, dirs));
+                workers += 1;
+            }
+            loop {
+                if finished == n {
+                    break;
+                }
+                let mut g = hub.bq.peek_time().unwrap_or(Cycle::MAX);
+                for (i, a) in shared.n_next.iter().enumerate() {
+                    let t = Cycle(a.load(Ordering::SeqCst));
+                    if t < g {
+                        g = t;
+                    }
+                    if mail_min[i] < g {
+                        g = mail_min[i];
+                    }
+                }
+                if g == Cycle::MAX {
+                    deadlocked = finished < n;
+                    break;
+                }
+                let ha = g + margin;
+                let pt = *phase_ctr;
+                shared.horizon.store(ha.as_u64(), Ordering::SeqCst);
+                shared.phase_idx.store(pt, Ordering::SeqCst);
+                shared.done.store(0, Ordering::SeqCst);
+                shared.gen.fetch_add(1, Ordering::SeqCst);
+                run_chunk(main_chunk, 0, &shared, dirs, ha, pt);
+                let mut spins = 0u32;
+                while shared.done.load(Ordering::SeqCst) < workers {
+                    spins = spins.wrapping_add(1);
+                    if spins.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                // Gather unit→hub mail in unit-index order — the exact
+                // order the inline loop pushes it, so hub event sequence
+                // numbers are identical.
+                for ob in shared.outboxes.iter() {
+                    let mut ob = ob.lock().expect("outbox");
+                    for (at, m) in ob.drain(..) {
+                        hub.bq.push(at, BEv::FromCore(m));
+                    }
+                }
+                finished = shared.finished.load(Ordering::SeqCst);
+                *phase_ctr = pt + 1;
+                if finished == n {
+                    break;
+                }
+                let mut hb0 = Cycle::MAX;
+                for a in shared.n_next.iter() {
+                    let t = Cycle(a.load(Ordering::SeqCst));
+                    if t < hb0 {
+                        hb0 = t;
+                    }
+                }
+                hub.phase_tag = *phase_ctr;
+                hub.b_phase(hb0, dirs);
+                for m in mail_min.iter_mut() {
+                    *m = Cycle::MAX;
+                }
+                for (core, at, ev) in hub.mail.drain(..) {
+                    let i = core as usize;
+                    if at < mail_min[i] {
+                        mail_min[i] = at;
+                    }
+                    shared.mailboxes[i].lock().expect("mailbox").push((at, ev));
+                }
+                *phase_ctr += 1;
+            }
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.gen.fetch_add(1, Ordering::SeqCst);
+        });
+        deadlocked
+    }
+
+    fn panic_deadlock(&self) -> ! {
+        let now = self
+            .units
+            .iter()
+            .map(|u| u.now)
+            .chain([self.hub.now])
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        let stuck: Vec<String> = self
+            .units
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.ctx.phase != Phase::Finished)
+            .map(|(i, u)| {
+                format!(
+                    "core {i}: {:?} in-flight {}",
+                    u.ctx.phase,
+                    u.ctx.window.in_flight()
+                )
+            })
+            .collect();
+        panic!(
+            "machine deadlock at {} under {:?}: {stuck:?}",
+            now, self.cfg.protocol
+        );
+    }
+
+    /// Snapshots the measured-run metrics (pre-drain) into a result.
+    fn freeze(&self, run_wall: std::time::Duration) -> RunResult {
+        let wall = self
+            .units
+            .iter()
+            .map(|u| u.ctx.finished_at)
+            .max()
+            .unwrap_or(self.hub.now)
+            .as_u64();
+        let mut breakdown = Breakdown::new();
+        let mut dirs_stat = DirsPerCommit::new();
+        let mut latency = LatencyDist::new();
+        let mut traffic = self.hub.net.counters().clone();
+        for u in &self.units {
+            breakdown.merge(&u.ctx.breakdown);
+            dirs_stat.merge(&u.dirs_stat);
+            latency.merge(&u.latency);
+            traffic.merge(u.net.counters());
+        }
+        let events = self.units.iter().map(|u| u.events).sum::<u64>() + self.hub.events;
+        let perf = PerfReport {
+            events_dispatched: events,
+            protocol_steps: self.hub.protocol_steps,
+            sim_cycles: wall,
+            wall: run_wall,
+        };
+        RunResult {
+            wall_cycles: wall,
+            breakdown,
+            dirs: dirs_stat,
+            latency,
+            gauges: self.hub.gauges.clone(),
+            traffic,
+            commits: self.units.iter().map(|u| u.commits).sum(),
+            squashes_conflict: self.units.iter().map(|u| u.squash_conflict).sum(),
+            squashes_alias: self.units.iter().map(|u| u.squash_alias).sum(),
+            read_nacks: self.hub.read_nacks,
+            remote_reads: self.units.iter().map(|u| u.remote_reads).sum(),
+            commit_retries: self.units.iter().map(|u| u.commit_retries).sum(),
+            perf,
+            metrics: MetricsRegistry::new(),
+            trace: None,
+            obs: None,
+        }
+    }
+
+    /// Merges the per-unit trace buffers into one stream, ordered by
+    /// superphase then unit index — a fixed order at any domain count.
+    fn merged_trace(&mut self) -> RunTrace {
+        let mut tagged: Vec<(u64, TraceEvent)> = Vec::new();
+        for u in &mut self.units {
+            tagged.append(&mut u.trace_buf);
+        }
+        tagged.sort_by_key(|e| e.0); // stable: same-phase order is unit-concat order
+        let mut trace = RunTrace::new();
+        trace.events = tagged.into_iter().map(|(_, e)| e).collect();
+        trace
+    }
+
+    /// Merges the per-plane observation buffers: events sort by phase
+    /// tag (stable), flows additionally get dense 1-based ids in merged
+    /// order — a parent is always recorded in an earlier phase or
+    /// earlier in the same source buffer, so remapping in order always
+    /// finds it — and cross-plane `delivered_at` fixups apply last.
+    fn merged_obs(&mut self) -> ObsLog {
+        let mut events: Vec<(u64, ObsEvent)> = Vec::new();
+        for u in &mut self.units {
+            events.append(&mut u.obs_buf);
+        }
+        events.append(&mut self.hub.obs_buf);
+        events.sort_by_key(|e| e.0);
+        let mut tagged: Vec<(u64, FlowEvent)> = Vec::new();
+        for u in &mut self.units {
+            tagged.append(&mut u.flow_buf);
+        }
+        tagged.append(&mut self.hub.flow_buf);
+        tagged.sort_by_key(|e| e.0);
+        let mut dense: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut flows: Vec<FlowEvent> = Vec::with_capacity(tagged.len());
+        for (_, mut f) in tagged {
+            let id = flows.len() as u64 + 1;
+            dense.insert(f.id.0, id);
+            f.id = FlowId(id);
+            if !f.parent.is_none() {
+                f.parent = FlowId(
+                    *dense
+                        .get(&f.parent.0)
+                        .expect("flow parents precede children in merged order"),
+                );
+            }
+            flows.push(f);
+        }
+        let mut fixups: Vec<(FlowId, Cycle)> = Vec::new();
+        for u in &mut self.units {
+            fixups.append(&mut u.flow_fixups);
+        }
+        fixups.append(&mut self.hub.flow_fixups);
+        for (raw, t) in fixups {
+            let idx = dense[&raw.0] as usize - 1;
+            if flows[idx].delivered_at < t {
+                flows[idx].delivered_at = t;
+            }
+        }
+        let mut obs = ObsLog::new();
+        obs.events = events.into_iter().map(|(_, e)| e).collect();
+        obs.flows = flows;
+        obs
+    }
+
+    /// Builds the end-of-run metrics registry from the frozen result
+    /// (one source of truth for counters and phase wall-times). Purely
+    /// derived — never feeds back into simulated state.
+    fn build_registry(
+        &self,
+        r: &RunResult,
+        run_wall: std::time::Duration,
+        drain_wall: std::time::Duration,
+    ) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("events.dispatched", r.perf.events_dispatched);
+        reg.add_counter("protocol.steps", r.perf.protocol_steps);
+        reg.add_counter("commits", r.commits);
+        reg.add_counter("squashes.conflict", r.squashes_conflict);
+        reg.add_counter("squashes.alias", r.squashes_alias);
+        reg.add_counter("read.nacks", r.read_nacks);
+        reg.add_counter("remote.reads", r.remote_reads);
+        reg.add_counter("commit.retries", r.commit_retries);
+        for class in TrafficClass::ALL {
+            reg.add_counter(
+                &format!("traffic.msgs.{}", class.label()),
+                r.traffic.count(class),
+            );
+            reg.add_counter(
+                &format!("traffic.bytes.{}", class.label()),
+                r.traffic.bytes(class),
+            );
+        }
+        reg.set_gauge("sim.wall_cycles", r.wall_cycles as f64);
+        // Commit-latency distribution (Figure 13): the full histogram
+        // (merges exactly across runs) plus per-run quantile gauges.
+        // Gauges *sum* under `MetricsRegistry::merge`, so read the
+        // quantiles per run before merging sweep results.
+        reg.insert_histogram("commit.latency_cycles", r.latency.histogram().clone());
+        reg.set_gauge("latency.mean", r.latency.mean());
+        reg.set_gauge("latency.p50", r.latency.p50() as f64);
+        reg.set_gauge("latency.p95", r.latency.p95() as f64);
+        reg.set_gauge("latency.p99", r.latency.p99() as f64);
+        reg.set_gauge("latency.max", r.latency.max() as f64);
+        reg.set_gauge("phase.setup_secs", self.setup_wall.as_secs_f64());
+        reg.set_gauge("phase.run_secs", run_wall.as_secs_f64());
+        reg.set_gauge("phase.drain_secs", drain_wall.as_secs_f64());
+        if let Some(obs) = r.obs.as_ref() {
+            reg.add_counter(
+                "obs.dir_grabs",
+                obs.count(|k| matches!(k, ObsKind::DirGrabbed { .. })),
+            );
+            reg.add_counter(
+                "obs.dir_releases",
+                obs.count(|k| matches!(k, ObsKind::DirReleased { .. })),
+            );
+            reg.add_counter(
+                "obs.commit_recalls",
+                obs.count(|k| matches!(k, ObsKind::CommitRecalled { .. })),
+            );
+            // Grab-hold durations: match each release to its open grab
+            // per (dir, tag) in stream order.
+            let mut open: Vec<((DirId, ChunkTag), Cycle)> = Vec::new();
+            for e in &obs.events {
+                match e.kind {
+                    ObsKind::DirGrabbed { dir, tag } => open.push(((dir, tag), e.at)),
+                    ObsKind::DirReleased { dir, tag } => {
+                        if let Some(i) = open.iter().position(|(k, _)| *k == (dir, tag)) {
+                            let (_, start) = open.swap_remove(i);
+                            reg.observe("obs.grab_hold_cycles", (e.at - start).as_u64(), 64, 16);
+                        }
+                    }
+                    ObsKind::HeldInvDepth { depth, .. } => {
+                        reg.observe("obs.held_inv_depth", depth as u64, 16, 1);
+                    }
+                    ObsKind::QueueDepth { depth } => {
+                        reg.observe("obs.event_queue_depth", depth, 64, 256);
+                    }
+                    ObsKind::CommitStall { cycles, .. } => {
+                        reg.observe("obs.commit_stall_cycles", cycles, 64, 64);
+                    }
+                    ObsKind::CommitRecalled { .. } | ObsKind::ChunkDone { .. } => {}
+                }
+            }
+            reg.add_counter("obs.flows", obs.flows.len() as u64);
+            reg.add_counter(
+                "obs.chunks_done",
+                obs.count(|k| matches!(k, ObsKind::ChunkDone { .. })),
+            );
+        }
+        reg
     }
 }

@@ -26,13 +26,25 @@ pub fn available_jobs() -> usize {
 }
 
 /// Resolves a `--jobs` setting: [`AUTO_JOBS`] (0) becomes the host's
-/// available parallelism, anything else passes through.
+/// available parallelism, and explicit values are capped at it — more
+/// workers than hardware threads can never help a CPU-bound simulation,
+/// only oversubscribe it (the honest slowdown EXPERIMENTS.md measured on
+/// a 1-CPU host).
 pub fn effective_jobs(jobs: usize) -> usize {
+    let avail = available_jobs();
     if jobs == AUTO_JOBS {
-        available_jobs()
+        avail
     } else {
-        jobs
+        jobs.min(avail).max(1)
     }
+}
+
+/// Resolves a `--domains` setting for one simulated machine of `cores`
+/// tiles: [`AUTO_JOBS`] (`auto`) and oversized values are capped at the
+/// host's available parallelism, and no run can use more domains than it
+/// has cores. Always at least 1.
+pub fn effective_domains(domains: usize, cores: usize) -> usize {
+    effective_jobs(domains).min(cores.max(1))
 }
 
 /// Applies `f` to every item and returns the outputs **in input order**,
@@ -105,6 +117,13 @@ pub fn parse_jobs(v: &str) -> Option<usize> {
     v.parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
+/// Parses a `--domains` command-line value: a positive integer, or
+/// `auto` for [`AUTO_JOBS`] (resolved per machine by
+/// [`effective_domains`]).
+pub fn parse_domains(v: &str) -> Option<usize> {
+    parse_jobs(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +165,35 @@ mod tests {
         assert_eq!(parse_jobs("0"), None);
         assert_eq!(parse_jobs("-3"), None);
         assert_eq!(parse_jobs("fast"), None);
+        assert_eq!(parse_domains("auto"), Some(AUTO_JOBS));
+        assert_eq!(parse_domains("4"), Some(4));
+        assert_eq!(parse_domains("0"), None);
+    }
+
+    #[test]
+    fn effective_jobs_never_oversubscribes() {
+        let avail = available_jobs();
+        assert_eq!(effective_jobs(AUTO_JOBS), avail);
+        assert_eq!(effective_jobs(1), 1);
+        // Explicit values are capped at the hardware thread count: a
+        // `--jobs 64` on a 1-CPU host must not spawn 64 workers.
+        assert_eq!(effective_jobs(usize::MAX), avail);
+        assert_eq!(effective_jobs(avail + 7), avail);
+        assert!(effective_jobs(2) <= avail.max(2));
+    }
+
+    #[test]
+    fn effective_domains_caps_at_host_and_machine() {
+        let avail = available_jobs();
+        // Never more domains than host threads...
+        assert_eq!(effective_domains(AUTO_JOBS, 64), avail.min(64));
+        assert_eq!(effective_domains(usize::MAX, 64), avail.min(64));
+        // ...never more domains than simulated cores...
+        assert_eq!(effective_domains(usize::MAX, 1), 1);
+        assert_eq!(effective_domains(2, 1), 1);
+        // ...and always at least one.
+        assert_eq!(effective_domains(1, 0), 1);
+        assert_eq!(effective_domains(1, 64), 1);
     }
 
     #[test]

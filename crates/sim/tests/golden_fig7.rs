@@ -43,21 +43,21 @@ fn apps() -> [(&'static str, AppProfile); 3] {
 
 /// (app, protocol, wall_cycles, commits, total_messages)
 const GOLDEN: &[(&str, ProtocolKind, u64, u64, u64)] = &[
-    ("fft", ProtocolKind::ScalableBulk, 14832, 73, 4826),
-    ("fft", ProtocolKind::Tcc, 15124, 73, 7495),
-    ("fft", ProtocolKind::Seq, 17362, 73, 5118),
-    ("fft", ProtocolKind::SeqTs, 45954, 73, 9600),
-    ("fft", ProtocolKind::BulkSc, 14603, 73, 6174),
-    ("radix", ProtocolKind::ScalableBulk, 16060, 71, 5165),
-    ("radix", ProtocolKind::Tcc, 17885, 71, 5430),
-    ("radix", ProtocolKind::Seq, 36815, 71, 5597),
-    ("radix", ProtocolKind::SeqTs, 144628, 71, 35594),
-    ("radix", ProtocolKind::BulkSc, 15889, 71, 4677),
-    ("canneal", ProtocolKind::ScalableBulk, 21416, 74, 15071),
-    ("canneal", ProtocolKind::Tcc, 22177, 74, 20249),
-    ("canneal", ProtocolKind::Seq, 34183, 74, 15243),
-    ("canneal", ProtocolKind::SeqTs, 139886, 74, 38681),
-    ("canneal", ProtocolKind::BulkSc, 22215, 74, 15186),
+    ("fft", ProtocolKind::ScalableBulk, 11621, 73, 4835),
+    ("fft", ProtocolKind::Tcc, 11883, 73, 7496),
+    ("fft", ProtocolKind::Seq, 11666, 73, 5116),
+    ("fft", ProtocolKind::SeqTs, 31703, 73, 8580),
+    ("fft", ProtocolKind::BulkSc, 11626, 73, 6171),
+    ("radix", ProtocolKind::ScalableBulk, 11651, 71, 5008),
+    ("radix", ProtocolKind::Tcc, 14097, 71, 5430),
+    ("radix", ProtocolKind::Seq, 23714, 71, 5597),
+    ("radix", ProtocolKind::SeqTs, 141766, 71, 35178),
+    ("radix", ProtocolKind::BulkSc, 11500, 71, 4677),
+    ("canneal", ProtocolKind::ScalableBulk, 16318, 74, 15070),
+    ("canneal", ProtocolKind::Tcc, 16896, 74, 20191),
+    ("canneal", ProtocolKind::Seq, 20995, 74, 15166),
+    ("canneal", ProtocolKind::SeqTs, 118151, 74, 37109),
+    ("canneal", ProtocolKind::BulkSc, 16237, 74, 15190),
 ];
 
 fn run(app: AppProfile, protocol: ProtocolKind) -> (u64, u64, u64) {

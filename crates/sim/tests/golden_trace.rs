@@ -23,9 +23,9 @@ const CORES: u16 = 4;
 const INSNS: u64 = 4_000;
 
 /// FNV-1a fingerprint of the serialized Perfetto document.
-const GOLDEN_FINGERPRINT: u64 = 0x9bd42708ad948a1b;
+const GOLDEN_FINGERPRINT: u64 = 0x28a0a9ee6a3cb1fd;
 /// Number of entries in `traceEvents` (metadata + timed).
-const GOLDEN_EVENTS: usize = 398;
+const GOLDEN_EVENTS: usize = 397;
 
 fn observed_cfg() -> SimConfig {
     let mut cfg = SimConfig::paper_default(CORES, AppProfile::fft(), ProtocolKind::ScalableBulk);
@@ -58,6 +58,24 @@ fn perfetto_export_matches_golden_snapshot() {
     // The pinned document is well-formed and reconciles with the run.
     let violations = verify_observability(&r);
     assert!(violations.is_empty(), "{violations:#?}");
+}
+
+#[test]
+fn export_is_byte_identical_at_any_domain_count() {
+    // The golden fingerprint above pins the single-threaded export; the
+    // domain-partitioned executor must reproduce those exact bytes — the
+    // merged trace/obs/flow streams are re-sequenced into the serial
+    // emission order, so even span ordering and flow ids cannot drift.
+    let reference = perfetto_trace(&run_simulation(&observed_cfg())).to_string();
+    for domains in [2usize, 4, 8] {
+        let mut cfg = observed_cfg();
+        cfg.domains = domains;
+        let got = perfetto_trace(&run_simulation(&cfg)).to_string();
+        assert_eq!(
+            got, reference,
+            "perfetto export drifted at {domains} domains"
+        );
+    }
 }
 
 #[test]

@@ -31,7 +31,7 @@ const TOUCHES_PER_PRIVATE_LINE: u64 = 8;
 const TOUCHES_PER_SHARED_LINE: u64 = 6;
 const TOUCHES_PER_SCATTER_LINE: usize = 3;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ThreadState {
     rng: Xoshiro256,
     /// Streaming cursor over the private working set, in *touches*
@@ -60,7 +60,7 @@ struct ThreadState {
 /// let mut g2 = WorkloadGen::new(AppProfile::fft(), 4, 42);
 /// assert_eq!(g2.next_chunk(0), chunk);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct WorkloadGen {
     profile: AppProfile,
     threads: Vec<ThreadState>,
