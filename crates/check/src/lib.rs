@@ -37,6 +37,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explore;
+
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 

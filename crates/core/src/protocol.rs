@@ -7,8 +7,16 @@ use sb_chunks::{ChunkTag, CommitRequest};
 use sb_mem::{DirId, LineAddr};
 use sb_net::{MsgSize, TrafficClass};
 use sb_proto::{
-    BulkInvAck, CommitProtocol, Endpoint, MachineView, Outbox, ProtoEvent, ProtocolKind,
+    AddrFootprint, BulkInvAck, ChoiceMeta, CommitProtocol, Endpoint, MachineView, Outbox,
+    ProtoEvent, ProtocolKind,
 };
+
+/// Bit for tile `t` in a [`ChoiceMeta`] tile mask. Tiles ≥ 64 wrap —
+/// aliasing two tiles onto one bit can only add dependence edges, which
+/// is the sound direction (and explorer configs are 2–3 tiles anyway).
+fn tile_bit(t: u16) -> u64 {
+    1u64 << (t % 64)
+}
 
 use crate::config::SbConfig;
 use crate::directory::DirModule;
@@ -181,6 +189,56 @@ impl CommitProtocol for ScalableBulk {
 
     fn msg_tag(msg: &SbMsg) -> Option<ChunkTag> {
         Some(msg.tag())
+    }
+
+    fn msg_meta(&self, dst: Endpoint, msg: &SbMsg) -> ChoiceMeta {
+        // ScalableBulk's commit state is partitioned per directory
+        // module, so a message's footprint is the handling tile plus
+        // every tile the handler may forward to (a conservative
+        // superset: grabs walk `gvec`, the leader multicasts to the
+        // group, recall handling notifies the failed group).
+        let mut tiles = tile_bit(dst.tile());
+        match msg {
+            SbMsg::CommitRequest { req, .. } => {
+                for d in req.g_vec.iter() {
+                    tiles |= tile_bit(d.0);
+                }
+                return ChoiceMeta::at_tiles(Self::msg_label(msg), tiles)
+                    .with_tag(req.tag)
+                    .reads(AddrFootprint::Sig(req.rsig.share()))
+                    .writes(AddrFootprint::Sig(req.wsig.share()));
+            }
+            SbMsg::Grab { gvec, .. } => {
+                for d in gvec.iter() {
+                    tiles |= tile_bit(d.0);
+                }
+            }
+            // The leader multicasts `g success` / `commit done` /
+            // `g failure` group-wide, but each copy is delivered (and
+            // footprinted) separately; the handler itself only touches
+            // `dst` — plus, for recalls, the lookout module and the
+            // failed group it may have to notify.
+            SbMsg::GSuccess { .. } | SbMsg::GFailure { .. } => {}
+            SbMsg::CommitDone { recalls, .. } => {
+                for note in recalls {
+                    tiles |= tile_bit(note.dir_id.0);
+                    for d in note.failed_gvec.iter() {
+                        tiles |= tile_bit(d.0);
+                    }
+                }
+            }
+            SbMsg::Recall { note } => {
+                tiles |= tile_bit(note.dir_id.0);
+                for d in note.failed_gvec.iter() {
+                    tiles |= tile_bit(d.0);
+                }
+            }
+        }
+        ChoiceMeta::at_tiles(Self::msg_label(msg), tiles).with_tag(msg.tag())
+    }
+
+    fn per_dir_commit_state(&self) -> bool {
+        true
     }
 
     fn debug_state(&self) -> String {

@@ -291,6 +291,34 @@ impl<E> EventQueue<E> {
         self.peek_time()
     }
 
+    /// Number of events scheduled for the earliest pending cycle — the
+    /// width of the same-cycle batch the next [`drain_cycle`] would pop,
+    /// i.e. the number of permutable dispatch choices the scheduler seam
+    /// surfaces at this point. Diagnostic/test API: the overflow tiers
+    /// are scanned linearly, so this is O(n) in the worst case.
+    ///
+    /// ```
+    /// use sb_engine::{Cycle, EventQueue};
+    /// let mut q = EventQueue::new();
+    /// assert_eq!(q.head_width(), 0);
+    /// q.push(Cycle(4), 'a');
+    /// q.push(Cycle(9), 'z');
+    /// q.push(Cycle(4), 'b');
+    /// assert_eq!(q.head_width(), 2);
+    /// ```
+    ///
+    /// [`drain_cycle`]: EventQueue::drain_cycle
+    pub fn head_width(&self) -> usize {
+        let Some(t) = self.peek_time() else { return 0 };
+        let tu = t.as_u64();
+        let mut n = self.past.iter().filter(|e| e.at == t).count()
+            + self.far.iter().filter(|e| e.at == t).count();
+        if tu >= self.cursor && tu < self.cursor + RING as u64 {
+            n += self.ring[(tu & MASK) as usize].len();
+        }
+        n
+    }
+
     /// Pops **every** event scheduled for the earliest pending cycle, in
     /// FIFO order, appending them to `out`; returns that cycle (`None` if
     /// the queue is empty). One bulk bucket drain replaces per-event

@@ -64,17 +64,18 @@ impl Torus {
     }
 
     /// Chooses the most-square torus for `tiles` tiles: 64 → 8×8,
-    /// 32 → 8×4, 16 → 4×4, etc.
+    /// 32 → 8×4, 16 → 4×4, etc. The paper's machines are powers of two;
+    /// a non-power-of-two count (used by `sb-check explore`'s tiny
+    /// configs, e.g. 3 tiles) degenerates to a `tiles × 1` ring.
     ///
     /// # Panics
     ///
-    /// Panics if `tiles` is not a positive power of two (the paper's
-    /// machines are 32 and 64 tiles).
+    /// Panics if `tiles` is zero.
     pub fn for_tiles(tiles: u16) -> Self {
-        assert!(
-            tiles > 0 && (tiles & (tiles - 1)) == 0,
-            "tile count must be a power of two, got {tiles}"
-        );
+        assert!(tiles > 0, "tile count must be positive");
+        if tiles & (tiles - 1) != 0 {
+            return Torus::new(tiles, 1);
+        }
         let log = tiles.trailing_zeros();
         let cols = 1u16 << log.div_ceil(2);
         let rows = tiles / cols;
@@ -201,9 +202,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn non_pow2_tiles_panics() {
-        Torus::for_tiles(48);
+    fn non_pow2_tiles_degenerate_to_a_ring() {
+        assert_eq!(Torus::for_tiles(3), Torus::new(3, 1));
+        assert_eq!(Torus::for_tiles(48), Torus::new(48, 1));
+        // A 3-ring wraps: 0 → 2 is one hop, not two.
+        let t = Torus::for_tiles(3);
+        assert_eq!(t.hops(NodeId(0), NodeId(2)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tiles_panics() {
+        Torus::for_tiles(0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod choice;
 mod command;
 mod fabric;
 mod flow;
@@ -33,6 +34,7 @@ mod kind;
 mod protocol;
 mod view;
 
+pub use choice::{AddrFootprint, ChoiceMeta};
 pub use command::{Command, Endpoint, Outbox, ProtoEvent};
 pub use fabric::{Fabric, FabricConfig, FabricReport, Outcome};
 pub use flow::FlowId;

@@ -3,6 +3,7 @@
 use sb_chunks::{ChunkTag, CommitRequest};
 use sb_mem::{CoreId, DirId, DirSet, LineAddr};
 
+use crate::choice::ChoiceMeta;
 use crate::command::{Endpoint, Outbox};
 use crate::kind::ProtocolKind;
 use crate::view::MachineView;
@@ -134,6 +135,29 @@ pub trait CommitProtocol {
     /// Purely observational, like [`CommitProtocol::msg_label`].
     fn msg_tag(_msg: &Self::Msg) -> Option<ChunkTag> {
         None
+    }
+
+    /// Resource footprint of a wire message delivered at `dst`, for the
+    /// bounded-interleaving explorer's independence test (see
+    /// [`ChoiceMeta`]). Never consulted for simulated behaviour.
+    ///
+    /// The default treats every message as touching global protocol
+    /// state — always sound, no pruning. Protocols whose commit
+    /// bookkeeping is partitioned per directory module (ScalableBulk)
+    /// override this with per-tile footprints.
+    fn msg_meta(&self, _dst: Endpoint, msg: &Self::Msg) -> ChoiceMeta {
+        ChoiceMeta::global(Self::msg_label(msg))
+    }
+
+    /// Whether commit bookkeeping reached through `start_commit` /
+    /// `bulk_inv_acked` is partitioned by directory module (`true` for
+    /// ScalableBulk's per-tile CSTs) or serialized through shared global
+    /// state (TCC's TID stream, SEQ/SEQ-TS service order, BulkSC's
+    /// arbiter). Drives the explorer's independence test for those
+    /// up-calls; like [`CommitProtocol::msg_meta`], never consulted for
+    /// simulated behaviour.
+    fn per_dir_commit_state(&self) -> bool {
+        false
     }
 }
 

@@ -1,10 +1,8 @@
 //! Minimal timing probe used to compare simulator builds.
 //!
-//! Deliberately uses only APIs present in every revision of the repo
-//! (`run_simulation` + `RunResult`'s simulated counters + `Instant` +
-//! `std::thread::scope` — even the `--jobs` fan-out is local to this
-//! file), so the identical file can be dropped into an older checkout to
-//! measure a "before" build. Prints one line per configuration:
+//! Uses `run_simulation` + `RunResult`'s simulated counters + `Instant`,
+//! with `--jobs` parsing and fan-out shared with every other driver via
+//! `sb_sim::parallel`. Prints one line per configuration:
 //!
 //! ```text
 //! PROBE <app> <protocol> <cores> <insns> wall_cycles=.. commits=.. msgs=.. best_secs=..
@@ -18,7 +16,6 @@
 //! concurrent probes steal cycles from each other. Lines always print in
 //! grid order regardless of the job count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use sb_proto::ProtocolKind;
@@ -62,13 +59,7 @@ fn main() {
                 i += 1;
                 jobs = args
                     .get(i)
-                    .and_then(|v| {
-                        if v == "auto" {
-                            std::thread::available_parallelism().map(|n| n.get()).ok()
-                        } else {
-                            v.parse().ok().filter(|&n| n >= 1)
-                        }
-                    })
+                    .and_then(|v| sb_sim::parallel::parse_jobs(v))
                     .expect("--jobs N|auto");
             }
             v => reps = v.parse().expect("reps must be an integer"),
@@ -117,39 +108,10 @@ fn main() {
         });
     }
 
-    // Self-contained ordered fan-out (no sb_sim::parallel, so this file
-    // still drops into older checkouts): workers claim specs from a
-    // counter, lines print in spec order after all workers join.
-    let jobs = jobs.min(specs.len()).max(1);
-    let lines: Vec<String> = if jobs <= 1 {
-        specs.iter().map(|s| probe(s, reps)).collect()
-    } else {
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<String>> = Vec::new();
-        slots.resize_with(specs.len(), || None);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..jobs)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut produced = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(spec) = specs.get(i) else { break };
-                            produced.push((i, probe(spec, reps)));
-                        }
-                        produced
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (i, line) in h.join().expect("probe worker") {
-                    slots[i] = Some(line);
-                }
-            }
-        });
-        slots.into_iter().map(|l| l.expect("claimed")).collect()
-    };
-    for line in lines {
+    // Ordered fan-out via the shared helper: lines print in spec order
+    // at any job count, and `--jobs auto` resolves through the same
+    // clamp every other driver uses.
+    for line in sb_sim::parallel::parallel_map(&specs, jobs, |s| probe(s, reps)) {
         println!("{line}");
     }
 }

@@ -35,6 +35,7 @@ mod obs;
 pub mod parallel;
 mod result;
 mod runner;
+pub mod sched;
 mod trace;
 
 pub use config::{InjectedBug, SimConfig};
@@ -45,5 +46,6 @@ pub use export::{perfetto_trace, verify_observability};
 pub use machine::Machine;
 pub use obs::{FlowEvent, FlowKind, ObsEvent, ObsKind, ObsLog};
 pub use result::RunResult;
-pub use runner::{run_app, run_simulation};
+pub use runner::{run_app, run_simulation, run_simulation_scheduled};
+pub use sched::{ChoiceSite, FifoScheduler, Scheduler};
 pub use trace::{ChunkSnapshot, RunTrace, TraceEvent};

@@ -57,8 +57,8 @@ use sb_mem::{
 };
 use sb_net::{MsgSize, Network, PerturbationConfig, TrafficClass};
 use sb_proto::{
-    AbortedCommit, BulkInvAck, Command, CommitProtocol, Endpoint, FlowId, MachineView, Outbox,
-    ProtoEvent,
+    AbortedCommit, AddrFootprint, BulkInvAck, ChoiceMeta, Command, CommitProtocol, Endpoint,
+    FlowId, MachineView, Outbox, ProtoEvent,
 };
 use sb_sigs::{SigHandle, Signature};
 use sb_stats::{
@@ -70,6 +70,7 @@ use crate::config::{InjectedBug, SimConfig};
 use crate::obs::{FlowEvent, FlowKind, ObsEvent, ObsKind, ObsLog};
 use crate::parallel::effective_domains;
 use crate::result::RunResult;
+use crate::sched::{ChoiceSite, Scheduler};
 use crate::trace::{ChunkSnapshot, RunTrace, TraceEvent};
 
 /// Cap on how many accesses one `Step` event may process. Batching cuts
@@ -83,6 +84,16 @@ const STEP_BATCH: usize = 32;
 /// erased at merge time, when flows are renumbered densely in the
 /// deterministic merged order.
 const FLOW_UNIT_SHIFT: u32 = 40;
+
+/// Reborrows an optional scheduler for a nested call. (A plain
+/// `as_deref_mut` can't shorten the trait object's lifetime bound behind
+/// `&mut`; the explicit `&mut **` reborrow hits the coercion site.)
+fn resched<'s>(sched: &'s mut Option<&mut dyn Scheduler>) -> Option<&'s mut dyn Scheduler> {
+    match sched {
+        Some(s) => Some(&mut **s),
+        None => None,
+    }
+}
 
 /// SplitMix64 finalizer; spreads a unit index into an uncorrelated
 /// perturbation-seed offset so each unit's timing-adversary stream is
@@ -362,23 +373,73 @@ struct CoreUnit {
 
 impl CoreUnit {
     /// Drains every pending event strictly below `horizon`, in exact
-    /// `(cycle, seq)` order. The directory read guard is held for the
-    /// whole phase: plane B only mutates directories while no A phase
-    /// is running.
-    fn run_phase(&mut self, horizon: Cycle, dirs: &RwLock<Vec<DirectoryState>>) {
+    /// `(cycle, seq)` order — or, when a [`Scheduler`] is plugged in, in
+    /// the order it picks within each same-cycle batch. The directory
+    /// read guard is held for the whole phase: plane B only mutates
+    /// directories while no A phase is running.
+    fn run_phase(
+        &mut self,
+        horizon: Cycle,
+        dirs: &RwLock<Vec<DirectoryState>>,
+        mut sched: Option<&mut dyn Scheduler>,
+    ) {
         let dirs = dirs.read().expect("dirs lock");
         loop {
-            let next = match self.batch.pop_front() {
-                Some(e) => Some(e),
-                None => {
-                    self.queue.advance_until(horizon, &mut self.batch);
-                    self.batch.pop_front()
+            if self.batch.is_empty() {
+                // `advance_until` refills with exactly one cycle's
+                // events (the choice-point contract), so a scheduler
+                // pick below never reorders across cycles.
+                self.queue.advance_until(horizon, &mut self.batch);
+            }
+            let next = match resched(&mut sched) {
+                Some(s) if self.batch.len() > 1 => {
+                    let ready: Vec<ChoiceMeta> = self
+                        .batch
+                        .iter()
+                        .map(|(_, e)| self.choice_meta(e))
+                        .collect();
+                    let i = s
+                        .choose(ChoiceSite::Core(self.core), &ready)
+                        .min(self.batch.len() - 1);
+                    self.batch.remove(i)
                 }
+                _ => self.batch.pop_front(),
             };
             let Some((at, ev)) = next else { break };
             self.now = self.now.max_of(at);
             self.events += 1;
             self.dispatch(ev, &dirs);
+        }
+    }
+
+    /// Resource footprint of a plane-A event, for the explorer. Every
+    /// unit event runs against this core's private state, so any two at
+    /// the same core are dependent; the footprint's job is to describe
+    /// the *shared* state a pick may touch (invalidation signatures,
+    /// lines being filled) for cross-checking against hub events.
+    fn choice_meta(&self, ev: &AEv) -> ChoiceMeta {
+        let tile = 1u64 << (self.core % 64);
+        let m = ChoiceMeta::at_tiles(
+            match ev {
+                AEv::Step { .. } => "step",
+                AEv::ReadDone { .. } => "read-done",
+                AEv::StoreFill { .. } => "store-fill",
+                AEv::BulkInv { .. } => "bulk-inv",
+                AEv::Outcome { .. } => "outcome",
+                AEv::Retry { .. } => "retry",
+            },
+            tile,
+        )
+        .at_core(self.core);
+        match ev {
+            AEv::ReadDone { line, .. } | AEv::StoreFill { line } => {
+                m.reads(AddrFootprint::Line(line.0))
+            }
+            AEv::BulkInv { tag, wsig, .. } => {
+                m.with_tag(*tag).writes(AddrFootprint::Sig(wsig.share()))
+            }
+            AEv::Outcome { tag, .. } | AEv::Retry { tag, .. } => m.with_tag(*tag),
+            AEv::Step { .. } => m,
         }
     }
 
@@ -1253,20 +1314,92 @@ struct Hub<P: CommitProtocol> {
 
 impl<P: CommitProtocol> Hub<P> {
     /// Drains hub events strictly below `horizon` (dynamically clamped
-    /// by generated mail), in exact `(cycle, seq)` order.
-    fn b_phase(&mut self, horizon: Cycle, dirs: &RwLock<Vec<DirectoryState>>) {
+    /// by generated mail), in exact `(cycle, seq)` order — or in the
+    /// plugged-in [`Scheduler`]'s order within each same-cycle batch.
+    fn b_phase(
+        &mut self,
+        horizon: Cycle,
+        dirs: &RwLock<Vec<DirectoryState>>,
+        mut sched: Option<&mut dyn Scheduler>,
+    ) {
         self.hb = horizon;
         loop {
-            let next = match self.batch.pop_front() {
-                Some(e) => Some(e),
-                None => {
-                    let hb = self.hb;
-                    self.bq.advance_until(hb, &mut self.batch);
-                    self.batch.pop_front()
+            if self.batch.is_empty() {
+                let hb = self.hb;
+                self.bq.advance_until(hb, &mut self.batch);
+            }
+            let next = match resched(&mut sched) {
+                Some(s) if self.batch.len() > 1 => {
+                    let ready: Vec<ChoiceMeta> = self
+                        .batch
+                        .iter()
+                        .map(|(_, e)| self.choice_meta(e))
+                        .collect();
+                    let i = s.choose(ChoiceSite::Hub, &ready).min(self.batch.len() - 1);
+                    self.batch.remove(i)
                 }
+                _ => self.batch.pop_front(),
             };
             let Some((at, ev)) = next else { break };
             self.dispatch(at, ev, dirs);
+        }
+    }
+
+    /// Resource footprint of a plane-B event, for the explorer. Reads
+    /// and stores are footprinted precisely (home tile + line) under
+    /// every protocol; protocol up-calls are per-tile only when the
+    /// protocol declares its commit state directory-partitioned, and
+    /// wire messages defer to [`CommitProtocol::msg_meta`].
+    fn choice_meta(&self, ev: &BEv<P::Msg>) -> ChoiceMeta {
+        let bit = |t: u16| 1u64 << (t % 64);
+        match ev {
+            BEv::FromCore(m) => match m {
+                CoreToB::ReadAtDir { line, .. } => {
+                    // The handler mutates only home-tile state: the
+                    // line's directory entry and the home's injection
+                    // port. The reply lands at the requester as a
+                    // *future* event whose same-cycle ordering is its
+                    // own choice point, so the requester's tile is not
+                    // part of this footprint.
+                    let home = self.mapper.home_frozen(*line);
+                    ChoiceMeta::at_tiles("read@dir", bit(home.0)).reads(AddrFootprint::Line(line.0))
+                }
+                CoreToB::StoreAtDir { line, .. } => {
+                    let home = self.mapper.home_frozen(*line);
+                    ChoiceMeta::at_tiles("store@dir", bit(home.0))
+                        .writes(AddrFootprint::Line(line.0))
+                }
+                CoreToB::AckAtDir { ack, .. } => {
+                    if self.proto.per_dir_commit_state() {
+                        ChoiceMeta::at_tiles("inv-ack", bit(ack.dir.0)).with_tag(ack.tag)
+                    } else {
+                        ChoiceMeta::global("inv-ack").with_tag(ack.tag)
+                    }
+                }
+                CoreToB::CommitStart { req, .. } => {
+                    if self.proto.per_dir_commit_state() {
+                        let mut tiles = bit(req.tag.core().0);
+                        for d in req.g_vec.iter() {
+                            tiles |= bit(d.0);
+                        }
+                        ChoiceMeta::at_tiles("commit-start", tiles)
+                            .with_tag(req.tag)
+                            .reads(AddrFootprint::Sig(req.rsig.share()))
+                            .writes(AddrFootprint::Sig(req.wsig.share()))
+                    } else {
+                        ChoiceMeta::global("commit-start").with_tag(req.tag)
+                    }
+                }
+            },
+            // Serves mutate only the serving tile's injection port; the
+            // fill at the requester is a future event (see ReadAtDir).
+            BEv::ReadServe { line, from, .. } => {
+                ChoiceMeta::at_tiles("read-serve", bit(from.0)).reads(AddrFootprint::Line(line.0))
+            }
+            BEv::StoreServe { line, from, .. } => {
+                ChoiceMeta::at_tiles("store-serve", bit(from.0)).writes(AddrFootprint::Line(line.0))
+            }
+            BEv::Proto { dst, msg, .. } => self.proto.msg_meta(*dst, msg),
         }
     }
 
@@ -1766,7 +1899,7 @@ fn run_chunk(
                 u.queue.push(at, ev);
             }
         }
-        u.run_phase(horizon, dirs);
+        u.run_phase(horizon, dirs, None);
         shared.n_next[i].store(
             u.queue.peek_time().map_or(u64::MAX, Cycle::as_u64),
             Ordering::SeqCst,
@@ -2045,7 +2178,21 @@ impl<P: CommitProtocol> Machine<P> {
     ///
     /// Panics if the machine deadlocks (every queue drains while cores
     /// are unfinished) — that would be a protocol bug.
-    pub fn run(mut self) -> RunResult {
+    pub fn run(self) -> RunResult {
+        self.run_with(None)
+    }
+
+    /// Like [`Machine::run`], with a pluggable same-cycle dispatch order
+    /// (see [`Scheduler`]). `None` is byte-identical to [`Machine::run`];
+    /// `Some` forces the inline superphase loop regardless of the
+    /// configured domain count (the explorer needs one deterministic
+    /// consultation order, and its configs are tiny anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock, like [`Machine::run`] — the explorer treats
+    /// the panic as a liveness counterexample.
+    pub fn run_with(mut self, mut sched: Option<&mut dyn Scheduler>) -> RunResult {
         // Pre-size the hub's future-event list for the expected
         // concurrency: commits fan out one event per group member.
         let expected = self.units.len().saturating_mul(64);
@@ -2054,8 +2201,8 @@ impl<P: CommitProtocol> Machine<P> {
         }
         let wall_start = std::time::Instant::now();
         let domains = effective_domains(self.cfg.domains, self.cfg.cores as usize);
-        let deadlocked = if domains <= 1 || self.units.len() <= 1 {
-            self.run_superphases(false)
+        let deadlocked = if sched.is_some() || domains <= 1 || self.units.len() <= 1 {
+            self.run_superphases(false, resched(&mut sched))
         } else {
             self.run_threaded(domains)
         };
@@ -2074,7 +2221,7 @@ impl<P: CommitProtocol> Machine<P> {
         // observability log drains too, so grab/release spans balance.
         let drain_start = std::time::Instant::now();
         if self.cfg.trace || self.cfg.obs {
-            let late_deadlock = self.run_superphases(true);
+            let late_deadlock = self.run_superphases(true, resched(&mut sched));
             debug_assert!(!late_deadlock);
             if self.cfg.trace {
                 let mut trace = self.merged_trace();
@@ -2095,7 +2242,7 @@ impl<P: CommitProtocol> Machine<P> {
     /// post-run observability drain (`drain = true`, which ignores the
     /// all-finished break and stops at global quiescence instead).
     /// Returns `true` on deadlock.
-    fn run_superphases(&mut self, drain: bool) -> bool {
+    fn run_superphases(&mut self, drain: bool, mut sched: Option<&mut dyn Scheduler>) -> bool {
         let margin = self.cfg.net.fixed_overhead.max(1);
         let total = self.units.len();
         let mut finished = self.units.iter().filter(|u| u.finish_reported).count();
@@ -2123,7 +2270,7 @@ impl<P: CommitProtocol> Machine<P> {
             for i in 0..total {
                 let u = &mut self.units[i];
                 u.phase_tag = pt;
-                u.run_phase(ha, &self.dirs);
+                u.run_phase(ha, &self.dirs, resched(&mut sched));
                 for (at, m) in u.to_b.drain(..) {
                     self.hub.bq.push(at, BEv::FromCore(m));
                 }
@@ -2145,7 +2292,7 @@ impl<P: CommitProtocol> Machine<P> {
                 }
             }
             self.hub.phase_tag = self.phase_ctr;
-            self.hub.b_phase(hb0, &self.dirs);
+            self.hub.b_phase(hb0, &self.dirs, resched(&mut sched));
             let mut mail = std::mem::take(&mut self.hub.mail);
             for (core, at, ev) in mail.drain(..) {
                 self.units[core as usize].queue.push(at, ev);
@@ -2269,7 +2416,7 @@ impl<P: CommitProtocol> Machine<P> {
                     }
                 }
                 hub.phase_tag = *phase_ctr;
-                hub.b_phase(hb0, dirs);
+                hub.b_phase(hb0, dirs, None);
                 for m in mail_min.iter_mut() {
                     *m = Cycle::MAX;
                 }

@@ -8,6 +8,7 @@ use sb_workloads::AppProfile;
 use crate::config::SimConfig;
 use crate::machine::Machine;
 use crate::result::RunResult;
+use crate::sched::Scheduler;
 
 /// Runs one simulation described by `cfg`, instantiating the configured
 /// protocol.
@@ -26,16 +27,30 @@ use crate::result::RunResult;
 /// assert!(r.wall_cycles > 0);
 /// ```
 pub fn run_simulation(cfg: &SimConfig) -> RunResult {
+    run_simulation_with(cfg, None)
+}
+
+/// Like [`run_simulation`], dispatching same-cycle event batches through
+/// `sched` (see [`Scheduler`](crate::sched::Scheduler)). Used by the
+/// `sb-check` bounded-interleaving explorer to enumerate and replay
+/// schedules; always runs the inline (domains = 1) superphase loop.
+pub fn run_simulation_scheduled(cfg: &SimConfig, sched: &mut dyn Scheduler) -> RunResult {
+    run_simulation_with(cfg, Some(sched))
+}
+
+fn run_simulation_with(cfg: &SimConfig, sched: Option<&mut dyn Scheduler>) -> RunResult {
     match cfg.protocol {
         ProtocolKind::ScalableBulk => {
-            Machine::new(cfg.clone(), ScalableBulk::new(cfg.sb, cfg.cores)).run()
+            Machine::new(cfg.clone(), ScalableBulk::new(cfg.sb, cfg.cores)).run_with(sched)
         }
-        ProtocolKind::Tcc => Machine::new(cfg.clone(), Tcc::new(cfg.tcc, cfg.cores)).run(),
-        ProtocolKind::Seq => Machine::new(cfg.clone(), Seq::new(cfg.cores)).run(),
-        ProtocolKind::SeqTs => Machine::new(cfg.clone(), SeqTs::new(cfg.cores)).run(),
+        ProtocolKind::Tcc => {
+            Machine::new(cfg.clone(), Tcc::new(cfg.tcc, cfg.cores)).run_with(sched)
+        }
+        ProtocolKind::Seq => Machine::new(cfg.clone(), Seq::new(cfg.cores)).run_with(sched),
+        ProtocolKind::SeqTs => Machine::new(cfg.clone(), SeqTs::new(cfg.cores)).run_with(sched),
         // BulkSc::new clamps an out-of-range arbiter placement itself.
         ProtocolKind::BulkSc => {
-            Machine::new(cfg.clone(), BulkSc::new(cfg.bulksc, cfg.cores, cfg.cores)).run()
+            Machine::new(cfg.clone(), BulkSc::new(cfg.bulksc, cfg.cores, cfg.cores)).run_with(sched)
         }
     }
 }

@@ -1,0 +1,53 @@
+//! The deterministic scheduling seam.
+//!
+//! The machine dispatches events in `(cycle, seq)` FIFO order. Within one
+//! cycle *at one site* (a core unit's queue, or the hub's), that order is
+//! a simulator artifact, not a property of the modelled hardware: the
+//! paper's machine has no global arbiter deciding which of two messages
+//! arriving at different directories in the same cycle is "first". The
+//! bounded model checker (`sb-check explore`) therefore needs to try the
+//! other orders — and a replay needs to force a specific one.
+//!
+//! A [`Scheduler`] is consulted exactly at those points: whenever a site
+//! is about to dispatch from a same-cycle batch with more than one event,
+//! it picks the index to dispatch next. Returning `0` every time is the
+//! FIFO order — byte-identical to running with no scheduler at all
+//! (pinned by a test in `sb-check`). Timestamps never change: all events
+//! in a batch carry the same cycle, so a scheduler permutes *dispatch
+//! order within a cycle* and nothing else.
+//!
+//! Cross-site ordering is deliberately *not* exposed: core units only
+//! interact through the hub (their phase-edge mail is merged in unit
+//! order, and any same-cycle hub pair is itself a choice point), so every
+//! semantically distinct interleaving is reachable through per-site
+//! choices alone.
+
+use sb_proto::ChoiceMeta;
+
+/// Where a scheduling choice is being made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChoiceSite {
+    /// A core unit's plane-A queue (the core index).
+    Core(u16),
+    /// The hub's plane-B queue (directories, protocol, read/store serves).
+    Hub,
+}
+
+/// A pluggable same-cycle dispatch policy. See the module docs.
+pub trait Scheduler {
+    /// Picks which of `ready` (≥ 2 same-cycle events at `site`, in FIFO
+    /// order) to dispatch next. Must return an index `< ready.len()`;
+    /// out-of-range picks are clamped to the last event.
+    fn choose(&mut self, site: ChoiceSite, ready: &[ChoiceMeta]) -> usize;
+}
+
+/// The identity scheduler: always picks index 0, reproducing FIFO order
+/// through the scheduler seam. Exists to test the seam itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn choose(&mut self, _site: ChoiceSite, _ready: &[ChoiceMeta]) -> usize {
+        0
+    }
+}
