@@ -142,7 +142,7 @@ impl ExploreConfig {
         cfg.oci = self.oci;
         cfg.warmup_chunks = 0;
         cfg.trace = true;
-        cfg.obs = true;
+        cfg.obs = sb_sim::ObsConfig::on();
         cfg.inject_bug = self.inject_bug;
         cfg
     }

@@ -154,7 +154,7 @@ impl FuzzCase {
         cfg.oci = !rng.next_u64().is_multiple_of(4);
         cfg.warmup_chunks = 1;
         cfg.trace = true;
-        cfg.obs = true;
+        cfg.obs = sb_sim::ObsConfig::on();
         cfg.perturb = match self.perturb_seed {
             0 => None,
             s => Some(PerturbationConfig::from_seed(s)),

@@ -57,6 +57,53 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Lifetime push counts and resident high-water marks per calendar-queue
+/// tier — cheap introspection counters for the simulator's self-profiling
+/// report. Counting never touches ordering state, so it cannot perturb
+/// FIFO order (the differential tests in `tests/bucket_queue.rs` pin
+/// this).
+///
+/// `ring` is the direct-mapped near-future bucket ring (the O(1) fast
+/// path), `far` the overflow heap for events ≥ [`RING`] cycles ahead,
+/// `past` the behind-cursor heap (empty in a monotone simulation). A
+/// large `far_pushes` share or a non-zero `past_pushes` means the event
+/// mix has outgrown the ring tuning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueTierStats {
+    /// Events that landed in the near-future bucket ring.
+    pub ring_pushes: u64,
+    /// Events that landed in the far-future overflow heap.
+    pub far_pushes: u64,
+    /// Events pushed behind the cursor.
+    pub past_pushes: u64,
+    /// Most events simultaneously resident in the ring.
+    pub ring_hwm: u64,
+    /// Most events simultaneously resident in the far heap.
+    pub far_hwm: u64,
+    /// Most events simultaneously resident in the past heap.
+    pub past_hwm: u64,
+}
+
+impl QueueTierStats {
+    /// Accumulates another queue's stats into this one: push counts sum;
+    /// high-water marks also sum, giving an upper bound on simultaneous
+    /// residency across the merged queues (the per-queue peaks need not
+    /// coincide).
+    pub fn merge(&mut self, other: &QueueTierStats) {
+        self.ring_pushes += other.ring_pushes;
+        self.far_pushes += other.far_pushes;
+        self.past_pushes += other.past_pushes;
+        self.ring_hwm += other.ring_hwm;
+        self.far_hwm += other.far_hwm;
+        self.past_hwm += other.past_hwm;
+    }
+
+    /// Total pushes across all tiers.
+    pub fn total_pushes(&self) -> u64 {
+        self.ring_pushes + self.far_pushes + self.past_pushes
+    }
+}
+
 /// A future-event list with deterministic FIFO tie-breaking.
 ///
 /// Unlike a plain `BinaryHeap<(Cycle, E)>`, two events pushed for the same
@@ -99,6 +146,9 @@ pub struct EventQueue<E> {
     past: BinaryHeap<Entry<E>>,
     len: usize,
     next_seq: u64,
+    /// Tier push counts and high-water marks (see [`QueueTierStats`]).
+    /// Pure bookkeeping: never read by the scheduling logic.
+    tiers: QueueTierStats,
 }
 
 impl<E> EventQueue<E> {
@@ -113,6 +163,7 @@ impl<E> EventQueue<E> {
             past: BinaryHeap::new(),
             len: 0,
             next_seq: 0,
+            tiers: QueueTierStats::default(),
         }
     }
 
@@ -142,6 +193,8 @@ impl<E> EventQueue<E> {
         let t = at.as_u64();
         if t < self.cursor {
             self.past.push(Entry { at, seq, payload });
+            self.tiers.past_pushes += 1;
+            self.tiers.past_hwm = self.tiers.past_hwm.max(self.past.len() as u64);
         } else if t - self.cursor < RING as u64 {
             let idx = (t & MASK) as usize;
             if self.ring[idx].is_empty() {
@@ -149,8 +202,12 @@ impl<E> EventQueue<E> {
             }
             self.ring[idx].push_back((seq, payload));
             self.ring_len += 1;
+            self.tiers.ring_pushes += 1;
+            self.tiers.ring_hwm = self.tiers.ring_hwm.max(self.ring_len as u64);
         } else {
             self.far.push(Entry { at, seq, payload });
+            self.tiers.far_pushes += 1;
+            self.tiers.far_hwm = self.tiers.far_hwm.max(self.far.len() as u64);
         }
     }
 
@@ -465,6 +522,23 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Lifetime tier push counts and high-water marks. Like
+    /// [`scheduled_total`](EventQueue::scheduled_total), the counters
+    /// survive [`clear`](EventQueue::clear).
+    ///
+    /// ```
+    /// use sb_engine::{Cycle, EventQueue};
+    /// let mut q = EventQueue::new();
+    /// q.push(Cycle(1), ());      // near future: bucket ring
+    /// q.push(Cycle(50_000), ()); // far future: overflow heap
+    /// let t = q.tier_stats();
+    /// assert_eq!((t.ring_pushes, t.far_pushes, t.past_pushes), (1, 1, 0));
+    /// assert_eq!((t.ring_hwm, t.far_hwm), (1, 1));
+    /// ```
+    pub fn tier_stats(&self) -> QueueTierStats {
+        self.tiers
     }
 
     /// Removes every pending event.

@@ -35,6 +35,6 @@ mod rng;
 pub mod stats;
 
 pub use clock::Cycle;
-pub use events::EventQueue;
+pub use events::{EventQueue, QueueTierStats};
 pub use hash::{FxHashMap, FxHashSet};
 pub use rng::{SplitMix64, Xoshiro256};

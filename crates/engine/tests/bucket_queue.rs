@@ -447,3 +447,148 @@ fn head_width_matches_reference_counts() {
         }
     }
 }
+
+/// Executable spec of the tier bookkeeping: classifies each push exactly
+/// the way `EventQueue::push` routes it (behind the cursor -> past,
+/// within the ring window -> ring, else far) and tracks per-tier
+/// residency, mirroring the cursor rule (ring/far pops advance the
+/// cursor to the popped cycle; past pops leave it alone).
+struct TierRef {
+    cursor: u64,
+    tier_of: std::collections::HashMap<u64, usize>, // tag -> tier index
+    resident: [u64; 3],                             // ring, far, past
+    stats: sb_engine::QueueTierStats,
+}
+
+impl TierRef {
+    const RING: u64 = 1024; // EventQueue's documented near-future window
+
+    fn new() -> Self {
+        TierRef {
+            cursor: 0,
+            tier_of: std::collections::HashMap::new(),
+            resident: [0; 3],
+            stats: sb_engine::QueueTierStats::default(),
+        }
+    }
+
+    fn push(&mut self, at: u64, tag: u64) {
+        let tier = if at < self.cursor {
+            2
+        } else if at - self.cursor < Self::RING {
+            0
+        } else {
+            1
+        };
+        self.tier_of.insert(tag, tier);
+        self.resident[tier] += 1;
+        match tier {
+            0 => {
+                self.stats.ring_pushes += 1;
+                self.stats.ring_hwm = self.stats.ring_hwm.max(self.resident[0]);
+            }
+            1 => {
+                self.stats.far_pushes += 1;
+                self.stats.far_hwm = self.stats.far_hwm.max(self.resident[1]);
+            }
+            _ => {
+                self.stats.past_pushes += 1;
+                self.stats.past_hwm = self.stats.past_hwm.max(self.resident[2]);
+            }
+        }
+    }
+
+    fn pop(&mut self, at: u64, tag: u64) {
+        let tier = self.tier_of.remove(&tag).expect("popped unknown tag");
+        self.resident[tier] -= 1;
+        if tier != 2 {
+            self.cursor = at;
+        }
+    }
+}
+
+/// The tier counters must match the reference classification at every
+/// step of a random cross-tier script — and keeping them must not
+/// perturb pop order (checked against the heap reference in the same
+/// loop).
+#[test]
+fn tier_counters_match_reference_classification() {
+    let mut rng = proptest::rng_for("tier_counters_match_reference_classification", 0);
+    for _ in 0..200 {
+        let mut q = EventQueue::new();
+        let mut r = RefQueue::new();
+        let mut t = TierRef::new();
+        for tag in 0..(1 + rng.below(80)) {
+            if rng.below(3) == 0 {
+                let got = q.pop();
+                assert_eq!(got, r.pop());
+                if let Some((at, tag)) = got {
+                    t.pop(at.as_u64(), tag);
+                }
+            }
+            let c = match rng.below(4) {
+                0 => rng.below(8),           // dense ties near zero
+                1 => rng.below(1024),        // ring window
+                2 => 1020 + rng.below(10),   // straddling the ring edge
+                _ => 1024 + rng.below(9000), // far-future overflow
+            };
+            q.push(Cycle(c), tag);
+            r.push(Cycle(c), tag);
+            t.push(c, tag);
+            assert_eq!(q.tier_stats(), t.stats, "after push of tag {tag} at {c}");
+        }
+        // Draining changes no push counters and no high-water marks.
+        let before = q.tier_stats();
+        while let Some((at, tag)) = q.pop() {
+            assert_eq!(Some((at, tag)), r.pop());
+            t.pop(at.as_u64(), tag);
+        }
+        assert!(r.pop().is_none());
+        assert_eq!(q.tier_stats(), before, "pops must not change tier stats");
+        assert_eq!(
+            before.total_pushes(),
+            q.scheduled_total(),
+            "every scheduled event was counted in exactly one tier"
+        );
+    }
+}
+
+/// Tier stats survive `clear()` — the drain between superphases must not
+/// erase the run's occupancy record — and `merge` sums every field.
+#[test]
+fn tier_stats_survive_clear_and_merge_sums() {
+    let mut q = EventQueue::new();
+    q.push(Cycle(1), 0u64); // ring
+    q.push(Cycle(5000), 1); // far
+    q.push(Cycle(100), 2); // ring
+    q.pop(); // cursor -> 1
+    q.push(Cycle(0), 3); // past
+    let s = q.tier_stats();
+    assert_eq!((s.ring_pushes, s.far_pushes, s.past_pushes), (2, 1, 1));
+    assert_eq!((s.ring_hwm, s.far_hwm, s.past_hwm), (2, 1, 1));
+    q.clear();
+    assert!(q.is_empty());
+    assert_eq!(q.tier_stats(), s, "clear() must keep the stats");
+
+    let mut other = sb_engine::QueueTierStats {
+        ring_pushes: 10,
+        far_pushes: 20,
+        past_pushes: 30,
+        ring_hwm: 4,
+        far_hwm: 5,
+        past_hwm: 6,
+    };
+    other.merge(&s);
+    assert_eq!(
+        other,
+        sb_engine::QueueTierStats {
+            ring_pushes: 12,
+            far_pushes: 21,
+            past_pushes: 31,
+            ring_hwm: 6,
+            far_hwm: 6,
+            past_hwm: 7,
+        }
+    );
+    assert_eq!(other.total_pushes(), 64);
+}

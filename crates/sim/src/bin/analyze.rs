@@ -25,6 +25,13 @@
 //!
 //! This is the tool that answers "why is BulkSC's 64-core commit latency
 //! 30x ScalableBulk's?" — see EXPERIMENTS.md for the walkthrough.
+//!
+//! **Run-diff mode**: `analyze --diff A.json B.json` compares two series
+//! reports written by `figures --series-out` instead of running a
+//! simulation — per-aggregate and per-segment attribution deltas,
+//! per-track window divergence, and the first simulated cycle at which
+//! the runs diverge. Diffing a run against itself prints all-zero
+//! deltas; byte-identical inputs are guaranteed identical output.
 
 use sb_proto::ProtocolKind;
 use sb_sim::parallel::{parallel_map, AUTO_JOBS};
@@ -34,13 +41,42 @@ use sb_workloads::AppProfile;
 fn usage() -> ! {
     eprintln!(
         "usage: analyze -- [--cores N] [--app NAME] [--proto P|all] \
-         [--insns N] [--seed S] [--top K] [--jobs N|auto] [--domains N|auto]"
+         [--insns N] [--seed S] [--top K] [--jobs N|auto] [--domains N|auto]\n\
+         \x20      analyze -- --diff A.json B.json"
     );
     std::process::exit(2);
 }
 
+/// `--diff` mode: compares two series reports and prints the run diff.
+fn diff_mode(path_a: &str, path_b: &str) -> ! {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("[analyze] cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let (a, b) = (read(path_a), read(path_b));
+    match sb_sim::diff_report_texts(&a, &b) {
+        Ok(d) => {
+            println!("== run diff: {path_a} vs {path_b} ==");
+            print!("{}", sb_sim::render_diff(&d));
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[analyze] diff failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--diff") {
+        match (args.get(1), args.get(2), args.len()) {
+            (Some(a), Some(b), 3) => diff_mode(a, b),
+            _ => usage(),
+        }
+    }
     let mut cores: u16 = 64;
     let mut app = AppProfile::fft();
     let mut protos: Vec<ProtocolKind> = vec![ProtocolKind::ScalableBulk];
@@ -121,7 +157,7 @@ fn main() {
         cfg.seed = seed;
         cfg.domains = domains;
         cfg.trace = true;
-        cfg.obs = true;
+        cfg.obs = sb_sim::ObsConfig::on();
         run_simulation(&cfg)
     });
     for (&proto, r) in protos.iter().zip(&runs) {

@@ -34,6 +34,14 @@
 //! what changes, so this is how the intra-run speedup in EXPERIMENTS.md
 //! is measured. The default stays `1` — the checked-in baseline and the
 //! regression gate are single-threaded-machine numbers.
+//!
+//! `--profile` turns on the executor's host self-profiling
+//! (`cfg.obs.profile`) and adds per-cell `prof_*` fields: superphase
+//! counts, hub utilization and busy time, barrier-stall time,
+//! calendar-queue tier push counts, and peak RSS. Off by default so the
+//! gated measurement stays exactly the baseline configuration
+//! (profiling costs two clock reads per superphase — small, but a gate
+//! should compare like with like).
 
 use sb_obs::json::JsonValue;
 use sb_proto::ProtocolKind;
@@ -56,9 +64,11 @@ fn main() {
     let mut max_regress: f64 = 15.0;
     let mut jobs: usize = 1;
     let mut domains: usize = 1;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--profile" => profile = true,
             "--out" => {
                 i += 1;
                 out_path = args.get(i).cloned().expect("--out needs a path");
@@ -122,6 +132,7 @@ fn main() {
         let mut cfg = SimConfig::paper_default(cores, AppProfile::fft(), protocol);
         cfg.insns_per_thread = insns;
         cfg.domains = domains;
+        cfg.obs.profile = profile;
         let mut best: Option<sb_sim::RunResult> = None;
         for _ in 0..repeats {
             let r = run_simulation(&cfg);
@@ -186,8 +197,40 @@ fn main() {
             phase("phase.setup_secs"),
             phase("phase.run_secs"),
             phase("phase.drain_secs"),
-            if i + 1 == entries.len() { "" } else { "," },
+            // With --profile a prof object always follows this one, so
+            // the comma is unconditional there.
+            if profile || i + 1 != entries.len() {
+                ","
+            } else {
+                ""
+            },
         ));
+        if profile {
+            // Host self-profiling fields (see the `profile` binary for
+            // the human-readable report of the same counters).
+            let m = &e.result.metrics;
+            let c = |name| m.counter(name).unwrap_or(0);
+            json.push_str(&format!(
+                concat!(
+                    "    {{\"prof\": true, \"protocol\": \"{}\", \"cores\": {}, ",
+                    "\"superphases\": {}, \"hub_busy_phases\": {}, ",
+                    "\"hub_utilization\": {:.6}, \"barrier_stall_secs\": {:.6}, ",
+                    "\"queue_ring_pushes\": {}, \"queue_far_pushes\": {}, ",
+                    "\"queue_past_pushes\": {}, \"peak_rss_bytes\": {}}}{}\n"
+                ),
+                e.protocol,
+                e.cores,
+                c("prof.superphases"),
+                c("prof.hub_busy_phases"),
+                m.gauge("prof.hub_utilization").unwrap_or(0.0),
+                m.gauge("prof.barrier_stall_secs").unwrap_or(0.0),
+                c("prof.queue.ring_pushes"),
+                c("prof.queue.far_pushes"),
+                c("prof.queue.past_pushes"),
+                m.gauge("prof.peak_rss_bytes").unwrap_or(0.0) as u64,
+                if i + 1 == entries.len() { "" } else { "," },
+            ));
+        }
     }
     json.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(&out_path, json) {

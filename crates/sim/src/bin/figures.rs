@@ -34,6 +34,15 @@
 //! or ui.perfetto.dev. For other apps/protocols/core counts use the
 //! dedicated `trace` binary.
 //!
+//! `--series-out PATH` runs the same observed point and writes its
+//! deterministic time-series report (windowed commit/squash rates,
+//! directory occupancy, network inject-wait, queue depths, plus the
+//! exact critical-path attribution) as canonical JSON — the input
+//! format of `analyze --diff`. `--series-window N` overrides the
+//! window width in simulated cycles (default: ~64 windows over the
+//! run). Output is byte-identical at any `--jobs`/`--domains` value —
+//! the CI profile-smoke step diffs it across both to enforce that.
+//!
 //! IDs: `table1 table2 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 ablation_oci ablation_sig
 //! ablation_rotation ext_seqts`.
@@ -43,7 +52,7 @@ use sb_workloads::{AppProfile, Suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--jobs N|auto] [--domains N|auto] [--csv DIR] [--timing] [--attribution] [--trace-out PATH]"
+        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--jobs N|auto] [--domains N|auto] [--csv DIR] [--timing] [--attribution] [--trace-out PATH] [--series-out PATH] [--series-window N]"
     );
     std::process::exit(2);
 }
@@ -99,7 +108,7 @@ fn attribution_probe(sweep: &Sweep) {
         cfg.seed = sweep.seed;
         cfg.domains = sweep.domains;
         cfg.trace = true;
-        cfg.obs = true;
+        cfg.obs = sb_sim::ObsConfig::on();
         let r = run_simulation(&cfg);
         let b = breakdown_from_obs(r.obs.as_ref().expect("obs on"));
         // The trace-reconstructed breakdown must equal the aggregate
@@ -153,7 +162,7 @@ fn trace_out(sweep: &Sweep, path: &std::path::Path) {
     cfg.seed = sweep.seed;
     cfg.domains = sweep.domains;
     cfg.trace = true;
-    cfg.obs = true;
+    cfg.obs = sb_sim::ObsConfig::on();
     let r = run_simulation(&cfg);
     let json = perfetto_trace(&r);
     std::fs::write(path, json.to_string_pretty()).expect("write trace");
@@ -162,6 +171,35 @@ fn trace_out(sweep: &Sweep, path: &std::path::Path) {
         path.display(),
         r.commits,
         r.squashes()
+    );
+}
+
+/// Runs the same observed 8-core FFT/ScalableBulk point as
+/// [`trace_out`] and writes its deterministic series report to `path`.
+fn series_out(sweep: &Sweep, path: &std::path::Path, window: u64) {
+    use sb_proto::ProtocolKind;
+    use sb_sim::{run_simulation, series, SimConfig};
+
+    let mut cfg = SimConfig::paper_default(8, AppProfile::fft(), ProtocolKind::ScalableBulk);
+    cfg.insns_per_thread = sweep.insns_per_thread;
+    cfg.seed = sweep.seed;
+    cfg.domains = sweep.domains;
+    cfg.trace = true;
+    cfg.obs = sb_sim::ObsConfig::on();
+    cfg.obs.series_window = window;
+    let r = run_simulation(&cfg);
+    let w = series::configured_series_window(&cfg, &r);
+    let report = sb_sim::series_report(&cfg, &r, w).expect("series report");
+    std::fs::write(path, report.to_string_pretty()).expect("write series");
+    eprintln!(
+        "[series-out -> {} ({} windows of {} cycles)]",
+        path.display(),
+        report
+            .get("series")
+            .and_then(|s| s.get("windows"))
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0),
+        w
     );
 }
 
@@ -178,6 +216,8 @@ fn main() {
     let mut timing = false;
     let mut attribution = false;
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut series_path: Option<std::path::PathBuf> = None;
+    let mut series_window: u64 = 0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -186,6 +226,17 @@ fn main() {
             "--trace-out" => {
                 i += 1;
                 trace_path = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--series-out" => {
+                i += 1;
+                series_path = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--series-window" => {
+                i += 1;
+                series_window = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--csv" => {
                 i += 1;
@@ -223,7 +274,7 @@ fn main() {
         }
         i += 1;
     }
-    if ids.is_empty() && !timing && !attribution && trace_path.is_none() {
+    if ids.is_empty() && !timing && !attribution && trace_path.is_none() && series_path.is_none() {
         usage();
     }
     if ids.iter().any(|i| i == "all") {
@@ -376,5 +427,8 @@ fn main() {
     }
     if let Some(path) = trace_path {
         trace_out(&sweep, &path);
+    }
+    if let Some(path) = series_path {
+        series_out(&sweep, &path, series_window);
     }
 }

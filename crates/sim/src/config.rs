@@ -79,12 +79,13 @@ pub struct SimConfig {
     /// serializability oracle. Off by default (pure observation, but the
     /// event stream costs memory on big runs).
     pub trace: bool,
-    /// Record the directory-side observability log
-    /// ([`ObsLog`](crate::ObsLog)): grab/release occupancy spans, commit
-    /// recalls, held-invalidation and event-queue depth samples. Feeds
-    /// the Perfetto exporter and the histogram metrics. Off by default —
-    /// like `trace`, purely observational but costs memory.
-    pub obs: bool,
+    /// Observability knobs: whether the directory-side
+    /// [`ObsLog`](crate::ObsLog) is recorded, the simulated-cycle window
+    /// width for derived time-series, and whether the executor profiles
+    /// its own host-side costs. All off by default — purely observational
+    /// but the log costs memory. Assigning an [`ObsConfig`] (or `true`
+    /// via [`ObsConfig::from`]) never changes simulated results.
+    pub obs: ObsConfig,
     /// Deliberate, test-only protocol sabotage for proving the `sb-check`
     /// oracle detects real bugs. Must stay `None` outside oracle
     /// self-tests.
@@ -97,6 +98,75 @@ pub struct SimConfig {
     /// (capped at the host's available parallelism and at `cores`);
     /// the default `1` runs single-threaded.
     pub domains: usize,
+}
+
+/// Observability configuration (see [`SimConfig::obs`]).
+///
+/// `enabled` turns on the [`ObsLog`](crate::ObsLog): grab/release
+/// occupancy spans, commit recalls, held-invalidation and event-queue
+/// depth samples, and the causal flow DAG. It feeds the Perfetto
+/// exporter, the histogram metrics, and the derived
+/// [`TimeSeries`](sb_stats::TimeSeries).
+///
+/// `series_window` sets the fixed window width (simulated cycles) used
+/// when a time-series is derived from the log; `0` means "use the
+/// exporter's default". The window only affects *derived* views, never
+/// the recorded log or simulated results.
+///
+/// `profile` turns on host self-profiling of the two-plane executor
+/// (per-domain phase wall-time, barrier stall, hub-horizon utilization,
+/// calendar-queue tier traffic, peak RSS), surfaced as `prof.*` metrics.
+/// Profiling measures only wall-clock and allocator behaviour of the
+/// host — simulated results stay bit-identical.
+///
+/// # Examples
+///
+/// ```
+/// use sb_sim::ObsConfig;
+///
+/// let obs = ObsConfig::on();
+/// assert!(obs.enabled && !obs.profile);
+/// assert!(!ObsConfig::default().enabled);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record the observability log during the run.
+    pub enabled: bool,
+    /// Window width in simulated cycles for derived time-series
+    /// (`0` = exporter default).
+    pub series_window: u64,
+    /// Profile the executor's own host-side costs (`prof.*` metrics).
+    pub profile: bool,
+}
+
+impl ObsConfig {
+    /// Observability on, default window, no host profiling — the common
+    /// test/tooling setting (replaces the old `cfg.obs = true`).
+    pub fn on() -> Self {
+        ObsConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Observability and host profiling both on.
+    pub fn profiled() -> Self {
+        ObsConfig {
+            enabled: true,
+            profile: true,
+            ..Default::default()
+        }
+    }
+}
+
+impl From<bool> for ObsConfig {
+    /// `true` maps to [`ObsConfig::on`], `false` to all-off.
+    fn from(enabled: bool) -> Self {
+        ObsConfig {
+            enabled,
+            ..Default::default()
+        }
+    }
 }
 
 /// A deliberately introduced machine bug (see [`SimConfig::inject_bug`]).
@@ -144,7 +214,7 @@ impl SimConfig {
             bulksc: BulkScConfig::paper_default(DirId(torus.center().0)),
             perturb: None,
             trace: false,
-            obs: false,
+            obs: ObsConfig::default(),
             inject_bug: None,
             domains: 1,
         }
@@ -196,7 +266,9 @@ mod tests {
         // Fuzzing and observability machinery is strictly opt-in.
         assert_eq!(cfg.perturb, None);
         assert!(!cfg.trace);
-        assert!(!cfg.obs);
+        assert_eq!(cfg.obs, ObsConfig::default());
+        assert!(!cfg.obs.enabled && !cfg.obs.profile);
+        assert_eq!(cfg.obs.series_window, 0);
         assert_eq!(cfg.inject_bug, None);
         assert_eq!(cfg.domains, 1);
     }

@@ -412,7 +412,7 @@ mod tests {
         let mut cfg = SimConfig::paper_default(8, AppProfile::fft(), protocol);
         cfg.insns_per_thread = 4_000;
         cfg.trace = true;
-        cfg.obs = true;
+        cfg.obs = crate::ObsConfig::on();
         run_simulation(&cfg)
     }
 

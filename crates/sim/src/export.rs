@@ -49,11 +49,47 @@ const PID_CORES: u64 = 0;
 const PID_DIRS: u64 = 1;
 /// Track group for machine-global counters.
 const PID_MACHINE: u64 = 2;
+/// Track group for derived time-series counter tracks (opt-in via
+/// [`perfetto_trace_with_series`]; never present in the default export,
+/// which the golden snapshot pins byte-for-byte).
+const PID_SERIES: u64 = 3;
 
 /// Converts `r`'s trace + observability log into a chrome-trace JSON
 /// document. Runs without a trace or log produce a document with only
 /// the parts that were recorded (an empty run is still valid JSON).
 pub fn perfetto_trace(r: &RunResult) -> JsonValue {
+    build_perfetto(r).to_json()
+}
+
+/// Like [`perfetto_trace`], plus one counter track per derived
+/// time-series track (window width `window` cycles, sampled at each
+/// window's start) under a dedicated "series" process — the windowed
+/// commit/squash/occupancy/network rates rendered over the chunk spans.
+pub fn perfetto_trace_with_series(r: &RunResult, window: u64) -> JsonValue {
+    let mut t = build_perfetto(r);
+    if let Some(obs) = r.obs.as_ref() {
+        let ts = crate::series::time_series_from_obs(obs, window);
+        t.process_name(PID_SERIES, "series");
+        let names: Vec<&str> = ts.track_names().collect();
+        for (tid, name) in names.iter().enumerate() {
+            t.thread_name(PID_SERIES, tid as u64, name);
+            let values = ts.track(name).unwrap_or(&[]);
+            for (w, value) in values.iter().enumerate() {
+                t.counter(
+                    PID_SERIES,
+                    tid as u64,
+                    name,
+                    w as u64 * ts.window(),
+                    "value",
+                    *value,
+                );
+            }
+        }
+    }
+    t.to_json()
+}
+
+fn build_perfetto(r: &RunResult) -> PerfettoTrace {
     let mut t = PerfettoTrace::new();
     t.process_name(PID_CORES, "cores");
     t.process_name(PID_DIRS, "directories");
@@ -225,7 +261,7 @@ pub fn perfetto_trace(r: &RunResult) -> JsonValue {
     for dir in dirs {
         t.thread_name(PID_DIRS, dir as u64, &format!("dir {dir}"));
     }
-    t.to_json()
+    t
 }
 
 fn take_open(open: &mut Vec<(ChunkTag, (u16, u64))>, tag: ChunkTag) -> Option<(u16, u64)> {
@@ -258,7 +294,10 @@ fn endpoint_track(e: Endpoint, cores: &mut BTreeSet<u16>, dirs: &mut BTreeSet<u1
 /// 3. the Perfetto export round-trips byte-identically through the JSON
 ///    parser and passes the structural validator;
 /// 4. event counts in the exported document reconcile exactly with the
-///    run's aggregates and metrics registry.
+///    run's aggregates and metrics registry;
+/// 5. the derived time-series reconciles exactly: every track sums over
+///    its windows to the matching aggregate counter at several window
+///    widths, and per-home directory tracks sum to their aggregate.
 pub fn verify_observability(r: &RunResult) -> Vec<String> {
     let mut v = Vec::new();
     let Some(trace) = r.trace.as_ref() else {
@@ -518,6 +557,56 @@ pub fn verify_observability(r: &RunResult) -> Vec<String> {
             ));
         }
     }
+
+    // 5. Time-series reconciliation: every derived track must sum over
+    // its windows to the matching aggregate registry counter *exactly*,
+    // at a degenerate 1-cycle window, an odd width, and the run's
+    // default width — the span-splitting arithmetic may not lose or
+    // invent a single cycle. Per-home directory tracks must also sum to
+    // their aggregate track.
+    for window in [1, 509, crate::series::default_series_window(r.wall_cycles)] {
+        let ts = crate::series::time_series_from_obs(obs, window);
+        for (track, counter) in [
+            ("commits", "obs.chunks_committed"),
+            ("squashes", "obs.chunks_squashed"),
+            ("recalls", "obs.commit_recalls"),
+            ("dir.grabs", "obs.dir_grabs"),
+            ("dir.hold_cycles", "obs.grab_hold_total_cycles"),
+            ("net.sends", "obs.net_sends"),
+            ("net.inject_wait_cycles", "obs.net_inject_wait_cycles"),
+            ("queue.depth_sum", "obs.queue_depth_sum"),
+            ("queue.samples", "obs.queue_depth_samples"),
+            ("held_inv.depth_sum", "obs.held_inv_depth_sum"),
+            ("held_inv.samples", "obs.held_inv_samples"),
+            ("commit_stall_cycles", "obs.commit_stall_total_cycles"),
+        ] {
+            let got = ts.total(track);
+            let want = r.metrics.counter(counter).unwrap_or(0);
+            if got != want {
+                v.push(format!(
+                    "series track {track:?} sums to {got} at window {window}, \
+                     counter {counter:?} is {want}"
+                ));
+            }
+        }
+        for (agg, prefix) in [
+            ("dir.grabs", "dir.grabs.d"),
+            ("dir.hold_cycles", "dir.hold_cycles.d"),
+        ] {
+            let split: u64 = ts
+                .track_names()
+                .filter(|n| n.starts_with(prefix))
+                .map(|n| ts.total(n))
+                .sum();
+            if split != ts.total(agg) {
+                v.push(format!(
+                    "per-home tracks {prefix}* sum to {split} at window {window}, \
+                     aggregate {agg:?} is {}",
+                    ts.total(agg)
+                ));
+            }
+        }
+    }
     v
 }
 
@@ -532,7 +621,7 @@ mod tests {
         let mut cfg = SimConfig::paper_default(4, AppProfile::fft(), protocol);
         cfg.insns_per_thread = 4_000;
         cfg.trace = true;
-        cfg.obs = true;
+        cfg.obs = crate::ObsConfig::on();
         run_simulation(&cfg)
     }
 

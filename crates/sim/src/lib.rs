@@ -34,18 +34,24 @@ mod machine;
 mod obs;
 pub mod parallel;
 mod result;
+pub mod rundiff;
 mod runner;
 pub mod sched;
+pub mod series;
 mod trace;
 
-pub use config::{InjectedBug, SimConfig};
+pub use config::{InjectedBug, ObsConfig, SimConfig};
 pub use critical_path::{
     breakdown_from_obs, commit_paths, Attribution, CommitPath, Segment, SegmentKind,
 };
-pub use export::{perfetto_trace, verify_observability};
+pub use export::{perfetto_trace, perfetto_trace_with_series, verify_observability};
 pub use machine::Machine;
 pub use obs::{FlowEvent, FlowKind, ObsEvent, ObsKind, ObsLog};
 pub use result::RunResult;
+pub use rundiff::{diff_report_texts, diff_reports, render_diff, RunDiff, TrackDiff};
 pub use runner::{run_app, run_simulation, run_simulation_scheduled};
 pub use sched::{ChoiceSite, FifoScheduler, Scheduler};
+pub use series::{
+    configured_series_window, default_series_window, series_report, time_series_from_obs,
+};
 pub use trace::{ChunkSnapshot, RunTrace, TraceEvent};

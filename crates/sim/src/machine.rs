@@ -1841,7 +1841,53 @@ impl<P: CommitProtocol> Hub<P> {
 /// barriers plus per-unit mailboxes and outboxes. All mail still flows
 /// through the same index-ordered merge as the inline path, so thread
 /// scheduling never reaches simulated state.
+/// Host-side self-profiling accumulators for the two-plane executor.
+/// Only populated when [`ObsConfig::profile`](crate::ObsConfig) is on;
+/// otherwise the run loops pay at most one branch per superphase.
+/// Wall-clock only — profiling never reads or writes simulated state, so
+/// results stay bit-identical (the golden snapshots pin this).
+#[derive(Clone, Debug, Default)]
+struct Prof {
+    /// Superphases executed in the measured run.
+    superphases: u64,
+    /// Superphases executed in the post-run observability drain.
+    drain_superphases: u64,
+    /// Busy wall-nanoseconds per executor domain (A-phase work; domain 0
+    /// is the main thread).
+    a_busy_ns: Vec<u64>,
+    /// Hub B-phase busy wall-nanoseconds.
+    b_busy_ns: u64,
+    /// B phases that dispatched at least one hub event (the hub-horizon
+    /// utilization numerator; a low ratio means most superphases exist
+    /// only to advance the conservative horizon).
+    b_busy_phases: u64,
+    /// Total B phases.
+    b_phases: u64,
+    /// Main-thread wall-nanoseconds spent spinning on the A-phase
+    /// barrier waiting for worker domains.
+    barrier_ns: u64,
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`; falls back to the current `VmRSS` on kernels
+/// that don't expose the high-water mark), or `None` where procfs is
+/// unavailable.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = ["VmHWM:", "VmRSS:"]
+        .iter()
+        .find_map(|key| status.lines().find(|l| l.starts_with(key)))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 struct PhaseShared {
+    /// Per-domain A-phase busy nanoseconds (index 0 = main thread).
+    /// Workers accumulate locally and publish once at stop; only read
+    /// after the thread scope ends. Empty when profiling is off.
+    a_ns: Vec<AtomicU64>,
+    /// Whether workers should time their A phases.
+    profile: bool,
     /// Phase generation; workers spin until it advances.
     gen: AtomicU64,
     /// The published A-phase horizon for the current generation.
@@ -1863,8 +1909,12 @@ struct PhaseShared {
 }
 
 impl PhaseShared {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, domains: usize, profile: bool) -> Self {
         PhaseShared {
+            a_ns: (0..if profile { domains } else { 0 })
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            profile,
             gen: AtomicU64::new(0),
             horizon: AtomicU64::new(0),
             phase_idx: AtomicU64::new(0),
@@ -1923,10 +1973,12 @@ fn run_chunk(
 fn worker_loop(
     units: &mut [CoreUnit],
     offset: usize,
+    dom: usize,
     shared: &PhaseShared,
     dirs: &RwLock<Vec<DirectoryState>>,
 ) {
     let mut seen = 0u64;
+    let mut busy_ns = 0u64;
     loop {
         let mut spins = 0u32;
         loop {
@@ -1943,11 +1995,20 @@ fn worker_loop(
             }
         }
         if shared.stop.load(Ordering::SeqCst) {
+            if shared.profile {
+                shared.a_ns[dom].store(busy_ns, Ordering::SeqCst);
+            }
             return;
         }
         let horizon = Cycle(shared.horizon.load(Ordering::SeqCst));
         let pt = shared.phase_idx.load(Ordering::SeqCst);
-        run_chunk(units, offset, shared, dirs, horizon, pt);
+        if shared.profile {
+            let t = std::time::Instant::now();
+            run_chunk(units, offset, shared, dirs, horizon, pt);
+            busy_ns += t.elapsed().as_nanos() as u64;
+        } else {
+            run_chunk(units, offset, shared, dirs, horizon, pt);
+        }
         shared.done.fetch_add(1, Ordering::SeqCst);
     }
 }
@@ -1963,6 +2024,8 @@ pub struct Machine<P: CommitProtocol> {
     /// observability drain so phase tags stay globally ordered.
     phase_ctr: u64,
     setup_wall: std::time::Duration,
+    /// Host self-profiling accumulators (empty unless `cfg.obs.profile`).
+    prof: Prof,
 }
 
 impl<P: CommitProtocol> Machine<P> {
@@ -2102,7 +2165,7 @@ impl<P: CommitProtocol> Machine<P> {
             events: 0,
             mail: Vec::new(),
             hb: Cycle::MAX,
-            obs_on: cfg.obs,
+            obs_on: cfg.obs.enabled,
             obs_buf: Vec::new(),
             flow_buf: Vec::new(),
             flow_fixups: Vec::new(),
@@ -2149,7 +2212,7 @@ impl<P: CommitProtocol> Machine<P> {
                     latency: LatencyDist::new(),
                     dirs_stat: DirsPerCommit::new(),
                     trace_on: cfg.trace,
-                    obs_on: cfg.obs,
+                    obs_on: cfg.obs.enabled,
                     trace_buf: Vec::new(),
                     obs_buf: Vec::new(),
                     flow_buf: Vec::new(),
@@ -2169,6 +2232,7 @@ impl<P: CommitProtocol> Machine<P> {
             hub,
             phase_ctr: 0,
             setup_wall: setup_start.elapsed(),
+            prof: Prof::default(),
         }
     }
 
@@ -2201,6 +2265,9 @@ impl<P: CommitProtocol> Machine<P> {
         }
         let wall_start = std::time::Instant::now();
         let domains = effective_domains(self.cfg.domains, self.cfg.cores as usize);
+        if self.cfg.obs.profile {
+            self.prof.a_busy_ns.resize(domains.max(1), 0);
+        }
         let deadlocked = if sched.is_some() || domains <= 1 || self.units.len() <= 1 {
             self.run_superphases(false, resched(&mut sched))
         } else {
@@ -2220,7 +2287,7 @@ impl<P: CommitProtocol> Machine<P> {
         // work, and finished cores issue no new chunks or retries. The
         // observability log drains too, so grab/release spans balance.
         let drain_start = std::time::Instant::now();
-        if self.cfg.trace || self.cfg.obs {
+        if self.cfg.trace || self.cfg.obs.enabled {
             let late_deadlock = self.run_superphases(true, resched(&mut sched));
             debug_assert!(!late_deadlock);
             if self.cfg.trace {
@@ -2230,7 +2297,7 @@ impl<P: CommitProtocol> Machine<P> {
             }
         }
         let drain_wall = drain_start.elapsed();
-        if self.cfg.obs {
+        if self.cfg.obs.enabled {
             result.obs = Some(self.merged_obs());
         }
         result.metrics = self.build_registry(&result, run_wall, drain_wall);
@@ -2245,6 +2312,7 @@ impl<P: CommitProtocol> Machine<P> {
     fn run_superphases(&mut self, drain: bool, mut sched: Option<&mut dyn Scheduler>) -> bool {
         let margin = self.cfg.net.fixed_overhead.max(1);
         let total = self.units.len();
+        let profile = self.cfg.obs.profile;
         let mut finished = self.units.iter().filter(|u| u.finish_reported).count();
         let progress = std::env::var_os("SB_SIM_PROGRESS").is_some();
         let mut next_report = 5_000_000u64;
@@ -2267,6 +2335,7 @@ impl<P: CommitProtocol> Machine<P> {
             }
             let ha = g + margin;
             let pt = self.phase_ctr;
+            let t_a = profile.then(std::time::Instant::now);
             for i in 0..total {
                 let u = &mut self.units[i];
                 u.phase_tag = pt;
@@ -2277,6 +2346,14 @@ impl<P: CommitProtocol> Machine<P> {
                 if u.ctx.phase == Phase::Finished && !u.finish_reported {
                     u.finish_reported = true;
                     finished += 1;
+                }
+            }
+            if let Some(t) = t_a {
+                self.prof.a_busy_ns[0] += t.elapsed().as_nanos() as u64;
+                if drain {
+                    self.prof.drain_superphases += 1;
+                } else {
+                    self.prof.superphases += 1;
                 }
             }
             self.phase_ctr = pt + 1;
@@ -2292,7 +2369,18 @@ impl<P: CommitProtocol> Machine<P> {
                 }
             }
             self.hub.phase_tag = self.phase_ctr;
-            self.hub.b_phase(hb0, &self.dirs, resched(&mut sched));
+            if profile {
+                let ev0 = self.hub.events;
+                let t = std::time::Instant::now();
+                self.hub.b_phase(hb0, &self.dirs, resched(&mut sched));
+                self.prof.b_busy_ns += t.elapsed().as_nanos() as u64;
+                self.prof.b_phases += 1;
+                if self.hub.events > ev0 {
+                    self.prof.b_busy_phases += 1;
+                }
+            } else {
+                self.hub.b_phase(hb0, &self.dirs, resched(&mut sched));
+            }
             let mut mail = std::mem::take(&mut self.hub.mail);
             for (core, at, ev) in mail.drain(..) {
                 self.units[core as usize].queue.push(at, ev);
@@ -2327,8 +2415,9 @@ impl<P: CommitProtocol> Machine<P> {
     fn run_threaded(&mut self, domains: usize) -> bool {
         let n = self.units.len();
         let margin = self.cfg.net.fixed_overhead.max(1);
+        let profile = self.cfg.obs.profile;
         let chunk = n.div_ceil(domains);
-        let shared = PhaseShared::new(n);
+        let shared = PhaseShared::new(n, domains, profile);
         for (i, u) in self.units.iter().enumerate() {
             shared.n_next[i].store(
                 u.queue.peek_time().map_or(u64::MAX, Cycle::as_u64),
@@ -2347,6 +2436,7 @@ impl<P: CommitProtocol> Machine<P> {
         let dirs = &self.dirs;
         let hub = &mut self.hub;
         let phase_ctr = &mut self.phase_ctr;
+        let prof = &mut self.prof;
         let mut finished = shared.finished.load(Ordering::SeqCst);
         std::thread::scope(|s| {
             let mut chunks = self.units.chunks_mut(chunk);
@@ -2357,7 +2447,8 @@ impl<P: CommitProtocol> Machine<P> {
                 let off = offset;
                 offset += ch.len();
                 let sh = &shared;
-                s.spawn(move || worker_loop(ch, off, sh, dirs));
+                let dom = workers + 1;
+                s.spawn(move || worker_loop(ch, off, dom, sh, dirs));
                 workers += 1;
             }
             loop {
@@ -2384,7 +2475,13 @@ impl<P: CommitProtocol> Machine<P> {
                 shared.phase_idx.store(pt, Ordering::SeqCst);
                 shared.done.store(0, Ordering::SeqCst);
                 shared.gen.fetch_add(1, Ordering::SeqCst);
+                let t_a = profile.then(std::time::Instant::now);
                 run_chunk(main_chunk, 0, &shared, dirs, ha, pt);
+                let t_barrier = t_a.map(|t| {
+                    prof.a_busy_ns[0] += t.elapsed().as_nanos() as u64;
+                    prof.superphases += 1;
+                    std::time::Instant::now()
+                });
                 let mut spins = 0u32;
                 while shared.done.load(Ordering::SeqCst) < workers {
                     spins = spins.wrapping_add(1);
@@ -2393,6 +2490,9 @@ impl<P: CommitProtocol> Machine<P> {
                     } else {
                         std::hint::spin_loop();
                     }
+                }
+                if let Some(t) = t_barrier {
+                    prof.barrier_ns += t.elapsed().as_nanos() as u64;
                 }
                 // Gather unit→hub mail in unit-index order — the exact
                 // order the inline loop pushes it, so hub event sequence
@@ -2416,7 +2516,18 @@ impl<P: CommitProtocol> Machine<P> {
                     }
                 }
                 hub.phase_tag = *phase_ctr;
-                hub.b_phase(hb0, dirs, None);
+                if profile {
+                    let ev0 = hub.events;
+                    let t = std::time::Instant::now();
+                    hub.b_phase(hb0, dirs, None);
+                    prof.b_busy_ns += t.elapsed().as_nanos() as u64;
+                    prof.b_phases += 1;
+                    if hub.events > ev0 {
+                        prof.b_busy_phases += 1;
+                    }
+                } else {
+                    hub.b_phase(hb0, dirs, None);
+                }
                 for m in mail_min.iter_mut() {
                     *m = Cycle::MAX;
                 }
@@ -2432,6 +2543,13 @@ impl<P: CommitProtocol> Machine<P> {
             shared.stop.store(true, Ordering::SeqCst);
             shared.gen.fetch_add(1, Ordering::SeqCst);
         });
+        // Workers have joined (the scope guarantees it): fold their
+        // published busy times into the per-domain accumulators.
+        if profile {
+            for (d, a) in shared.a_ns.iter().enumerate().skip(1) {
+                self.prof.a_busy_ns[d] += a.load(Ordering::SeqCst);
+            }
+        }
         deadlocked
     }
 
@@ -2627,34 +2745,111 @@ impl<P: CommitProtocol> Machine<P> {
                 obs.count(|k| matches!(k, ObsKind::CommitRecalled { .. })),
             );
             // Grab-hold durations: match each release to its open grab
-            // per (dir, tag) in stream order.
+            // per (dir, tag) in stream order. The running totals are the
+            // exact counters the derived time-series reconciles against
+            // (`verify_observability` asserts Σ windows == these).
             let mut open: Vec<((DirId, ChunkTag), Cycle)> = Vec::new();
+            let mut hold_total = 0u64;
+            let mut held_sum = 0u64;
+            let mut held_samples = 0u64;
+            let mut depth_sum = 0u64;
+            let mut depth_samples = 0u64;
+            let mut stall_total = 0u64;
+            let mut committed = 0u64;
+            let mut squashed = 0u64;
             for e in &obs.events {
                 match e.kind {
                     ObsKind::DirGrabbed { dir, tag } => open.push(((dir, tag), e.at)),
                     ObsKind::DirReleased { dir, tag } => {
                         if let Some(i) = open.iter().position(|(k, _)| *k == (dir, tag)) {
                             let (_, start) = open.swap_remove(i);
-                            reg.observe("obs.grab_hold_cycles", (e.at - start).as_u64(), 64, 16);
+                            let held = (e.at - start).as_u64();
+                            hold_total += held;
+                            reg.observe("obs.grab_hold_cycles", held, 64, 16);
                         }
                     }
                     ObsKind::HeldInvDepth { depth, .. } => {
+                        held_sum += depth as u64;
+                        held_samples += 1;
                         reg.observe("obs.held_inv_depth", depth as u64, 16, 1);
                     }
                     ObsKind::QueueDepth { depth } => {
+                        depth_sum += depth;
+                        depth_samples += 1;
                         reg.observe("obs.event_queue_depth", depth, 64, 256);
                     }
                     ObsKind::CommitStall { cycles, .. } => {
+                        stall_total += cycles;
                         reg.observe("obs.commit_stall_cycles", cycles, 64, 64);
                     }
-                    ObsKind::CommitRecalled { .. } | ObsKind::ChunkDone { .. } => {}
+                    ObsKind::ChunkDone { committed: c, .. } => {
+                        if c {
+                            committed += 1;
+                        } else {
+                            squashed += 1;
+                        }
+                    }
+                    ObsKind::CommitRecalled { .. } => {}
                 }
             }
+            reg.add_counter("obs.grab_hold_total_cycles", hold_total);
+            reg.add_counter("obs.held_inv_depth_sum", held_sum);
+            reg.add_counter("obs.held_inv_samples", held_samples);
+            reg.add_counter("obs.queue_depth_sum", depth_sum);
+            reg.add_counter("obs.queue_depth_samples", depth_samples);
+            reg.add_counter("obs.commit_stall_total_cycles", stall_total);
+            reg.add_counter("obs.chunks_committed", committed);
+            reg.add_counter("obs.chunks_squashed", squashed);
+            reg.add_counter(
+                "obs.net_inject_wait_cycles",
+                obs.flows
+                    .iter()
+                    .filter_map(|f| f.net.map(|n| n.queue_wait))
+                    .sum(),
+            );
+            reg.add_counter(
+                "obs.net_sends",
+                obs.flows.iter().filter(|f| f.net.is_some()).count() as u64,
+            );
             reg.add_counter("obs.flows", obs.flows.len() as u64);
             reg.add_counter(
                 "obs.chunks_done",
                 obs.count(|k| matches!(k, ObsKind::ChunkDone { .. })),
             );
+        }
+        if self.cfg.obs.profile {
+            let p = &self.prof;
+            reg.add_counter("prof.superphases", p.superphases);
+            reg.add_counter("prof.drain_superphases", p.drain_superphases);
+            reg.add_counter("prof.hub_phases", p.b_phases);
+            reg.add_counter("prof.hub_busy_phases", p.b_busy_phases);
+            reg.set_gauge(
+                "prof.hub_utilization",
+                if p.b_phases == 0 {
+                    0.0
+                } else {
+                    p.b_busy_phases as f64 / p.b_phases as f64
+                },
+            );
+            reg.set_gauge("prof.hub_busy_secs", p.b_busy_ns as f64 * 1e-9);
+            reg.set_gauge("prof.barrier_stall_secs", p.barrier_ns as f64 * 1e-9);
+            reg.set_gauge("prof.domains", p.a_busy_ns.len().max(1) as f64);
+            for (d, ns) in p.a_busy_ns.iter().enumerate() {
+                reg.set_gauge(&format!("prof.domain_busy_secs.d{d}"), *ns as f64 * 1e-9);
+            }
+            let mut tiers = self.hub.bq.tier_stats();
+            for u in &self.units {
+                tiers.merge(&u.queue.tier_stats());
+            }
+            reg.add_counter("prof.queue.ring_pushes", tiers.ring_pushes);
+            reg.add_counter("prof.queue.far_pushes", tiers.far_pushes);
+            reg.add_counter("prof.queue.past_pushes", tiers.past_pushes);
+            reg.set_gauge("prof.queue.ring_hwm", tiers.ring_hwm as f64);
+            reg.set_gauge("prof.queue.far_hwm", tiers.far_hwm as f64);
+            reg.set_gauge("prof.queue.past_hwm", tiers.past_hwm as f64);
+            if let Some(rss) = peak_rss_bytes() {
+                reg.set_gauge("prof.peak_rss_bytes", rss as f64);
+            }
         }
         reg
     }

@@ -1,0 +1,375 @@
+//! Run-diff analysis over two series reports.
+//!
+//! Takes two JSON documents written by `figures --series-out` (see
+//! [`series_report`](crate::series_report)) and localizes how the runs
+//! differ: per-aggregate and per-segment attribution deltas, per-track
+//! window divergence counts, and the first simulated cycle at which any
+//! track diverges. This turns a CI perf-gate failure ("events/sec
+//! dropped 15%") or an unexpected figure change into a pointer at *what*
+//! changed and *when* inside the run.
+//!
+//! Diffing is pure text-in/struct-out so tests (and the degenerate-run
+//! battery) can drive it without touching the filesystem; the `analyze
+//! --diff A.json B.json` CLI is a thin wrapper.
+
+use sb_obs::json::JsonValue;
+
+/// Divergence summary for one time-series track.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrackDiff {
+    /// Track name.
+    pub name: String,
+    /// Windows compared (the longer of the two tracks; the shorter is
+    /// zero-padded).
+    pub windows: usize,
+    /// Windows whose values differ.
+    pub diverging: usize,
+    /// Largest absolute per-window delta.
+    pub max_delta: u64,
+    /// Start cycle of the window with the largest delta.
+    pub max_delta_cycle: u64,
+    /// Start cycle of the first diverging window.
+    pub first_divergence_cycle: Option<u64>,
+    /// Track total in run A.
+    pub total_a: u64,
+    /// Track total in run B.
+    pub total_b: u64,
+}
+
+/// The structured comparison of two series reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunDiff {
+    /// Human-readable warnings: meta mismatches (different protocol,
+    /// cores, window width, ...) that make the value comparison
+    /// apples-to-oranges. The diff still runs.
+    pub warnings: Vec<String>,
+    /// `(name, a, b)` for every aggregate counter present in either run.
+    pub aggregates: Vec<(String, u64, u64)>,
+    /// `(segment, a, b)` for every attribution segment present in either
+    /// run (commit critical-path cycles per segment kind).
+    pub attribution: Vec<(String, u64, u64)>,
+    /// Per-track window divergence, in track-name order.
+    pub tracks: Vec<TrackDiff>,
+    /// Earliest first-divergence cycle across all tracks.
+    pub first_divergence_cycle: Option<u64>,
+}
+
+impl RunDiff {
+    /// Whether the two reports carry identical values everywhere
+    /// (warnings about meta mismatches don't count).
+    pub fn identical(&self) -> bool {
+        self.first_divergence_cycle.is_none()
+            && self.aggregates.iter().all(|(_, a, b)| a == b)
+            && self.attribution.iter().all(|(_, a, b)| a == b)
+    }
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(JsonValue::as_i64).unwrap_or(0) as u64
+}
+
+/// Collects `(name, a, b)` rows from the same-named object in both
+/// reports (union of keys, missing values read as 0), sorted by name.
+fn paired_counters(a: &JsonValue, b: &JsonValue, section: &str) -> Vec<(String, u64, u64)> {
+    let mut names: Vec<String> = Vec::new();
+    for doc in [a, b] {
+        if let Some(JsonValue::Object(members)) = doc.get(section) {
+            for (k, _) in members {
+                if !names.contains(k) {
+                    names.push(k.clone());
+                }
+            }
+        }
+    }
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let get = |doc: &JsonValue| {
+                doc.get(section)
+                    .and_then(|s| s.get(&name))
+                    .and_then(JsonValue::as_i64)
+                    .unwrap_or(0) as u64
+            };
+            let (va, vb) = (get(a), get(b));
+            (name, va, vb)
+        })
+        .collect()
+}
+
+/// Diffs two parsed series reports (see the [module docs](self)).
+///
+/// # Errors
+///
+/// Returns an error if either document lacks a `series` section.
+pub fn diff_reports(a: &JsonValue, b: &JsonValue) -> Result<RunDiff, String> {
+    let sa = a.get("series").ok_or("run A has no \"series\" section")?;
+    let sb = b.get("series").ok_or("run B has no \"series\" section")?;
+    let mut d = RunDiff::default();
+
+    // Meta comparison: mismatches are warnings, not errors — comparing a
+    // protocol against another is exactly what the tool is for, but the
+    // reader should know the runs are not the same experiment.
+    if let (Some(JsonValue::Object(ma)), Some(JsonValue::Object(mb))) =
+        (a.get("meta"), b.get("meta"))
+    {
+        for (k, va) in ma {
+            if let Some(vb) = mb.iter().find(|(kb, _)| kb == k).map(|(_, v)| v) {
+                if va != vb {
+                    d.warnings.push(format!("meta {k:?} differs: {va} vs {vb}"));
+                }
+            }
+        }
+    }
+    let (wa, wb) = (u64_field(sa, "window"), u64_field(sb, "window"));
+    if wa != wb {
+        d.warnings.push(format!(
+            "window widths differ ({wa} vs {wb} cycles); per-window comparison is misaligned"
+        ));
+    }
+    let window = wa.max(1);
+
+    d.aggregates = paired_counters(a, b, "aggregates");
+    d.attribution = paired_counters(a, b, "attribution");
+
+    // Per-track windowed comparison over the union of track names; a
+    // track missing from one run reads as all zeros.
+    let empty = JsonValue::Object(Vec::new());
+    let ta = sa.get("tracks").unwrap_or(&empty);
+    let tb = sb.get("tracks").unwrap_or(&empty);
+    let mut names: Vec<String> = Vec::new();
+    for t in [ta, tb] {
+        if let JsonValue::Object(members) = t {
+            for (k, _) in members {
+                if !names.contains(k) {
+                    names.push(k.clone());
+                }
+            }
+        }
+    }
+    names.sort();
+    for name in names {
+        let values = |t: &JsonValue| -> Vec<u64> {
+            t.get(&name)
+                .and_then(JsonValue::as_array)
+                .map(|items| {
+                    items
+                        .iter()
+                        .map(|v| v.as_i64().unwrap_or(0) as u64)
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let (va, vb) = (values(ta), values(tb));
+        let windows = va.len().max(vb.len());
+        let mut td = TrackDiff {
+            name,
+            windows,
+            diverging: 0,
+            max_delta: 0,
+            max_delta_cycle: 0,
+            first_divergence_cycle: None,
+            total_a: va.iter().sum(),
+            total_b: vb.iter().sum(),
+        };
+        for w in 0..windows {
+            let x = va.get(w).copied().unwrap_or(0);
+            let y = vb.get(w).copied().unwrap_or(0);
+            if x != y {
+                td.diverging += 1;
+                let delta = x.abs_diff(y);
+                let cycle = w as u64 * window;
+                if td.first_divergence_cycle.is_none() {
+                    td.first_divergence_cycle = Some(cycle);
+                }
+                if delta > td.max_delta {
+                    td.max_delta = delta;
+                    td.max_delta_cycle = cycle;
+                }
+            }
+        }
+        if let Some(c) = td.first_divergence_cycle {
+            d.first_divergence_cycle = Some(d.first_divergence_cycle.map_or(c, |f| f.min(c)));
+        }
+        d.tracks.push(td);
+    }
+    Ok(d)
+}
+
+/// Parses and diffs two series-report documents.
+pub fn diff_report_texts(a: &str, b: &str) -> Result<RunDiff, String> {
+    let a = JsonValue::parse(a).map_err(|e| format!("run A: {e}"))?;
+    let b = JsonValue::parse(b).map_err(|e| format!("run B: {e}"))?;
+    diff_reports(&a, &b)
+}
+
+fn delta_str(a: u64, b: u64) -> String {
+    match b.cmp(&a) {
+        std::cmp::Ordering::Equal => "=".to_string(),
+        std::cmp::Ordering::Greater => format!("+{}", b - a),
+        std::cmp::Ordering::Less => format!("-{}", a - b),
+    }
+}
+
+/// Renders a [`RunDiff`] as the human-facing report `analyze --diff`
+/// prints.
+pub fn render_diff(d: &RunDiff) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for w in &d.warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    if d.identical() {
+        let _ = writeln!(out, "runs are identical (all deltas zero)");
+        return out;
+    }
+    if let Some(c) = d.first_divergence_cycle {
+        let _ = writeln!(out, "first series divergence at cycle {c}");
+    }
+    let section = |out: &mut String, title: &str, rows: &[(String, u64, u64)]| {
+        if rows.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "\n{title:<24} {:>14} {:>14} {:>12}", "A", "B", "delta");
+        for (name, a, b) in rows {
+            let _ = writeln!(out, "{name:<24} {a:>14} {b:>14} {:>12}", delta_str(*a, *b));
+        }
+    };
+    section(&mut out, "aggregate", &d.aggregates);
+    section(&mut out, "attribution (cycles)", &d.attribution);
+    let diverging: Vec<&TrackDiff> = d.tracks.iter().filter(|t| t.diverging > 0).collect();
+    if !diverging.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<28} {:>9} {:>11} {:>13} {:>13}",
+            "series track", "windows", "diverging", "max |delta|", "@cycle"
+        );
+        for t in &diverging {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>9} {:>11} {:>13} {:>13}",
+                t.name, t.windows, t.diverging, t.max_delta, t.max_delta_cycle
+            );
+        }
+    }
+    let same = d.tracks.len() - diverging.len();
+    if same > 0 {
+        let _ = writeln!(out, "\n{same} series tracks identical");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(window: u64, commits: &[u64], hold: &[u64]) -> String {
+        JsonValue::obj([
+            (
+                "meta",
+                JsonValue::obj([
+                    ("protocol", JsonValue::from("ScalableBulk")),
+                    ("cores", JsonValue::from(4u64)),
+                ]),
+            ),
+            (
+                "aggregates",
+                JsonValue::obj([("commits", JsonValue::from(commits.iter().sum::<u64>()))]),
+            ),
+            (
+                "attribution",
+                JsonValue::obj([("service", JsonValue::from(hold.iter().sum::<u64>()))]),
+            ),
+            (
+                "series",
+                JsonValue::obj([
+                    ("window", JsonValue::from(window)),
+                    (
+                        "windows",
+                        JsonValue::from(commits.len().max(hold.len()) as u64),
+                    ),
+                    (
+                        "tracks",
+                        JsonValue::obj([
+                            (
+                                "commits",
+                                JsonValue::arr(commits.iter().map(|&v| JsonValue::from(v))),
+                            ),
+                            (
+                                "dir.hold_cycles",
+                                JsonValue::arr(hold.iter().map(|&v| JsonValue::from(v))),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+        .to_string()
+    }
+
+    #[test]
+    fn self_diff_is_all_zero() {
+        let a = report(100, &[1, 2, 3], &[10, 0, 5]);
+        let d = diff_report_texts(&a, &a).unwrap();
+        assert!(d.identical());
+        assert_eq!(d.first_divergence_cycle, None);
+        assert!(d
+            .tracks
+            .iter()
+            .all(|t| t.diverging == 0 && t.max_delta == 0));
+        assert!(render_diff(&d).contains("runs are identical"));
+    }
+
+    #[test]
+    fn divergence_is_localized_to_the_window() {
+        let a = report(100, &[1, 2, 3, 4], &[10, 0, 5, 0]);
+        let b = report(100, &[1, 2, 9, 4], &[10, 0, 5, 7]);
+        let d = diff_report_texts(&a, &b).unwrap();
+        assert!(!d.identical());
+        // commits diverge first at window 2 (cycle 200); hold at 300.
+        assert_eq!(d.first_divergence_cycle, Some(200));
+        let commits = d.tracks.iter().find(|t| t.name == "commits").unwrap();
+        assert_eq!(commits.diverging, 1);
+        assert_eq!(commits.max_delta, 6);
+        assert_eq!(commits.max_delta_cycle, 200);
+        assert_eq!(commits.first_divergence_cycle, Some(200));
+        let hold = d
+            .tracks
+            .iter()
+            .find(|t| t.name == "dir.hold_cycles")
+            .unwrap();
+        assert_eq!(hold.first_divergence_cycle, Some(300));
+        // Aggregates picked up the commit-count change.
+        assert_eq!(d.aggregates, vec![("commits".to_string(), 10, 16)]);
+        let text = render_diff(&d);
+        assert!(text.contains("first series divergence at cycle 200"));
+        assert!(text.contains("commits"));
+    }
+
+    #[test]
+    fn length_mismatch_pads_with_zeros() {
+        let a = report(100, &[1, 2], &[5]);
+        let b = report(100, &[1, 2, 7], &[5]);
+        let d = diff_report_texts(&a, &b).unwrap();
+        let commits = d.tracks.iter().find(|t| t.name == "commits").unwrap();
+        assert_eq!(commits.windows, 3);
+        assert_eq!(commits.diverging, 1);
+        assert_eq!(commits.first_divergence_cycle, Some(200));
+    }
+
+    #[test]
+    fn meta_and_window_mismatches_warn_but_still_diff() {
+        let a = report(100, &[1], &[2]);
+        let b = report(200, &[1], &[2]);
+        let d = diff_report_texts(&a, &b).unwrap();
+        assert!(d.warnings.iter().any(|w| w.contains("window widths")));
+        assert!(d.identical(), "values still compare equal");
+    }
+
+    #[test]
+    fn missing_series_section_is_an_error() {
+        assert!(diff_report_texts("{}", "{}").is_err());
+        let a = report(100, &[1], &[1]);
+        assert!(diff_report_texts(&a, "{}").is_err());
+    }
+}

@@ -14,7 +14,7 @@ fn observed(cores: u16, insns: u64, protocol: ProtocolKind) -> SimConfig {
     let mut cfg = SimConfig::paper_default(cores, AppProfile::fft(), protocol);
     cfg.insns_per_thread = insns;
     cfg.trace = true;
-    cfg.obs = true;
+    cfg.obs = sb_sim::ObsConfig::on();
     cfg
 }
 
@@ -91,4 +91,79 @@ fn minimal_single_core_run_reconciles_end_to_end() {
     assert!(violations.is_empty(), "{violations:#?}");
     let cats = categories(&r);
     assert!(cats.contains("chunk"), "chunk spans must export: {cats:?}");
+}
+
+#[test]
+fn zero_commit_run_flows_through_the_series_exporter() {
+    let cfg = observed(4, 0, ProtocolKind::ScalableBulk);
+    let r = run_simulation(&cfg);
+    assert_eq!(r.commits, 0);
+    let obs = r.obs.as_ref().expect("obs enabled");
+
+    // Empty-window handling: every window width, including one wider
+    // than the whole run, yields a well-formed (possibly empty) series
+    // whose totals still reconcile with the (zero) aggregate counters.
+    for window in [1, 64, u64::MAX] {
+        let ts = sb_sim::time_series_from_obs(obs, window);
+        assert_eq!(ts.total("commits"), 0);
+        assert_eq!(ts.total("squashes"), 0);
+        let report = sb_sim::series_report(&cfg, &r, window).expect("report");
+        let text = report.to_string();
+        let parsed = sb_obs::json::JsonValue::parse(&text).expect("parses");
+        assert_eq!(
+            parsed
+                .get("aggregates")
+                .and_then(|a| a.get("commits"))
+                .and_then(|v| v.as_i64()),
+            Some(0)
+        );
+    }
+}
+
+#[test]
+fn minimal_single_core_series_diffs_against_itself_as_all_zero() {
+    let cfg = observed(1, 1, ProtocolKind::ScalableBulk);
+    let r = run_simulation(&cfg);
+    let window = sb_sim::configured_series_window(&cfg, &r);
+    let text = sb_sim::series_report(&cfg, &r, window)
+        .expect("report")
+        .to_string();
+
+    // A run diffed against itself is the degenerate fixed point: no
+    // divergence cycle, every aggregate/attribution/track delta zero.
+    let d = sb_sim::diff_report_texts(&text, &text).expect("diff");
+    assert!(d.identical(), "self-diff must be all-zero: {d:?}");
+    assert_eq!(d.first_divergence_cycle, None);
+    assert!(
+        d.warnings.is_empty(),
+        "same meta, no warnings: {:?}",
+        d.warnings
+    );
+    assert!(d
+        .tracks
+        .iter()
+        .all(|t| t.diverging == 0 && t.max_delta == 0 && t.total_a == t.total_b));
+    assert!(sb_sim::render_diff(&d).contains("runs are identical"));
+}
+
+#[test]
+fn zero_commit_self_diff_handles_empty_tracks() {
+    // The emptiest diffable pair: a zero-commit run against itself.
+    let cfg = observed(4, 0, ProtocolKind::Tcc);
+    let r = run_simulation(&cfg);
+    let text = sb_sim::series_report(&cfg, &r, 64)
+        .expect("report")
+        .to_string();
+    let d = sb_sim::diff_report_texts(&text, &text).expect("diff");
+    assert!(d.identical());
+    // And against a run that *does* commit, the diff localizes the first
+    // divergence without tripping over the empty side.
+    let busy_cfg = observed(4, 200, ProtocolKind::Tcc);
+    let busy = run_simulation(&busy_cfg);
+    let busy_text = sb_sim::series_report(&busy_cfg, &busy, 64)
+        .expect("report")
+        .to_string();
+    let d = sb_sim::diff_report_texts(&text, &busy_text).expect("diff");
+    assert!(!d.identical());
+    assert!(d.first_divergence_cycle.is_some());
 }

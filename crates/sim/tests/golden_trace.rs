@@ -31,7 +31,7 @@ fn observed_cfg() -> SimConfig {
     let mut cfg = SimConfig::paper_default(CORES, AppProfile::fft(), ProtocolKind::ScalableBulk);
     cfg.insns_per_thread = INSNS;
     cfg.trace = true;
-    cfg.obs = true;
+    cfg.obs = sb_sim::ObsConfig::on();
     cfg
 }
 
@@ -116,7 +116,7 @@ fn observability_never_changes_simulated_results() {
     // off must produce bit-identical simulated metrics.
     let mut plain = observed_cfg();
     plain.trace = false;
-    plain.obs = false;
+    plain.obs = sb_sim::ObsConfig::default();
     let observed = run_simulation(&observed_cfg());
     let bare = run_simulation(&plain);
     assert_eq!(observed.wall_cycles, bare.wall_cycles);

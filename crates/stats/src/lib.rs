@@ -31,6 +31,7 @@ mod latency;
 pub mod perf;
 mod registry;
 mod serialization;
+mod series;
 mod table;
 mod traffic;
 
@@ -40,5 +41,6 @@ pub use latency::LatencyDist;
 pub use perf::PerfReport;
 pub use registry::{Metric, MetricsRegistry};
 pub use serialization::SerializationGauges;
+pub use series::TimeSeries;
 pub use table::TextTable;
 pub use traffic::TrafficReport;

@@ -164,7 +164,7 @@ fn battery_outcome(proto: ProtocolKind, domains: usize, perturb_seed: u64) -> Ou
     cfg.insns_per_thread = 4_000;
     cfg.seed = 0xfeed;
     cfg.trace = true;
-    cfg.obs = true;
+    cfg.obs = sb_sim::ObsConfig::on();
     cfg.domains = domains;
     if perturb_seed != 0 {
         cfg.perturb = Some(sb_net::PerturbationConfig::from_seed(perturb_seed));
