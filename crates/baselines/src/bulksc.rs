@@ -74,7 +74,7 @@ impl BulkSc {
     /// fall back to tile 0 on small machines, so every host gets the same
     /// normalization instead of patching the config by hand.
     pub fn new(cfg: BulkScConfig, ncores: u16, ndirs: u16) -> Self {
-        assert!((1..=64).contains(&ncores), "1..=64 cores");
+        assert!(ncores >= 1, "at least one core");
         let mut cfg = cfg;
         if cfg.arbiter.0 >= ndirs {
             cfg.arbiter = DirId(0);

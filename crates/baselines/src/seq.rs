@@ -82,7 +82,7 @@ pub struct Seq {
 impl Seq {
     /// Creates the protocol for `ndirs` directory modules.
     pub fn new(ndirs: u16) -> Self {
-        assert!((1..=64).contains(&ndirs), "1..=64 directory modules");
+        assert!(ndirs >= 1, "at least one directory module");
         Seq {
             ndirs,
             dirs: (0..ndirs).map(|_| SeqDir::default()).collect(),
@@ -264,11 +264,11 @@ impl CommitProtocol for Seq {
                             tag,
                             dirs: c.req.g_vec.len(),
                         });
-                        let write_dirs = c.req.write_dirs;
+                        let write_dirs = c.req.write_dirs.clone();
                         if write_dirs.is_empty() {
                             // Read-only chunk: nothing to publish.
                             let from = c.req.g_vec.lowest().expect("non-empty");
-                            let g_vec = c.req.g_vec;
+                            let g_vec = c.req.g_vec.clone();
                             self.chunks.remove(&tag);
                             out.commit_success(tag.core(), tag, from);
                             out.event(ProtoEvent::CommitCompleted { tag });
@@ -330,7 +330,7 @@ impl CommitProtocol for Seq {
                 c.inval_done.insert(dir);
                 if c.inval_done == c.req.write_dirs {
                     let from = c.req.g_vec.lowest().expect("non-empty");
-                    let g_vec = c.req.g_vec;
+                    let g_vec = c.req.g_vec.clone();
                     self.chunks.remove(&tag);
                     out.commit_success(tag.core(), tag, from);
                     out.event(ProtoEvent::CommitCompleted { tag });

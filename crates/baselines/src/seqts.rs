@@ -133,7 +133,7 @@ pub struct SeqTs {
 impl SeqTs {
     /// Creates the protocol for `ndirs` directory modules.
     pub fn new(ndirs: u16) -> Self {
-        assert!((1..=64).contains(&ndirs), "1..=64 directory modules");
+        assert!(ndirs >= 1, "at least one directory module");
         SeqTs {
             ndirs,
             retry_backoff: 40,
@@ -181,7 +181,7 @@ impl SeqTs {
             tag,
             dirs: c.req.g_vec.len(),
         });
-        let write_dirs = c.req.write_dirs;
+        let write_dirs = c.req.write_dirs.clone();
         if write_dirs.is_empty() {
             self.finish(out, tag);
             return;
@@ -280,7 +280,7 @@ impl CommitProtocol for SeqTs {
             return;
         }
         out.event(ProtoEvent::GroupFormationStarted { tag });
-        let g_vec = req.g_vec;
+        let g_vec = req.g_vec.clone();
         let wsig = req.wsig.share();
         self.chunks.insert(
             tag,
@@ -393,12 +393,12 @@ impl CommitProtocol for SeqTs {
                 // held (so they become stealable — otherwise the victim
                 // and the thief circularly wait), re-occupy, and
                 // re-publish once re-granted.
-                c.granted = DirSet(c.granted.0 & !DirSet::single(dir).0);
+                c.granted.remove(dir);
                 c.inval_done = DirSet::empty();
                 let was_publishing = c.publishing;
                 c.publishing = false;
                 let wsig = c.req.wsig.share();
-                let write_dirs = c.req.write_dirs;
+                let write_dirs = c.req.write_dirs.clone();
                 if was_publishing {
                     for d in write_dirs.iter().filter(|d| *d != dir) {
                         Self::small(

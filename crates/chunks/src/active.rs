@@ -113,17 +113,17 @@ impl ActiveChunk {
 
     /// Directories that recorded at least one write.
     pub fn write_dirs(&self) -> DirSet {
-        self.write_dirs
+        self.write_dirs.clone()
     }
 
     /// Directories that recorded only reads.
     pub fn read_only_dirs(&self) -> DirSet {
-        DirSet(self.read_dirs.0 & !self.write_dirs.0)
+        self.read_dirs.difference(&self.write_dirs)
     }
 
     /// All directories in the chunk's read- and write-sets (`g_vec`).
     pub fn g_vec(&self) -> DirSet {
-        self.read_dirs.union(self.write_dirs)
+        self.read_dirs.union(&self.write_dirs)
     }
 
     /// Whether an incoming committed write signature collides with this
@@ -143,7 +143,7 @@ impl ActiveChunk {
             rsig: self.rsig.share(),
             wsig: self.wsig.share(),
             g_vec: self.g_vec(),
-            write_dirs: self.write_dirs,
+            write_dirs: self.write_dirs.clone(),
             read_lines: self.rset.len() as u32,
             write_lines: self.wset.len() as u32,
             write_lines_per_dir: self
@@ -193,7 +193,7 @@ pub struct CommitRequest {
 impl CommitRequest {
     /// Directories that recorded only reads.
     pub fn read_only_dirs(&self) -> DirSet {
-        DirSet(self.g_vec.0 & !self.write_dirs.0)
+        self.g_vec.difference(&self.write_dirs)
     }
 
     /// The group leader under the baseline policy: the lowest-numbered

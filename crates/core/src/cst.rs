@@ -87,7 +87,7 @@ impl CstEntry {
 
     /// The group's directory vector, if the signatures have arrived.
     pub fn g_vec(&self) -> Option<DirSet> {
-        self.req.as_ref().map(|r| r.g_vec)
+        self.req.as_ref().map(|r| r.g_vec.clone())
     }
 }
 

@@ -228,7 +228,7 @@ impl DirModule {
         }
 
         let local_sharers = view.sharers_matching(self.id, &req.wsig, tag.core());
-        let is_leader = leader_of(req.g_vec, prio_offset, self.ndirs) == Some(self.id);
+        let is_leader = leader_of(&req.g_vec, prio_offset, self.ndirs) == Some(self.id);
         self.release_stale_attempt(out, tag, attempt);
         {
             let e = self.cst.entry_or_insert(tag, attempt);
@@ -241,7 +241,7 @@ impl DirModule {
             e.req = Some(req.clone());
             e.prio_offset = prio_offset;
             e.committer = tag.core();
-            e.local_sharers = local_sharers;
+            e.local_sharers = local_sharers.clone();
         }
 
         // A commit recall may already be waiting for this chunk: the chunk
@@ -268,11 +268,10 @@ impl DirModule {
             let e = self.cst.get_mut(tag).expect("just inserted");
             e.leader = true;
             e.state = ChunkState::Held;
-            e.inval_acc = local_sharers;
-            match next_in_order(req.g_vec, self.id, prio_offset, self.ndirs) {
+            e.inval_acc = local_sharers.clone();
+            match next_in_order(&req.g_vec, self.id, prio_offset, self.ndirs) {
                 Some(next) => {
-                    let inval = e.inval_acc;
-                    self.send_grab(out, &req, attempt, prio_offset, inval, next);
+                    self.send_grab(out, &req, attempt, prio_offset, local_sharers, next);
                 }
                 None => self.confirm_leader(view, out, tag), // singleton group
             }
@@ -307,7 +306,7 @@ impl DirModule {
             }
             e.committer = committer;
             e.prio_offset = prio_offset;
-            e.pending_g = Some(inval);
+            e.pending_g = Some(inval.clone());
             e.leader
         };
         if is_returning_to_leader {
@@ -339,8 +338,8 @@ impl DirModule {
                 e.req.clone().expect("caller checked req"),
                 e.attempt,
                 e.prio_offset,
-                e.pending_g.expect("caller checked g"),
-                e.local_sharers,
+                e.pending_g.clone().expect("caller checked g"),
+                e.local_sharers.clone(),
             )
         };
         if self.conflicts_with_held(&req) {
@@ -350,15 +349,15 @@ impl DirModule {
             self.fail_group(out, tag);
             return;
         }
-        let inval_acc = inval_in.union(local);
+        let inval_acc = inval_in.union(&local);
         {
             let e = self.cst.get_mut(tag).expect("entry");
             e.state = ChunkState::Held;
-            e.inval_acc = inval_acc;
+            e.inval_acc = inval_acc.clone();
         }
         out.event(ProtoEvent::DirGrabbed { dir: self.id, tag });
-        let next = next_in_order(req.g_vec, self.id, prio_offset, self.ndirs)
-            .or_else(|| leader_of(req.g_vec, prio_offset, self.ndirs))
+        let next = next_in_order(&req.g_vec, self.id, prio_offset, self.ndirs)
+            .or_else(|| leader_of(&req.g_vec, prio_offset, self.ndirs))
             .expect("group has a leader");
         self.send_grab(out, &req, attempt, prio_offset, inval_acc, next);
     }
@@ -381,7 +380,7 @@ impl DirModule {
                 tag: req.tag,
                 attempt,
                 committer: req.tag.core(),
-                gvec: req.g_vec,
+                gvec: req.g_vec.clone(),
                 prio_offset,
                 inval,
             },
@@ -399,7 +398,7 @@ impl DirModule {
             e.state = ChunkState::Confirmed;
             e.formed_at = Some(view.now());
             let req = e.req.clone().expect("leader has signatures");
-            let targets = e.inval_acc;
+            let targets = e.inval_acc.clone();
             e.pending_acks = targets.len();
             (req, e.attempt, targets)
         };
@@ -462,7 +461,7 @@ impl DirModule {
                         Endpoint::Dir(m),
                         MsgSize::Small,
                         TrafficClass::SmallCMessage,
-                        SbMsg::Recall { note },
+                        SbMsg::Recall { note: note.clone() },
                     );
                 }
             }
@@ -491,14 +490,14 @@ impl DirModule {
         e.pending_acks -= 1;
         if let Some(a) = aborted {
             if !a.g_vec.is_empty() {
-                let winner_gvec = e.req.as_ref().expect("leader has signatures").g_vec;
+                let winner_gvec = &e.req.as_ref().expect("leader has signatures").g_vec;
                 let offset = e.prio_offset;
                 // Dir ID of Table 1: the highest-priority module common to
                 // the winning and failed groups; under aliasing the groups
                 // may share no module, in which case the failed group's
                 // own leader keeps the lookout.
-                let dir_id = collision_module(winner_gvec, a.g_vec, offset, self.ndirs)
-                    .or_else(|| leader_of(a.g_vec, offset, self.ndirs))
+                let dir_id = collision_module(winner_gvec, &a.g_vec, offset, self.ndirs)
+                    .or_else(|| leader_of(&a.g_vec, offset, self.ndirs))
                     .expect("non-empty failed group");
                 e.recalls.push(RecallNote {
                     failed_tag: a.tag,
@@ -639,7 +638,7 @@ impl DirModule {
                 SbMsg::GFailure { tag, attempt },
             );
         }
-        if leader_of(req.g_vec, e.prio_offset, self.ndirs) == Some(self.id) {
+        if leader_of(&req.g_vec, e.prio_offset, self.ndirs) == Some(self.id) {
             out.commit_failure(tag.core(), tag, self.id);
         }
     }
@@ -668,7 +667,7 @@ impl DirModule {
                 },
             );
         }
-        if leader_of(req.g_vec, prio_offset, self.ndirs) == Some(self.id) {
+        if leader_of(&req.g_vec, prio_offset, self.ndirs) == Some(self.id) {
             out.commit_failure(req.tag.core(), req.tag, self.id);
         }
     }

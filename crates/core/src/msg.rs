@@ -114,7 +114,7 @@ impl MessageType {
 /// the Collision module (`dir_id`) that chunk `failed_tag` was squashed at
 /// its processor and its group must be failed if/when its messages arrive
 /// (§3.4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecallNote {
     /// The squashed chunk.
     pub failed_tag: ChunkTag,

@@ -32,14 +32,14 @@ pub fn rank(d: DirId, offset: u16, dirs: u16) -> u16 {
 /// The group leader: the member with the highest priority (lowest rank).
 /// With `offset == 0` this is the paper's baseline "lowest-numbered module
 /// in the group".
-pub fn leader_of(gvec: DirSet, offset: u16, dirs: u16) -> Option<DirId> {
+pub fn leader_of(gvec: &DirSet, offset: u16, dirs: u16) -> Option<DirId> {
     gvec.iter().min_by_key(|d| rank(*d, offset, dirs))
 }
 
 /// The member the `g` message visits after `d`: the next member in
 /// decreasing priority (increasing rank). `None` means `d` is the last
 /// member, so `g` returns to the leader.
-pub fn next_in_order(gvec: DirSet, d: DirId, offset: u16, dirs: u16) -> Option<DirId> {
+pub fn next_in_order(gvec: &DirSet, d: DirId, offset: u16, dirs: u16) -> Option<DirId> {
     let r = rank(d, offset, dirs);
     gvec.iter()
         .filter(|m| rank(*m, offset, dirs) > r)
@@ -49,8 +49,8 @@ pub fn next_in_order(gvec: DirSet, d: DirId, offset: u16, dirs: u16) -> Option<D
 /// The Collision module of two groups: the highest-priority module common
 /// to both (§3.2.1: "the lowest-numbered directory module that is common
 /// to both groups"). `None` if the groups share no module.
-pub fn collision_module(a: DirSet, b: DirSet, offset: u16, dirs: u16) -> Option<DirId> {
-    leader_of(a.intersect(b), offset, dirs)
+pub fn collision_module(a: &DirSet, b: &DirSet, offset: u16, dirs: u16) -> Option<DirId> {
+    leader_of(&a.intersect(b), offset, dirs)
 }
 
 #[cfg(test)]
@@ -63,16 +63,16 @@ mod tests {
 
     #[test]
     fn baseline_leader_is_lowest() {
-        assert_eq!(leader_of(set(&[1, 2, 5]), 0, 8), Some(DirId(1)));
-        assert_eq!(leader_of(DirSet::empty(), 0, 8), None);
+        assert_eq!(leader_of(&set(&[1, 2, 5]), 0, 8), Some(DirId(1)));
+        assert_eq!(leader_of(&DirSet::empty(), 0, 8), None);
     }
 
     #[test]
     fn baseline_traversal_is_ascending() {
         let g = set(&[1, 2, 5]);
-        assert_eq!(next_in_order(g, DirId(1), 0, 8), Some(DirId(2)));
-        assert_eq!(next_in_order(g, DirId(2), 0, 8), Some(DirId(5)));
-        assert_eq!(next_in_order(g, DirId(5), 0, 8), None);
+        assert_eq!(next_in_order(&g, DirId(1), 0, 8), Some(DirId(2)));
+        assert_eq!(next_in_order(&g, DirId(2), 0, 8), Some(DirId(5)));
+        assert_eq!(next_in_order(&g, DirId(5), 0, 8), None);
     }
 
     #[test]
@@ -80,22 +80,22 @@ mod tests {
         // Figure 3(g): G0 = {0,2,3,4}, G1 = {1,2,3,7,8}: collision at 2.
         let g0 = set(&[0, 2, 3, 4]);
         let g1 = set(&[1, 2, 3, 7, 8]);
-        assert_eq!(collision_module(g0, g1, 0, 9), Some(DirId(2)));
+        assert_eq!(collision_module(&g0, &g1, 0, 9), Some(DirId(2)));
         // G1 and G2 = {6,7}: collision at 7.
         let g2 = set(&[6, 7]);
-        assert_eq!(collision_module(g1, g2, 0, 9), Some(DirId(7)));
+        assert_eq!(collision_module(&g1, &g2, 0, 9), Some(DirId(7)));
         // Disjoint groups have no collision module.
-        assert_eq!(collision_module(g0, g2, 0, 9), None);
+        assert_eq!(collision_module(&g0, &g2, 0, 9), None);
     }
 
     #[test]
     fn rotation_changes_leader_and_order() {
         let g = set(&[0, 3, 5]);
         // Offset 4 over 8 modules: priority order 4,5,6,7,0,1,2,3.
-        assert_eq!(leader_of(g, 4, 8), Some(DirId(5)));
-        assert_eq!(next_in_order(g, DirId(5), 4, 8), Some(DirId(0)));
-        assert_eq!(next_in_order(g, DirId(0), 4, 8), Some(DirId(3)));
-        assert_eq!(next_in_order(g, DirId(3), 4, 8), None);
+        assert_eq!(leader_of(&g, 4, 8), Some(DirId(5)));
+        assert_eq!(next_in_order(&g, DirId(5), 4, 8), Some(DirId(0)));
+        assert_eq!(next_in_order(&g, DirId(0), 4, 8), Some(DirId(3)));
+        assert_eq!(next_in_order(&g, DirId(3), 4, 8), None);
     }
 
     #[test]
@@ -125,10 +125,10 @@ mod tests {
         for offset in [0u16, 3, 7] {
             let g = set(&[0, 1, 4, 6, 7]);
             let mut visited = Vec::new();
-            let mut cur = leader_of(g, offset, 8);
+            let mut cur = leader_of(&g, offset, 8);
             while let Some(d) = cur {
                 visited.push(d);
-                cur = next_in_order(g, d, offset, 8);
+                cur = next_in_order(&g, d, offset, 8);
             }
             assert_eq!(visited.len(), 5, "offset {offset}");
             let mut sorted = visited.clone();

@@ -4,19 +4,12 @@
 use std::collections::HashMap;
 
 use sb_chunks::{ChunkTag, CommitRequest};
-use sb_mem::{DirId, LineAddr};
+use sb_mem::{DirId, LineAddr, TileSet};
 use sb_net::{MsgSize, TrafficClass};
 use sb_proto::{
     AddrFootprint, BulkInvAck, ChoiceMeta, CommitProtocol, Endpoint, MachineView, Outbox,
     ProtoEvent, ProtocolKind,
 };
-
-/// Bit for tile `t` in a [`ChoiceMeta`] tile mask. Tiles ≥ 64 wrap —
-/// aliasing two tiles onto one bit can only add dependence edges, which
-/// is the sound direction (and explorer configs are 2–3 tiles anyway).
-fn tile_bit(t: u16) -> u64 {
-    1u64 << (t % 64)
-}
 
 use crate::config::SbConfig;
 use crate::directory::DirModule;
@@ -50,9 +43,9 @@ impl ScalableBulk {
     ///
     /// # Panics
     ///
-    /// Panics if `ndirs` is zero or exceeds 64 (the `DirSet` width).
+    /// Panics if `ndirs` is zero.
     pub fn new(cfg: SbConfig, ndirs: u16) -> Self {
-        assert!((1..=64).contains(&ndirs), "1..=64 directory modules");
+        assert!(ndirs >= 1, "at least one directory module");
         ScalableBulk {
             cfg,
             ndirs,
@@ -197,11 +190,11 @@ impl CommitProtocol for ScalableBulk {
         // every tile the handler may forward to (a conservative
         // superset: grabs walk `gvec`, the leader multicasts to the
         // group, recall handling notifies the failed group).
-        let mut tiles = tile_bit(dst.tile());
+        let mut tiles = TileSet::single(dst.tile());
         match msg {
             SbMsg::CommitRequest { req, .. } => {
                 for d in req.g_vec.iter() {
-                    tiles |= tile_bit(d.0);
+                    tiles.insert(d.0);
                 }
                 return ChoiceMeta::at_tiles(Self::msg_label(msg), tiles)
                     .with_tag(req.tag)
@@ -210,7 +203,7 @@ impl CommitProtocol for ScalableBulk {
             }
             SbMsg::Grab { gvec, .. } => {
                 for d in gvec.iter() {
-                    tiles |= tile_bit(d.0);
+                    tiles.insert(d.0);
                 }
             }
             // The leader multicasts `g success` / `commit done` /
@@ -221,16 +214,16 @@ impl CommitProtocol for ScalableBulk {
             SbMsg::GSuccess { .. } | SbMsg::GFailure { .. } => {}
             SbMsg::CommitDone { recalls, .. } => {
                 for note in recalls {
-                    tiles |= tile_bit(note.dir_id.0);
+                    tiles.insert(note.dir_id.0);
                     for d in note.failed_gvec.iter() {
-                        tiles |= tile_bit(d.0);
+                        tiles.insert(d.0);
                     }
                 }
             }
             SbMsg::Recall { note } => {
-                tiles |= tile_bit(note.dir_id.0);
+                tiles.insert(note.dir_id.0);
                 for d in note.failed_gvec.iter() {
-                    tiles |= tile_bit(d.0);
+                    tiles.insert(d.0);
                 }
             }
         }
@@ -272,7 +265,7 @@ mod tests {
     use super::*;
 
     #[test]
-    #[should_panic(expected = "1..=64")]
+    #[should_panic(expected = "at least one directory module")]
     fn zero_dirs_panics() {
         ScalableBulk::new(SbConfig::paper_default(), 0);
     }

@@ -200,7 +200,7 @@ impl State {
                             && **t != tag
                             && (wsig.intersects(&req.rsig) || wsig.intersects(&req.wsig))
                     })
-                    .map(|(t, req)| (*t, req.g_vec));
+                    .map(|(t, req)| (*t, req.g_vec.clone()));
                 let mut aborted: Option<AbortedCommit> = None;
                 if let Some((vtag, g_vec)) = victim {
                     self.in_flight.remove(&vtag);

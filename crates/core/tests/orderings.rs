@@ -172,7 +172,7 @@ fn non_leader_both_arrival_orders() {
         let mut m = DirModule::new(DirId(3), 8, SbConfig::paper_default());
         let req = request(0, 0, &[(10, 1), (30, 3), (50, 5)]);
         let tag = req.tag;
-        let gvec = req.g_vec;
+        let gvec = req.g_vec.clone();
 
         let deliver_req = |m: &mut DirModule, out: &mut Outbox<SbMsg>| {
             m.on_commit_request(&view, out, req.clone(), 1, 0);
@@ -219,7 +219,7 @@ fn last_member_returns_g_to_leader() {
     let mut m = DirModule::new(DirId(5), 8, SbConfig::paper_default());
     let req = request(0, 0, &[(10, 1), (50, 5)]);
     let tag = req.tag;
-    let gvec = req.g_vec;
+    let gvec = req.g_vec.clone();
     let mut out = Outbox::new();
     m.on_commit_request(&view, &mut out, req, 1, 0);
     m.on_grab(
@@ -254,7 +254,7 @@ fn collision_module_fails_second_group_in_both_orders() {
         // Group B overlaps (same line 500) and uses {2, 6}.
         let b = request(1, 0, &[(500, 2), (660, 6)]);
         let tb = b.tag;
-        let b_gvec = b.g_vec;
+        let b_gvec = b.g_vec.clone();
         let mut out = Outbox::new();
         if req_first {
             m.on_commit_request(&view, &mut out, b, 1, 0);
@@ -305,7 +305,7 @@ fn non_leader_collision_defers_commit_failure_to_leader() {
     // B uses {1, 2}: leader is module 1, not 2.
     let b = request(1, 0, &[(500, 2), (100, 1)]);
     let tb = b.tag;
-    let b_gvec = b.g_vec;
+    let b_gvec = b.g_vec.clone();
     let mut out = Outbox::new();
     m.on_commit_request(&view, &mut out, b.clone(), 1, 0);
     assert!(out.is_empty(), "non-leader waits for g before any decision");
@@ -346,7 +346,7 @@ fn recall_before_request_at_leader() {
     let note = RecallNote {
         failed_tag: tag,
         dir_id: DirId(1),
-        failed_gvec: req.g_vec,
+        failed_gvec: req.g_vec.clone(),
     };
     let mut out = Outbox::new();
     m.on_recall(&mut out, note);
@@ -366,11 +366,11 @@ fn recall_then_request_then_g_at_non_leader() {
     let mut m = DirModule::new(DirId(3), 8, SbConfig::paper_default());
     let req = request(0, 0, &[(10, 1), (30, 3)]);
     let tag = req.tag;
-    let gvec = req.g_vec;
+    let gvec = req.g_vec.clone();
     let note = RecallNote {
         failed_tag: tag,
         dir_id: DirId(3),
-        failed_gvec: gvec,
+        failed_gvec: gvec.clone(),
     };
     let mut out = Outbox::new();
     m.on_recall(&mut out, note);
@@ -399,7 +399,7 @@ fn g_then_recall_then_request() {
     let mut m = DirModule::new(DirId(3), 8, SbConfig::paper_default());
     let req = request(0, 0, &[(10, 1), (30, 3)]);
     let tag = req.tag;
-    let gvec = req.g_vec;
+    let gvec = req.g_vec.clone();
     let mut out = Outbox::new();
     m.on_grab(
         &view,
@@ -407,7 +407,7 @@ fn g_then_recall_then_request() {
         tag,
         1,
         CoreId(0),
-        gvec,
+        gvec.clone(),
         0,
         CoreSet::empty(),
     );
@@ -436,7 +436,7 @@ fn recall_after_failure_is_discarded() {
     m.on_commit_request(&view, &mut out, a, 1, 0);
     let b = request(1, 0, &[(500, 2), (660, 6)]);
     let tb = b.tag;
-    let b_gvec = b.g_vec;
+    let b_gvec = b.g_vec.clone();
     m.on_commit_request(&view, &mut out, b, 1, 0);
     out.drain();
     // Recall for B arrives later (piggy-backed on A's commit done).
@@ -552,7 +552,7 @@ fn stale_attempt_messages_are_dropped() {
     let mut m = DirModule::new(DirId(2), 8, SbConfig::paper_default());
     let req = request(0, 0, &[(500, 2), (600, 4)]);
     let tag = req.tag;
-    let gvec = req.g_vec;
+    let gvec = req.g_vec.clone();
     // Attempt 1 failed here.
     let mut out = Outbox::new();
     m.on_g_failure(&mut out, tag, 1);

@@ -26,7 +26,7 @@ use crate::addr::LineAddr;
 use crate::ids::{CoreId, CoreSet};
 
 /// Per-line directory information.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LineDirInfo {
     /// Cores whose caches may hold the line.
     pub sharers: CoreSet,
@@ -53,7 +53,14 @@ pub struct LineDirInfo {
 /// ```
 #[derive(Clone, Debug)]
 pub struct DirectoryState {
-    lines: FxHashMap<LineAddr, LineDirInfo>,
+    /// Tracked lines, split over [`LINE_SHARDS`] hash-sharded maps. A
+    /// 1024-tile run holds thousands of directory modules; sharding caps
+    /// each map's rehash spike at a fraction of the module's table, which
+    /// keeps peak RSS flat where one monolithic map per module doubles
+    /// its footprint on every growth step. Lookups hash the line once to
+    /// pick the shard; iteration-order-sensitive callers sort (or fold
+    /// into order-insensitive sets), so results are shard-invariant.
+    lines: [FxHashMap<LineAddr, LineDirInfo>; LINE_SHARDS],
     /// The signature geometry the inverted index is keyed for. Expansions
     /// with a signature of any *other* geometry fall back to a full scan
     /// (only exercised by signature-size ablations).
@@ -61,6 +68,16 @@ pub struct DirectoryState {
     /// Inverted index: bank-0 bit position → tracked lines hashing to it.
     /// Every tracked line appears in exactly one bucket.
     buckets: Vec<Vec<LineAddr>>,
+}
+
+/// Number of hash shards the per-module line map is split over.
+const LINE_SHARDS: usize = 16;
+
+/// Which shard a line's record lives in (multiplicative hash over the
+/// high bits, uncorrelated with the signature's bank hashing).
+#[inline]
+fn shard_of(line: LineAddr) -> usize {
+    (line.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize
 }
 
 impl DirectoryState {
@@ -74,7 +91,7 @@ impl DirectoryState {
     /// geometry of the W signatures this directory will expand.
     pub fn with_signature_config(cfg: SignatureConfig) -> Self {
         DirectoryState {
-            lines: FxHashMap::default(),
+            lines: std::array::from_fn(|_| FxHashMap::default()),
             sig_cfg: cfg,
             buckets: vec![Vec::new(); cfg.bits_per_bank() as usize],
         }
@@ -95,7 +112,7 @@ impl DirectoryState {
     /// when first seen.
     fn tracked_entry(&mut self, line: LineAddr) -> &mut LineDirInfo {
         let bucket = self.bucket_of(line);
-        match self.lines.entry(line) {
+        match self.lines[shard_of(line)].entry(line) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
                 self.buckets[bucket].push(line);
@@ -116,28 +133,32 @@ impl DirectoryState {
         self.tracked_entry(line).resident = true;
     }
 
+    /// The tracked record for `line`, if any.
+    #[inline]
+    fn lookup(&self, line: LineAddr) -> Option<&LineDirInfo> {
+        self.lines[shard_of(line)].get(&line)
+    }
+
     /// Whether `line` is marked resident (or actually shared/owned).
     pub fn is_resident(&self, line: LineAddr) -> bool {
-        self.lines
-            .get(&line)
+        self.lookup(line)
             .is_some_and(|i| i.resident || !i.sharers.is_empty() || i.owner.is_some())
     }
 
     /// The sharers of `line` (empty if untracked).
     pub fn sharers_of(&self, line: LineAddr) -> CoreSet {
-        self.lines
-            .get(&line)
-            .map_or(CoreSet::empty(), |i| i.sharers)
+        self.lookup(line)
+            .map_or(CoreSet::empty(), |i| i.sharers.clone())
     }
 
     /// The dirty owner of `line`, if any.
     pub fn owner_of(&self, line: LineAddr) -> Option<CoreId> {
-        self.lines.get(&line).and_then(|i| i.owner)
+        self.lookup(line).and_then(|i| i.owner)
     }
 
     /// Full info for `line`, if tracked.
     pub fn info(&self, line: LineAddr) -> Option<LineDirInfo> {
-        self.lines.get(&line).copied()
+        self.lookup(line).cloned()
     }
 
     /// Expands `wsig` against the tracked lines and returns the union of
@@ -148,7 +169,7 @@ impl DirectoryState {
     pub fn sharers_matching(&self, wsig: &Signature, committer: CoreId) -> CoreSet {
         let mut set = CoreSet::empty();
         let mut visit = |info: &LineDirInfo| {
-            set = set.union(info.sharers);
+            set.union_with(&info.sharers);
             if let Some(o) = info.owner {
                 set.insert(o);
             }
@@ -157,18 +178,21 @@ impl DirectoryState {
             for bit in wsig.bank_set_bits(0) {
                 for line in &self.buckets[bit as usize] {
                     if wsig.test(line.as_u64()) {
-                        visit(&self.lines[line]);
+                        visit(&self.lines[shard_of(*line)][line]);
                     }
                 }
             }
         } else {
-            for (line, info) in &self.lines {
-                if wsig.test(line.as_u64()) {
-                    visit(info);
+            for shard in &self.lines {
+                for (line, info) in shard {
+                    if wsig.test(line.as_u64()) {
+                        visit(info);
+                    }
                 }
             }
         }
-        set.without(committer)
+        set.remove(committer);
+        set
     }
 
     /// The tracked lines matching `wsig` (signature expansion against the
@@ -182,7 +206,8 @@ impl DirectoryState {
                 .collect()
         } else {
             self.lines
-                .keys()
+                .iter()
+                .flat_map(|shard| shard.keys())
                 .filter(|l| wsig.test(l.as_u64()))
                 .copied()
                 .collect()
@@ -200,7 +225,9 @@ impl DirectoryState {
             for bit in wsig.bank_set_bits(0) {
                 for line in &self.buckets[bit as usize] {
                     if wsig.test(line.as_u64()) {
-                        let info = self.lines.get_mut(line).expect("index tracks line");
+                        let info = self.lines[shard_of(*line)]
+                            .get_mut(line)
+                            .expect("index tracks line");
                         info.sharers = CoreSet::single(committer);
                         info.owner = Some(committer);
                         n += 1;
@@ -208,11 +235,13 @@ impl DirectoryState {
                 }
             }
         } else {
-            for (line, info) in self.lines.iter_mut() {
-                if wsig.test(line.as_u64()) {
-                    info.sharers = CoreSet::single(committer);
-                    info.owner = Some(committer);
-                    n += 1;
+            for shard in self.lines.iter_mut() {
+                for (line, info) in shard.iter_mut() {
+                    if wsig.test(line.as_u64()) {
+                        info.sharers = CoreSet::single(committer);
+                        info.owner = Some(committer);
+                        n += 1;
+                    }
                 }
             }
         }
@@ -230,14 +259,15 @@ impl DirectoryState {
     /// Removes `core` from the sharers of `line` (cache eviction /
     /// invalidation acknowledgement).
     pub fn drop_sharer(&mut self, line: LineAddr, core: CoreId) {
-        if let Some(info) = self.lines.get_mut(&line) {
+        let bucket = self.bucket_of(line);
+        let shard = &mut self.lines[shard_of(line)];
+        if let Some(info) = shard.get_mut(&line) {
             info.sharers.remove(core);
             if info.owner == Some(core) {
                 info.owner = None;
             }
             if info.sharers.is_empty() && info.owner.is_none() && !info.resident {
-                self.lines.remove(&line);
-                let bucket = self.bucket_of(line);
+                shard.remove(&line);
                 let b = &mut self.buckets[bucket];
                 let pos = b.iter().position(|&l| l == line).expect("indexed line");
                 b.swap_remove(pos);
@@ -247,17 +277,17 @@ impl DirectoryState {
 
     /// Number of tracked lines.
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.lines.iter().map(|s| s.len()).sum()
     }
 
     /// Whether nothing is tracked.
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.lines.iter().all(|s| s.is_empty())
     }
 
     /// Iterates over all tracked lines.
     pub fn tracked_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.lines.keys().copied()
+        self.lines.iter().flat_map(|s| s.keys().copied())
     }
 }
 
@@ -382,7 +412,7 @@ mod tests {
         assert_eq!(d.lines_matching(&w), brute);
         let mut brute_sharers = CoreSet::empty();
         for l in &brute {
-            brute_sharers = brute_sharers.union(d.sharers_of(*l));
+            brute_sharers = brute_sharers.union(&d.sharers_of(*l));
         }
         assert_eq!(
             d.sharers_matching(&w, CoreId(63)),

@@ -4,6 +4,15 @@
 //! core `i`, its private L1/L2, and directory module `i`. Cores and
 //! directory modules are distinct protocol actors, so they get distinct
 //! newtypes even though they share tile numbering.
+//!
+//! The set types ([`CoreSet`], [`DirSet`], [`TileSet`]) are thin wrappers
+//! over one [`WideMask`]: an inline-small bitset whose first 64 bits live
+//! in a plain word and whose higher bits spill into a boxed slice only
+//! when a member ≥ 64 is actually inserted. Machines up to 64 tiles — the
+//! paper's largest configuration and the golden-snapshot regime — never
+//! allocate and behave bit-for-bit like the old one-word masks; machines
+//! beyond 64 tiles (the scaling sweeps) pay one small allocation per
+//! spilled set.
 
 use std::fmt;
 
@@ -43,8 +52,279 @@ impl fmt::Display for DirId {
     }
 }
 
-/// A compact set of cores, stored as a 64-bit mask (the machine has at most
-/// 64 cores, matching the paper's largest configuration).
+/// An inline-small / heap-spill bitset over tile-sized indices.
+///
+/// Bits 0..64 live inline in `lo`; bits 64.. live in `hi`, a boxed slice
+/// of 64-bit words allocated only when a bit ≥ 64 is first inserted.
+/// The representation is kept *normalized* — `hi` is `None` whenever all
+/// high bits are zero, and never has trailing all-zero words — so the
+/// derived `PartialEq`/`Hash` compare logical set contents.
+///
+/// Sets confined to bits < 64 never allocate and their operations compile
+/// to the same single-word arithmetic as the previous `u64` masks, which
+/// is what keeps runs at ≤ 64 cores bit-identical and allocation-free.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct WideMask {
+    /// Bits 0..64.
+    lo: u64,
+    /// Bits 64.. in 64-bit words: `hi[w]` holds bits `64*(w+1) ..`.
+    /// `None` ⇔ all high bits zero (normalized; no trailing zero words).
+    hi: Option<Box<[u64]>>,
+}
+
+impl WideMask {
+    /// The empty mask.
+    pub const fn empty() -> Self {
+        WideMask { lo: 0, hi: None }
+    }
+
+    /// A mask with one bit set.
+    pub fn single(bit: u16) -> Self {
+        let mut m = WideMask::empty();
+        m.insert(bit);
+        m
+    }
+
+    /// Re-establishes the normalization invariant after high bits may
+    /// have been cleared.
+    fn normalize(&mut self) {
+        if let Some(hi) = &mut self.hi {
+            let mut len = hi.len();
+            while len > 0 && hi[len - 1] == 0 {
+                len -= 1;
+            }
+            if len == 0 {
+                self.hi = None;
+            } else if len < hi.len() {
+                let mut v = std::mem::take(hi).into_vec();
+                v.truncate(len);
+                *hi = v.into_boxed_slice();
+            }
+        }
+    }
+
+    /// Sets `bit`.
+    #[inline]
+    pub fn insert(&mut self, bit: u16) {
+        if bit < 64 {
+            self.lo |= 1u64 << bit;
+            return;
+        }
+        let w = (bit as usize - 64) / 64;
+        let hi = self.hi.take().map_or_else(Vec::new, |b| b.into_vec());
+        let mut hi = hi;
+        if hi.len() <= w {
+            hi.resize(w + 1, 0);
+        }
+        hi[w] |= 1u64 << (bit % 64);
+        self.hi = Some(hi.into_boxed_slice());
+    }
+
+    /// Clears `bit`.
+    #[inline]
+    pub fn remove(&mut self, bit: u16) {
+        if bit < 64 {
+            self.lo &= !(1u64 << bit);
+            return;
+        }
+        let w = (bit as usize - 64) / 64;
+        if let Some(hi) = &mut self.hi {
+            if w < hi.len() {
+                hi[w] &= !(1u64 << (bit % 64));
+                self.normalize();
+            }
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, bit: u16) -> bool {
+        if bit < 64 {
+            return self.lo & (1u64 << bit) != 0;
+        }
+        let w = (bit as usize - 64) / 64;
+        self.hi
+            .as_deref()
+            .is_some_and(|hi| w < hi.len() && hi[w] & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.lo.count_ones()
+            + self
+                .hi
+                .as_deref()
+                .map_or(0, |hi| hi.iter().map(|w| w.count_ones()).sum())
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == 0 && self.hi.is_none()
+    }
+
+    /// In-place union: `self |= other`.
+    pub fn union_with(&mut self, other: &WideMask) {
+        self.lo |= other.lo;
+        if let Some(ohi) = other.hi.as_deref() {
+            let mut hi = self.hi.take().map_or_else(Vec::new, |b| b.into_vec());
+            if hi.len() < ohi.len() {
+                hi.resize(ohi.len(), 0);
+            }
+            for (a, b) in hi.iter_mut().zip(ohi) {
+                *a |= b;
+            }
+            self.hi = Some(hi.into_boxed_slice());
+        }
+    }
+
+    /// Union as a new mask.
+    pub fn union(&self, other: &WideMask) -> WideMask {
+        let mut m = self.clone();
+        m.union_with(other);
+        m
+    }
+
+    /// Intersection as a new mask.
+    pub fn intersect(&self, other: &WideMask) -> WideMask {
+        let mut m = WideMask {
+            lo: self.lo & other.lo,
+            hi: None,
+        };
+        if let (Some(a), Some(b)) = (self.hi.as_deref(), other.hi.as_deref()) {
+            let v: Vec<u64> = a.iter().zip(b).map(|(x, y)| x & y).collect();
+            m.hi = Some(v.into_boxed_slice());
+            m.normalize();
+        }
+        m
+    }
+
+    /// Difference (`self & !other`) as a new mask.
+    pub fn difference(&self, other: &WideMask) -> WideMask {
+        let mut m = WideMask {
+            lo: self.lo & !other.lo,
+            hi: None,
+        };
+        if let Some(a) = self.hi.as_deref() {
+            let b = other.hi.as_deref().unwrap_or(&[]);
+            let v: Vec<u64> = a
+                .iter()
+                .enumerate()
+                .map(|(i, x)| x & !b.get(i).copied().unwrap_or(0))
+                .collect();
+            m.hi = Some(v.into_boxed_slice());
+            m.normalize();
+        }
+        m
+    }
+
+    /// Whether the masks share any set bit (without materializing the
+    /// intersection).
+    pub fn intersects(&self, other: &WideMask) -> bool {
+        if self.lo & other.lo != 0 {
+            return true;
+        }
+        match (self.hi.as_deref(), other.hi.as_deref()) {
+            (Some(a), Some(b)) => a.iter().zip(b).any(|(x, y)| x & y != 0),
+            _ => false,
+        }
+    }
+
+    /// The lowest set bit, if any.
+    #[inline]
+    pub fn lowest(&self) -> Option<u16> {
+        if self.lo != 0 {
+            return Some(self.lo.trailing_zeros() as u16);
+        }
+        let hi = self.hi.as_deref()?;
+        hi.iter()
+            .enumerate()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| (64 * (i as u32 + 1) + w.trailing_zeros()) as u16)
+    }
+
+    /// The lowest set bit strictly above `bit`, if any.
+    pub fn next_after(&self, bit: u16) -> Option<u16> {
+        let next = bit as u32 + 1;
+        // Remaining bits of the word `next` falls in, then later words.
+        let (word_idx, word_bit) = (next / 64, next % 64);
+        let word_of = |w: u32| -> u64 {
+            if w == 0 {
+                self.lo
+            } else {
+                self.hi
+                    .as_deref()
+                    .and_then(|hi| hi.get(w as usize - 1))
+                    .copied()
+                    .unwrap_or(0)
+            }
+        };
+        let words = 1 + self.hi.as_deref().map_or(0, |h| h.len() as u32);
+        let mut w = word_idx;
+        while w < words {
+            let mut bits = word_of(w);
+            if w == word_idx && word_bit != 0 {
+                bits &= !((1u64 << word_bit) - 1);
+            }
+            if bits != 0 {
+                return Some((w * 64 + bits.trailing_zeros()) as u16);
+            }
+            w += 1;
+        }
+        None
+    }
+
+    /// Iterates the set bits in increasing order. The iterator owns a
+    /// clone of the mask, so it never borrows `self` (callers may mutate
+    /// the originating structure while iterating, as they could when the
+    /// sets were `Copy`). Cloning an un-spilled mask is two words.
+    pub fn iter(&self) -> MaskIter {
+        MaskIter {
+            cur: self.lo,
+            base: 0,
+            hi: self.hi.clone(),
+            next_word: 0,
+        }
+    }
+}
+
+/// Iterator over the set bits of a [`WideMask`], ascending.
+#[derive(Clone, Debug)]
+pub struct MaskIter {
+    /// Unconsumed bits of the current word.
+    cur: u64,
+    /// Bit offset of the current word.
+    base: u16,
+    /// High words still to visit.
+    hi: Option<Box<[u64]>>,
+    /// Index into `hi` of the next word to load.
+    next_word: usize,
+}
+
+impl Iterator for MaskIter {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        loop {
+            if self.cur != 0 {
+                let b = self.cur.trailing_zeros() as u16;
+                self.cur &= self.cur - 1;
+                return Some(self.base + b);
+            }
+            let hi = self.hi.as_deref()?;
+            if self.next_word >= hi.len() {
+                return None;
+            }
+            self.cur = hi[self.next_word];
+            self.next_word += 1;
+            self.base = 64 * self.next_word as u16;
+        }
+    }
+}
+
+/// A set of cores, inline for ≤ 64 members and heap-spilled beyond
+/// (see [`WideMask`]).
 ///
 /// This is the `inval_vec` of Table 1: the sharer processors that must be
 /// invalidated when a group commits, built up incrementally as the `g`
@@ -57,73 +337,81 @@ impl fmt::Display for DirId {
 ///
 /// let mut s = CoreSet::empty();
 /// s.insert(CoreId(3));
-/// s.insert(CoreId(5));
-/// assert!(s.contains(CoreId(3)));
+/// s.insert(CoreId(200)); // beyond the inline word: spills to the heap
+/// assert!(s.contains(CoreId(3)) && s.contains(CoreId(200)));
 /// assert_eq!(s.len(), 2);
 /// let others = s.without(CoreId(3));
 /// assert_eq!(others.len(), 1);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub struct CoreSet(pub u64);
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CoreSet(WideMask);
 
 impl CoreSet {
     /// The empty set.
     pub const fn empty() -> Self {
-        CoreSet(0)
+        CoreSet(WideMask::empty())
     }
 
     /// A set with a single member.
-    pub const fn single(c: CoreId) -> Self {
-        CoreSet(1 << c.0)
+    pub fn single(c: CoreId) -> Self {
+        CoreSet(WideMask::single(c.0))
     }
 
     /// Adds a core.
     #[inline]
     pub fn insert(&mut self, c: CoreId) {
-        self.0 |= 1 << c.0;
+        self.0.insert(c.0);
     }
 
     /// Removes a core.
     #[inline]
     pub fn remove(&mut self, c: CoreId) {
-        self.0 &= !(1 << c.0);
+        self.0.remove(c.0);
     }
 
     /// Membership test.
     #[inline]
-    pub const fn contains(self, c: CoreId) -> bool {
-        self.0 & (1 << c.0) != 0
+    pub fn contains(&self, c: CoreId) -> bool {
+        self.0.contains(c.0)
     }
 
     /// Number of members.
     #[inline]
-    pub const fn len(self) -> u32 {
-        self.0.count_ones()
+    pub fn len(&self) -> u32 {
+        self.0.count()
     }
 
     /// Whether the set is empty.
     #[inline]
-    pub const fn is_empty(self) -> bool {
-        self.0 == 0
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
     }
 
     /// Set union.
     #[inline]
-    pub const fn union(self, other: CoreSet) -> CoreSet {
-        CoreSet(self.0 | other.0)
+    pub fn union(&self, other: &CoreSet) -> CoreSet {
+        CoreSet(self.0.union(&other.0))
+    }
+
+    /// In-place set union (the hot path of directory signature
+    /// expansion — no temporary set per visited line).
+    #[inline]
+    pub fn union_with(&mut self, other: &CoreSet) {
+        self.0.union_with(&other.0);
     }
 
     /// A copy of the set with `c` removed.
     #[inline]
-    pub const fn without(self, c: CoreId) -> CoreSet {
-        CoreSet(self.0 & !(1 << c.0))
+    pub fn without(&self, c: CoreId) -> CoreSet {
+        let mut s = self.clone();
+        s.remove(c);
+        s
     }
 
-    /// Iterates over members in increasing ID order.
-    pub fn iter(self) -> impl Iterator<Item = CoreId> {
-        (0..64u16)
-            .filter(move |i| self.0 & (1 << i) != 0)
-            .map(CoreId)
+    /// Iterates over members in increasing ID order. The iterator is
+    /// self-contained (owns a cheap clone), like the old `Copy` sets.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> {
+        self.0.iter().map(CoreId)
     }
 }
 
@@ -137,7 +425,8 @@ impl FromIterator<CoreId> for CoreSet {
     }
 }
 
-/// A compact set of directory modules, stored as a 64-bit mask.
+/// A set of directory modules, inline for ≤ 64 members and heap-spilled
+/// beyond (see [`WideMask`]).
 ///
 /// This is the `g_vec` of Table 1: the directory modules in a chunk's read-
 /// and write-sets, collected by the processor as the chunk executes.
@@ -152,93 +441,102 @@ impl FromIterator<CoreId> for CoreSet {
 /// assert_eq!(g.next_after(DirId(1)), Some(DirId(4)));
 /// assert_eq!(g.next_after(DirId(6)), None);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub struct DirSet(pub u64);
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DirSet(WideMask);
 
 impl DirSet {
     /// The empty set.
     pub const fn empty() -> Self {
-        DirSet(0)
+        DirSet(WideMask::empty())
     }
 
     /// A set with a single member.
-    pub const fn single(d: DirId) -> Self {
-        DirSet(1 << d.0)
+    pub fn single(d: DirId) -> Self {
+        DirSet(WideMask::single(d.0))
     }
 
     /// Adds a directory.
     #[inline]
     pub fn insert(&mut self, d: DirId) {
-        self.0 |= 1 << d.0;
+        self.0.insert(d.0);
+    }
+
+    /// Removes a directory.
+    #[inline]
+    pub fn remove(&mut self, d: DirId) {
+        self.0.remove(d.0);
     }
 
     /// Membership test.
     #[inline]
-    pub const fn contains(self, d: DirId) -> bool {
-        self.0 & (1 << d.0) != 0
+    pub fn contains(&self, d: DirId) -> bool {
+        self.0.contains(d.0)
     }
 
     /// Number of members.
     #[inline]
-    pub const fn len(self) -> u32 {
-        self.0.count_ones()
+    pub fn len(&self) -> u32 {
+        self.0.count()
     }
 
     /// Whether the set is empty.
     #[inline]
-    pub const fn is_empty(self) -> bool {
-        self.0 == 0
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
     }
 
     /// Set union.
     #[inline]
-    pub const fn union(self, other: DirSet) -> DirSet {
-        DirSet(self.0 | other.0)
+    pub fn union(&self, other: &DirSet) -> DirSet {
+        DirSet(self.0.union(&other.0))
+    }
+
+    /// In-place set union.
+    #[inline]
+    pub fn union_with(&mut self, other: &DirSet) {
+        self.0.union_with(&other.0);
     }
 
     /// Set intersection.
     #[inline]
-    pub const fn intersect(self, other: DirSet) -> DirSet {
-        DirSet(self.0 & other.0)
+    pub fn intersect(&self, other: &DirSet) -> DirSet {
+        DirSet(self.0.intersect(&other.0))
+    }
+
+    /// Set difference: the members of `self` not in `other`.
+    #[inline]
+    pub fn difference(&self, other: &DirSet) -> DirSet {
+        DirSet(self.0.difference(&other.0))
     }
 
     /// The lowest-numbered member — the baseline group-leader policy
     /// (§3.2 of the paper).
     #[inline]
-    pub fn lowest(self) -> Option<DirId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(DirId(self.0.trailing_zeros() as u16))
-        }
+    pub fn lowest(&self) -> Option<DirId> {
+        self.0.lowest().map(DirId)
     }
 
     /// The next member strictly after `d` in increasing ID order — the
     /// fixed traversal order of the group-formation `g` message.
     #[inline]
-    pub fn next_after(self, d: DirId) -> Option<DirId> {
-        let above = self.0 & !((2u128.pow(d.0 as u32 + 1) - 1) as u64);
-        if above == 0 {
-            None
-        } else {
-            Some(DirId(above.trailing_zeros() as u16))
-        }
+    pub fn next_after(&self, d: DirId) -> Option<DirId> {
+        self.0.next_after(d.0).map(DirId)
     }
 
-    /// Iterates over members in increasing ID order.
-    pub fn iter(self) -> impl Iterator<Item = DirId> {
-        (0..64u16)
-            .filter(move |i| self.0 & (1 << i) != 0)
-            .map(DirId)
+    /// Iterates over members in increasing ID order. The iterator is
+    /// self-contained (owns a cheap clone), like the old `Copy` sets.
+    pub fn iter(&self) -> impl Iterator<Item = DirId> {
+        self.0.iter().map(DirId)
     }
 
     /// Members in a rotated priority order: the member with the highest
     /// priority under rotation `offset` comes first. Used by the fairness
     /// scheme of §3.2.2, where priorities rotate modulo the module count.
-    pub fn iter_rotated(self, offset: u16, modules: u16) -> impl Iterator<Item = DirId> {
+    pub fn iter_rotated(&self, offset: u16, modules: u16) -> impl Iterator<Item = DirId> {
+        let set = self.clone();
         (0..modules)
             .map(move |i| DirId((i + offset) % modules))
-            .filter(move |d| self.contains(*d))
+            .filter(move |d| set.contains(*d))
     }
 }
 
@@ -247,6 +545,82 @@ impl FromIterator<DirId> for DirSet {
         let mut s = DirSet::empty();
         for d in iter {
             s.insert(d);
+        }
+        s
+    }
+}
+
+/// A set of tiles, used as the resource footprint of schedulable events
+/// (`ChoiceMeta` in `sb-proto`). Same inline-small/heap-spill storage as
+/// [`CoreSet`]/[`DirSet`]; tiles are raw `u16` indices because footprints
+/// mix core- and directory-side resources of the same tile.
+///
+/// # Examples
+///
+/// ```
+/// use sb_mem::TileSet;
+///
+/// let a: TileSet = [0u16, 2].into_iter().collect();
+/// let b = TileSet::single(2);
+/// assert!(a.intersects(&b));
+/// assert!(!a.intersects(&TileSet::single(1)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TileSet(WideMask);
+
+impl TileSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        TileSet(WideMask::empty())
+    }
+
+    /// A set with a single member.
+    pub fn single(t: u16) -> Self {
+        TileSet(WideMask::single(t))
+    }
+
+    /// Adds a tile.
+    #[inline]
+    pub fn insert(&mut self, t: u16) {
+        self.0.insert(t);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, t: u16) -> bool {
+        self.0.contains(t)
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.0.count()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the sets share a tile — the overlap test DPOR independence
+    /// is built on.
+    #[inline]
+    pub fn intersects(&self, other: &TileSet) -> bool {
+        self.0.intersects(&other.0)
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = u16> {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<u16> for TileSet {
+    fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> Self {
+        let mut s = TileSet::empty();
+        for t in iter {
+            s.insert(t);
         }
         s
     }
@@ -274,9 +648,48 @@ mod tests {
     fn coreset_union_without() {
         let a: CoreSet = [CoreId(1), CoreId(2)].into_iter().collect();
         let b: CoreSet = [CoreId(2), CoreId(3)].into_iter().collect();
-        let u = a.union(b);
+        let u = a.union(&b);
         assert_eq!(u.len(), 3);
         assert_eq!(u.without(CoreId(2)).len(), 2);
+    }
+
+    #[test]
+    fn coreset_across_the_64_bit_boundary() {
+        let mut s = CoreSet::empty();
+        for c in [0u16, 63, 64, 65, 127, 128, 1000, 1023] {
+            s.insert(CoreId(c));
+        }
+        assert_eq!(s.len(), 8);
+        assert!(s.contains(CoreId(64)) && s.contains(CoreId(1023)));
+        assert!(!s.contains(CoreId(66)) && !s.contains(CoreId(512)));
+        assert_eq!(
+            s.iter().map(|c| c.0).collect::<Vec<_>>(),
+            vec![0, 63, 64, 65, 127, 128, 1000, 1023],
+            "iteration stays ascending across word boundaries"
+        );
+        // Removing the high members normalizes back to the inline word:
+        // the set equals (and hashes like) one that never spilled.
+        for c in [64u16, 65, 127, 128, 1000, 1023] {
+            s.remove(CoreId(c));
+        }
+        let inline: CoreSet = [CoreId(0), CoreId(63)].into_iter().collect();
+        assert_eq!(s, inline);
+    }
+
+    #[test]
+    fn wide_union_intersect_difference() {
+        let a: DirSet = [DirId(1), DirId(70), DirId(200)].into_iter().collect();
+        let b: DirSet = [DirId(1), DirId(200), DirId(300)].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(
+            a.intersect(&b).iter().collect::<Vec<_>>(),
+            vec![DirId(1), DirId(200)]
+        );
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![DirId(70)]);
+        assert_eq!(
+            b.difference(&a).iter().collect::<Vec<_>>(),
+            vec![DirId(300)]
+        );
     }
 
     #[test]
@@ -299,16 +712,31 @@ mod tests {
     }
 
     #[test]
+    fn dirset_traversal_across_words() {
+        let g: DirSet = [DirId(63), DirId(64), DirId(130), DirId(515)]
+            .into_iter()
+            .collect();
+        assert_eq!(g.lowest(), Some(DirId(63)));
+        assert_eq!(g.next_after(DirId(63)), Some(DirId(64)));
+        assert_eq!(g.next_after(DirId(64)), Some(DirId(130)));
+        assert_eq!(g.next_after(DirId(130)), Some(DirId(515)));
+        assert_eq!(g.next_after(DirId(515)), None);
+        let high = DirSet::single(DirId(512));
+        assert_eq!(high.lowest(), Some(DirId(512)));
+        assert_eq!(high.next_after(DirId(0)), Some(DirId(512)));
+    }
+
+    #[test]
     fn dirset_intersect_union() {
         let a: DirSet = [DirId(0), DirId(2), DirId(3)].into_iter().collect();
         let b: DirSet = [DirId(2), DirId(3), DirId(7)].into_iter().collect();
         assert_eq!(
-            a.intersect(b).iter().collect::<Vec<_>>(),
+            a.intersect(&b).iter().collect::<Vec<_>>(),
             vec![DirId(2), DirId(3)]
         );
-        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.union(&b).len(), 4);
         // Collision module = lowest common module (§3.2.1).
-        assert_eq!(a.intersect(b).lowest(), Some(DirId(2)));
+        assert_eq!(a.intersect(&b).lowest(), Some(DirId(2)));
     }
 
     #[test]
@@ -320,6 +748,34 @@ mod tests {
         // Offset 0 degenerates to natural order.
         let natural: Vec<DirId> = g.iter_rotated(0, 8).collect();
         assert_eq!(natural, vec![DirId(0), DirId(3), DirId(5)]);
+    }
+
+    #[test]
+    fn tileset_intersects() {
+        let a: TileSet = [0u16, 65].into_iter().collect();
+        assert!(a.intersects(&TileSet::single(65)));
+        assert!(a.intersects(&TileSet::single(0)));
+        assert!(!a.intersects(&TileSet::single(64)));
+        assert!(!a.intersects(&TileSet::empty()));
+        assert!(!TileSet::empty().intersects(&TileSet::empty()));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 65]);
+    }
+
+    #[test]
+    fn spilled_empty_equals_inline_empty() {
+        let mut s = CoreSet::single(CoreId(100));
+        s.remove(CoreId(100));
+        assert!(s.is_empty());
+        assert_eq!(s, CoreSet::empty());
+        // Hash equality follows structural equality under normalization.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |s: &CoreSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&s), h(&CoreSet::empty()));
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub use addr::{Addr, LineAddr, PageAddr, LINE_BYTES, PAGE_BYTES};
 pub use cache::{CacheConfig, SetAssocCache};
 pub use dirstate::{DirectoryState, LineDirInfo};
 pub use hierarchy::{CacheHierarchy, CacheHierarchyConfig, HitLevel};
-pub use ids::{CoreId, CoreSet, DirId, DirSet};
+pub use ids::{CoreId, CoreSet, DirId, DirSet, MaskIter, TileSet, WideMask};
 pub use mshr::{MshrFile, MshrOutcome};
 pub use page::{PageMapPolicy, PageMapper};

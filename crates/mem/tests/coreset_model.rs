@@ -1,0 +1,137 @@
+//! Model-based property tests for the wide (inline-small / heap-spill)
+//! core and directory sets.
+//!
+//! `CoreSet`/`DirSet` are `WideMask` wrappers: one inline word for
+//! members `< 64` and a boxed spill for wider machines. Every operation
+//! is checked here against the obvious `BTreeSet<u16>` reference model,
+//! with member ids drawn from `0..160` so each case straddles the
+//! inline/spill boundary (words 0, 1, and 2) and the normalization rule
+//! (no trailing zero spill words) is exercised by removals.
+
+use std::collections::{BTreeSet, HashSet};
+
+use proptest::prelude::*;
+use sb_mem::{CoreId, CoreSet, DirId, DirSet};
+
+/// Id universe: three 64-bit words, so inserts and removals cross the
+/// inline/spill boundary in both directions.
+const UNIVERSE: u16 = 160;
+
+/// Applies the op stream to both the set under test and the model.
+fn build(ops: &[(bool, u16)]) -> (CoreSet, BTreeSet<u16>) {
+    let mut set = CoreSet::empty();
+    let mut model = BTreeSet::new();
+    for &(insert, id) in ops {
+        if insert {
+            set.insert(CoreId(id));
+            model.insert(id);
+        } else {
+            set.remove(CoreId(id));
+            model.remove(&id);
+        }
+    }
+    (set, model)
+}
+
+fn dirset(model: &BTreeSet<u16>) -> DirSet {
+    model.iter().map(|&i| DirId(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// insert/remove/contains/len/iter agree with the reference model.
+    #[test]
+    fn mutation_matches_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u16..UNIVERSE), 0..120),
+    ) {
+        let (set, model) = build(&ops);
+        prop_assert_eq!(set.len() as usize, model.len());
+        prop_assert_eq!(set.is_empty(), model.is_empty());
+        for id in 0..UNIVERSE {
+            prop_assert_eq!(
+                set.contains(CoreId(id)),
+                model.contains(&id),
+                "contains({id}) diverged"
+            );
+        }
+        // Iteration yields exactly the model, in ascending order.
+        let got: Vec<u16> = set.iter().map(|c| c.0).collect();
+        let want: Vec<u16> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `union` / `union_with` match the model's union.
+    #[test]
+    fn union_matches_model(
+        a in proptest::collection::vec((any::<bool>(), 0u16..UNIVERSE), 0..80),
+        b in proptest::collection::vec((any::<bool>(), 0u16..UNIVERSE), 0..80),
+    ) {
+        let (sa, ma) = build(&a);
+        let (sb, mb) = build(&b);
+        let want: Vec<u16> = ma.union(&mb).copied().collect();
+        let got: Vec<u16> = sa.union(&sb).iter().map(|c| c.0).collect();
+        prop_assert_eq!(&got, &want);
+        let mut acc = sa.clone();
+        acc.union_with(&sb);
+        let got_in_place: Vec<u16> = acc.iter().map(|c| c.0).collect();
+        prop_assert_eq!(&got_in_place, &want);
+        // Union is symmetric.
+        prop_assert_eq!(sb.union(&sa), sa.union(&sb));
+    }
+
+    /// `without` removes exactly one member.
+    #[test]
+    fn without_matches_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u16..UNIVERSE), 0..80),
+        victim in 0u16..UNIVERSE,
+    ) {
+        let (set, mut model) = build(&ops);
+        model.remove(&victim);
+        let got: Vec<u16> = set.without(CoreId(victim)).iter().map(|c| c.0).collect();
+        let want: Vec<u16> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `DirSet` intersect/difference agree with the model; `lowest` and
+    /// `next_after` walk the model in order.
+    #[test]
+    fn dirset_set_algebra_matches_model(
+        a in proptest::collection::vec((any::<bool>(), 0u16..UNIVERSE), 0..80),
+        b in proptest::collection::vec((any::<bool>(), 0u16..UNIVERSE), 0..80),
+    ) {
+        let (_, ma) = build(&a);
+        let (_, mb) = build(&b);
+        let (da, db) = (dirset(&ma), dirset(&mb));
+        let inter: Vec<u16> = da.intersect(&db).iter().map(|d| d.0).collect();
+        let want_inter: Vec<u16> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(inter, want_inter);
+        let diff: Vec<u16> = da.difference(&db).iter().map(|d| d.0).collect();
+        let want_diff: Vec<u16> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(diff, want_diff);
+        prop_assert_eq!(da.lowest(), ma.iter().next().map(|&i| DirId(i)));
+        for probe in [0u16, 40, 63, 64, 65, 100, 127, 128, 159] {
+            let want_next = ma.range(probe + 1..).next().map(|&i| DirId(i));
+            prop_assert_eq!(
+                da.next_after(DirId(probe)),
+                want_next,
+                "next_after({probe})"
+            );
+        }
+    }
+
+    /// Sets are canonical: any op sequence reaching the same membership
+    /// is `==` to the directly-built set and hashes identically (the
+    /// no-trailing-zero-spill-words normalization).
+    #[test]
+    fn representation_is_canonical(
+        ops in proptest::collection::vec((any::<bool>(), 0u16..UNIVERSE), 0..120),
+    ) {
+        let (set, model) = build(&ops);
+        let direct: CoreSet = model.iter().map(|&i| CoreId(i)).collect();
+        prop_assert_eq!(&set, &direct);
+        let mut h = HashSet::new();
+        h.insert(set);
+        prop_assert!(!h.insert(direct), "equal sets must collide in a HashSet");
+    }
+}

@@ -4,7 +4,10 @@
 //! 7-cycle latency (Table 2), modelled originally with the network simulator
 //! of Das et al. This crate provides the equivalent protocol-level model:
 //!
-//! * [`Torus`] — topology and minimal-hop routing distance with wraparound,
+//! * [`Topology`] — the fabric seam: a plain [`Torus`] with wraparound
+//!   minimal-hop routing (the paper's fabric), a concentrated mesh
+//!   ([`CMesh`], several tiles per router), or an express-link torus
+//!   ([`ExpressTorus`]) for the >64-core scaling sweeps,
 //! * [`MsgSize`]/[`TrafficClass`] — message sizes in flits and the five
 //!   traffic classes the paper charts in Figures 18–19 (`MemRd`,
 //!   `RemoteShRd`, `RemoteDirtyRd`, `LargeCMessage`, `SmallCMessage`),
@@ -43,5 +46,5 @@ mod traffic;
 
 pub use network::{Network, NetworkConfig, SendInfo};
 pub use perturb::PerturbationConfig;
-pub use topology::{NodeId, Torus};
+pub use topology::{CMesh, ExpressTorus, NodeId, Topology, Torus};
 pub use traffic::{MsgSize, TrafficClass, TrafficCounters};

@@ -3,14 +3,14 @@
 use sb_engine::Cycle;
 
 use crate::perturb::{Perturbation, PerturbationConfig};
-use crate::topology::{NodeId, Torus};
+use crate::topology::{NodeId, Topology};
 use crate::traffic::{MsgSize, TrafficClass, TrafficCounters};
 
 /// Network timing parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NetworkConfig {
-    /// The torus shape.
-    pub torus: Torus,
+    /// The interconnect fabric.
+    pub topology: Topology,
     /// Per-hop link latency in cycles (Table 2: 7 cycles).
     pub link_latency: u64,
     /// Fixed overhead per message (injection + ejection pipeline).
@@ -25,7 +25,7 @@ impl NetworkConfig {
     /// Table 2 parameters for a machine with `tiles` tiles.
     pub fn paper_default(tiles: u16) -> Self {
         NetworkConfig {
-            torus: Torus::for_tiles(tiles),
+            topology: Topology::for_tiles(tiles),
             link_latency: 7,
             fixed_overhead: 2,
             model_contention: true,
@@ -42,13 +42,13 @@ impl NetworkConfig {
     /// can therefore let a domain run `lookahead_bound` cycles past the
     /// rest of the machine: nothing sent from another domain "now" can
     /// arrive sooner. Combine with
-    /// [`Torus::min_inter_domain_hops`](crate::Torus::min_inter_domain_hops):
+    /// [`Topology::min_inter_domain_hops`](crate::Topology::min_inter_domain_hops):
     ///
     /// ```
     /// use sb_net::NetworkConfig;
     ///
     /// let cfg = NetworkConfig::paper_default(64);
-    /// let min_hops = cfg.torus.min_inter_domain_hops(&vec![0; 64]);
+    /// let min_hops = cfg.topology.min_inter_domain_hops(&vec![0; 64]);
     /// assert_eq!(min_hops, None); // one domain: no cross-domain traffic
     /// assert_eq!(cfg.lookahead_bound(1), 2 + 7); // adjacent domains
     /// assert_eq!(cfg.lookahead_bound(0), 2); // co-located endpoints
@@ -70,7 +70,7 @@ pub struct SendInfo {
     pub depart: Cycle,
     /// Cycles spent waiting for the injection port (contention).
     pub queue_wait: u64,
-    /// Torus hop count between the endpoints.
+    /// Fabric hop count between the endpoints.
     pub hops: u64,
     /// Uncontended wire time: fixed overhead + hops × link + (flits − 1).
     pub wire: u64,
@@ -117,7 +117,7 @@ impl Network {
     /// Creates an idle network.
     pub fn new(cfg: NetworkConfig) -> Self {
         Network {
-            inject_free: vec![Cycle::ZERO; cfg.torus.tiles() as usize],
+            inject_free: vec![Cycle::ZERO; cfg.topology.tiles() as usize],
             cfg,
             counters: TrafficCounters::new(),
             hop_total: 0,
@@ -131,7 +131,7 @@ impl Network {
     /// delivery is delayed deterministically, never hastened.
     pub fn with_perturbation(cfg: NetworkConfig, p: PerturbationConfig) -> Self {
         let mut net = Self::new(cfg);
-        net.perturb = Some(Perturbation::new(p, cfg.torus.tiles()));
+        net.perturb = Some(Perturbation::new(p, cfg.topology.tiles()));
         net
     }
 
@@ -163,7 +163,7 @@ impl Network {
         class: TrafficClass,
     ) -> (Cycle, SendInfo) {
         self.counters.record(class, size);
-        let hops = self.cfg.torus.hops(src, dst) as u64;
+        let hops = self.cfg.topology.hops(src, dst) as u64;
         self.hop_total += hops;
         let flits = size.flits() as u64;
         let depart = if self.cfg.model_contention {
@@ -194,7 +194,7 @@ impl Network {
     /// Latency of a hypothetical message without sending it (no contention,
     /// no tally). Useful for computing round trips.
     pub fn pure_latency(&self, src: NodeId, dst: NodeId, size: MsgSize) -> u64 {
-        let hops = self.cfg.torus.hops(src, dst) as u64;
+        let hops = self.cfg.topology.hops(src, dst) as u64;
         self.cfg.fixed_overhead + hops * self.cfg.link_latency + (size.flits() as u64 - 1)
     }
 
@@ -218,9 +218,9 @@ impl Network {
         self.cfg
     }
 
-    /// The torus shape.
-    pub fn torus(&self) -> Torus {
-        self.cfg.torus
+    /// The interconnect fabric.
+    pub fn topology(&self) -> Topology {
+        self.cfg.topology
     }
 }
 

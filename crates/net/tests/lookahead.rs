@@ -10,7 +10,13 @@
 
 use proptest::prelude::*;
 use sb_engine::Cycle;
-use sb_net::{MsgSize, Network, NetworkConfig, NodeId, PerturbationConfig, Torus};
+use sb_net::{MsgSize, Network, NetworkConfig, NodeId, PerturbationConfig, Topology};
+
+/// Every fabric the scheduler can run on. The lookahead invariant must
+/// hold on all of them — a concentrated mesh can even have *zero*-hop
+/// cross-domain pairs (co-routed tiles), where the bound degenerates to
+/// the fixed overhead alone.
+const FABRICS: [&str; 3] = ["torus", "cmesh", "xtorus"];
 
 const SIZES: [MsgSize; 4] = [
     MsgSize::Small,
@@ -33,20 +39,23 @@ fn class_for(i: u64) -> sb_net::TrafficClass {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// For random power-of-two tori, random domain assignments, and
-    /// random perturbed message streams, no cross-domain delivery's
-    /// end-to-end latency (queue wait + wire + perturbation) ever drops
-    /// below the computed inter-domain lookahead bound.
+    /// For random power-of-two machines on every fabric, random domain
+    /// assignments, and random perturbed message streams, no
+    /// cross-domain delivery's end-to-end latency (queue wait + wire +
+    /// perturbation) ever drops below the computed inter-domain
+    /// lookahead bound.
     #[test]
     fn cross_domain_latency_never_beats_lookahead(
         tiles_log in 0u32..7,            // 1..=64 tiles
+        fabric_pick in 0usize..3,
         domains in 1usize..5,
         seed in 0u64..1 << 32,
         msgs in proptest::collection::vec((any::<u64>(), any::<u64>(), 0u64..4, 0u64..8), 1..120),
     ) {
         let tiles = 1u16 << tiles_log;
-        let torus = Torus::for_tiles(tiles);
+        let topo = Topology::by_name(FABRICS[fabric_pick], tiles).expect("known fabric");
         let mut cfg = NetworkConfig::paper_default(tiles);
+        cfg.topology = topo;
         // Vary the timing parameters too: the bound must be derived from
         // the config, not from the paper constants.
         cfg.link_latency = 1 + seed % 11;
@@ -58,7 +67,7 @@ proptest! {
         let assignment: Vec<usize> = (0..tiles as usize)
             .map(|t| (t * stride) % domains)
             .collect();
-        let min_hops = torus.min_inter_domain_hops(&assignment);
+        let min_hops = topo.min_inter_domain_hops(&assignment);
 
         let mut net = Network::with_perturbation(cfg, PerturbationConfig::from_seed(seed));
         let mut now = Cycle::ZERO;
@@ -89,16 +98,18 @@ proptest! {
     #[test]
     fn lookahead_bound_is_tight(
         tiles_log in 1u32..7,
+        fabric_pick in 0usize..3,
         domains in 2usize..5,
         stride in 1usize..4,
     ) {
         let tiles = 1u16 << tiles_log;
-        let torus = Torus::for_tiles(tiles);
-        let cfg = NetworkConfig::paper_default(tiles);
+        let topo = Topology::by_name(FABRICS[fabric_pick], tiles).expect("known fabric");
+        let mut cfg = NetworkConfig::paper_default(tiles);
+        cfg.topology = topo;
         let assignment: Vec<usize> = (0..tiles as usize)
             .map(|t| (t * stride) % domains)
             .collect();
-        let Some(min_hops) = torus.min_inter_domain_hops(&assignment) else {
+        let Some(min_hops) = topo.min_inter_domain_hops(&assignment) else {
             // Fewer tiles than domains can still collapse to one domain.
             return;
         };
@@ -107,7 +118,7 @@ proptest! {
             .flat_map(|a| (0..tiles).map(move |b| (a, b)))
             .find(|&(a, b)| {
                 assignment[a as usize] != assignment[b as usize]
-                    && torus.hops(NodeId(a), NodeId(b)) == min_hops
+                    && topo.hops(NodeId(a), NodeId(b)) == min_hops
             })
             .expect("min_inter_domain_hops returned Some, so a witness pair exists");
         let mut net = Network::new(cfg);
@@ -123,27 +134,35 @@ proptest! {
 }
 
 /// `min_inter_domain_hops` really is the minimum over cross-domain
-/// pairs: brute-force recomputation agrees on a spread of shapes.
+/// pairs on every fabric: brute-force recomputation agrees on a spread
+/// of shapes (including non-powers-of-two, where the torus factors to
+/// the nearest square and a cmesh leaves its last router half-full).
 #[test]
 fn min_inter_domain_hops_matches_brute_force() {
-    for tiles in [1u16, 2, 4, 8, 16, 32, 64] {
-        let torus = Torus::for_tiles(tiles);
-        for case in 0..40u32 {
-            let mut rng = proptest::rng_for("min_hops_brute", case * 64 + tiles as u32);
-            let domains = 1 + rng.below(4) as usize;
-            let assignment: Vec<usize> = (0..tiles as usize)
-                .map(|_| rng.below(domains as u64) as usize)
-                .collect();
-            let mut brute: Option<u16> = None;
-            for a in 0..tiles {
-                for b in 0..tiles {
-                    if a != b && assignment[a as usize] != assignment[b as usize] {
-                        let h = torus.hops(NodeId(a), NodeId(b));
-                        brute = Some(brute.map_or(h, |m| m.min(h)));
+    for fabric in FABRICS {
+        for tiles in [1u16, 2, 4, 8, 16, 32, 48, 64] {
+            let topo = Topology::by_name(fabric, tiles).expect("known fabric");
+            for case in 0..40u32 {
+                let mut rng = proptest::rng_for("min_hops_brute", case * 64 + tiles as u32);
+                let domains = 1 + rng.below(4) as usize;
+                let assignment: Vec<usize> = (0..tiles as usize)
+                    .map(|_| rng.below(domains as u64) as usize)
+                    .collect();
+                let mut brute: Option<u16> = None;
+                for a in 0..tiles {
+                    for b in 0..tiles {
+                        if a != b && assignment[a as usize] != assignment[b as usize] {
+                            let h = topo.hops(NodeId(a), NodeId(b));
+                            brute = Some(brute.map_or(h, |m| m.min(h)));
+                        }
                     }
                 }
+                assert_eq!(
+                    topo.min_inter_domain_hops(&assignment),
+                    brute,
+                    "{fabric}@{tiles} case {case}"
+                );
             }
-            assert_eq!(torus.min_inter_domain_hops(&assignment), brute);
         }
     }
 }

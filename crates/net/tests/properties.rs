@@ -7,7 +7,9 @@
 
 use proptest::prelude::*;
 use sb_engine::Cycle;
-use sb_net::{MsgSize, Network, NetworkConfig, NodeId, PerturbationConfig, Torus, TrafficClass};
+use sb_net::{
+    MsgSize, Network, NetworkConfig, NodeId, PerturbationConfig, Topology, Torus, TrafficClass,
+};
 
 const SIZES: [MsgSize; 4] = [
     MsgSize::Small,
@@ -105,14 +107,14 @@ proptest! {
         let cfg = NetworkConfig::paper_default(64);
         prop_assert_eq!(cfg.link_latency, 7, "Table 2: 7-cycle links");
         prop_assert_eq!(cfg.fixed_overhead, 2);
-        prop_assert_eq!(cfg.torus, Torus::for_tiles(64));
+        prop_assert_eq!(cfg.topology, Topology::Torus(Torus::for_tiles(64)));
         prop_assert!(cfg.model_contention);
 
         let (src, dst) = (NodeId(src as u16), NodeId(dst as u16));
         let size = SIZES[size_pick as usize];
         let mut net = Network::new(cfg);
         let arrival = net.send(Cycle(0), src, dst, size, class_of(size_pick));
-        let hops = cfg.torus.hops(src, dst) as u64;
+        let hops = cfg.topology.hops(src, dst) as u64;
         prop_assert_eq!(
             arrival,
             Cycle(2 + hops * 7 + (size.flits() as u64 - 1)),

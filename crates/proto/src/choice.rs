@@ -17,6 +17,7 @@
 //! therefore always sound.
 
 use sb_chunks::ChunkTag;
+use sb_mem::TileSet;
 use sb_sigs::SigHandle;
 
 /// Address footprint of one schedulable event.
@@ -58,11 +59,11 @@ pub struct ChoiceMeta {
     /// The handler may touch state not captured by the other fields
     /// (e.g. a global arbiter or commit order). Commutes with nothing.
     pub global: bool,
-    /// Bitmask of tiles whose directory state or network injection port
-    /// the handler may touch (bit `i` = tile `i`). Tiles ≥ 64 must be
-    /// modelled as [`global`](Self::global) instead; explorer configs are
-    /// 2–3 cores, so the mask never saturates in practice.
-    pub tiles: u64,
+    /// Tiles whose directory state or network injection port the handler
+    /// may touch. Inline-small for ≤ 64 tiles and heap-spilled beyond, so
+    /// footprints stay exact at any machine size. Ignored when
+    /// [`global`](Self::global) is set (global commutes with nothing).
+    pub tiles: TileSet,
     /// Addresses the handler may read.
     pub read: AddrFootprint,
     /// Addresses the handler may write or invalidate.
@@ -80,7 +81,7 @@ impl ChoiceMeta {
             label,
             tag: None,
             global: true,
-            tiles: u64::MAX,
+            tiles: TileSet::empty(),
             read: AddrFootprint::None,
             write: AddrFootprint::None,
             core: None,
@@ -88,7 +89,7 @@ impl ChoiceMeta {
     }
 
     /// A footprint confined to one set of tiles.
-    pub fn at_tiles(label: &'static str, tiles: u64) -> Self {
+    pub fn at_tiles(label: &'static str, tiles: TileSet) -> Self {
         ChoiceMeta {
             label,
             tag: None,
@@ -132,7 +133,7 @@ impl ChoiceMeta {
         if self.global || other.global {
             return false;
         }
-        if self.tiles & other.tiles != 0 {
+        if self.tiles.intersects(&other.tiles) {
             return false;
         }
         if let (Some(a), Some(b)) = (self.core, other.core) {
@@ -162,7 +163,7 @@ mod tests {
     #[test]
     fn global_commutes_with_nothing() {
         let g = ChoiceMeta::global("msg");
-        let local = ChoiceMeta::at_tiles("read@dir", 1 << 2);
+        let local = ChoiceMeta::at_tiles("read@dir", TileSet::single(2));
         assert!(!g.independent(&local));
         assert!(!local.independent(&g));
         assert!(!g.independent(&g.clone()));
@@ -170,29 +171,31 @@ mod tests {
 
     #[test]
     fn disjoint_tiles_commute() {
-        let a = ChoiceMeta::at_tiles("read@dir", 1 << 0).reads(AddrFootprint::Line(10));
-        let b = ChoiceMeta::at_tiles("read@dir", 1 << 1).reads(AddrFootprint::Line(11));
+        let a = ChoiceMeta::at_tiles("read@dir", TileSet::single(0)).reads(AddrFootprint::Line(10));
+        let b = ChoiceMeta::at_tiles("read@dir", TileSet::single(1)).reads(AddrFootprint::Line(11));
         assert!(a.independent(&b));
-        let c = ChoiceMeta::at_tiles("grab", (1 << 1) | (1 << 2));
+        let c = ChoiceMeta::at_tiles("grab", [1u16, 2].into_iter().collect());
         assert!(a.independent(&c));
         assert!(!b.independent(&c), "tile 1 shared");
     }
 
     #[test]
     fn same_core_never_commutes() {
-        let a = ChoiceMeta::at_tiles("step", 1 << 0).at_core(3);
-        let b = ChoiceMeta::at_tiles("outcome", 1 << 1).at_core(3);
-        let c = ChoiceMeta::at_tiles("step", 1 << 2).at_core(4);
+        let a = ChoiceMeta::at_tiles("step", TileSet::single(0)).at_core(3);
+        let b = ChoiceMeta::at_tiles("outcome", TileSet::single(1)).at_core(3);
+        let c = ChoiceMeta::at_tiles("step", TileSet::single(2)).at_core(4);
         assert!(!a.independent(&b));
         assert!(a.independent(&c));
     }
 
     #[test]
     fn address_overlap_follows_data_race_rule() {
-        let w = ChoiceMeta::at_tiles("inv", 1 << 0).writes(AddrFootprint::Sig(sig_of(&[7, 9])));
-        let r_hit = ChoiceMeta::at_tiles("read", 1 << 1).reads(AddrFootprint::Line(7));
-        let r_miss = ChoiceMeta::at_tiles("read", 1 << 1).reads(AddrFootprint::Line(1000));
-        let r2 = ChoiceMeta::at_tiles("read", 1 << 2).reads(AddrFootprint::Line(7));
+        let w = ChoiceMeta::at_tiles("inv", TileSet::single(0))
+            .writes(AddrFootprint::Sig(sig_of(&[7, 9])));
+        let r_hit = ChoiceMeta::at_tiles("read", TileSet::single(1)).reads(AddrFootprint::Line(7));
+        let r_miss =
+            ChoiceMeta::at_tiles("read", TileSet::single(1)).reads(AddrFootprint::Line(1000));
+        let r2 = ChoiceMeta::at_tiles("read", TileSet::single(2)).reads(AddrFootprint::Line(7));
         assert!(!w.independent(&r_hit), "write/read overlap");
         assert!(w.independent(&r_miss) || sig_of(&[7, 9]).as_signature().test(1000));
         assert!(r_hit.independent(&r2), "read/read never conflicts");

@@ -291,7 +291,7 @@ impl<M: Clone + std::fmt::Debug> Fabric<M> {
                         if conflicts && p.req.tag != tag {
                             aborted = Some(AbortedCommit {
                                 tag: p.req.tag,
-                                g_vec: p.req.g_vec,
+                                g_vec: p.req.g_vec.clone(),
                             });
                             self.report
                                 .outcomes

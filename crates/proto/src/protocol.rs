@@ -11,7 +11,7 @@ use crate::view::MachineView;
 /// Information piggy-backed on a `bulk inv ack` when the acking processor
 /// had to squash a chunk it had already sent out for commit — the *commit
 /// recall* of §3.3/§3.4 (Optimistic Commit Initiation).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AbortedCommit {
     /// The squashed chunk whose in-flight commit must be cancelled.
     pub tag: ChunkTag,
@@ -22,7 +22,7 @@ pub struct AbortedCommit {
 }
 
 /// A `bulk inv ack` delivered to the protocol.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BulkInvAck {
     /// The directory the invalidation came from (the group leader in
     /// ScalableBulk); the ack has arrived back there.

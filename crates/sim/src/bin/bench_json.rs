@@ -1,12 +1,15 @@
 //! Machine-readable simulator-throughput benchmark.
 //!
-//! Runs the fig-7 FFT sweep point under every protocol at 8/32/64 cores
-//! and writes `BENCH_throughput.json` (by default into the current
+//! Runs the fig-7 FFT sweep point under every protocol at each swept
+//! core count (default 8/32/64) and fabric (default the 2D torus) and
+//! writes `BENCH_throughput.json` (by default into the current
 //! directory — run from the repo root to place it there):
 //!
 //! ```text
 //! cargo run --release -p sb-sim --bin bench_json [-- --out PATH] [--insns N] [--repeats R] \
-//!     [--jobs N] [--domains N] [--compare BASELINE.json] [--max-regress PCT]
+//!     [--cores LIST] [--fabrics LIST] [--protocols LIST] \
+//!     [--jobs N] [--domains N] [--compare BASELINE.json] [--max-regress PCT] \
+//!     [--profile] [--max-rss-mb MB]
 //! ```
 //!
 //! Each entry records both the simulated outcome (`wall_cycles`,
@@ -15,11 +18,24 @@
 //! are what an optimization is allowed to improve). `repeats` runs each
 //! configuration several times and keeps the fastest wall time.
 //!
+//! `--cores LIST` (comma-separated, default `8,32,64`) and
+//! `--fabrics LIST` (Topology::by_name names, default `torus`) choose
+//! the sweep axes; `--protocols LIST` restricts the protocol set (names
+//! as accepted by `ProtocolKind::from_str`, default all four of
+//! Table 3) — the lever that keeps >=256-core smoke cells affordable.
+//!
 //! `--compare BASELINE.json` turns the run into a **perf-regression
-//! gate**: every `(protocol, cores)` cell present in the baseline is
-//! checked against the fresh measurement, and the process exits non-zero
-//! if any cell's `events_per_sec` dropped by more than `--max-regress`
-//! percent (default 15). Cells faster than baseline always pass.
+//! gate**: every `(protocol, cores, fabric)` cell present in the
+//! baseline is checked against the fresh measurement (baseline rows
+//! without a `fabric` field mean `torus`), and the process exits
+//! non-zero if any cell's `events_per_sec` dropped by more than
+//! `--max-regress` percent (default 15). Cells faster than baseline
+//! always pass.
+//!
+//! `--max-rss-mb MB` (implies `--profile`) additionally gates on
+//! memory: the process exits non-zero if any cell's peak RSS exceeds
+//! the budget — the measuring stick for the memory-lean >=256-core
+//! directory state.
 //!
 //! `--jobs N` runs the cells on worker threads (simulated outcomes are
 //! unaffected; results merge in cell order). The default stays `1`:
@@ -43,6 +59,7 @@
 //! (profiling costs two clock reads per superphase — small, but a gate
 //! should compare like with like).
 
+use sb_net::Topology;
 use sb_obs::json::JsonValue;
 use sb_proto::ProtocolKind;
 use sb_sim::parallel::parallel_map;
@@ -52,6 +69,7 @@ use sb_workloads::AppProfile;
 struct Entry {
     protocol: ProtocolKind,
     cores: u16,
+    fabric: String,
     result: sb_sim::RunResult,
 }
 
@@ -65,6 +83,10 @@ fn main() {
     let mut jobs: usize = 1;
     let mut domains: usize = 1;
     let mut profile = false;
+    let mut cores_list: Vec<u16> = vec![8, 32, 64];
+    let mut fabrics: Vec<String> = vec!["torus".to_string()];
+    let mut protocols: Vec<ProtocolKind> = ProtocolKind::ALL.to_vec();
+    let mut max_rss_mb: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -109,6 +131,49 @@ fn main() {
                     .and_then(|v| sb_sim::parallel::parse_domains(v))
                     .expect("--domains N|auto");
             }
+            "--cores" => {
+                i += 1;
+                cores_list = args
+                    .get(i)
+                    .and_then(|v| {
+                        v.split(',')
+                            .map(|c| c.trim().parse::<u16>().ok().filter(|&c| c >= 1))
+                            .collect()
+                    })
+                    .expect("--cores N[,N...]");
+            }
+            "--fabrics" => {
+                i += 1;
+                fabrics = args
+                    .get(i)
+                    .map(|v| v.split(',').map(|f| f.trim().to_string()).collect())
+                    .expect("--fabrics NAME[,NAME...]");
+                for f in &fabrics {
+                    assert!(
+                        Topology::by_name(f, 64).is_some(),
+                        "unknown fabric {f:?}; expected torus, cmesh, or xtorus"
+                    );
+                }
+            }
+            "--protocols" => {
+                i += 1;
+                protocols = args
+                    .get(i)
+                    .and_then(|v| {
+                        v.split(',')
+                            .map(|s| s.trim().parse::<ProtocolKind>().ok())
+                            .collect()
+                    })
+                    .expect("--protocols NAME[,NAME...]");
+            }
+            "--max-rss-mb" => {
+                i += 1;
+                max_rss_mb = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-rss-mb MB"),
+                );
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -117,29 +182,38 @@ fn main() {
         i += 1;
     }
     let repeats = repeats.max(1);
+    // The RSS gate reads `prof.peak_rss_bytes`, which only the
+    // self-profiling executor records.
+    if max_rss_mb.is_some() {
+        profile = true;
+    }
 
-    let mut cells: Vec<(u16, ProtocolKind)> = Vec::new();
-    for cores in [8u16, 32, 64] {
-        for protocol in ProtocolKind::ALL {
-            cells.push((cores, protocol));
+    let mut cells: Vec<(u16, String, ProtocolKind)> = Vec::new();
+    for &cores in &cores_list {
+        for fabric in &fabrics {
+            for &protocol in &protocols {
+                cells.push((cores, fabric.clone(), protocol));
+            }
         }
     }
     // Each cell keeps its repeats serial (back-to-back runs of the same
     // config are the fair wall-clock comparison); `--jobs` only spreads
     // distinct cells over workers. Entries come back in cell order, so
     // the JSON and log are byte-stable at any job count.
-    let entries: Vec<Entry> = parallel_map(&cells, jobs, |&(cores, protocol)| {
+    let entries: Vec<Entry> = parallel_map(&cells, jobs, |(cores, fabric, protocol)| {
+        let (cores, protocol) = (*cores, *protocol);
         let mut cfg = SimConfig::paper_default(cores, AppProfile::fft(), protocol);
         cfg.insns_per_thread = insns;
         cfg.domains = domains;
         cfg.obs.profile = profile;
+        cfg.set_topology(Topology::by_name(fabric, cores).expect("fabric validated at parse"));
         let mut best: Option<sb_sim::RunResult> = None;
         for _ in 0..repeats {
             let r = run_simulation(&cfg);
             if let Some(b) = &best {
                 // Identical simulated outcome is a hard invariant.
-                assert_eq!(b.wall_cycles, r.wall_cycles, "{protocol}@{cores}");
-                assert_eq!(b.commits, r.commits, "{protocol}@{cores}");
+                assert_eq!(b.wall_cycles, r.wall_cycles, "{protocol}@{cores}/{fabric}");
+                assert_eq!(b.commits, r.commits, "{protocol}@{cores}/{fabric}");
                 if r.perf.wall < b.perf.wall {
                     best = Some(r);
                 }
@@ -150,14 +224,16 @@ fn main() {
         Entry {
             protocol,
             cores,
+            fabric: fabric.clone(),
             result: best.expect("repeats >= 1"),
         }
     });
     for e in &entries {
         eprintln!(
-            "[bench] {:>12} @ {:>2} cores: {}",
+            "[bench] {:>12} @ {:>4} cores on {:>6}: {}",
             e.protocol,
             e.cores,
+            e.fabric,
             e.result.perf.render()
         );
     }
@@ -176,7 +252,7 @@ fn main() {
         let phase = |name| e.result.metrics.gauge(name).unwrap_or(0.0);
         json.push_str(&format!(
             concat!(
-                "    {{\"protocol\": \"{}\", \"cores\": {}, ",
+                "    {{\"protocol\": \"{}\", \"cores\": {}, \"fabric\": \"{}\", ",
                 "\"wall_cycles\": {}, \"commits\": {}, ",
                 "\"events\": {}, \"protocol_steps\": {}, ",
                 "\"wall_secs\": {:.6}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, ",
@@ -186,6 +262,7 @@ fn main() {
             ),
             e.protocol,
             e.cores,
+            e.fabric,
             e.result.wall_cycles,
             e.result.commits,
             p.events_dispatched,
@@ -213,6 +290,7 @@ fn main() {
             json.push_str(&format!(
                 concat!(
                     "    {{\"prof\": true, \"protocol\": \"{}\", \"cores\": {}, ",
+                    "\"fabric\": \"{}\", ",
                     "\"superphases\": {}, \"hub_busy_phases\": {}, ",
                     "\"hub_utilization\": {:.6}, \"barrier_stall_secs\": {:.6}, ",
                     "\"queue_ring_pushes\": {}, \"queue_far_pushes\": {}, ",
@@ -220,6 +298,7 @@ fn main() {
                 ),
                 e.protocol,
                 e.cores,
+                e.fabric,
                 c("prof.superphases"),
                 c("prof.hub_busy_phases"),
                 m.gauge("prof.hub_utilization").unwrap_or(0.0),
@@ -239,6 +318,15 @@ fn main() {
     }
     eprintln!("[bench] wrote {out_path}");
 
+    if let Some(limit_mb) = max_rss_mb {
+        let over = check_rss(&entries, limit_mb);
+        if over > 0 {
+            eprintln!("[bench] FAIL: {over} cell(s) exceeded the {limit_mb} MB peak-RSS budget");
+            std::process::exit(1);
+        }
+        eprintln!("[bench] peak-RSS gate passed (budget {limit_mb} MB)");
+    }
+
     if let Some(baseline_path) = compare {
         let regressions = check_regressions(&baseline_path, &entries, max_regress);
         if regressions > 0 {
@@ -249,9 +337,38 @@ fn main() {
     }
 }
 
+/// Checks every cell's `prof.peak_rss_bytes` against the budget; prints
+/// one line per cell and returns how many exceeded it. Peak RSS is a
+/// process-wide high-water mark, so cells measured later in the process
+/// inherit earlier peaks — run one cell per process (as the CI smoke
+/// does) for per-configuration numbers.
+fn check_rss(entries: &[Entry], limit_mb: u64) -> u32 {
+    let mut over = 0u32;
+    for e in entries {
+        let rss = e.result.metrics.gauge("prof.peak_rss_bytes").unwrap_or(0.0) as u64;
+        let rss_mb = rss / (1024 * 1024);
+        let verdict = if rss == 0 {
+            "unmeasured" // platform without RSS reporting: do not gate
+        } else if rss_mb > limit_mb {
+            over += 1;
+            "OVER BUDGET"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "[bench] {:>12} @ {:>4} cores on {:>6}: peak RSS {} MB (budget {} MB) {}",
+            e.protocol, e.cores, e.fabric, rss_mb, limit_mb, verdict
+        );
+    }
+    over
+}
+
 /// Compares the fresh measurements against a baseline
-/// `BENCH_throughput.json`; prints one line per `(protocol, cores)` cell
-/// and returns how many regressed beyond `max_regress` percent.
+/// `BENCH_throughput.json`; prints one line per `(protocol, cores,
+/// fabric)` cell and returns how many regressed beyond `max_regress`
+/// percent. Baseline rows without a `fabric` field predate the fabric
+/// sweeps and mean `torus`; `prof` rows carry no throughput and are
+/// skipped.
 fn check_regressions(baseline_path: &str, entries: &[Entry], max_regress: f64) -> u32 {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -277,6 +394,9 @@ fn check_regressions(baseline_path: &str, entries: &[Entry], max_regress: f64) -
 
     let mut regressions = 0u32;
     for run in runs {
+        if run.get("prof").is_some() {
+            continue; // profiling side-row, no throughput to gate on
+        }
         let (Some(proto), Some(cores), Some(base_eps)) = (
             run.get("protocol").and_then(|v| v.as_str()),
             run.get("cores").and_then(|v| v.as_i64()),
@@ -285,11 +405,14 @@ fn check_regressions(baseline_path: &str, entries: &[Entry], max_regress: f64) -
             eprintln!("[bench] baseline entry missing protocol/cores/events_per_sec; skipped");
             continue;
         };
-        let Some(e) = entries
-            .iter()
-            .find(|e| e.protocol.to_string() == proto && e.cores as i64 == cores)
-        else {
-            eprintln!("[bench] {proto}@{cores}: in baseline but not measured; skipped");
+        let fabric = run
+            .get("fabric")
+            .and_then(|v| v.as_str())
+            .unwrap_or("torus");
+        let Some(e) = entries.iter().find(|e| {
+            e.protocol.to_string() == proto && e.cores as i64 == cores && e.fabric == fabric
+        }) else {
+            eprintln!("[bench] {proto}@{cores}/{fabric}: in baseline but not measured; skipped");
             continue;
         };
         let now_eps = e.result.perf.events_per_sec();
@@ -304,7 +427,7 @@ fn check_regressions(baseline_path: &str, entries: &[Entry], max_regress: f64) -
             "ok"
         };
         eprintln!(
-            "[bench] {proto:>12} @ {cores:>2} cores: {base_eps:>12.0} -> {now_eps:>12.0} ev/s ({delta_pct:+.1}%) {verdict}"
+            "[bench] {proto:>12} @ {cores:>4} cores on {fabric:>6}: {base_eps:>12.0} -> {now_eps:>12.0} ev/s ({delta_pct:+.1}%) {verdict}"
         );
     }
     regressions

@@ -45,14 +45,21 @@
 //!
 //! IDs: `table1 table2 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 ablation_oci ablation_sig
-//! ablation_rotation ext_seqts`.
+//! ablation_rotation ext_seqts scaling`.
+//!
+//! `scaling` (not part of `all`; beyond-the-paper) sweeps FFT under
+//! every protocol across `--cores LIST` (default `64,128,256`) and
+//! `--fabrics LIST` (default `torus`; also `cmesh`, `xtorus`) and
+//! reports commit throughput, its scaling versus the smallest swept
+//! machine, and the dominant critical-path segment per cell — the
+//! evidence behind EXPERIMENTS.md's scaling-cliff section.
 
 use sb_sim::experiments::{self, Sweep};
 use sb_workloads::{AppProfile, Suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|all> [--insns N] [--seed S] [--jobs N|auto] [--domains N|auto] [--csv DIR] [--timing] [--attribution] [--trace-out PATH] [--series-out PATH] [--series-window N]"
+        "usage: figures -- <table1|table2|table3|fig7..fig19|ablation_oci|ablation_sig|ablation_rotation|scaling|all> [--insns N] [--seed S] [--jobs N|auto] [--domains N|auto] [--cores LIST] [--fabrics LIST] [--csv DIR] [--timing] [--attribution] [--trace-out PATH] [--series-out PATH] [--series-window N]"
     );
     std::process::exit(2);
 }
@@ -218,6 +225,10 @@ fn main() {
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut series_path: Option<std::path::PathBuf> = None;
     let mut series_window: u64 = 0;
+    // The `scaling` sweep's axes (comma-separated): core counts beyond
+    // the paper's 64 and interconnect fabrics by Topology::by_name.
+    let mut scaling_cores: Vec<u16> = vec![64, 128, 256];
+    let mut scaling_fabrics: Vec<String> = vec!["torus".to_string()];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -268,6 +279,24 @@ fn main() {
                 sweep.domains = args
                     .get(i)
                     .and_then(|v| sb_sim::parallel::parse_domains(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--cores" => {
+                i += 1;
+                scaling_cores = args
+                    .get(i)
+                    .and_then(|v| {
+                        v.split(',')
+                            .map(|c| c.trim().parse::<u16>().ok().filter(|&c| c >= 1))
+                            .collect()
+                    })
+                    .unwrap_or_else(|| usage());
+            }
+            "--fabrics" => {
+                i += 1;
+                scaling_fabrics = args
+                    .get(i)
+                    .map(|v| v.split(',').map(|f| f.trim().to_string()).collect())
                     .unwrap_or_else(|| usage());
             }
             id => ids.push(id.to_string()),
@@ -399,6 +428,13 @@ fn main() {
             "ablation_rotation" => (
                 "Ablation: leader-priority rotation on/off (Radix, 64 procs)".to_string(),
                 experiments::ablation_rotation_table(AppProfile::radix(), &sweep),
+            ),
+            "scaling" => (
+                format!(
+                    "Scaling sweep: FFT, cores {:?}, fabrics {:?}",
+                    scaling_cores, scaling_fabrics
+                ),
+                experiments::scaling_table(&sweep, &scaling_cores, &scaling_fabrics),
             ),
             other => {
                 eprintln!("unknown experiment id {other:?}");

@@ -3,7 +3,7 @@
 use sb_baselines::{BulkScConfig, TccConfig};
 use sb_core::SbConfig;
 use sb_mem::{CacheHierarchyConfig, DirId, PageMapPolicy};
-use sb_net::{NetworkConfig, PerturbationConfig, Torus};
+use sb_net::{NetworkConfig, PerturbationConfig, Topology};
 use sb_proto::ProtocolKind;
 use sb_sigs::SignatureConfig;
 use sb_workloads::AppProfile;
@@ -190,7 +190,7 @@ impl SimConfig {
     /// instructions per thread (≈20 chunks) — enough for stable commit
     /// statistics while keeping full sweeps fast; experiments override it.
     pub fn paper_default(cores: u16, app: AppProfile, protocol: ProtocolKind) -> Self {
-        let torus = Torus::for_tiles(cores);
+        let topology = Topology::for_tiles(cores);
         SimConfig {
             cores,
             threads: cores as usize,
@@ -211,7 +211,7 @@ impl SimConfig {
             warmup_chunks: 4,
             sb: SbConfig::paper_default(),
             tcc: TccConfig::paper_default(),
-            bulksc: BulkScConfig::paper_default(DirId(torus.center().0)),
+            bulksc: BulkScConfig::paper_default(DirId(topology.center().0)),
             perturb: None,
             trace: false,
             obs: ObsConfig::default(),
@@ -242,6 +242,24 @@ impl SimConfig {
     pub fn total_insns(&self) -> u64 {
         self.threads as u64 * self.insns_per_thread
     }
+
+    /// Swaps the interconnect fabric, keeping everything that derives
+    /// from it consistent: BulkSC's centralized arbiter moves to the new
+    /// fabric's centre tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` has fewer tiles than the machine has cores.
+    pub fn set_topology(&mut self, topology: Topology) {
+        assert!(
+            topology.tiles() >= self.cores,
+            "fabric has {} tiles, machine has {} cores",
+            topology.tiles(),
+            self.cores
+        );
+        self.net.topology = topology;
+        self.bulksc.arbiter = DirId(topology.center().0);
+    }
 }
 
 #[cfg(test)]
@@ -255,14 +273,18 @@ mod tests {
         assert_eq!(cfg.threads, 64);
         assert_eq!(cfg.sig.total_bits(), 2048);
         assert_eq!(cfg.net.link_latency, 7);
-        assert_eq!(cfg.net.torus, Torus::new(8, 8));
+        assert_eq!(cfg.net.topology, Topology::for_tiles(64));
+        assert_eq!(cfg.net.topology.describe(), "2D torus 8x8");
         assert_eq!(cfg.mem_latency, 300);
         assert_eq!(cfg.max_active_chunks, 2);
         assert_eq!(cfg.hier.l1.size_bytes, 32 * 1024);
         assert_eq!(cfg.hier.l2.size_bytes, 512 * 1024);
         assert_eq!(cfg.page_policy, PageMapPolicy::FirstTouch);
         // BulkSC's arbiter sits at the torus centre.
-        assert_eq!(DirId(Torus::for_tiles(64).center().0), cfg.bulksc.arbiter);
+        assert_eq!(
+            DirId(Topology::for_tiles(64).center().0),
+            cfg.bulksc.arbiter
+        );
         // Fuzzing and observability machinery is strictly opt-in.
         assert_eq!(cfg.perturb, None);
         assert!(!cfg.trace);
@@ -287,5 +309,21 @@ mod tests {
             ocean.app.private_ws_kb,
             AppProfile::ocean().private_ws_kb * 32
         );
+    }
+
+    #[test]
+    fn set_topology_moves_the_bulksc_arbiter() {
+        let mut cfg = SimConfig::paper_default(64, AppProfile::fft(), ProtocolKind::BulkSc);
+        let cmesh = Topology::by_name("cmesh", 64).unwrap();
+        cfg.set_topology(cmesh);
+        assert_eq!(cfg.net.topology, cmesh);
+        assert_eq!(cfg.bulksc.arbiter, DirId(cmesh.center().0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fabric has 16 tiles")]
+    fn set_topology_rejects_small_fabrics() {
+        let mut cfg = SimConfig::paper_default(64, AppProfile::fft(), ProtocolKind::ScalableBulk);
+        cfg.set_topology(Topology::for_tiles(16));
     }
 }

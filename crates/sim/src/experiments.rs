@@ -424,10 +424,7 @@ pub fn system_config_table() -> TextTable {
             cfg.max_active_chunks.to_string(),
         ),
         ("chunk size", "2000 instructions".into()),
-        (
-            "interconnect",
-            format!("2D torus {}x{}", cfg.net.torus.cols(), cfg.net.torus.rows()),
-        ),
+        ("interconnect", cfg.net.topology.describe()),
         (
             "interconnect link latency",
             format!("{} cycles", cfg.net.link_latency),
@@ -607,6 +604,93 @@ pub fn ablation_rotation_table(app: AppProfile, sweep: &Sweep) -> TextTable {
     t
 }
 
+/// Scaling sweep (beyond the paper's 64 cores): FFT under every Table-3
+/// protocol at each core count on each interconnect fabric. Reports
+/// commit throughput (commits per 10k cycles), its scaling relative to
+/// the smallest swept machine of the same (fabric, protocol) series,
+/// mean/p95 commit latency, and the dominant critical-path segment —
+/// the column that names each protocol's scaling cliff.
+///
+/// `fabrics` are [`Topology::by_name`](sb_net::Topology::by_name)
+/// names (`torus`, `cmesh`, `xtorus`).
+///
+/// # Panics
+///
+/// Panics on an unknown fabric name.
+pub fn scaling_table(sweep: &Sweep, cores_list: &[u16], fabrics: &[String]) -> TextTable {
+    use crate::critical_path::{commit_paths, Attribution};
+    use sb_net::Topology;
+
+    let mut cells: Vec<(String, u16, ProtocolKind)> = Vec::new();
+    for fabric in fabrics {
+        for &cores in cores_list {
+            for p in ProtocolKind::ALL {
+                cells.push((fabric.clone(), cores, p));
+            }
+        }
+    }
+    let rows = parallel_map(&cells, sweep.jobs, |(fabric, cores, p)| {
+        let mut cfg = SimConfig::paper_default(*cores, AppProfile::fft(), *p);
+        cfg.insns_per_thread = sweep.insns_per_thread;
+        cfg.seed = sweep.seed;
+        cfg.domains = sweep.domains;
+        cfg.trace = true;
+        cfg.obs = crate::ObsConfig::on();
+        let topo = Topology::by_name(fabric, *cores)
+            .unwrap_or_else(|| panic!("unknown fabric {fabric:?}"));
+        cfg.set_topology(topo);
+        let r = run_simulation(&cfg);
+        let paths = commit_paths(&r).expect("trace+obs on, so paths reconstruct");
+        let a = Attribution::from_paths(&paths);
+        let top = a
+            .rows()
+            .into_iter()
+            .max_by_key(|&(_, cycles, _)| cycles)
+            .map(|(name, _, frac)| format!("{name} {:.0}%", frac * 100.0))
+            .unwrap_or_else(|| "-".into());
+        let throughput = r.commits as f64 / r.wall_cycles.max(1) as f64 * 10_000.0;
+        (throughput, r, top)
+    });
+    let mut t = TextTable::new(vec![
+        "fabric",
+        "cores",
+        "protocol",
+        "wall_cycles",
+        "commits",
+        "commits/10kcyc",
+        "scaling",
+        "lat_mean",
+        "lat_p95",
+        "top_path_segment",
+    ]);
+    // Scaling baseline: the smallest swept machine of each
+    // (fabric, protocol) series.
+    let base_cores = cores_list.iter().copied().min().unwrap_or(0);
+    let mut base: HashMap<(&str, ProtocolKind), f64> = HashMap::new();
+    for ((fabric, cores, p), (tp, _, _)) in cells.iter().zip(&rows) {
+        if *cores == base_cores {
+            base.insert((fabric.as_str(), *p), *tp);
+        }
+    }
+    for ((fabric, cores, p), (tp, r, top)) in cells.iter().zip(&rows) {
+        let b = base.get(&(fabric.as_str(), *p)).copied().unwrap_or(0.0);
+        let scaling = if b > 0.0 { tp / b } else { 0.0 };
+        t.row(vec![
+            fabric.clone(),
+            cores.to_string(),
+            p.label().into(),
+            r.wall_cycles.to_string(),
+            r.commits.to_string(),
+            format!("{tp:.2}"),
+            format!("{scaling:.2}x"),
+            format!("{:.0}", r.latency.mean()),
+            r.latency.p95().to_string(),
+            top.clone(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -647,6 +731,18 @@ mod tests {
         let s = set.single("FFT", 8);
         assert!(s.wall_cycles > r.wall_cycles, "1p run does 8x the work");
         assert_eq!(set.sweep().insns_per_thread, 6_000);
+    }
+
+    #[test]
+    fn scaling_table_covers_fabrics_and_scales_from_smallest() {
+        let sweep = quick_sweep();
+        let fabrics = vec!["torus".to_string(), "cmesh".to_string()];
+        let t = scaling_table(&sweep, &[8, 16], &fabrics);
+        assert_eq!(t.len(), 2 * 2 * 4);
+        let text = t.render();
+        assert!(text.contains("cmesh"));
+        // The smallest machine of each series is its own baseline.
+        assert!(text.contains("1.00x"));
     }
 
     #[test]

@@ -53,7 +53,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use sb_chunks::{ChunkSpec, ChunkTag, ChunkWindow, CommitRequest};
 use sb_engine::{Cycle, EventQueue, FxHashMap, FxHashSet};
 use sb_mem::{
-    CacheHierarchy, CoreId, CoreSet, DirId, DirectoryState, HitLevel, LineAddr, PageMapper,
+    CacheHierarchy, CoreId, CoreSet, DirId, DirectoryState, HitLevel, LineAddr, PageMapper, TileSet,
 };
 use sb_net::{MsgSize, Network, PerturbationConfig, TrafficClass};
 use sb_proto::{
@@ -418,7 +418,7 @@ impl CoreUnit {
     /// the *shared* state a pick may touch (invalidation signatures,
     /// lines being filled) for cross-checking against hub events.
     fn choice_meta(&self, ev: &AEv) -> ChoiceMeta {
-        let tile = 1u64 << (self.core % 64);
+        let tile = TileSet::single(self.core);
         let m = ChoiceMeta::at_tiles(
             match ev {
                 AEv::Step { .. } => "step",
@@ -1351,7 +1351,7 @@ impl<P: CommitProtocol> Hub<P> {
     /// protocol declares its commit state directory-partitioned, and
     /// wire messages defer to [`CommitProtocol::msg_meta`].
     fn choice_meta(&self, ev: &BEv<P::Msg>) -> ChoiceMeta {
-        let bit = |t: u16| 1u64 << (t % 64);
+        let bit = TileSet::single;
         match ev {
             BEv::FromCore(m) => match m {
                 CoreToB::ReadAtDir { line, .. } => {
@@ -1380,7 +1380,7 @@ impl<P: CommitProtocol> Hub<P> {
                     if self.proto.per_dir_commit_state() {
                         let mut tiles = bit(req.tag.core().0);
                         for d in req.g_vec.iter() {
-                            tiles |= bit(d.0);
+                            tiles.insert(d.0);
                         }
                         ChoiceMeta::at_tiles("commit-start", tiles)
                             .with_tag(req.tag)
@@ -2154,7 +2154,10 @@ impl<P: CommitProtocol> Machine<P> {
                 Some(p) => Network::with_perturbation(cfg.net, p),
             },
             mapper: Arc::clone(&mapper),
-            bq: EventQueue::with_capacity(4096),
+            // Scales with the machine: the hub's calendar carries O(cores)
+            // in-flight deliveries, and growth reallocations at 1024
+            // tiles are pure waste.
+            bq: EventQueue::with_capacity((cfg.cores as usize * 64).max(4096)),
             batch: VecDeque::new(),
             now: Cycle::ZERO,
             outbox: Outbox::new(),
@@ -2629,7 +2632,8 @@ impl<P: CommitProtocol> Machine<P> {
     /// Merges the per-unit trace buffers into one stream, ordered by
     /// superphase then unit index — a fixed order at any domain count.
     fn merged_trace(&mut self) -> RunTrace {
-        let mut tagged: Vec<(u64, TraceEvent)> = Vec::new();
+        let total: usize = self.units.iter().map(|u| u.trace_buf.len()).sum();
+        let mut tagged: Vec<(u64, TraceEvent)> = Vec::with_capacity(total);
         for u in &mut self.units {
             tagged.append(&mut u.trace_buf);
         }
@@ -2645,13 +2649,17 @@ impl<P: CommitProtocol> Machine<P> {
     /// earlier in the same source buffer, so remapping in order always
     /// finds it — and cross-plane `delivered_at` fixups apply last.
     fn merged_obs(&mut self) -> ObsLog {
-        let mut events: Vec<(u64, ObsEvent)> = Vec::new();
+        let n_events: usize =
+            self.units.iter().map(|u| u.obs_buf.len()).sum::<usize>() + self.hub.obs_buf.len();
+        let mut events: Vec<(u64, ObsEvent)> = Vec::with_capacity(n_events);
         for u in &mut self.units {
             events.append(&mut u.obs_buf);
         }
         events.append(&mut self.hub.obs_buf);
         events.sort_by_key(|e| e.0);
-        let mut tagged: Vec<(u64, FlowEvent)> = Vec::new();
+        let n_flows: usize =
+            self.units.iter().map(|u| u.flow_buf.len()).sum::<usize>() + self.hub.flow_buf.len();
+        let mut tagged: Vec<(u64, FlowEvent)> = Vec::with_capacity(n_flows);
         for u in &mut self.units {
             tagged.append(&mut u.flow_buf);
         }
